@@ -1,0 +1,24 @@
+//! # gef-baselines
+//!
+//! The explanation baselines the GEF paper compares against, all
+//! implemented from scratch:
+//!
+//! * [`treeshap`] — path-dependent TreeSHAP (Lundberg et al. 2018/2020),
+//!   the polynomial-time exact Shapley-value algorithm for tree
+//!   ensembles, including the brute-force reference implementation used
+//!   to verify it;
+//! * [`lime`] — LIME (Ribeiro et al. 2016): Gaussian perturbation around
+//!   an instance plus a distance-kernel-weighted ridge regression;
+//! * [`pdp`] — partial dependence (1-D and 2-D) and Individual
+//!   Conditional Expectation curves;
+//! * [`linear`] — a global linear-regression surrogate (the simpler
+//!   alternative to a GAM discussed in the paper's Sec. 3.1).
+
+pub mod lime;
+pub mod linear;
+pub mod pdp;
+pub mod treeshap;
+
+pub use lime::{LimeConfig, LimeExplanation};
+pub use linear::LinearSurrogate;
+pub use treeshap::{shap_values, shap_values_batch};

@@ -1,0 +1,117 @@
+//! Global linear-regression surrogate.
+//!
+//! The paper's Sec. 3.1 discusses simple linear regression as the
+//! maximally interpretable (but inflexible) alternative to a GAM
+//! surrogate; this module provides it as a comparison point: a ridge
+//! least-squares fit of the forest's outputs on the synthetic dataset.
+
+use gef_linalg::{Cholesky, Matrix};
+
+/// A fitted linear surrogate `ŷ = β₀ + Σ β_j x_j`.
+#[derive(Debug, Clone)]
+pub struct LinearSurrogate {
+    /// Intercept β₀.
+    pub intercept: f64,
+    /// Slope per feature.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearSurrogate {
+    /// Fit by ridge least squares (`ridge = 0` gives plain OLS on
+    /// non-degenerate data).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Result<Self, String> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(format!(
+                "invalid shapes: {} rows, {} targets",
+                xs.len(),
+                ys.len()
+            ));
+        }
+        let d = xs[0].len();
+        let p = d + 1;
+        let mut g = Matrix::zeros(p, p);
+        let mut b = vec![0.0; p];
+        let mut row = vec![0.0; p];
+        for (x, &y) in xs.iter().zip(ys) {
+            row[0] = 1.0;
+            row[1..].copy_from_slice(x);
+            g.syr_upper(&row, 1.0);
+            for (c, &v) in row.iter().enumerate() {
+                b[c] += v * y;
+            }
+        }
+        g.mirror_upper();
+        for i in 1..p {
+            g[(i, i)] += ridge;
+        }
+        let beta = Cholesky::factor_jittered(&g, 1e-9, 12)
+            .map_err(|e| e.to_string())?
+            .solve(&b)
+            .map_err(|e| e.to_string())?;
+        Ok(LinearSurrogate {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
+    }
+
+    /// Predict one instance.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    /// Predict a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 100.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 + 2.0 * x[0] - 3.0 * x[1]).collect();
+        let m = LinearSurrogate::fit(&xs, &ys, 0.0).unwrap();
+        assert!((m.intercept - 1.5).abs() < 1e-8);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-8);
+        assert!((m.predict(&[0.5, 0.5]) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cannot_fit_sine_well() {
+        // The Sec. 3.1 point: a linear model cannot approximate the
+        // nonlinear generator reasonably.
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 20.0).sin()).collect();
+        let m = LinearSurrogate::fit(&xs, &ys, 0.0).unwrap();
+        let preds = m.predict_batch(&xs);
+        let r2 = gef_data::metrics::r2(&preds, &ys);
+        assert!(r2 < 0.2, "a line should not fit sin(20x): r2={r2}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(LinearSurrogate::fit(&[], &[], 0.0).is_err());
+        assert!(LinearSurrogate::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+        let ols = LinearSurrogate::fit(&xs, &ys, 0.0).unwrap();
+        let ridge = LinearSurrogate::fit(&xs, &ys, 1e5).unwrap();
+        assert!(ridge.coefficients[0].abs() < ols.coefficients[0].abs());
+    }
+}

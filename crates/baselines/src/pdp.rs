@@ -1,0 +1,177 @@
+//! Partial dependence and Individual Conditional Expectation curves.
+//!
+//! The SHAP partial-dependence panels of the paper's Figs. 9–10 are
+//! scatter plots of per-instance SHAP values against feature values;
+//! [`shap_dependence`] produces exactly that series. Classic
+//! [`partial_dependence_1d`] / [`partial_dependence_2d`] (Friedman
+//! 2001) and [`ice_curves`] (Goldstein et al. 2015) are provided as the
+//! standard global-visualization baselines discussed in the related
+//! work.
+
+use crate::treeshap::shap_values;
+use gef_forest::Forest;
+
+/// 1-D partial dependence of `feature` at `grid` values, averaging the
+/// forest's raw predictions over the `background` instances.
+pub fn partial_dependence_1d(
+    forest: &Forest,
+    background: &[Vec<f64>],
+    feature: usize,
+    grid: &[f64],
+) -> Vec<f64> {
+    assert!(!background.is_empty(), "empty background");
+    let mut buf = background.to_vec();
+    grid.iter()
+        .map(|&v| {
+            for (row, orig) in buf.iter_mut().zip(background) {
+                row.clone_from(orig);
+                row[feature] = v;
+            }
+            buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>() / buf.len() as f64
+        })
+        .collect()
+}
+
+/// 2-D partial dependence over `grid_a × grid_b` (row-major result).
+pub fn partial_dependence_2d(
+    forest: &Forest,
+    background: &[Vec<f64>],
+    features: (usize, usize),
+    grid_a: &[f64],
+    grid_b: &[f64],
+) -> Vec<Vec<f64>> {
+    assert!(!background.is_empty(), "empty background");
+    let mut buf = background.to_vec();
+    grid_a
+        .iter()
+        .map(|&a| {
+            grid_b
+                .iter()
+                .map(|&b| {
+                    for (row, orig) in buf.iter_mut().zip(background) {
+                        row.clone_from(orig);
+                        row[features.0] = a;
+                        row[features.1] = b;
+                    }
+                    buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>()
+                        / buf.len() as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// ICE curves: one prediction series per background instance (rows) at
+/// each grid value (columns).
+pub fn ice_curves(
+    forest: &Forest,
+    background: &[Vec<f64>],
+    feature: usize,
+    grid: &[f64],
+) -> Vec<Vec<f64>> {
+    background
+        .iter()
+        .map(|orig| {
+            let mut buf = orig.clone();
+            grid.iter()
+                .map(|&v| {
+                    buf[feature] = v;
+                    forest.predict_raw(&buf)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// SHAP dependence series for one feature: `(feature value, SHAP value)`
+/// per instance — the scatter the paper plots next to GEF's splines.
+pub fn shap_dependence(
+    forest: &Forest,
+    instances: &[Vec<f64>],
+    feature: usize,
+) -> Vec<(f64, f64)> {
+    instances
+        .iter()
+        .map(|x| {
+            let (phi, _) = shap_values(forest, x);
+            (x[feature], phi[feature])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gef_forest::{GbdtParams, GbdtTrainer};
+
+    fn forest_and_data() -> (Forest, Vec<Vec<f64>>) {
+        let mut state = 13u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..900).map(|_| vec![next(), next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 0.5 * x[1]).collect();
+        let f = GbdtTrainer::new(GbdtParams {
+            num_trees: 60,
+            num_leaves: 8,
+            learning_rate: 0.2,
+            min_data_in_leaf: 5,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        (f, xs)
+    }
+
+    #[test]
+    fn pd_tracks_monotone_effect() {
+        let (forest, xs) = forest_and_data();
+        let grid = [0.1, 0.5, 0.9];
+        let pd = partial_dependence_1d(&forest, &xs[..200], 0, &grid);
+        assert!(pd[0] < pd[1] && pd[1] < pd[2], "pd={pd:?}");
+        // Slope ≈ 3 per unit.
+        assert!(((pd[2] - pd[0]) / 0.8 - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn pd_2d_additive_function_is_additive() {
+        let (forest, xs) = forest_and_data();
+        let ga = [0.2, 0.8];
+        let gb = [0.3, 0.7];
+        let pd2 = partial_dependence_2d(&forest, &xs[..150], (0, 1), &ga, &gb);
+        // For an additive function: pd2[a][b] + pd2[a'][b'] ≈
+        // pd2[a][b'] + pd2[a'][b].
+        let cross = (pd2[0][0] + pd2[1][1]) - (pd2[0][1] + pd2[1][0]);
+        assert!(cross.abs() < 0.15, "cross={cross}");
+    }
+
+    #[test]
+    fn ice_shape_and_mean_matches_pd() {
+        let (forest, xs) = forest_and_data();
+        let grid = [0.25, 0.75];
+        let ice = ice_curves(&forest, &xs[..100], 0, &grid);
+        assert_eq!(ice.len(), 100);
+        assert_eq!(ice[0].len(), 2);
+        let pd = partial_dependence_1d(&forest, &xs[..100], 0, &grid);
+        for (g, &pdv) in grid.iter().enumerate() {
+            let _ = g;
+            let _ = pdv;
+        }
+        for (j, &pdv) in pd.iter().enumerate() {
+            let mean: f64 = ice.iter().map(|c| c[j]).sum::<f64>() / ice.len() as f64;
+            assert!((mean - pdv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shap_dependence_correlates_with_feature() {
+        let (forest, xs) = forest_and_data();
+        let dep = shap_dependence(&forest, &xs[..120], 0);
+        let (vals, phis): (Vec<f64>, Vec<f64>) = dep.into_iter().unzip();
+        let corr = gef_linalg::stats::pearson(&vals, &phis);
+        assert!(corr > 0.95, "corr={corr}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Path-dependent TreeSHAP (Lundberg, Erion & Lee).
+//!
+//! Computes exact Shapley values for a tree ensemble in
+//! `O(T · L · D²)` time, where the conditional expectation of a feature
+//! coalition is defined path-dependently: when a split feature is
+//! missing, both branches are followed weighted by their training
+//! cover. This matches `shap.TreeExplainer(..., feature_perturbation=
+//! "tree_path_dependent")`, the variant the paper uses (it requires no
+//! background dataset — fitting GEF's data-free setting).
+//!
+//! [`expected_value_subset`] implements the naive conditional
+//! expectation (Algorithm 1), and [`brute_force_shap`] the exponential
+//! Shapley summation — both kept as test oracles for the fast
+//! algorithm.
+
+use gef_forest::tree::Tree;
+use gef_forest::Forest;
+
+/// One element of the feature path maintained by the algorithm.
+#[derive(Debug, Clone, Copy)]
+struct PathElement {
+    /// Feature index of this path segment (usize::MAX for the dummy
+    /// root element).
+    d: usize,
+    /// Fraction of "zero" (missing-feature) paths flowing through.
+    z: f64,
+    /// Fraction of "one" (present-feature) paths flowing through.
+    o: f64,
+    /// Proportion of feature subsets of each cardinality.
+    w: f64,
+}
+
+/// SHAP values of a single tree for instance `x`; `phi` has one slot
+/// per feature and is accumulated into.
+fn tree_shap(tree: &Tree, x: &[f64], phi: &mut [f64]) {
+    let mut path: Vec<PathElement> = Vec::with_capacity(16);
+    recurse(tree, 0, x, &mut path, 1.0, 1.0, usize::MAX, phi);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    tree: &Tree,
+    node_idx: usize,
+    x: &[f64],
+    path: &mut [PathElement],
+    p_zero: f64,
+    p_one: f64,
+    p_index: usize,
+    phi: &mut [f64],
+) {
+    // Work on a private copy of the path (the algorithm's EXTEND makes
+    // a copy; recursion depth is bounded by tree depth so the clone
+    // cost is negligible next to the O(D²) arithmetic).
+    let mut m = path.to_vec();
+    extend(&mut m, p_zero, p_one, p_index);
+    let node = &tree.nodes[node_idx];
+    if node.is_leaf() {
+        // Skip the dummy element at index 0.
+        for i in 1..m.len() {
+            let w: f64 = unwound_sum(&m, i);
+            let el = m[i];
+            phi[el.d] += w * (el.o - el.z) * node.value;
+        }
+        return;
+    }
+    let f = node.feature as usize;
+    let (hot, cold) = if x[f] <= node.threshold {
+        (node.left as usize, node.right as usize)
+    } else {
+        (node.right as usize, node.left as usize)
+    };
+    let r_j = tree.nodes[node_idx].count as f64;
+    let r_h = tree.nodes[hot].count as f64;
+    let r_c = tree.nodes[cold].count as f64;
+    debug_assert!(r_j > 0.0, "TreeSHAP needs positive node covers");
+    let (mut i_z, mut i_o) = (1.0, 1.0);
+    if let Some(k) = m.iter().position(|e| e.d == f) {
+        i_z = m[k].z;
+        i_o = m[k].o;
+        unwind(&mut m, k);
+    }
+    recurse(tree, hot, x, &mut m, i_z * r_h / r_j, i_o, f, phi);
+    recurse(tree, cold, x, &mut m, i_z * r_c / r_j, 0.0, f, phi);
+}
+
+/// EXTEND: grow the path by one segment, updating the subset weights.
+fn extend(m: &mut Vec<PathElement>, p_zero: f64, p_one: f64, p_index: usize) {
+    let l = m.len();
+    m.push(PathElement {
+        d: p_index,
+        z: p_zero,
+        o: p_one,
+        w: if l == 0 { 1.0 } else { 0.0 },
+    });
+    // 0-indexed translation of "for i ← l to 1".
+    for i in (0..l).rev() {
+        m[i + 1].w += p_one * m[i].w * (i + 1) as f64 / (l + 1) as f64;
+        m[i].w = p_zero * m[i].w * (l - i) as f64 / (l + 1) as f64;
+    }
+}
+
+/// UNWIND: remove path segment `i`, restoring the subset weights.
+///
+/// In the paper's 1-indexed notation `l` is the path *length*; here
+/// `len = m.len()` plays that role and `last = len − 1` is the index
+/// of the final element.
+fn unwind(m: &mut Vec<PathElement>, i: usize) {
+    let len = m.len() as f64;
+    let last = m.len() - 1;
+    let (o, z) = (m[i].o, m[i].z);
+    let mut n = m[last].w;
+    for j in (0..last).rev() {
+        if o != 0.0 {
+            let t = m[j].w;
+            m[j].w = n * len / ((j + 1) as f64 * o);
+            n = t - m[j].w * z * (last - j) as f64 / len;
+        } else {
+            m[j].w = m[j].w * len / (z * (last - j) as f64);
+        }
+    }
+    for j in i..last {
+        let next = m[j + 1];
+        m[j].d = next.d;
+        m[j].z = next.z;
+        m[j].o = next.o;
+    }
+    m.pop();
+}
+
+/// Sum of the path weights after notionally unwinding segment `i`
+/// (the quantity the leaf step needs), without mutating the path.
+fn unwound_sum(m: &[PathElement], i: usize) -> f64 {
+    let len = m.len() as f64;
+    let last = m.len() - 1;
+    let (o, z) = (m[i].o, m[i].z);
+    let mut total = 0.0;
+    let mut n = m[last].w;
+    for j in (0..last).rev() {
+        if o != 0.0 {
+            let t = n * len / ((j + 1) as f64 * o);
+            total += t;
+            n = m[j].w - t * z * (last - j) as f64 / len;
+        } else if z != 0.0 {
+            total += m[j].w * len / (z * (last - j) as f64);
+        }
+    }
+    total
+}
+
+/// SHAP values of a forest for one instance, on the raw-margin scale.
+///
+/// Returns `(phi, base)` where `phi[f]` is feature `f`'s contribution
+/// and `base` is the cover-weighted expected raw prediction;
+/// `base + Σ phi = predict_raw(x)` (local accuracy).
+pub fn shap_values(forest: &Forest, x: &[f64]) -> (Vec<f64>, f64) {
+    let mut phi = vec![0.0; forest.num_features];
+    let mut base = forest.base_score;
+    for tree in &forest.trees {
+        let mut tree_phi = vec![0.0; forest.num_features];
+        tree_shap(tree, x, &mut tree_phi);
+        for (p, t) in phi.iter_mut().zip(&tree_phi) {
+            *p += forest.scale * t;
+        }
+        base += forest.scale * cover_weighted_mean(tree, 0);
+    }
+    (phi, base)
+}
+
+/// SHAP values for a batch of instances (rows of `phi` per instance).
+pub fn shap_values_batch(forest: &Forest, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, f64) {
+    let base = expected_raw(forest);
+    let phis = xs.iter().map(|x| shap_values(forest, x).0).collect();
+    (phis, base)
+}
+
+/// Cover-weighted mean prediction of a subtree (the path-dependent
+/// E[f(x)]).
+fn cover_weighted_mean(tree: &Tree, idx: usize) -> f64 {
+    let node = &tree.nodes[idx];
+    if node.is_leaf() {
+        return node.value;
+    }
+    let l = node.left as usize;
+    let r = node.right as usize;
+    let (cl, cr) = (tree.nodes[l].count as f64, tree.nodes[r].count as f64);
+    let total = cl + cr;
+    debug_assert!(total > 0.0);
+    (cover_weighted_mean(tree, l) * cl + cover_weighted_mean(tree, r) * cr) / total
+}
+
+/// Path-dependent expected raw prediction of the whole forest.
+pub fn expected_raw(forest: &Forest) -> f64 {
+    forest.base_score
+        + forest.scale
+            * forest
+                .trees
+                .iter()
+                .map(|t| cover_weighted_mean(t, 0))
+                .sum::<f64>()
+}
+
+/// Algorithm 1 (EXPVALUE): conditional expectation of a tree with only
+/// the features in `present` known, path-dependent weighting for the
+/// rest. Exposed for testing and for the H-statistic cross-checks.
+pub fn expected_value_subset(tree: &Tree, x: &[f64], present: &[bool]) -> f64 {
+    fn g(tree: &Tree, idx: usize, x: &[f64], present: &[bool]) -> f64 {
+        let node = &tree.nodes[idx];
+        if node.is_leaf() {
+            return node.value;
+        }
+        let f = node.feature as usize;
+        let (l, r) = (node.left as usize, node.right as usize);
+        if present[f] {
+            if x[f] <= node.threshold {
+                g(tree, l, x, present)
+            } else {
+                g(tree, r, x, present)
+            }
+        } else {
+            let (cl, cr) = (tree.nodes[l].count as f64, tree.nodes[r].count as f64);
+            (g(tree, l, x, present) * cl + g(tree, r, x, present) * cr) / (cl + cr)
+        }
+    }
+    g(tree, 0, x, present)
+}
+
+/// Exponential-time Shapley values for one tree (test oracle; use only
+/// for small feature counts).
+pub fn brute_force_shap(tree: &Tree, x: &[f64], num_features: usize) -> Vec<f64> {
+    assert!(num_features <= 20, "brute force is exponential");
+    let mut phi = vec![0.0; num_features];
+    let m = num_features;
+    // Precompute factorials.
+    let fact: Vec<f64> = (0..=m).scan(1.0, |acc, k| {
+        if k > 0 {
+            *acc *= k as f64;
+        }
+        Some(*acc)
+    })
+    .collect();
+    for i in 0..m {
+        for mask in 0..(1u32 << m) {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            let s = mask.count_ones() as usize;
+            let weight = fact[s] * fact[m - s - 1] / fact[m];
+            let mut present = vec![false; m];
+            for (j, p) in present.iter_mut().enumerate() {
+                *p = mask & (1 << j) != 0;
+            }
+            let without = expected_value_subset(tree, x, &present);
+            present[i] = true;
+            let with = expected_value_subset(tree, x, &present);
+            phi[i] += weight * (with - without);
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gef_forest::tree::Node;
+    use gef_forest::{GbdtParams, GbdtTrainer, Objective};
+
+    fn training_forest(num_trees: usize, d: usize) -> (Forest, Vec<Vec<f64>>) {
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..800)
+            .map(|_| (0..d).map(|_| next()).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x[0] * 3.0 + (x[1] * 5.0).sin() + x.get(2).map_or(0.0, |v| v * v))
+            .collect();
+        let f = GbdtTrainer::new(GbdtParams {
+            num_trees,
+            num_leaves: 12,
+            learning_rate: 0.2,
+            min_data_in_leaf: 5,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        (f, xs)
+    }
+
+    #[test]
+    fn local_accuracy_single_tree() {
+        let (forest, xs) = training_forest(1, 3);
+        for x in xs.iter().take(30) {
+            let (phi, base) = shap_values(&forest, x);
+            let sum: f64 = phi.iter().sum();
+            let pred = forest.predict_raw(x);
+            assert!(
+                (base + sum - pred).abs() < 1e-9,
+                "local accuracy violated: {} vs {}",
+                base + sum,
+                pred
+            );
+        }
+    }
+
+    #[test]
+    fn local_accuracy_full_forest() {
+        let (forest, xs) = training_forest(40, 3);
+        for x in xs.iter().take(10) {
+            let (phi, base) = shap_values(&forest, x);
+            let sum: f64 = phi.iter().sum();
+            assert!((base + sum - forest.predict_raw(x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_trained_trees() {
+        let (forest, xs) = training_forest(3, 3);
+        for x in xs.iter().take(5) {
+            for tree in &forest.trees {
+                let fast = {
+                    let mut phi = vec![0.0; 3];
+                    tree_shap(tree, x, &mut phi);
+                    phi
+                };
+                let slow = brute_force_shap(tree, x, 3);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!((a - b).abs() < 1e-9, "fast={fast:?} slow={slow:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_repeated_feature_path() {
+        // A tree that tests the same feature twice along one path —
+        // the case the UNWIND machinery exists for.
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 1.0, 100),
+                Node::split(0, 0.25, 3, 4, 1.0, 60),
+                Node::split(1, 0.7, 5, 6, 1.0, 40),
+                Node::leaf(1.0, 20),
+                Node::leaf(2.0, 40),
+                Node::leaf(-1.0, 25),
+                Node::leaf(3.0, 15),
+            ],
+        };
+        for x in [[0.1, 0.9], [0.3, 0.1], [0.9, 0.9], [0.6, 0.5]] {
+            let mut fast = vec![0.0; 2];
+            tree_shap(&tree, &x, &mut fast);
+            let slow = brute_force_shap(&tree, &x, 2);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "x={x:?} fast={fast:?} slow={slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_zero() {
+        let (forest, xs) = training_forest(20, 4); // feature 3 unused by y
+        let mut max_abs3 = 0.0f64;
+        let mut max_abs0 = 0.0f64;
+        for x in xs.iter().take(20) {
+            let (phi, _) = shap_values(&forest, x);
+            max_abs3 = max_abs3.max(phi[3].abs());
+            max_abs0 = max_abs0.max(phi[0].abs());
+        }
+        assert!(
+            max_abs3 < 0.15 * max_abs0,
+            "noise feature attribution {max_abs3} vs signal {max_abs0}"
+        );
+    }
+
+    #[test]
+    fn base_value_is_cover_weighted_mean() {
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.0, 1, 2, 1.0, 10),
+                Node::leaf(1.0, 4),
+                Node::leaf(6.0, 6),
+            ],
+        };
+        let forest = Forest {
+            trees: vec![tree],
+            base_score: 0.5,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 1,
+        };
+        // E = 0.5 + (1*4 + 6*6)/10 = 0.5 + 4 = 4.5
+        assert!((expected_raw(&forest) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_value_subset_cases() {
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 1.0, 10),
+                Node::leaf(-1.0, 5),
+                Node::leaf(1.0, 5),
+            ],
+        };
+        // Feature present: follows the split.
+        assert_eq!(expected_value_subset(&tree, &[0.2], &[true]), -1.0);
+        assert_eq!(expected_value_subset(&tree, &[0.8], &[true]), 1.0);
+        // Feature absent: cover average = 0.
+        assert_eq!(expected_value_subset(&tree, &[0.2], &[false]), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (forest, xs) = training_forest(10, 3);
+        let batch: Vec<Vec<f64>> = xs[..5].to_vec();
+        let (phis, base) = shap_values_batch(&forest, &batch);
+        for (x, phi) in batch.iter().zip(&phis) {
+            let (single, sbase) = shap_values(&forest, x);
+            assert_eq!(phi, &single);
+            assert!((base - sbase).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_accuracy_on_scaled_random_forest() {
+        // RF forests average trees (scale = 1/T); SHAP must respect it.
+        let mut state = 9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![next(), next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 4.0 - x[1]).collect();
+        let rf = gef_forest::RandomForestTrainer::new(gef_forest::RandomForestParams {
+            num_trees: 12,
+            max_depth: Some(6),
+            min_samples_leaf: 3,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        assert!(rf.scale < 1.0);
+        for x in xs.iter().take(10) {
+            let (phi, base) = shap_values(&rf, x);
+            let total = base + phi.iter().sum::<f64>();
+            assert!((total - rf.predict_raw(x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn symmetry_for_symmetric_tree() {
+        // f(x) = [x0 > .5] + [x1 > .5] with equal covers: by symmetry
+        // phi_0 and phi_1 must be equal when x0 and x1 fall on the same
+        // sides.
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 1.0, 100),
+                Node::split(1, 0.5, 3, 4, 1.0, 50),
+                Node::split(1, 0.5, 5, 6, 1.0, 50),
+                Node::leaf(0.0, 25),
+                Node::leaf(1.0, 25),
+                Node::leaf(1.0, 25),
+                Node::leaf(2.0, 25),
+            ],
+        };
+        let mut phi = vec![0.0; 2];
+        tree_shap(&tree, &[0.9, 0.9], &mut phi);
+        assert!((phi[0] - phi[1]).abs() < 1e-12, "phi={phi:?}");
+        assert!((phi[0] - 0.5).abs() < 1e-12); // each contributes 0.5
+    }
+}

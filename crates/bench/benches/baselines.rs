@@ -1,0 +1,56 @@
+//! Baseline-explainer benches, backing the paper's Sec. 5.3 efficiency
+//! argument: SHAP's cost scales with the number of instances analysed
+//! (per-instance TreeSHAP), while GEF pays a one-off training cost —
+//! compare `treeshap/per_instance` × dataset size with
+//! `gef_explain` in `pipeline.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gef_baselines::lime::{explain as lime_explain, scales_from_forest, LimeConfig};
+use gef_baselines::treeshap::shap_values;
+use gef_data::synthetic::make_d_prime;
+use gef_forest::{Forest, GbdtParams, GbdtTrainer};
+
+fn forest_with(num_trees: usize) -> Forest {
+    let data = make_d_prime(4_000, 1);
+    GbdtTrainer::new(GbdtParams {
+        num_trees,
+        num_leaves: 32,
+        learning_rate: 0.05,
+        ..Default::default()
+    })
+    .fit(&data.xs, &data.ys)
+    .unwrap()
+}
+
+fn bench_treeshap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treeshap_per_instance");
+    let x = vec![0.3, 0.6, 0.5, 0.2, 0.8];
+    for &trees in &[50usize, 200, 400] {
+        let forest = forest_with(trees);
+        g.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, _| {
+            b.iter(|| black_box(shap_values(&forest, black_box(&x))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lime(c: &mut Criterion) {
+    let forest = forest_with(200);
+    let scales = scales_from_forest(&forest);
+    let x = vec![0.3, 0.6, 0.5, 0.2, 0.8];
+    let mut g = c.benchmark_group("lime_per_instance");
+    g.sample_size(10);
+    for &samples in &[1_000usize, 5_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            let cfg = LimeConfig {
+                num_samples: s,
+                ..Default::default()
+            };
+            b.iter(|| lime_explain(&forest, &x, &scales, &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_treeshap, bench_lime);
+criterion_main!(benches);

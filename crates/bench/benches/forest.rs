@@ -1,0 +1,82 @@
+//! Micro-benchmarks for the forest substrate: GBDT training, Random
+//! Forest training, and single/batch prediction throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gef_forest::{GbdtParams, GbdtTrainer, Objective, RandomForestParams, RandomForestTrainer};
+
+fn synth(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut state = 17u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x[0] * 2.0 + (x[1] * 7.0).sin() + x[2] * x[3])
+        .collect();
+    (xs, ys)
+}
+
+fn bench_gbdt_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gbdt_train");
+    g.sample_size(10);
+    for &(n, trees) in &[(2_000usize, 50usize), (8_000, 100)] {
+        let (xs, ys) = synth(n, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{trees}")),
+            &(xs, ys),
+            |b, (xs, ys)| {
+                let params = GbdtParams {
+                    num_trees: trees,
+                    num_leaves: 32,
+                    learning_rate: 0.1,
+                    ..Default::default()
+                };
+                b.iter(|| GbdtTrainer::new(params.clone()).fit(xs, ys).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rf_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rf_train");
+    g.sample_size(10);
+    let (xs, ys) = synth(2_000, 5);
+    g.bench_function("n2000_t25", |b| {
+        let params = RandomForestParams {
+            num_trees: 25,
+            max_depth: Some(10),
+            ..Default::default()
+        };
+        b.iter(|| RandomForestTrainer::new(params.clone()).fit(&xs, &ys).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (xs, ys) = synth(4_000, 5);
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 300,
+        num_leaves: 32,
+        learning_rate: 0.05,
+        objective: Objective::RegressionL2,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap();
+    let mut g = c.benchmark_group("predict");
+    g.bench_function("single_300trees", |b| {
+        b.iter(|| black_box(forest.predict(black_box(&xs[7]))));
+    });
+    g.bench_function("batch4k_300trees", |b| {
+        b.iter(|| black_box(forest.predict_batch(black_box(&xs))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gbdt_train, bench_rf_train, bench_predict);
+criterion_main!(benches);

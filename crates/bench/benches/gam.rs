@@ -1,0 +1,69 @@
+//! Micro-benchmarks for the GAM substrate: B-spline evaluation and
+//! full penalized fits (Gaussian single-solve vs logit PIRLS, with and
+//! without a tensor term).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gef_gam::{fit, BSplineBasis, GamSpec, LambdaSelection, TermSpec};
+
+fn synth(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut state = 23u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] * 6.0).sin() + x[1] * 2.0 + x[0] * x[1])
+        .collect();
+    (xs, ys)
+}
+
+fn bench_bspline_eval(c: &mut Criterion) {
+    let basis = BSplineBasis::new(20, 3, 0.0, 1.0).unwrap();
+    c.bench_function("bspline_eval_sparse", |b| {
+        let mut x = 0.0;
+        b.iter(|| {
+            x = (x + 0.001) % 1.0;
+            black_box(basis.eval_sparse(black_box(x)))
+        });
+    });
+}
+
+fn bench_gam_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gam_fit");
+    g.sample_size(10);
+    let (xs, ys) = synth(10_000, 2);
+    g.bench_function("gaussian_2splines_gcv_n10k", |b| {
+        let spec = GamSpec::regression(vec![
+            TermSpec::spline(0, (0.0, 1.0)),
+            TermSpec::spline(1, (0.0, 1.0)),
+        ]);
+        b.iter(|| fit(&spec, &xs, &ys).unwrap());
+    });
+    g.bench_function("gaussian_2splines_plus_tensor_n10k", |b| {
+        let spec = GamSpec::regression(vec![
+            TermSpec::spline(0, (0.0, 1.0)),
+            TermSpec::spline(1, (0.0, 1.0)),
+            TermSpec::tensor((0, 1), ((0.0, 1.0), (0.0, 1.0))),
+        ]);
+        b.iter(|| fit(&spec, &xs, &ys).unwrap());
+    });
+    let probs: Vec<f64> = ys.iter().map(|&y| f64::from(y > 1.0)).collect();
+    g.bench_function("logit_2splines_fixed_lambda_n10k", |b| {
+        let spec = GamSpec {
+            lambda: LambdaSelection::Fixed(1.0),
+            ..GamSpec::classification(vec![
+                TermSpec::spline(0, (0.0, 1.0)),
+                TermSpec::spline(1, (0.0, 1.0)),
+            ])
+        };
+        b.iter(|| fit(&spec, &xs, &probs).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bspline_eval, bench_gam_fit);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The paper's complexity claim (Sec. 4.2): *Gain-Path* finds
+//! interactions in `O(|T|)` — linear in forest size — while *H-Stat*
+//! costs `O(N·|F'|²)` forest evaluations. These benches measure both
+//! against the number of trees so the crossover is visible in the
+//! criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gef_core::generate::{build_domains, generate};
+use gef_core::interactions::rank_interactions;
+use gef_core::selection::ForestProfile;
+use gef_core::{InteractionStrategy, SamplingStrategy};
+use gef_data::synthetic::make_d_second;
+use gef_forest::{Forest, GbdtParams, GbdtTrainer};
+
+fn forest_with(num_trees: usize) -> Forest {
+    let data = make_d_second(3_000, &[(0, 1), (2, 3)], 1);
+    GbdtTrainer::new(GbdtParams {
+        num_trees,
+        num_leaves: 32,
+        learning_rate: 0.05,
+        ..Default::default()
+    })
+    .fit(&data.xs, &data.ys)
+    .unwrap()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interaction_ranking");
+    g.sample_size(10);
+    for &trees in &[50usize, 200, 400] {
+        let forest = forest_with(trees);
+        let profile = ForestProfile::analyze(&forest);
+        let selected: Vec<usize> = (0..5).collect();
+        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
+        let sample = generate(&forest, &domains, 300, true, 3);
+        for (name, strategy) in [
+            ("pair_gain", InteractionStrategy::PairGain),
+            ("count_path", InteractionStrategy::CountPath),
+            ("gain_path", InteractionStrategy::GainPath),
+            (
+                "h_stat",
+                InteractionStrategy::HStat {
+                    eval_points: 60,
+                    background: 60,
+                },
+            ),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, trees),
+                &trees,
+                |b, _| {
+                    b.iter(|| {
+                        rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! End-to-end GEF pipeline benches: sampling-domain construction per
+//! strategy and the full explain() cost. The paper's efficiency claim —
+//! GEF's training cost depends on the number of forest thresholds, not
+//! on the number of instances to explain — is visible from the flat
+//! domain-construction times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
+use gef_data::synthetic::make_d_prime;
+use gef_forest::{Forest, GbdtParams, GbdtTrainer};
+
+fn forest() -> Forest {
+    let data = make_d_prime(4_000, 1);
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 200,
+        num_leaves: 32,
+        learning_rate: 0.05,
+        ..Default::default()
+    })
+    .fit(&data.xs, &data.ys)
+    .unwrap()
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let forest = forest();
+    let thresholds = gef_forest::importance::feature_thresholds(&forest, 2);
+    let mut g = c.benchmark_group("sampling_domain");
+    for strategy in [
+        SamplingStrategy::AllThresholds,
+        SamplingStrategy::KQuantile(500),
+        SamplingStrategy::EquiWidth(500),
+        SamplingStrategy::KMeans(500),
+        SamplingStrategy::EquiSize(500),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, s| b.iter(|| s.domain(&thresholds)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_explain(c: &mut Criterion) {
+    let forest = forest();
+    let mut g = c.benchmark_group("gef_explain");
+    g.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = GefConfig {
+                num_univariate: 5,
+                n_samples: n,
+                sampling: SamplingStrategy::EquiSize(500),
+                ..Default::default()
+            };
+            b.iter(|| GefExplainer::new(cfg.clone()).explain(&forest).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_domains, bench_explain);
+criterion_main!(benches);

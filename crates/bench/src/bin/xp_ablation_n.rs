@@ -1,0 +1,56 @@
+//! Ablation (paper Sec. 4.1): sensitivity to the synthetic dataset
+//! size `N`.
+//!
+//! The paper reports that "the number of instances N of `D*` does not
+//! affect significantly the results" and fixes `N = 100,000`. This
+//! sweep verifies the claim: fidelity RMSE as a function of `N`, with
+//! wall-clock time per run.
+
+use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
+use gef_data::synthetic::{make_d_prime, NUM_FEATURES};
+use gef_forest::Objective;
+use std::time::Instant;
+
+fn main() {
+    let size = RunSize::from_args();
+    let data = make_d_prime(size.pick(3_000, 10_000, 10_000), 1);
+    let (train, _) = data.train_test_split(0.8, 2);
+    let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
+    println!(
+        "# Ablation — sensitivity to |D*| = N ({} trees)",
+        forest.trees.len()
+    );
+
+    let ns: Vec<usize> = size.pick(
+        vec![1_000, 4_000, 16_000],
+        vec![1_000, 4_000, 16_000, 64_000],
+        vec![1_000, 4_000, 16_000, 64_000, 100_000, 200_000],
+    );
+    let mut rows = Vec::new();
+    for &n in &ns {
+        let t0 = Instant::now();
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: NUM_FEATURES,
+            sampling: SamplingStrategy::EquiSize(size.pick(300, 2_000, 12_000)),
+            n_samples: n,
+            seed: 3,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .expect("pipeline succeeds");
+        rows.push(vec![
+            n.to_string(),
+            f3(exp.fidelity_rmse),
+            f3(exp.fidelity_r2),
+            format!("{:.2}s", t0.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!();
+    print_table(&["N", "D* RMSE", "D* R2", "wall time"], &rows);
+    println!(
+        "\nExpected shape (paper): fidelity is flat in N beyond a few thousand \
+         samples — the information in D* is bounded by the forest's threshold \
+         structure, not by sample count."
+    );
+}

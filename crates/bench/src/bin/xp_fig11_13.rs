@@ -1,0 +1,134 @@
+//! Figs. 11–13 — local explanations of one Superconductivity sample:
+//! GEF vs SHAP vs LIME.
+//!
+//! Picks the same kind of instance the paper highlights (one whose
+//! WEAM-analog value sits just below the discontinuity at 1.1), then
+//! prints three explanations side by side:
+//!
+//! * **GEF** (Fig. 11): centered spline contributions ± 95% CI, plus
+//!   the "what if" the paper emphasizes — how the WEAM contribution
+//!   flips from strongly negative to strongly positive under a small
+//!   increase of the feature;
+//! * **SHAP** (Fig. 12): per-feature Shapley values from the expected
+//!   prediction;
+//! * **LIME** (Fig. 13): standardized ridge coefficients in the
+//!   neighborhood of the sample.
+
+use gef_bench::{train_paper_forest, RunSize};
+use gef_baselines::lime::{explain as lime_explain, scales_from_forest, LimeConfig};
+use gef_baselines::treeshap::{expected_raw, shap_values};
+use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
+use gef_data::superconductivity::{superconductivity_sim_sized, weam_index};
+use gef_forest::Objective;
+
+fn main() {
+    let size = RunSize::from_args();
+    let data = superconductivity_sim_sized(size.pick(3_000, 10_000, 21_263), 1);
+    let (train, test) = data.train_test_split(0.8, 2);
+    let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
+    let weam = weam_index();
+
+    // Sample selection: a test instance just below the WEAM jump, where
+    // a small increment would flip the contribution (the paper's story).
+    let sample = test
+        .xs
+        .iter()
+        .filter(|x| x[weam] > 0.95 && x[weam] <= 1.1)
+        .max_by(|a, b| a[weam].partial_cmp(&b[weam]).expect("finite"))
+        .cloned()
+        .unwrap_or_else(|| test.xs[0].clone());
+    println!(
+        "# Figs. 11-13 — local explanations of one sample (WEAM = {:.4})",
+        sample[weam]
+    );
+    println!("forest prediction f(x) = {:.3}", forest.predict(&sample));
+
+    // ---------- Fig. 11: GEF ----------
+    let cfg = GefConfig {
+        num_univariate: 7,
+        num_interactions: 0,
+        sampling: SamplingStrategy::EquiSize(size.pick(300, 1_500, 4_500)),
+        n_samples: size.pick(6_000, 20_000, 100_000),
+        seed: 5,
+        ..Default::default()
+    };
+    let exp = GefExplainer::new(cfg).explain(&forest).expect("pipeline succeeds");
+    let local = exp.local(&sample);
+    println!("\n## Fig. 11 — GEF local explanation");
+    print!("{}", exp.format_local(&local, Some(&test.feature_names)));
+
+    // The paper's "small increment reverses the contribution" zoom-in.
+    if exp.term_of_feature(weam).is_some() {
+        println!("\n   What-if on {} (spline neighborhood):", test.feature_names[weam]);
+        let mut probe = sample.clone();
+        for delta in [-0.1, -0.05, 0.0, 0.05, 0.1, 0.2] {
+            probe[weam] = sample[weam] + delta;
+            let term = exp.term_of_feature(weam).expect("WEAM selected");
+            let c = exp.gam.component(term, &probe);
+            println!(
+                "   {}{:5.2} -> value {:.4}, contribution {:>8.3}, surrogate pred {:>8.3}",
+                if delta >= 0.0 { "+" } else { "" },
+                delta,
+                probe[weam],
+                c,
+                exp.predict(&probe)
+            );
+        }
+    }
+
+    // ---------- Fig. 12: SHAP ----------
+    println!("\n## Fig. 12 — SHAP local explanation");
+    let (phi, base) = shap_values(&forest, &sample);
+    println!("E[f(X)] = {:.3} (path-dependent expectation {:.3})", base, expected_raw(&forest));
+    let mut ranked: Vec<(usize, f64)> = phi.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+    for &(f, v) in ranked.iter().take(8) {
+        println!(
+            "  {} {:>9.3}  {:24} = {:.4}",
+            if v >= 0.0 { "+" } else { "-" },
+            v.abs(),
+            test.feature_names[f],
+            sample[f]
+        );
+    }
+    let check: f64 = base + phi.iter().sum::<f64>();
+    println!("  (local accuracy: base + sum(phi) = {:.3} = f(x))", check);
+
+    // ---------- Fig. 13: LIME ----------
+    println!("\n## Fig. 13 — LIME local explanation");
+    let scales = scales_from_forest(&forest);
+    let lime = lime_explain(
+        &forest,
+        &sample,
+        &scales,
+        &LimeConfig {
+            num_samples: size.pick(1_000, 3_000, 5_000),
+            ..Default::default()
+        },
+    );
+    println!("intercept (local pred) = {:.3}", lime.intercept);
+    for (f, c) in lime.ranked_features().into_iter().take(8) {
+        println!(
+            "  {} {:>9.3}  {:24} = {:.4}",
+            if c >= 0.0 { "+" } else { "-" },
+            c.abs(),
+            test.feature_names[f],
+            sample[f]
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper): all three agree that WEAM dominates with a \
+         negative contribution just below the jump; only GEF shows that a small \
+         increment of WEAM reverses it to strongly positive."
+    );
+    println!(
+        "GEF top features: {:?}",
+        local
+            .contributions
+            .iter()
+            .take(3)
+            .map(|c| c.features.iter().map(|&f| test.feature_names[f].clone()).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,144 @@
+//! Fig. 6 + Table 1 — interaction-detection comparison.
+//!
+//! For every one of the 120 possible triples Π of injected interaction
+//! pairs, trains a forest on `D''_Π` and ranks the 10 candidate pairs
+//! with each of the four heuristics (Pair-Gain, Count-Path, Gain-Path,
+//! H-Stat), scoring each ranking with Average Precision against the 3
+//! true pairs. Prints Table 1 (Mean/SD/Min/Max AP per strategy) plus
+//! Welch t-tests against Gain-Path, and the per-strategy sorted AP
+//! series behind Fig. 6.
+
+use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_core::generate::{build_domains, generate};
+use gef_core::interactions::rank_interactions;
+use gef_core::selection::ForestProfile;
+use gef_core::{InteractionStrategy, SamplingStrategy};
+use gef_data::metrics::average_precision;
+use gef_data::synthetic::{all_interaction_triples, make_d_second, NUM_FEATURES};
+use gef_forest::Objective;
+use gef_linalg::stats::{mean, std_dev, welch_t_test};
+
+fn main() {
+    let size = RunSize::from_args();
+    let triples = all_interaction_triples();
+    let triples: Vec<_> = match size {
+        RunSize::Quick => triples.into_iter().step_by(10).collect(),
+        _ => triples,
+    };
+    let n_rows = size.pick(2_000, 6_000, 10_000);
+    println!(
+        "# Fig. 6 / Table 1 — interaction detection over {} interaction sets",
+        triples.len()
+    );
+
+    let strategies = [
+        InteractionStrategy::PairGain,
+        InteractionStrategy::CountPath,
+        InteractionStrategy::GainPath,
+        InteractionStrategy::HStat {
+            eval_points: size.pick(40, 80, 120),
+            background: size.pick(40, 80, 120),
+        },
+    ];
+    let mut aps: Vec<Vec<f64>> = vec![Vec::with_capacity(triples.len()); strategies.len()];
+
+    for (ti, &pairs) in triples.iter().enumerate() {
+        let data = make_d_second(n_rows, &pairs, 100 + ti as u64);
+        let (train, _) = data.train_test_split(0.8, 5);
+        let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
+        let profile = ForestProfile::analyze(&forest);
+        let selected: Vec<usize> = (0..NUM_FEATURES).collect();
+        // H-Stat needs a D* sample; generate a small one once per forest.
+        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
+        let sample = generate(&forest, &domains, 400, true, 11);
+        for (si, &strategy) in strategies.iter().enumerate() {
+            let ranked =
+                rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
+                    .expect("ranking succeeds");
+            let relevance: Vec<bool> = ranked
+                .iter()
+                .map(|&(p, _)| pairs.contains(&p))
+                .collect();
+            aps[si].push(average_precision(&relevance));
+        }
+        if (ti + 1) % 20 == 0 {
+            eprintln!("  ... {}/{} triples done", ti + 1, triples.len());
+        }
+    }
+
+    // Table 1.
+    println!("\n## Table 1 — Average Precision per strategy");
+    let rows: Vec<Vec<String>> = [
+        ("Mean", 0),
+        ("SD", 1),
+        ("Min", 2),
+        ("Max", 3),
+    ]
+    .iter()
+    .map(|&(label, which)| {
+        let mut row = vec![label.to_string()];
+        for ap in &aps {
+            let v = match which {
+                0 => mean(ap),
+                1 => std_dev(ap),
+                2 => ap.iter().cloned().fold(f64::INFINITY, f64::min),
+                _ => ap.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            };
+            row.push(f3(v));
+        }
+        row
+    })
+    .collect();
+    print_table(
+        &["", "Pair-Gain", "Count-Path", "Gain-Path", "H-Stat"],
+        &rows,
+    );
+
+    // Welch t-tests vs Gain-Path (index 2), as in the paper's analysis.
+    println!("\n## Two-tailed Welch t-tests vs Gain-Path (alpha = 0.05)");
+    for (si, strategy) in strategies.iter().enumerate() {
+        if si == 2 {
+            continue;
+        }
+        let r = welch_t_test(&aps[si], &aps[2]);
+        println!(
+            "{:11} t = {:>7.3}, df = {:>7.2}, p = {:.4}  ({})",
+            strategy.name(),
+            r.t,
+            r.df,
+            r.p_value,
+            if r.p_value < 0.05 {
+                "significant"
+            } else {
+                "not significant"
+            }
+        );
+    }
+
+    // Fig. 6: sorted AP series (descending), every 10th point.
+    println!("\n## Fig. 6 — sorted AP per strategy (descending, sampled)");
+    let mut sorted = aps.clone();
+    for s in &mut sorted {
+        s.sort_by(|a, b| b.partial_cmp(a).expect("finite AP"));
+    }
+    let idx: Vec<usize> = (0..triples.len()).step_by((triples.len() / 12).max(1)).collect();
+    let rows: Vec<Vec<String>> = idx
+        .iter()
+        .map(|&i| {
+            let mut row = vec![format!("{}", i + 1)];
+            for s in &sorted {
+                row.push(f3(s[i]));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        &["rank", "Pair-Gain", "Count-Path", "Gain-Path", "H-Stat"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): best Mean for Gain-Path and H-Stat; all \
+         strategies share Min ~= 0.216 (the adversarial triples) and Max = 1.0; \
+         no strategy significantly different from Gain-Path at alpha = 0.05."
+    );
+}

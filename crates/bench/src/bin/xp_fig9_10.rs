@@ -1,0 +1,141 @@
+//! Figs. 9 & 10 — global explanations: GEF splines vs SHAP dependence.
+//!
+//! For Superconductivity(sim) (Equi-Size, K = 4,500, 7 splines) and
+//! Census(sim) (K-Quantile, K = 800, 5 splines + 1 interaction), prints
+//! each top component's GEF spline (with 95% credible band) side by
+//! side with the binned mean of the SHAP dependence values for the same
+//! feature — the consistency check the paper makes visually: the trend
+//! of the two explanations should agree.
+
+use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_baselines::pdp::shap_dependence;
+use gef_core::{GefConfig, GefExplainer, InteractionStrategy, SamplingStrategy};
+use gef_data::census::{census_processed, census_sim_sized};
+use gef_data::superconductivity::superconductivity_sim_sized;
+use gef_data::Dataset;
+use gef_forest::{Forest, Objective};
+use gef_linalg::stats::pearson;
+
+fn main() {
+    let size = RunSize::from_args();
+
+    // ----- Fig. 9: Superconductivity (regression) -----
+    let data = superconductivity_sim_sized(size.pick(3_000, 10_000, 21_263), 1);
+    let (train, test) = data.train_test_split(0.8, 2);
+    let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
+    println!("# Fig. 9 — Superconductivity(sim): GEF splines vs SHAP dependence");
+    let cfg = GefConfig {
+        num_univariate: 7,
+        num_interactions: 0,
+        sampling: SamplingStrategy::EquiSize(size.pick(300, 1_500, 4_500)),
+        n_samples: size.pick(6_000, 20_000, 100_000),
+        seed: 5,
+        ..Default::default()
+    };
+    compare(&forest, &cfg, &test, size, 4);
+
+    // ----- Fig. 10: Census (classification) -----
+    let census = census_processed(&census_sim_sized(size.pick(3_000, 10_000, 48_842), 1));
+    let (ctrain, ctest) = census.train_test_split(0.8, 2);
+    let cforest = train_paper_forest(&ctrain.xs, &ctrain.ys, size, Objective::BinaryLogistic);
+    println!("\n# Fig. 10 — Census(sim): GEF splines vs SHAP dependence");
+    let ccfg = GefConfig {
+        num_univariate: 5,
+        num_interactions: 1,
+        sampling: SamplingStrategy::KQuantile(size.pick(100, 400, 800)),
+        interaction_strategy: InteractionStrategy::CountPath,
+        n_samples: size.pick(6_000, 20_000, 100_000),
+        seed: 5,
+        ..Default::default()
+    };
+    compare(&cforest, &ccfg, &ctest, size, 4);
+}
+
+/// Print the top components of the GEF explanation next to binned SHAP
+/// dependence means, and their rank correlation.
+fn compare(forest: &Forest, cfg: &GefConfig, test: &Dataset, size: RunSize, top: usize) {
+    let exp = GefExplainer::new(cfg.clone())
+        .explain(forest)
+        .expect("pipeline succeeds");
+    println!(
+        "fidelity on D*: RMSE = {}, R2 = {}; selected features: {:?}",
+        f3(exp.fidelity_rmse),
+        f3(exp.fidelity_r2),
+        exp.selected_features
+            .iter()
+            .map(|&f| test.feature_names[f].clone())
+            .collect::<Vec<_>>()
+    );
+    if !exp.interactions.is_empty() {
+        println!(
+            "selected interaction: {:?}",
+            exp.interactions
+                .iter()
+                .map(|&(a, b)| (test.feature_names[a].clone(), test.feature_names[b].clone()))
+                .collect::<Vec<_>>()
+        );
+    }
+    let shap_sample = size.pick(60, 150, 400).min(test.len());
+    for &feature in exp.selected_features.iter().take(top) {
+        let name = &test.feature_names[feature];
+        let curve = match exp.component_curve(feature, 9) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        // SHAP dependence for the same feature on original test data,
+        // binned to the GEF grid.
+        let dep = shap_dependence(forest, &test.xs[..shap_sample], feature);
+        let rows: Vec<Vec<String>> = curve
+            .iter()
+            .map(|&(v, est, lo, hi)| {
+                // Mean SHAP value of instances nearest this grid point.
+                let (mut s, mut c) = (0.0, 0usize);
+                for &(fv, phi) in &dep {
+                    let nearest = curve
+                        .iter()
+                        .map(|&(gv, ..)| (gv - fv).abs())
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                        .map(|(i, _)| curve[i].0)
+                        .unwrap_or(v);
+                    if nearest == v {
+                        s += phi;
+                        c += 1;
+                    }
+                }
+                let shap_mean = if c > 0 { s / c as f64 } else { f64::NAN };
+                vec![
+                    f3(v),
+                    f3(est),
+                    f3(lo),
+                    f3(hi),
+                    if c > 0 { f3(shap_mean) } else { "-".into() },
+                    c.to_string(),
+                ]
+            })
+            .collect();
+        println!("\n## {name} (GEF spline vs SHAP dependence)");
+        print_table(&["value", "spline", "lo95", "hi95", "SHAP mean", "n"], &rows);
+        // Trend agreement: correlation between spline and per-instance
+        // SHAP values evaluated through the spline's x.
+        let spline_at: Vec<f64> = dep
+            .iter()
+            .map(|&(fv, _)| {
+                // Piecewise-nearest interpolation of the curve.
+                curve
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - fv).abs().partial_cmp(&(b.0 - fv).abs()).expect("finite")
+                    })
+                    .map(|&(_, e, ..)| e)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let phis: Vec<f64> = dep.iter().map(|&(_, p)| p).collect();
+        println!("trend agreement (corr spline vs SHAP): {}", f3(pearson(&spline_at, &phis)));
+    }
+    println!(
+        "Expected shape (paper): the impact trend of each feature is the same \
+         in GEF and SHAP (positive correlation), with GEF adding credible bands."
+    );
+}

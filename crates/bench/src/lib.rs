@@ -1,0 +1,188 @@
+//! # gef-bench
+//!
+//! Experiment harness reproducing every table and figure of the GEF
+//! paper. Each `xp_*` binary in `src/bin/` regenerates one artifact and
+//! prints the same rows/series the paper reports; the criterion benches
+//! in `benches/` cover micro-performance (including the paper's
+//! complexity claim that *Gain-Path* is `O(|T|)` while *H-Stat* is
+//! `O(N·|F'|²)`).
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a reduced-size smoke run (seconds);
+//! * `--full`  — the paper's exact sizes (minutes);
+//! * no flag   — a medium configuration that preserves the paper's
+//!   qualitative shape at a fraction of the cost.
+
+use gef_forest::{Forest, GbdtParams, GbdtTrainer, Objective};
+
+/// Run size selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSize {
+    /// Smoke test: seconds.
+    Quick,
+    /// Medium: the default; preserves the paper's shape.
+    Medium,
+    /// The paper's exact sizes.
+    Full,
+}
+
+impl RunSize {
+    /// Parse from `std::env::args()` (`--quick` / `--full`).
+    pub fn from_args() -> RunSize {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            RunSize::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            RunSize::Full
+        } else {
+            RunSize::Medium
+        }
+    }
+
+    /// Pick one of three values by run size.
+    pub fn pick<T>(&self, quick: T, medium: T, full: T) -> T {
+        match self {
+            RunSize::Quick => quick,
+            RunSize::Medium => medium,
+            RunSize::Full => full,
+        }
+    }
+}
+
+/// GBDT hyper-parameters approximating the paper's tuned configuration
+/// (1000 trees × 32 leaves, lr 0.01) scaled by run size. Shorter runs
+/// use fewer, faster-learning trees — the forests stay accurate enough
+/// for every qualitative result.
+pub fn paper_gbdt_params(size: RunSize, objective: Objective) -> GbdtParams {
+    let (num_trees, learning_rate) = match size {
+        RunSize::Quick => (60, 0.1),
+        RunSize::Medium => (300, 0.05),
+        RunSize::Full => (1000, 0.01),
+    };
+    GbdtParams {
+        num_trees,
+        num_leaves: 32,
+        learning_rate,
+        min_data_in_leaf: 20,
+        early_stopping_rounds: Some(50),
+        objective,
+        ..Default::default()
+    }
+}
+
+/// Train a forest the way the paper does: 25% of the training split
+/// held out for early stopping.
+pub fn train_paper_forest(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    size: RunSize,
+    objective: Objective,
+) -> Forest {
+    let params = paper_gbdt_params(size, objective);
+    let cut = xs.len() * 3 / 4;
+    GbdtTrainer::new(params)
+        .fit_with_valid(&xs[..cut], &ys[..cut], &xs[cut..], &ys[cut..])
+        .expect("forest training succeeds on well-formed data")
+}
+
+/// A strategy-independent fidelity test set: instances sampled
+/// uniformly (continuously) within each feature's ε-extended threshold
+/// range, labelled by the forest. Evaluating every sampling strategy's
+/// surrogate on this *common* set makes the Fig. 5 / Fig. 8 comparisons
+/// apples-to-apples (a strategy's own grid-shaped `D*` test split would
+/// otherwise reward coarse grids with artificially easy test points).
+pub fn common_fidelity_set(
+    forest: &Forest,
+    n: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    use rand::{Rng, SeedableRng};
+    let stats = gef_forest::importance::FeatureStats::collect(forest);
+    let ranges: Vec<Option<(f64, f64)>> = stats
+        .thresholds
+        .iter()
+        .map(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                let lo = v[0];
+                let hi = v[v.len() - 1];
+                let eps = 0.05 * (hi - lo).max(lo.abs().max(1.0) * 0.01);
+                Some((lo - eps, hi + eps))
+            }
+        })
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            ranges
+                .iter()
+                .map(|r| match r {
+                    Some((lo, hi)) => lo + (hi - lo) * rng.gen::<f64>(),
+                    None => 0.0,
+                })
+                .collect()
+        })
+        .collect();
+    let ys = forest.predict_batch(&xs);
+    (xs, ys)
+}
+
+/// Print a Markdown-ish table: header row, separator, data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Format a float with 3 decimals (the paper's table precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_size_pick() {
+        assert_eq!(RunSize::Quick.pick(1, 2, 3), 1);
+        assert_eq!(RunSize::Medium.pick(1, 2, 3), 2);
+        assert_eq!(RunSize::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn paper_params_match_paper_at_full() {
+        let p = paper_gbdt_params(RunSize::Full, Objective::RegressionL2);
+        assert_eq!(p.num_trees, 1000);
+        assert_eq!(p.num_leaves, 32);
+        assert!((p.learning_rate - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_paper_forest_smoke() {
+        let xs: Vec<Vec<f64>> = (0..400).map(|i| vec![(i % 37) as f64 / 37.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let f = train_paper_forest(&xs, &ys, RunSize::Quick, Objective::RegressionL2);
+        assert!(!f.trees.is_empty());
+        assert!((f.predict(&[0.5]) - 1.0).abs() < 0.2);
+    }
+}

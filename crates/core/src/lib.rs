@@ -1,0 +1,91 @@
+//! # gef-core
+//!
+//! GAM-based Explanation of Forests (GEF) — the paper's contribution.
+//!
+//! Given a trained forest `T` (and **nothing else**: no training data),
+//! GEF builds an interpretable GAM surrogate `Γ` in five steps:
+//!
+//! 1. **Univariate selection** ([`selection`]): pick the top-`|F'|`
+//!    features by accumulated split gain.
+//! 2. **Sampling domains** ([`sampling`]): turn each feature's split
+//!    thresholds `V_i` into a discrete sampling domain `D_i` with one of
+//!    five strategies (*All-Thresholds*, *K-Quantile*, *Equi-Width*,
+//!    *K-Means*, *Equi-Size*).
+//! 3. **Synthetic dataset** ([`generate`]): sample `N` instances
+//!    uniformly from `D_1 × … × D_n` and label them with the forest.
+//! 4. **Interaction selection** ([`interactions`]): rank feature pairs
+//!    within `F'` with *Pair-Gain*, *Count-Path*, *Gain-Path* or
+//!    *H-Stat* and keep the top `|F''|`.
+//! 5. **GAM fitting** ([`pipeline`]): cubic P-splines for continuous
+//!    features, factor terms for detected categoricals
+//!    (`|V_i| < L = 10`), penalized tensor products for `F''`, single
+//!    shared λ tuned by GCV.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gef_core::{GefConfig, GefExplainer};
+//! use gef_forest::{GbdtParams, GbdtTrainer};
+//!
+//! // A forest someone else trained (we pretend the data is gone).
+//! let xs: Vec<Vec<f64>> = (0..500)
+//!     .map(|i| vec![(i % 71) as f64 / 71.0, (i % 53) as f64 / 53.0])
+//!     .collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + (x[1] * 6.0).sin()).collect();
+//! let forest = GbdtTrainer::new(GbdtParams {
+//!     num_trees: 60, num_leaves: 8, learning_rate: 0.2, min_data_in_leaf: 5,
+//!     ..Default::default()
+//! }).fit(&xs, &ys).unwrap();
+//!
+//! // Explain it without the data.
+//! let config = GefConfig { num_univariate: 2, n_samples: 4000, ..Default::default() };
+//! let explanation = GefExplainer::new(config).explain(&forest).unwrap();
+//! assert_eq!(explanation.selected_features.len(), 2);
+//! let err = (explanation.predict(&[0.5, 0.25]) - forest.predict(&[0.5, 0.25])).abs();
+//! assert!(err < 0.35, "surrogate should track the forest, err={err}");
+//! ```
+
+pub mod generate;
+pub mod interactions;
+pub mod pipeline;
+pub mod report;
+pub mod sampling;
+pub mod selection;
+
+pub use generate::SyntheticDataset;
+pub use interactions::InteractionStrategy;
+pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation};
+pub use report::ExplanationReport;
+pub use sampling::SamplingStrategy;
+
+/// Errors produced by the GEF pipeline.
+#[derive(Debug)]
+pub enum GefError {
+    /// The forest has no usable structure (e.g. no split nodes).
+    DegenerateForest(String),
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// Failure in the underlying GAM fit.
+    Gam(gef_gam::GamError),
+}
+
+impl std::fmt::Display for GefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GefError::DegenerateForest(m) => write!(f, "degenerate forest: {m}"),
+            GefError::InvalidConfig(m) => write!(f, "invalid GEF configuration: {m}"),
+            GefError::Gam(e) => write!(f, "GAM fitting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GefError {}
+
+impl From<gef_gam::GamError> for GefError {
+    fn from(e: gef_gam::GamError) -> Self {
+        GefError::Gam(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, GefError>;

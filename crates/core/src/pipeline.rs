@@ -1,0 +1,638 @@
+//! The end-to-end GEF pipeline and its explanation artifacts.
+//!
+//! [`GefExplainer::explain`] runs the paper's full procedure on a
+//! forest (feature selection → sampling → `D*` generation → interaction
+//! selection → GAM fit) and returns a [`GefExplanation`], which serves
+//! both as a **global** explanation (component curves with Bayesian
+//! credible bands, term importances) and a **local** one
+//! ([`GefExplanation::local`]: per-feature additive contributions for a
+//! specific instance, with the spline context that shows how the
+//! prediction would move under small changes of each feature — the
+//! capability the paper contrasts against SHAP and LIME).
+
+use crate::generate::{generate, SyntheticDataset};
+use crate::interactions::{rank_interactions, top_pairs, InteractionStrategy};
+use crate::sampling::SamplingStrategy;
+use crate::selection::{ForestProfile, DEFAULT_CATEGORICAL_L};
+use crate::{GefError, Result};
+use gef_data::metrics;
+use gef_forest::{Forest, Objective};
+use gef_gam::{fit, Gam, GamSpec, LambdaSelection, Link, TermSpec};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the GEF pipeline.
+#[derive(Debug, Clone)]
+pub struct GefConfig {
+    /// Number of univariate components `|F'|`.
+    pub num_univariate: usize,
+    /// Number of bivariate components `|F''|`.
+    pub num_interactions: usize,
+    /// Sampling-domain strategy for the selected features.
+    pub sampling: SamplingStrategy,
+    /// Interaction-ranking heuristic.
+    pub interaction_strategy: InteractionStrategy,
+    /// Number of synthetic instances `N` in `D*`.
+    pub n_samples: usize,
+    /// Fraction of `D*` used for fitting (the rest measures fidelity).
+    pub train_fraction: f64,
+    /// Categorical-detection threshold `L` (paper: 10).
+    pub categorical_l: usize,
+    /// B-spline basis size per univariate term.
+    pub spline_basis: usize,
+    /// B-spline basis size per tensor margin.
+    pub tensor_basis: usize,
+    /// Smoothing-parameter selection for the GAM.
+    pub lambda: LambdaSelection,
+    /// RNG seed for `D*` sampling.
+    pub seed: u64,
+}
+
+impl Default for GefConfig {
+    fn default() -> Self {
+        GefConfig {
+            num_univariate: 5,
+            num_interactions: 0,
+            sampling: SamplingStrategy::AllThresholds,
+            interaction_strategy: InteractionStrategy::GainPath,
+            n_samples: 20_000,
+            train_fraction: 0.8,
+            categorical_l: DEFAULT_CATEGORICAL_L,
+            spline_basis: 20,
+            tensor_basis: 8,
+            lambda: LambdaSelection::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl GefConfig {
+    fn validate(&self) -> Result<()> {
+        if self.num_univariate == 0 {
+            return Err(GefError::InvalidConfig("num_univariate must be >= 1".into()));
+        }
+        if self.n_samples < 16 {
+            return Err(GefError::InvalidConfig("n_samples must be >= 16".into()));
+        }
+        if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
+            return Err(GefError::InvalidConfig(
+                "train_fraction must be in (0,1)".into(),
+            ));
+        }
+        if self.spline_basis < 4 || self.tensor_basis < 4 {
+            return Err(GefError::InvalidConfig(
+                "basis sizes must be >= 4 (cubic splines)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The GEF explainer: runs the pipeline on a forest.
+#[derive(Debug, Clone, Default)]
+pub struct GefExplainer {
+    config: GefConfig,
+}
+
+impl GefExplainer {
+    /// Create an explainer with the given configuration.
+    pub fn new(config: GefConfig) -> Self {
+        GefExplainer { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &GefConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline on a forest, using only its structure.
+    pub fn explain(&self, forest: &Forest) -> Result<GefExplanation> {
+        let (explanation, _) = self.explain_with_data(forest)?;
+        Ok(explanation)
+    }
+
+    /// Like [`GefExplainer::explain`] but also returns the generated
+    /// synthetic dataset `D*` (train split first) for inspection.
+    pub fn explain_with_data(
+        &self,
+        forest: &Forest,
+    ) -> Result<(GefExplanation, SyntheticDataset)> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let profile = ForestProfile::analyze(forest);
+        let selected = profile.select_univariate(cfg.num_univariate);
+        if selected.is_empty() {
+            return Err(GefError::DegenerateForest(
+                "the forest contains no split nodes".into(),
+            ));
+        }
+        // Sampling domains and D*. Labels are on the response scale:
+        // identical to raw for regression; probabilities for
+        // classification, which the logit-link GAM fits directly.
+        // Categorical features (|V| < L) keep their All-Thresholds
+        // domain regardless of strategy: interpolating quantiles or
+        // means between a handful of discrete split points would
+        // fabricate hundreds of spurious factor levels.
+        let domains: Vec<Vec<f64>> = (0..profile.num_features)
+            .map(|f| {
+                if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
+                    // Multiset thresholds: multiplicity = split density.
+                    cfg.sampling.domain(profile.threshold_multiset(f))
+                } else {
+                    SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
+                }
+            })
+            .collect();
+        let dataset = generate(forest, &domains, cfg.n_samples, false, cfg.seed);
+
+        // Interaction selection (independent of the sampled data except
+        // for H-Stat, per the paper).
+        let interaction_ranking = if cfg.num_interactions > 0 || selected.len() >= 2 {
+            rank_interactions(
+                forest,
+                &profile,
+                &selected,
+                cfg.interaction_strategy,
+                Some(&dataset),
+            )?
+        } else {
+            Vec::new()
+        };
+        let interactions = top_pairs(&interaction_ranking, cfg.num_interactions);
+
+        // Build GAM terms.
+        let mut terms = Vec::with_capacity(selected.len() + interactions.len());
+        let mut categorical = Vec::with_capacity(selected.len());
+        for &f in &selected {
+            let dom = &domains[f];
+            let is_cat = profile.is_categorical(f, cfg.categorical_l);
+            categorical.push(is_cat);
+            if is_cat || dom.len() < cfg.spline_basis.max(4) {
+                terms.push(TermSpec::factor(f, dom.clone()));
+            } else {
+                // Knots anchored on the sampling domain: every knot
+                // span receives an equal share of D*'s support, which
+                // keeps the spline well-conditioned on skewed domains.
+                terms.push(TermSpec::SplineAnchored {
+                    feature: f,
+                    num_basis: cfg.spline_basis,
+                    degree: 3,
+                    anchors: dom.clone(),
+                });
+            }
+        }
+        for &(i, j) in &interactions {
+            let (di, dj) = (&domains[i], &domains[j]);
+            terms.push(TermSpec::TensorAnchored {
+                features: (i, j),
+                num_basis: (
+                    cfg.tensor_basis.min(di.len().max(4)),
+                    cfg.tensor_basis.min(dj.len().max(4)),
+                ),
+                anchors: (di.clone(), dj.clone()),
+                degree: 3,
+            });
+        }
+
+        let link = match forest.objective {
+            Objective::RegressionL2 => Link::Identity,
+            Objective::BinaryLogistic => Link::Logit,
+        };
+        let spec = GamSpec {
+            terms,
+            link,
+            lambda: cfg.lambda.clone(),
+            ..GamSpec::regression(Vec::new())
+        };
+        let (train, test) = dataset.split(cfg.train_fraction);
+        let gam = fit(&spec, &train.xs, &train.ys)?;
+
+        // Fidelity of Γ vs the forest on held-out D*.
+        let preds = gam.predict_batch(&test.xs);
+        let fidelity_rmse = metrics::rmse(&preds, &test.ys);
+        let fidelity_r2 = metrics::r2(&preds, &test.ys);
+
+        Ok((
+            GefExplanation {
+                gam,
+                selected_features: selected,
+                categorical,
+                interactions,
+                interaction_ranking,
+                domains,
+                profile,
+                fidelity_rmse,
+                fidelity_r2,
+                objective: forest.objective,
+            },
+            dataset,
+        ))
+    }
+}
+
+/// The GAM explanation `Γ` of a forest, with everything needed for
+/// global and local analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GefExplanation {
+    /// The fitted surrogate GAM.
+    pub gam: Gam,
+    /// Selected univariate features `F'`, most important first.
+    pub selected_features: Vec<usize>,
+    /// Per-selected-feature categorical flags.
+    pub categorical: Vec<bool>,
+    /// Selected interactions `F''`.
+    pub interactions: Vec<(usize, usize)>,
+    /// Full interaction ranking (pair, score), descending.
+    pub interaction_ranking: Vec<((usize, usize), f64)>,
+    /// Per-feature sampling domains.
+    pub domains: Vec<Vec<f64>>,
+    /// The forest profile (gains, thresholds).
+    pub profile: ForestProfile,
+    /// RMSE of Γ vs the forest on the held-out part of `D*`.
+    pub fidelity_rmse: f64,
+    /// R² of Γ vs the forest on the held-out part of `D*`.
+    pub fidelity_r2: f64,
+    /// Objective of the explained forest.
+    pub objective: Objective,
+}
+
+impl GefExplanation {
+    /// Surrogate prediction on the response scale.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.gam.predict(x)
+    }
+
+    /// Index of the GAM term modelling a selected feature.
+    pub fn term_of_feature(&self, feature: usize) -> Option<usize> {
+        self.selected_features.iter().position(|&f| f == feature)
+    }
+
+    /// The global component curve of a selected feature: `(value,
+    /// estimate, lower, upper)` over its sampling domain (95% band).
+    pub fn component_curve(&self, feature: usize, grid: usize) -> Result<Vec<(f64, f64, f64, f64)>> {
+        let term = self.term_of_feature(feature).ok_or_else(|| {
+            GefError::InvalidConfig(format!("feature {feature} is not in F'"))
+        })?;
+        let dom = &self.domains[feature];
+        let values: Vec<f64> = if self.categorical[term] || dom.len() <= grid {
+            dom.clone()
+        } else {
+            gef_linalg::stats::linspace(dom[0], dom[dom.len() - 1], grid)
+        };
+        let curve = self.gam.univariate_curve(term, &values, 1.96)?;
+        Ok(values
+            .into_iter()
+            .zip(curve)
+            .map(|(v, (e, lo, hi))| (v, e, lo, hi))
+            .collect())
+    }
+
+    /// Local explanation of one instance: per-term centered additive
+    /// contributions with standard errors, sorted by |contribution|.
+    pub fn local(&self, x: &[f64]) -> LocalExplanation {
+        let mut contributions = Vec::with_capacity(self.gam.num_terms());
+        for t in 0..self.gam.num_terms() {
+            let (est, se) = self.gam.component_with_se(t, x);
+            let features = self.gam.term_specs()[t].features();
+            contributions.push(TermContribution {
+                term: t,
+                label: self.gam.term_label(t),
+                features: features.clone(),
+                values: features.iter().map(|&f| x[f]).collect(),
+                contribution: est,
+                std_error: se,
+            });
+        }
+        contributions.sort_by(|a, b| {
+            b.contribution
+                .abs()
+                .partial_cmp(&a.contribution.abs())
+                .expect("finite contributions")
+        });
+        LocalExplanation {
+            prediction: self.gam.predict(x),
+            linear_predictor: self.gam.predict_raw(x),
+            baseline: self.gam.effective_intercept(),
+            contributions,
+        }
+    }
+
+    /// Render the local explanation as text (the console analogue of
+    /// the paper's Fig. 11), resolving feature names when provided.
+    pub fn format_local(&self, local: &LocalExplanation, names: Option<&[String]>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "prediction = {:.4}  (baseline {:.4}, linear predictor {:.4})",
+            local.prediction, local.baseline, local.linear_predictor
+        )
+        .unwrap();
+        for c in &local.contributions {
+            let desc: Vec<String> = c
+                .features
+                .iter()
+                .zip(&c.values)
+                .map(|(&f, &v)| {
+                    let name = names
+                        .and_then(|n| n.get(f).cloned())
+                        .unwrap_or_else(|| format!("x{f}"));
+                    format!("{name}={v:.4}")
+                })
+                .collect();
+            let sign = if c.contribution >= 0.0 { '+' } else { '-' };
+            writeln!(
+                out,
+                "  {sign} {:>9.4}  ± {:>7.4}  {:10}  [{}]",
+                c.contribution.abs(),
+                1.96 * c.std_error,
+                c.label,
+                desc.join(", ")
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Term indices of the fitted GAM sorted by importance (descending
+    /// standard deviation of the component over `D*`).
+    pub fn terms_by_importance(&self) -> Vec<usize> {
+        self.gam.terms_by_importance()
+    }
+
+    /// Serialize the whole explanation (fitted GAM, selections,
+    /// domains, profile) to JSON so it can be archived and reloaded
+    /// without re-running the pipeline.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("explanation serialization is infallible")
+    }
+
+    /// Reload an explanation from [`GefExplanation::to_json`] output.
+    pub fn from_json(s: &str) -> Result<GefExplanation> {
+        serde_json::from_str(s)
+            .map_err(|e| GefError::InvalidConfig(format!("explanation json: {e}")))
+    }
+}
+
+/// One term's contribution to a local explanation.
+#[derive(Debug, Clone)]
+pub struct TermContribution {
+    /// GAM term index.
+    pub term: usize,
+    /// Term label, e.g. `s(3)` / `te(1,4)`.
+    pub label: String,
+    /// Features the term reads.
+    pub features: Vec<usize>,
+    /// The instance's values of those features.
+    pub values: Vec<f64>,
+    /// Centered additive contribution on the linear-predictor scale.
+    pub contribution: f64,
+    /// Bayesian standard error of the contribution.
+    pub std_error: f64,
+}
+
+/// A local explanation: additive decomposition of one prediction.
+#[derive(Debug, Clone)]
+pub struct LocalExplanation {
+    /// Response-scale prediction of the surrogate.
+    pub prediction: f64,
+    /// Linear predictor (log-odds for classification).
+    pub linear_predictor: f64,
+    /// Effective intercept (baseline): linear predictor of an "average"
+    /// instance; contributions are deviations from it.
+    pub baseline: f64,
+    /// Per-term contributions, sorted by absolute magnitude.
+    pub contributions: Vec<TermContribution>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gef_forest::{GbdtParams, GbdtTrainer};
+
+    fn make_forest(f: impl Fn(&[f64]) -> f64, d: usize, objective: Objective) -> Forest {
+        let mut state = 77u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..2000)
+            .map(|_| (0..d).map(|_| next()).collect())
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+        GbdtTrainer::new(GbdtParams {
+            num_trees: 80,
+            num_leaves: 16,
+            learning_rate: 0.15,
+            min_data_in_leaf: 10,
+            objective,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap()
+    }
+
+    #[test]
+    fn regression_pipeline_high_fidelity() {
+        let forest = make_forest(
+            |x| x[0] * 2.0 + (x[1] * 6.0).sin() - x[2],
+            3,
+            Objective::RegressionL2,
+        );
+        let cfg = GefConfig {
+            num_univariate: 3,
+            n_samples: 8000,
+            sampling: SamplingStrategy::EquiSize(60),
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        assert_eq!(exp.selected_features.len(), 3);
+        assert!(exp.fidelity_r2 > 0.9, "r2={}", exp.fidelity_r2);
+        // Surrogate tracks the forest on a fresh point.
+        let x = [0.3, 0.6, 0.2];
+        assert!((exp.predict(&x) - forest.predict(&x)).abs() < 0.3);
+    }
+
+    #[test]
+    fn interactions_included_when_requested() {
+        let forest = make_forest(|x| 4.0 * x[0] * x[1] + x[2], 3, Objective::RegressionL2);
+        let cfg = GefConfig {
+            num_univariate: 3,
+            num_interactions: 1,
+            n_samples: 6000,
+            interaction_strategy: InteractionStrategy::GainPath,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        assert_eq!(exp.interactions, vec![(0, 1)]);
+        // GAM has 3 univariate + 1 tensor term.
+        assert_eq!(exp.gam.num_terms(), 4);
+    }
+
+    #[test]
+    fn classification_pipeline_outputs_probabilities() {
+        let forest = make_forest(
+            |x| f64::from(x[0] + x[1] > 1.0),
+            2,
+            Objective::BinaryLogistic,
+        );
+        let cfg = GefConfig {
+            num_univariate: 2,
+            n_samples: 4000,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        let p = exp.predict(&[0.9, 0.9]);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.6, "p={p}");
+        assert!(exp.predict(&[0.05, 0.05]) < 0.4);
+    }
+
+    #[test]
+    fn component_curve_covers_domain() {
+        let forest = make_forest(|x| (x[0] * 6.0).sin(), 1, Objective::RegressionL2);
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: 1,
+            n_samples: 4000,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .unwrap();
+        let curve = exp.component_curve(0, 50).unwrap();
+        assert!(curve.len() >= 2);
+        for (_, e, lo, hi) in &curve {
+            assert!(lo <= e && e <= hi);
+        }
+        // Curve spans the sine's range approximately.
+        let max = curve.iter().map(|c| c.1).fold(f64::MIN, f64::max);
+        let min = curve.iter().map(|c| c.1).fold(f64::MAX, f64::min);
+        assert!(max - min > 1.2, "range {min}..{max}");
+        // Unknown feature errors.
+        assert!(exp.component_curve(99, 10).is_err());
+    }
+
+    #[test]
+    fn local_explanation_decomposes_prediction() {
+        let forest = make_forest(
+            |x| 3.0 * x[0] - 2.0 * x[1],
+            2,
+            Objective::RegressionL2,
+        );
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: 2,
+            n_samples: 4000,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .unwrap();
+        let x = [0.9, 0.1];
+        let local = exp.local(&x);
+        let sum: f64 = local.contributions.iter().map(|c| c.contribution).sum();
+        assert!(
+            (local.baseline + sum - local.linear_predictor).abs() < 1e-9,
+            "decomposition must be exact"
+        );
+        // Both features push the prediction up at this point.
+        assert!(local.contributions[0].contribution > 0.0);
+        // Text rendering mentions the features.
+        let txt = exp.format_local(&local, Some(&["alpha".into(), "beta".into()]));
+        assert!(txt.contains("alpha"));
+        assert!(txt.contains("prediction"));
+    }
+
+    #[test]
+    fn explanation_json_round_trip() {
+        let forest = make_forest(|x| 2.0 * x[0] - x[1], 2, Objective::RegressionL2);
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: 2,
+            n_samples: 3000,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .unwrap();
+        let json = exp.to_json();
+        let reloaded = GefExplanation::from_json(&json).unwrap();
+        assert_eq!(reloaded.selected_features, exp.selected_features);
+        let x = [0.3, 0.7];
+        assert_eq!(reloaded.predict(&x), exp.predict(&x));
+        let (a, b) = (exp.local(&x), reloaded.local(&x));
+        assert_eq!(a.prediction, b.prediction);
+        assert_eq!(
+            a.contributions[0].contribution,
+            b.contributions[0].contribution
+        );
+        assert!(GefExplanation::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_forest() {
+        let forest = Forest {
+            trees: vec![],
+            base_score: 1.0,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 2,
+        };
+        let r = GefExplainer::new(GefConfig {
+            n_samples: 100,
+            ..Default::default()
+        })
+        .explain(&forest);
+        assert!(matches!(r, Err(GefError::DegenerateForest(_))));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let forest = make_forest(|x| x[0], 1, Objective::RegressionL2);
+        for cfg in [
+            GefConfig {
+                num_univariate: 0,
+                ..Default::default()
+            },
+            GefConfig {
+                n_samples: 2,
+                ..Default::default()
+            },
+            GefConfig {
+                train_fraction: 1.5,
+                ..Default::default()
+            },
+            GefConfig {
+                spline_basis: 2,
+                ..Default::default()
+            },
+        ] {
+            assert!(GefExplainer::new(cfg).explain(&forest).is_err());
+        }
+    }
+
+    #[test]
+    fn categorical_feature_gets_factor_term() {
+        // Feature 1 takes only 3 distinct values in the training data,
+        // so the forest can use at most 2 distinct thresholds for it.
+        let xs: Vec<Vec<f64>> = (0..1500)
+            .map(|i| vec![(i % 97) as f64 / 97.0, (i % 3) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let forest = GbdtTrainer::new(GbdtParams {
+            num_trees: 60,
+            num_leaves: 12,
+            learning_rate: 0.2,
+            min_data_in_leaf: 10,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: 2,
+            n_samples: 4000,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .unwrap();
+        let term1 = exp.term_of_feature(1).unwrap();
+        assert!(exp.categorical[term1]);
+        assert!(exp.gam.term_label(term1).starts_with("f("));
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal CSV loading for numeric datasets.
+//!
+//! The simulated datasets in this crate stand in for the UCI files the
+//! paper uses; when the real files *are* available, [`read_csv`] loads
+//! them into a [`Dataset`] so every experiment can run on the genuine
+//! data instead. Supports headers, a selectable target column, simple
+//! quoting, and automatic label encoding of non-numeric columns.
+
+use crate::dataset::{Dataset, Task};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator.
+    pub separator: char,
+    /// Whether the first row is a header with column names.
+    pub has_header: bool,
+    /// Target column selector: a name (requires header) or an index.
+    pub target: TargetSelector,
+    /// Task type of the resulting dataset.
+    pub task: Task,
+}
+
+/// How the target column is identified.
+#[derive(Debug, Clone)]
+pub enum TargetSelector {
+    /// By column name (requires a header row).
+    Name(String),
+    /// By zero-based column index.
+    Index(usize),
+    /// The last column.
+    Last,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            target: TargetSelector::Last,
+            task: Task::Regression,
+        }
+    }
+}
+
+/// Parse CSV text into a [`Dataset`].
+///
+/// Non-numeric feature columns are label-encoded (each distinct string
+/// becomes an integer code, in order of first appearance); the target
+/// column must be numeric for regression, and numeric or two-valued
+/// categorical for classification.
+pub fn read_csv(text: &str, options: &CsvOptions) -> Result<Dataset, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let first = lines.next().ok_or("empty CSV input")?;
+    let first_fields = split_fields(first, options.separator);
+    let num_cols = first_fields.len();
+    if num_cols < 2 {
+        return Err(format!("need at least 2 columns, found {num_cols}"));
+    }
+    let (header, mut body): (Vec<String>, Vec<Vec<String>>) = if options.has_header {
+        (first_fields, Vec::new())
+    } else {
+        (
+            (0..num_cols).map(|i| format!("col{i}")).collect(),
+            vec![first_fields],
+        )
+    };
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_fields(line, options.separator);
+        if fields.len() != num_cols {
+            return Err(format!(
+                "row {} has {} fields, expected {num_cols}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        body.push(fields);
+    }
+    if body.is_empty() {
+        return Err("no data rows".into());
+    }
+    let target_idx = match &options.target {
+        TargetSelector::Index(i) => {
+            if *i >= num_cols {
+                return Err(format!("target index {i} out of range"));
+            }
+            *i
+        }
+        TargetSelector::Name(name) => header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| format!("no column named {name:?}"))?,
+        TargetSelector::Last => num_cols - 1,
+    };
+
+    // Label-encode non-numeric feature columns.
+    let mut encoders: Vec<Option<HashMap<String, f64>>> = vec![None; num_cols];
+    let mut xs = Vec::with_capacity(body.len());
+    let mut ys = Vec::with_capacity(body.len());
+    for (r, row) in body.iter().enumerate() {
+        let mut feats = Vec::with_capacity(num_cols - 1);
+        for (c, field) in row.iter().enumerate() {
+            let value = match field.trim().parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    if c == target_idx && options.task == Task::Regression {
+                        return Err(format!(
+                            "non-numeric regression target {field:?} at row {r}"
+                        ));
+                    }
+                    let enc = encoders[c].get_or_insert_with(HashMap::new);
+                    let next = enc.len() as f64;
+                    *enc.entry(field.trim().to_string()).or_insert(next)
+                }
+            };
+            if c == target_idx {
+                ys.push(value);
+            } else {
+                feats.push(value);
+            }
+        }
+        xs.push(feats);
+    }
+    if options.task == Task::BinaryClassification {
+        let distinct: std::collections::BTreeSet<u64> = ys.iter().map(|y| y.to_bits()).collect();
+        if distinct.len() != 2 {
+            return Err(format!(
+                "binary target must have exactly 2 distinct values, found {}",
+                distinct.len()
+            ));
+        }
+        // Map the two values onto {0, 1} preserving order.
+        let lo = f64::from_bits(*distinct.iter().next().expect("two values"));
+        for y in &mut ys {
+            *y = f64::from(u8::from(*y != lo));
+        }
+    }
+    let names: Vec<String> = header
+        .iter()
+        .enumerate()
+        .filter(|&(c, _)| c != target_idx)
+        .map(|(_, h)| h.clone())
+        .collect();
+    Dataset::new(xs, ys, names, options.task)
+}
+
+/// Load a CSV file from disk.
+pub fn read_csv_file(path: &std::path::Path, options: &CsvOptions) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let mut text = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read {path:?}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        text.push_str(&line);
+    }
+    read_csv(&text, options)
+}
+
+/// Split one CSV line, honouring simple double-quoting.
+fn split_fields(line: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_quotes = !in_quotes,
+            c if c == sep && !in_quotes => {
+                out.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_numeric_csv_with_header() {
+        let csv = "a,b,target\n1,2,3\n4,5,6\n";
+        let d = read_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(d.feature_names, vec!["a", "b"]);
+        assert_eq!(d.xs, vec![vec![1.0, 2.0], vec![4.0, 5.0]]);
+        assert_eq!(d.ys, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn target_by_name_and_index() {
+        let csv = "x,y,z\n1,2,3\n";
+        let by_name = read_csv(
+            csv,
+            &CsvOptions {
+                target: TargetSelector::Name("y".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(by_name.ys, vec![2.0]);
+        assert_eq!(by_name.feature_names, vec!["x", "z"]);
+        let by_index = read_csv(
+            csv,
+            &CsvOptions {
+                target: TargetSelector::Index(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(by_index.ys, vec![1.0]);
+    }
+
+    #[test]
+    fn label_encodes_strings() {
+        let csv = "color,size,y\nred,1,0.5\nblue,2,0.7\nred,3,0.9\n";
+        let d = read_csv(csv, &CsvOptions::default()).unwrap();
+        // red -> 0, blue -> 1 (first-appearance order).
+        assert_eq!(d.xs[0][0], 0.0);
+        assert_eq!(d.xs[1][0], 1.0);
+        assert_eq!(d.xs[2][0], 0.0);
+    }
+
+    #[test]
+    fn binary_classification_maps_labels() {
+        let csv = "f,income\n1,<=50K\n2,>50K\n3,<=50K\n";
+        let d = read_csv(
+            csv,
+            &CsvOptions {
+                task: Task::BinaryClassification,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.ys, vec![0.0, 1.0, 0.0]);
+        assert_eq!(d.task, Task::BinaryClassification);
+    }
+
+    #[test]
+    fn quoted_separators_are_kept() {
+        let csv = "name,y\n\"a,b\",1\nplain,2\n";
+        let d = read_csv(csv, &CsvOptions::default()).unwrap();
+        // "a,b" is one label-encoded field.
+        assert_eq!(d.xs.len(), 2);
+        assert_eq!(d.xs[0][0], 0.0);
+        assert_eq!(d.xs[1][0], 1.0);
+    }
+
+    #[test]
+    fn no_header_generates_names() {
+        let csv = "1,2\n3,4\n";
+        let d = read_csv(
+            csv,
+            &CsvOptions {
+                has_header: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.feature_names, vec!["col0"]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_csv("", &CsvOptions::default()).is_err());
+        assert!(read_csv("only_one_column\n1\n", &CsvOptions::default()).is_err());
+        // Ragged row.
+        assert!(read_csv("a,b\n1,2\n3\n", &CsvOptions::default()).is_err());
+        // Non-numeric regression target.
+        assert!(read_csv("a,y\n1,foo\n", &CsvOptions::default()).is_err());
+        // Bad target name.
+        let bad = CsvOptions {
+            target: TargetSelector::Name("zzz".into()),
+            ..Default::default()
+        };
+        assert!(read_csv("a,b\n1,2\n", &bad).is_err());
+        // Binary task with 3 label values.
+        let bin = CsvOptions {
+            task: Task::BinaryClassification,
+            ..Default::default()
+        };
+        assert!(read_csv("a,y\n1,0\n2,1\n3,2\n", &bin).is_err());
+    }
+
+    #[test]
+    fn semicolon_separator() {
+        let csv = "a;b\n1;2\n";
+        let d = read_csv(
+            csv,
+            &CsvOptions {
+                separator: ';',
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.ys, vec![2.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Named feature matrices with splitting and encoding utilities.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Learning task of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Continuous target.
+    Regression,
+    /// Binary 0/1 target.
+    BinaryClassification,
+}
+
+/// A dataset: row-major features, targets, and feature names.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub xs: Vec<Vec<f64>>,
+    /// Targets, one per row.
+    pub ys: Vec<f64>,
+    /// One name per feature column.
+    pub feature_names: Vec<String>,
+    /// Task type.
+    pub task: Task,
+}
+
+impl Dataset {
+    /// Create a dataset, checking shape consistency.
+    pub fn new(
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        feature_names: Vec<String>,
+        task: Task,
+    ) -> Result<Self, String> {
+        if xs.len() != ys.len() {
+            return Err(format!("{} rows but {} targets", xs.len(), ys.len()));
+        }
+        if let Some(row) = xs.first() {
+            if row.len() != feature_names.len() {
+                return Err(format!(
+                    "{} features but {} names",
+                    row.len(),
+                    feature_names.len()
+                ));
+            }
+        }
+        if let Some((i, row)) = xs
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.len() != feature_names.len())
+        {
+            return Err(format!(
+                "row {i} has {} features, expected {}",
+                row.len(),
+                feature_names.len()
+            ));
+        }
+        Ok(Dataset {
+            xs,
+            ys,
+            feature_names,
+            task,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Shuffled train/test split; `train_fraction` in (0, 1).
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0,1)"
+        );
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
+        let take = |ids: &[usize]| Dataset {
+            xs: ids.iter().map(|&i| self.xs[i].clone()).collect(),
+            ys: ids.iter().map(|&i| self.ys[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            task: self.task,
+        };
+        (take(&idx[..cut]), take(&idx[cut..]))
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// One-hot encode the given categorical columns (values are treated
+    /// as integer category codes). Non-listed columns pass through; the
+    /// new columns are named `"{name}={level}"`. Column order: all
+    /// pass-through columns first (original order), then the expanded
+    /// categorical blocks (original order).
+    pub fn one_hot(&self, categorical: &[usize]) -> Dataset {
+        let d = self.num_features();
+        let is_cat: Vec<bool> = (0..d).map(|j| categorical.contains(&j)).collect();
+        // Collect levels per categorical column.
+        let mut levels: Vec<Vec<i64>> = vec![Vec::new(); d];
+        for (j, lv) in levels.iter_mut().enumerate() {
+            if !is_cat[j] {
+                continue;
+            }
+            let mut set: Vec<i64> = self.xs.iter().map(|r| r[j].round() as i64).collect();
+            set.sort_unstable();
+            set.dedup();
+            *lv = set;
+        }
+        let mut names = Vec::new();
+        for (j, cat) in is_cat.iter().enumerate() {
+            if !cat {
+                names.push(self.feature_names[j].clone());
+            }
+        }
+        for (j, cat) in is_cat.iter().enumerate() {
+            if *cat {
+                for &l in &levels[j] {
+                    names.push(format!("{}={}", self.feature_names[j], l));
+                }
+            }
+        }
+        let xs = self
+            .xs
+            .iter()
+            .map(|row| {
+                let mut out = Vec::with_capacity(names.len());
+                for j in 0..d {
+                    if !is_cat[j] {
+                        out.push(row[j]);
+                    }
+                }
+                for j in 0..d {
+                    if is_cat[j] {
+                        let code = row[j].round() as i64;
+                        for &l in &levels[j] {
+                            out.push(f64::from(u8::from(code == l)));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        Dataset {
+            xs,
+            ys: self.ys.clone(),
+            feature_names: names,
+            task: self.task,
+        }
+    }
+
+    /// Drop the named columns, returning a new dataset.
+    pub fn drop_columns(&self, names: &[&str]) -> Dataset {
+        let keep: Vec<usize> = (0..self.num_features())
+            .filter(|&j| !names.contains(&self.feature_names[j].as_str()))
+            .collect();
+        Dataset {
+            xs: self
+                .xs
+                .iter()
+                .map(|r| keep.iter().map(|&j| r[j]).collect())
+                .collect(),
+            ys: self.ys.clone(),
+            feature_names: keep
+                .iter()
+                .map(|&j| self.feature_names[j].clone())
+                .collect(),
+            task: self.task,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![1.0, 0.0, 10.0],
+                vec![2.0, 1.0, 20.0],
+                vec![3.0, 2.0, 30.0],
+                vec![4.0, 0.0, 40.0],
+            ],
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec!["a".into(), "cat".into(), "b".into()],
+            Task::BinaryClassification,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_checks_shapes() {
+        assert!(Dataset::new(
+            vec![vec![1.0]],
+            vec![1.0, 2.0],
+            vec!["x".into()],
+            Task::Regression
+        )
+        .is_err());
+        assert!(Dataset::new(
+            vec![vec![1.0, 2.0]],
+            vec![1.0],
+            vec!["x".into()],
+            Task::Regression
+        )
+        .is_err());
+        assert!(Dataset::new(
+            vec![vec![1.0], vec![1.0, 2.0]],
+            vec![1.0, 2.0],
+            vec!["x".into()],
+            Task::Regression
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let (tr, te) = d.train_test_split(0.75, 42);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(te.len(), 1);
+        assert_eq!(tr.num_features(), 3);
+        // Union of targets preserved (as a multiset sum).
+        let sum: f64 = tr.ys.iter().chain(te.ys.iter()).sum();
+        assert_eq!(sum, 2.0);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy();
+        let (a1, _) = d.train_test_split(0.5, 7);
+        let (a2, _) = d.train_test_split(0.5, 7);
+        assert_eq!(a1.xs, a2.xs);
+    }
+
+    #[test]
+    fn one_hot_expands_categorical() {
+        let d = toy();
+        let e = d.one_hot(&[1]);
+        assert_eq!(
+            e.feature_names,
+            vec!["a", "b", "cat=0", "cat=1", "cat=2"]
+        );
+        assert_eq!(e.xs[0], vec![1.0, 10.0, 1.0, 0.0, 0.0]);
+        assert_eq!(e.xs[2], vec![3.0, 30.0, 0.0, 0.0, 1.0]);
+        // Each one-hot block has exactly one 1.
+        for row in &e.xs {
+            let s: f64 = row[2..].iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn drop_columns_removes_by_name() {
+        let d = toy();
+        let e = d.drop_columns(&["cat"]);
+        assert_eq!(e.feature_names, vec!["a", "b"]);
+        assert_eq!(e.xs[1], vec![2.0, 20.0]);
+        assert_eq!(e.ys, d.ys);
+    }
+
+    #[test]
+    fn feature_index_lookup() {
+        let d = toy();
+        assert_eq!(d.feature_index("b"), Some(2));
+        assert_eq!(d.feature_index("zzz"), None);
+    }
+}

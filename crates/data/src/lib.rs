@@ -1,0 +1,60 @@
+//! # gef-data
+//!
+//! Datasets and metrics for the GEF workspace:
+//!
+//! * [`synthetic`] — the paper's generator functions `g'`, `h`, and
+//!   `g''_Π` (Sec. 4.1), plus the sigmoid example behind Fig. 3;
+//! * [`superconductivity`] — a simulated stand-in for the UCI
+//!   Superconductivity dataset (21,263 × 81, regression);
+//! * [`census`] — a simulated stand-in for the UCI Census/Adult dataset
+//!   (48,842 × 14, classification) with the paper's preprocessing
+//!   (redundant column dropped, categoricals one-hot encoded);
+//! * [`metrics`] — RMSE, R², Average Precision, ROC AUC, log-loss;
+//! * [`csv`] — a minimal CSV loader so the *real* UCI files can be
+//!   used whenever they are available;
+//! * [`Dataset`] — a named feature matrix with train/test splitting and
+//!   one-hot encoding.
+//!
+//! The real UCI files are not available in this offline environment;
+//! the simulators reproduce the *structural* properties the paper's
+//! evaluation exercises (dimensionality, skewed feature marginals, a
+//! discontinuity in the dominant feature, sensitive categorical
+//! attributes). See `DESIGN.md` ("Substitutions") for the rationale.
+
+pub mod census;
+pub mod csv;
+pub mod dataset;
+pub mod metrics;
+pub mod superconductivity;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Task};
+
+/// Draw a standard-normal sample via Box–Muller from a uniform RNG.
+///
+/// Kept here (rather than pulling in `rand_distr`) because it is the
+/// only non-uniform sampling primitive the workspace needs.
+pub fn sample_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+    // Box–Muller; u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Quantile histogram binning for the GBDT trainer.
+//!
+//! Each feature is discretized into at most `max_bins` bins whose
+//! boundaries are quantiles of the *distinct* observed values, matching
+//! LightGBM's strategy. Split thresholds emitted by the trainer are the
+//! midpoints between the largest value in the left bin and the smallest
+//! value in the right bin, so a trained tree applied to the training data
+//! reproduces exactly the partition the histogram chose.
+
+use crate::{ForestError, Result};
+
+/// Per-feature binning information.
+#[derive(Debug, Clone)]
+pub struct FeatureBins {
+    /// Upper-boundary thresholds between consecutive bins: a value `v`
+    /// belongs to bin `b` iff `uppers[b-1] < v <= uppers[b]`, with
+    /// `uppers.len() == num_bins - 1`. Thresholds are midpoints between
+    /// adjacent observed values.
+    pub uppers: Vec<f64>,
+}
+
+impl FeatureBins {
+    /// Number of bins (`uppers.len() + 1`, at least 1).
+    pub fn num_bins(&self) -> usize {
+        self.uppers.len() + 1
+    }
+
+    /// Map a raw feature value to its bin index via binary search.
+    #[inline]
+    pub fn bin_of(&self, v: f64) -> u16 {
+        // partition_point returns the count of uppers < v treated as
+        // "value goes right of this boundary"; predicate is `upper < v`
+        // so that v == upper lands in the left bin (x <= t goes left).
+        self.uppers.partition_point(|&u| u < v) as u16
+    }
+}
+
+/// Binned representation of a training matrix (column-major bins).
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    /// `bins[f][i]` is the bin of instance `i` on feature `f`.
+    pub bins: Vec<Vec<u16>>,
+    /// Per-feature binning metadata.
+    pub features: Vec<FeatureBins>,
+    /// Number of instances.
+    pub num_rows: usize,
+}
+
+impl BinnedDataset {
+    /// Bin a row-major dataset (`xs[i][f]`) into at most `max_bins` bins
+    /// per feature.
+    pub fn build(xs: &[Vec<f64>], max_bins: usize) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(ForestError::InvalidData("no rows".into()));
+        }
+        let num_features = xs[0].len();
+        if num_features == 0 {
+            return Err(ForestError::InvalidData("no features".into()));
+        }
+        if max_bins < 2 {
+            return Err(ForestError::InvalidParams(format!(
+                "max_bins must be >= 2, got {max_bins}"
+            )));
+        }
+        for (i, row) in xs.iter().enumerate() {
+            if row.len() != num_features {
+                return Err(ForestError::InvalidData(format!(
+                    "row {i} has {} features, expected {num_features}",
+                    row.len()
+                )));
+            }
+        }
+        let num_rows = xs.len();
+        let mut features = Vec::with_capacity(num_features);
+        let mut bins = Vec::with_capacity(num_features);
+        let mut col = vec![0.0f64; num_rows];
+        for f in 0..num_features {
+            for (i, row) in xs.iter().enumerate() {
+                let v = row[f];
+                if !v.is_finite() {
+                    return Err(ForestError::InvalidData(format!(
+                        "non-finite value at row {i}, feature {f}"
+                    )));
+                }
+                col[i] = v;
+            }
+            let fb = bin_boundaries(&mut col.clone(), max_bins);
+            let mut fcol = Vec::with_capacity(num_rows);
+            for row in xs {
+                fcol.push(fb.bin_of(row[f]));
+            }
+            features.push(fb);
+            bins.push(fcol);
+        }
+        Ok(BinnedDataset {
+            bins,
+            features,
+            num_rows,
+        })
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// Compute bin boundaries for one feature column (sorted in place).
+///
+/// Distinct values are grouped into at most `max_bins` equal-frequency
+/// groups; each boundary is the midpoint between the adjacent distinct
+/// values it separates.
+fn bin_boundaries(col: &mut [f64], max_bins: usize) -> FeatureBins {
+    col.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected earlier"));
+    // Distinct values with multiplicities.
+    let mut distinct: Vec<(f64, usize)> = Vec::new();
+    for &v in col.iter() {
+        match distinct.last_mut() {
+            Some((last, cnt)) if *last == v => *cnt += 1,
+            _ => distinct.push((v, 1)),
+        }
+    }
+    if distinct.len() <= max_bins {
+        // One bin per distinct value; boundaries at midpoints.
+        let uppers = distinct
+            .windows(2)
+            .map(|w| 0.5 * (w[0].0 + w[1].0))
+            .collect();
+        return FeatureBins { uppers };
+    }
+    // Equal-frequency grouping over instances (greedy; a distinct value
+    // never straddles two bins).
+    let total = col.len();
+    let target = total as f64 / max_bins as f64;
+    let mut uppers = Vec::with_capacity(max_bins - 1);
+    let mut acc = 0usize;
+    let mut next_cut = target;
+    for w in distinct.windows(2) {
+        acc += w[0].1;
+        if acc as f64 >= next_cut && uppers.len() + 1 < max_bins {
+            uppers.push(0.5 * (w[0].0 + w[1].0));
+            next_cut = (uppers.len() + 1) as f64 * target;
+        }
+    }
+    FeatureBins { uppers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_distinct_values_get_exact_bins() {
+        let xs: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![1.0], vec![2.0]];
+        let b = BinnedDataset::build(&xs, 255).unwrap();
+        assert_eq!(b.features[0].num_bins(), 3);
+        assert_eq!(b.features[0].uppers, vec![0.5, 1.5]);
+        assert_eq!(b.bins[0], vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn bin_of_boundary_goes_left() {
+        let fb = FeatureBins {
+            uppers: vec![0.5, 1.5],
+        };
+        assert_eq!(fb.bin_of(0.5), 0); // exactly on boundary -> left bin
+        assert_eq!(fb.bin_of(0.500001), 1);
+        assert_eq!(fb.bin_of(-10.0), 0);
+        assert_eq!(fb.bin_of(10.0), 2);
+    }
+
+    #[test]
+    fn many_values_respect_max_bins() {
+        let xs: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64]).collect();
+        let b = BinnedDataset::build(&xs, 16).unwrap();
+        assert!(b.features[0].num_bins() <= 16);
+        assert!(b.features[0].num_bins() >= 15);
+        // Bins are roughly equal-frequency.
+        let mut counts = vec![0usize; b.features[0].num_bins()];
+        for &bin in &b.bins[0] {
+            counts[bin as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= 2 * min.max(1), "counts={counts:?}");
+    }
+
+    #[test]
+    fn binning_is_monotone() {
+        let xs: Vec<Vec<f64>> = (0..500).map(|i| vec![(i as f64 * 0.37).sin()]).collect();
+        let b = BinnedDataset::build(&xs, 32).unwrap();
+        // For any two rows, value order implies bin order (weakly).
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len().min(i + 50) {
+                let (vi, vj) = (xs[i][0], xs[j][0]);
+                let (bi, bj) = (b.bins[0][i], b.bins[0][j]);
+                if vi < vj {
+                    assert!(bi <= bj);
+                } else if vi > vj {
+                    assert!(bi >= bj);
+                } else {
+                    assert_eq!(bi, bj);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(BinnedDataset::build(&[], 255).is_err());
+        assert!(BinnedDataset::build(&[vec![]], 255).is_err());
+        assert!(BinnedDataset::build(&[vec![1.0], vec![1.0, 2.0]], 255).is_err());
+        assert!(BinnedDataset::build(&[vec![f64::NAN]], 255).is_err());
+        assert!(BinnedDataset::build(&[vec![1.0]], 1).is_err());
+    }
+
+    #[test]
+    fn constant_feature_single_bin() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![3.0]).collect();
+        let b = BinnedDataset::build(&xs, 255).unwrap();
+        assert_eq!(b.features[0].num_bins(), 1);
+        assert!(b.bins[0].iter().all(|&x| x == 0));
+    }
+}

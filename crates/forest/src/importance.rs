@@ -1,0 +1,183 @@
+//! Forest introspection: gain-based feature importance and split
+//! threshold extraction.
+//!
+//! These are the signals GEF elicits from the forest in place of the
+//! (unavailable) training data:
+//!
+//! * [`gain_importance`] — per-feature accumulated loss reduction across
+//!   all split nodes (paper Sec. 3.2, univariate component selection);
+//! * [`split_count_importance`] — number of splits per feature, a common
+//!   secondary importance measure;
+//! * [`feature_thresholds`] — the sorted, de-duplicated list `V_i` of
+//!   thresholds per feature (paper Sec. 3.3, sampling domains);
+//! * [`FeatureStats`] — everything above in one pass.
+
+use crate::Forest;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature statistics elicited from a forest in a single pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureStats {
+    /// Accumulated split gain per feature.
+    pub gain: Vec<f64>,
+    /// Number of split nodes per feature.
+    pub split_count: Vec<usize>,
+    /// Sorted, de-duplicated split thresholds per feature.
+    pub thresholds: Vec<Vec<f64>>,
+    /// Sorted split thresholds per feature **with multiplicity** — one
+    /// entry per split node (the paper's `V_i`). The multiplicity is
+    /// the sampling signal: regions where the forest splits often are
+    /// regions of high prediction variability, and the density-aware
+    /// strategies (K-Quantile, K-Means, Equi-Size) rely on it.
+    pub threshold_multiset: Vec<Vec<f64>>,
+}
+
+impl FeatureStats {
+    /// Collect statistics from a forest.
+    pub fn collect(forest: &Forest) -> Self {
+        let d = forest.num_features;
+        let mut gain = vec![0.0; d];
+        let mut split_count = vec![0usize; d];
+        let mut threshold_multiset: Vec<Vec<f64>> = vec![Vec::new(); d];
+        for tree in &forest.trees {
+            for node in &tree.nodes {
+                if node.is_leaf() {
+                    continue;
+                }
+                let f = node.feature as usize;
+                gain[f] += node.gain;
+                split_count[f] += 1;
+                threshold_multiset[f].push(node.threshold);
+            }
+        }
+        let mut thresholds = Vec::with_capacity(d);
+        for v in &mut threshold_multiset {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+            let mut dedup = v.clone();
+            dedup.dedup();
+            thresholds.push(dedup);
+        }
+        FeatureStats {
+            gain,
+            split_count,
+            thresholds,
+            threshold_multiset,
+        }
+    }
+
+    /// Features sorted by descending gain (index, gain), with zero-gain
+    /// (never used) features excluded.
+    pub fn ranked_by_gain(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .gain
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, g)| g > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gain is finite"));
+        v
+    }
+
+    /// Indices of the top-`k` features by gain (the paper's `F'`).
+    pub fn top_features(&self, k: usize) -> Vec<usize> {
+        self.ranked_by_gain()
+            .into_iter()
+            .take(k)
+            .map(|(f, _)| f)
+            .collect()
+    }
+}
+
+/// Accumulated split gain per feature (length = `forest.num_features`).
+pub fn gain_importance(forest: &Forest) -> Vec<f64> {
+    FeatureStats::collect(forest).gain
+}
+
+/// Number of split nodes per feature.
+pub fn split_count_importance(forest: &Forest) -> Vec<usize> {
+    FeatureStats::collect(forest).split_count
+}
+
+/// Sorted, de-duplicated split thresholds of one feature across the
+/// whole forest (the paper's `V_i`).
+pub fn feature_thresholds(forest: &Forest, feature: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = forest
+        .trees
+        .iter()
+        .flat_map(|t| t.nodes.iter())
+        .filter(|n| !n.is_leaf() && n.feature as usize == feature)
+        .map(|n| n.threshold)
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Node, Tree};
+    use crate::Objective;
+
+    fn two_tree_forest() -> Forest {
+        // Tree A: split on f0 @ 0.5 (gain 4), then f1 @ 0.2 (gain 1).
+        let a = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 4.0, 10),
+                Node::split(1, 0.2, 3, 4, 1.0, 6),
+                Node::leaf(1.0, 4),
+                Node::leaf(-1.0, 3),
+                Node::leaf(0.5, 3),
+            ],
+        };
+        // Tree B: split on f0 @ 0.7 (gain 2).
+        let b = Tree {
+            nodes: vec![
+                Node::split(0, 0.7, 1, 2, 2.0, 10),
+                Node::leaf(0.0, 5),
+                Node::leaf(1.0, 5),
+            ],
+        };
+        Forest {
+            trees: vec![a, b],
+            base_score: 0.0,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 3,
+        }
+    }
+
+    #[test]
+    fn gain_accumulates_across_trees() {
+        let f = two_tree_forest();
+        let g = gain_importance(&f);
+        assert_eq!(g, vec![6.0, 1.0, 0.0]);
+        let c = split_count_importance(&f);
+        assert_eq!(c, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn thresholds_sorted_and_deduped() {
+        let f = two_tree_forest();
+        assert_eq!(feature_thresholds(&f, 0), vec![0.5, 0.7]);
+        assert_eq!(feature_thresholds(&f, 1), vec![0.2]);
+        assert!(feature_thresholds(&f, 2).is_empty());
+    }
+
+    #[test]
+    fn ranking_and_top_features() {
+        let f = two_tree_forest();
+        let stats = FeatureStats::collect(&f);
+        assert_eq!(stats.ranked_by_gain(), vec![(0, 6.0), (1, 1.0)]);
+        assert_eq!(stats.top_features(1), vec![0]);
+        assert_eq!(stats.top_features(5), vec![0, 1]); // unused f2 excluded
+    }
+
+    #[test]
+    fn duplicate_thresholds_collapse() {
+        let mut f = two_tree_forest();
+        f.trees[1].nodes[0].threshold = 0.5; // same as tree A's root
+        assert_eq!(feature_thresholds(&f, 0), vec![0.5]);
+    }
+}

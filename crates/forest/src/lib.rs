@@ -1,0 +1,208 @@
+//! # gef-forest
+//!
+//! Decision-tree forests built from scratch: the substrate the GEF paper
+//! takes as input. The paper trains LightGBM gradient-boosted forests;
+//! this crate provides an equivalent histogram-based, leaf-wise GBDT
+//! trainer ([`GbdtTrainer`]), a Random Forest trainer
+//! ([`random_forest::RandomForestTrainer`], the paper's future-work
+//! target), fast single/batch prediction, a LightGBM-style text model
+//! format plus JSON (de)serialization ([`io`]), and the model statistics
+//! GEF consumes: per-node split gain, per-node cover, and the full
+//! per-feature threshold lists ([`importance`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gef_forest::{GbdtParams, GbdtTrainer, Objective};
+//!
+//! // y = 3·x0 + step on x1
+//! let xs: Vec<Vec<f64>> = (0..200)
+//!     .map(|i| vec![i as f64 / 200.0, ((i * 7) % 13) as f64 / 13.0])
+//!     .collect();
+//! let ys: Vec<f64> = xs
+//!     .iter()
+//!     .map(|x| 3.0 * x[0] + if x[1] > 0.5 { 1.0 } else { 0.0 })
+//!     .collect();
+//! let params = GbdtParams {
+//!     num_trees: 50,
+//!     num_leaves: 8,
+//!     learning_rate: 0.2,
+//!     ..GbdtParams::default()
+//! };
+//! let forest = GbdtTrainer::new(params).fit(&xs, &ys).unwrap();
+//! let pred = forest.predict(&[0.5, 0.9]);
+//! assert!((pred - 2.5).abs() < 0.3);
+//! ```
+
+pub mod binning;
+pub mod gbdt;
+pub mod importance;
+pub mod io;
+pub mod random_forest;
+pub mod tree;
+pub mod tune;
+
+pub use gbdt::{GbdtParams, GbdtTrainer};
+pub use random_forest::{RandomForestParams, RandomForestTrainer};
+pub use tree::{Node, Tree};
+
+use serde::{Deserialize, Serialize};
+
+/// Training / prediction objective of a forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Squared-error regression; raw scores are predictions.
+    RegressionL2,
+    /// Binary classification with logistic loss; raw scores are
+    /// log-odds, [`Forest::predict_proba`] applies the sigmoid.
+    BinaryLogistic,
+}
+
+impl Objective {
+    /// Apply the inverse link to a raw margin score.
+    #[inline]
+    pub fn transform(&self, raw: f64) -> f64 {
+        match self {
+            Objective::RegressionL2 => raw,
+            Objective::BinaryLogistic => sigmoid(raw),
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// An ensemble of decision trees with a base (bias) score.
+///
+/// Raw prediction is `base_score + scale · Σ_t tree_t(x)`; `scale` is 1
+/// for GBDT (shrinkage is baked into leaf values at training time) and
+/// `1/T` for Random Forests (averaging).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forest {
+    /// The member trees.
+    pub trees: Vec<Tree>,
+    /// Constant added to every raw prediction.
+    pub base_score: f64,
+    /// Multiplier applied to the summed tree outputs.
+    pub scale: f64,
+    /// Objective the forest was trained with.
+    pub objective: Objective,
+    /// Number of input features (width of a feature vector).
+    pub num_features: usize,
+}
+
+impl Forest {
+    /// Raw margin prediction for a single instance.
+    pub fn predict_raw(&self, x: &[f64]) -> f64 {
+        debug_assert!(x.len() >= self.num_features);
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        self.base_score + self.scale * sum
+    }
+
+    /// Prediction on the response scale (identity for regression,
+    /// probability for binary classification).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.objective.transform(self.predict_raw(x))
+    }
+
+    /// Probability prediction for binary classification forests.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(self.objective, Objective::BinaryLogistic);
+        sigmoid(self.predict_raw(x))
+    }
+
+    /// Batch raw predictions.
+    pub fn predict_raw_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_raw(x)).collect()
+    }
+
+    /// Batch response-scale predictions, parallelized with scoped
+    /// threads when the batch is large enough to amortize spawning.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        const PAR_THRESHOLD: usize = 4096;
+        if xs.len() < PAR_THRESHOLD || self.trees.len() < 64 {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
+        let chunk = xs.len().div_ceil(threads);
+        let mut out = vec![0.0; xs.len()];
+        std::thread::scope(|s| {
+            for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (x, o) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *o = self.predict(x);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Total number of nodes (internal + leaves) across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.nodes.len()).sum()
+    }
+
+    /// Total number of leaves across all trees.
+    pub fn num_leaves(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.nodes.iter().filter(|n| n.is_leaf()).count())
+            .sum()
+    }
+}
+
+/// Errors produced while training or parsing a forest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForestError {
+    /// Training data is empty or inconsistently shaped.
+    InvalidData(String),
+    /// Invalid hyper-parameter combination.
+    InvalidParams(String),
+    /// Model parsing failed.
+    Parse(String),
+}
+
+impl std::fmt::Display for ForestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForestError::InvalidData(m) => write!(f, "invalid training data: {m}"),
+            ForestError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            ForestError::Parse(m) => write!(f, "model parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ForestError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_props() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // Stable for extreme inputs.
+        assert_eq!(sigmoid(-800.0), 0.0);
+        assert!((sigmoid(800.0) - 1.0).abs() < 1e-12);
+        // Symmetry σ(-x) = 1 - σ(x).
+        for &x in &[0.1, 1.5, 7.0] {
+            assert!((sigmoid(-x) + sigmoid(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

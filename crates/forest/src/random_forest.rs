@@ -1,0 +1,368 @@
+//! Random Forest trainer (Breiman 2001).
+//!
+//! The GEF paper's future work proposes applying GEF to Random Forests,
+//! since the framework makes no assumption on how the forest was
+//! trained; this module provides that substrate. Unlike the histogram
+//! GBDT, trees here are grown depth-first with **exact** (sort-based)
+//! variance-reduction splits and per-node feature subsampling (`mtry`),
+//! on bootstrap resamples of the training data. Predictions average the
+//! member trees (`Forest::scale = 1/T`).
+//!
+//! For binary classification the trees regress on the 0/1 labels, so the
+//! averaged prediction is the class-1 probability — equivalent to
+//! probability voting.
+
+use crate::tree::{Node, Tree};
+use crate::{Forest, ForestError, Objective, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the Random Forest trainer.
+#[derive(Debug, Clone)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum instances required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Features sampled per split; `None` = ceil(sqrt(d)) (Breiman's
+    /// default for classification, also a solid regression default).
+    pub mtry: Option<usize>,
+    /// Draw bootstrap resamples (with replacement) per tree.
+    pub bootstrap: bool,
+    /// Task; only affects [`Forest::predict`]'s output scale semantics.
+    pub objective: Objective,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            num_trees: 100,
+            max_depth: None,
+            min_samples_leaf: 5,
+            mtry: None,
+            bootstrap: true,
+            objective: Objective::RegressionL2,
+            seed: 0,
+        }
+    }
+}
+
+/// Random Forest trainer.
+#[derive(Debug, Clone)]
+pub struct RandomForestTrainer {
+    params: RandomForestParams,
+}
+
+impl RandomForestTrainer {
+    /// Create a trainer with the given hyper-parameters.
+    pub fn new(params: RandomForestParams) -> Self {
+        RandomForestTrainer { params }
+    }
+
+    /// Fit a forest on the given data.
+    pub fn fit(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Forest> {
+        if xs.is_empty() {
+            return Err(ForestError::InvalidData("empty training set".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(ForestError::InvalidData(format!(
+                "{} rows but {} labels",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let d = xs[0].len();
+        if d == 0 {
+            return Err(ForestError::InvalidData("no features".into()));
+        }
+        if self.params.num_trees == 0 {
+            return Err(ForestError::InvalidParams("num_trees must be >= 1".into()));
+        }
+        if self.params.min_samples_leaf == 0 {
+            return Err(ForestError::InvalidParams(
+                "min_samples_leaf must be >= 1".into(),
+            ));
+        }
+        let mtry = self
+            .params
+            .mtry
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let n = xs.len();
+        let mut trees = Vec::with_capacity(self.params.num_trees);
+        for _ in 0..self.params.num_trees {
+            let indices: Vec<u32> = if self.params.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n as u32)).collect()
+            } else {
+                (0..n as u32).collect()
+            };
+            let mut builder = TreeBuilder {
+                xs,
+                ys,
+                params: &self.params,
+                mtry,
+                rng: &mut rng,
+                nodes: Vec::new(),
+                feat_pool: (0..d).collect(),
+            };
+            builder.build(indices, 0);
+            trees.push(Tree {
+                nodes: builder.nodes,
+            });
+        }
+        Ok(Forest {
+            scale: 1.0 / trees.len() as f64,
+            trees,
+            base_score: 0.0,
+            objective: self.params.objective,
+            num_features: d,
+        })
+    }
+}
+
+struct TreeBuilder<'a> {
+    xs: &'a [Vec<f64>],
+    ys: &'a [f64],
+    params: &'a RandomForestParams,
+    mtry: usize,
+    rng: &'a mut StdRng,
+    nodes: Vec<Node>,
+    feat_pool: Vec<usize>,
+}
+
+struct ExactSplit {
+    feature: usize,
+    threshold: f64,
+    sse_reduction: f64,
+}
+
+impl TreeBuilder<'_> {
+    /// Recursively build a subtree over `indices`; returns node index.
+    fn build(&mut self, indices: Vec<u32>, depth: usize) -> usize {
+        let n = indices.len();
+        let sum: f64 = indices.iter().map(|&i| self.ys[i as usize]).sum();
+        let mean = sum / n as f64;
+        let at_depth_limit = self.params.max_depth.is_some_and(|d| depth >= d);
+        if n < 2 * self.params.min_samples_leaf || at_depth_limit {
+            return self.push_leaf(mean, n);
+        }
+        let Some(split) = self.best_split(&indices) else {
+            return self.push_leaf(mean, n);
+        };
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
+            .iter()
+            .partition(|&&i| self.xs[i as usize][split.feature] <= split.threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+        // Reserve this node's slot before recursing so the root stays at 0.
+        let me = self.nodes.len();
+        self.nodes.push(Node::leaf(0.0, n as u32));
+        let l = self.build(left_idx, depth + 1);
+        let r = self.build(right_idx, depth + 1);
+        self.nodes[me] = Node::split(
+            split.feature,
+            split.threshold,
+            l as u32,
+            r as u32,
+            split.sse_reduction,
+            n as u32,
+        );
+        self.nodes[me].count = n as u32;
+        me
+    }
+
+    fn push_leaf(&mut self, value: f64, count: usize) -> usize {
+        self.nodes.push(Node::leaf(value, count as u32));
+        self.nodes.len() - 1
+    }
+
+    /// Exact variance-reduction split over `mtry` sampled features.
+    fn best_split(&mut self, indices: &[u32]) -> Option<ExactSplit> {
+        let min_leaf = self.params.min_samples_leaf;
+        let n = indices.len();
+        let total: f64 = indices.iter().map(|&i| self.ys[i as usize]).sum();
+        // SSE(parent) - [SSE(L) + SSE(R)] = sumL²/nL + sumR²/nR - total²/n
+        let parent_score = total * total / n as f64;
+        self.feat_pool.shuffle(self.rng);
+        let feats: Vec<usize> = self.feat_pool[..self.mtry].to_vec();
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let mut best: Option<ExactSplit> = None;
+        for f in feats {
+            pairs.clear();
+            pairs.extend(
+                indices
+                    .iter()
+                    .map(|&i| (self.xs[i as usize][f], self.ys[i as usize])),
+            );
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut sum_l = 0.0;
+            for k in 0..n - 1 {
+                sum_l += pairs[k].1;
+                // Can't split between equal feature values.
+                if pairs[k].0 == pairs[k + 1].0 {
+                    continue;
+                }
+                let nl = k + 1;
+                let nr = n - nl;
+                if nl < min_leaf {
+                    continue;
+                }
+                if nr < min_leaf {
+                    break;
+                }
+                let sum_r = total - sum_l;
+                let red = sum_l * sum_l / nl as f64 + sum_r * sum_r / nr as f64 - parent_score;
+                if red > 1e-12 && best.as_ref().is_none_or(|b| red > b.sse_reduction) {
+                    best = Some(ExactSplit {
+                        feature: f,
+                        threshold: 0.5 * (pairs[k].0 + pairs[k + 1].0),
+                        sse_reduction: red,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, f: impl Fn(&[f64]) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![next(), next(), next()]).collect();
+        let ys = xs.iter().map(|x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_smooth_function() {
+        let (xs, ys) = data(600, |x| x[0] * 2.0 + (x[1] * 3.0).sin());
+        let f = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 50,
+            min_samples_leaf: 3,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        let rmse: f64 = (xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (f.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.25, "rmse={rmse}");
+    }
+
+    #[test]
+    fn averaging_scale_is_inverse_tree_count() {
+        let (xs, ys) = data(200, |x| x[0]);
+        let f = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 7,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        assert_eq!(f.trees.len(), 7);
+        assert!((f.scale - 1.0 / 7.0).abs() < 1e-15);
+        assert_eq!(f.base_score, 0.0);
+    }
+
+    #[test]
+    fn trees_are_structurally_valid() {
+        let (xs, ys) = data(300, |x| if x[0] > 0.5 { x[1] } else { -x[2] });
+        let f = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 10,
+            max_depth: Some(6),
+            seed: 5,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        for t in &f.trees {
+            t.validate().expect("valid rf tree");
+            assert!(t.depth() <= 6);
+        }
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (xs, ys) = data(200, |x| if x[0] > 0.5 { 1.0 } else { 0.0 });
+        let f = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 3,
+            max_depth: Some(1),
+            mtry: Some(3),
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        for t in &f.trees {
+            assert!(t.num_leaves() <= 2);
+        }
+    }
+
+    #[test]
+    fn no_bootstrap_with_full_mtry_is_deterministic_tree() {
+        let (xs, ys) = data(150, |x| x[0] + x[1]);
+        let p = RandomForestParams {
+            num_trees: 2,
+            bootstrap: false,
+            mtry: Some(3),
+            seed: 42,
+            ..Default::default()
+        };
+        let f = RandomForestTrainer::new(p).fit(&xs, &ys).unwrap();
+        // Without bootstrap and with all features considered, both trees
+        // are grown on identical data and must agree everywhere.
+        let a = &f.trees[0];
+        let b = &f.trees[1];
+        for x in xs.iter().take(20) {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    fn classification_probability_in_unit_interval() {
+        let (xs, ys) = data(400, |x| if x[0] + x[1] > 1.0 { 1.0 } else { 0.0 });
+        let f = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 30,
+            objective: Objective::RegressionL2, // probability averaging
+            seed: 2,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        for x in xs.iter().take(50) {
+            let p = f.predict(x);
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+        assert!(f.predict(&[0.95, 0.95, 0.5]) > 0.8);
+        assert!(f.predict(&[0.05, 0.05, 0.5]) < 0.2);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let t = RandomForestTrainer::new(RandomForestParams::default());
+        assert!(t.fit(&[], &[]).is_err());
+        assert!(t.fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        let bad = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 0,
+            ..Default::default()
+        });
+        assert!(bad.fit(&[vec![1.0]], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the forest substrate.
+
+use gef_forest::binning::BinnedDataset;
+use gef_forest::io::{from_text, to_text};
+use gef_forest::{GbdtParams, GbdtTrainer, Objective, RandomForestParams, RandomForestTrainer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn binning_is_order_preserving(
+        raw in proptest::collection::vec(-100.0f64..100.0, 10..120),
+        max_bins in 2usize..40,
+    ) {
+        let xs: Vec<Vec<f64>> = raw.iter().map(|&v| vec![v]).collect();
+        let b = BinnedDataset::build(&xs, max_bins).unwrap();
+        prop_assert!(b.features[0].num_bins() <= max_bins);
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                let (vi, vj) = (raw[i], raw[j]);
+                let (bi, bj) = (b.bins[0][i], b.bins[0][j]);
+                if vi < vj {
+                    prop_assert!(bi <= bj);
+                } else if vi == vj {
+                    prop_assert_eq!(bi, bj);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gbdt_trees_are_valid_and_predictions_finite(
+        seed in 0u64..1000,
+        num_leaves in 2usize..12,
+        lr in 0.05f64..0.5,
+    ) {
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![next(), next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + next() * 0.2).collect();
+        let forest = GbdtTrainer::new(GbdtParams {
+            num_trees: 10,
+            num_leaves,
+            learning_rate: lr,
+            min_data_in_leaf: 5,
+            seed,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        for t in &forest.trees {
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+            prop_assert!(t.num_leaves() <= num_leaves);
+        }
+        for x in xs.iter().take(20) {
+            prop_assert!(forest.predict(x).is_finite());
+        }
+        // Predictions are bounded by base ± total leaf magnitude.
+        let text = to_text(&forest);
+        let parsed = from_text(&text).unwrap();
+        prop_assert_eq!(forest.predict(&xs[0]), parsed.predict(&xs[0]));
+    }
+
+    #[test]
+    fn classification_forest_probabilities_valid(
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(2).wrapping_add(7);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..150).map(|_| vec![next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f64::from(x[0] > 0.5)).collect();
+        let forest = GbdtTrainer::new(GbdtParams {
+            num_trees: 8,
+            num_leaves: 4,
+            min_data_in_leaf: 5,
+            objective: Objective::BinaryLogistic,
+            seed,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        for x in xs.iter().take(30) {
+            let p = forest.predict_proba(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn random_forest_prediction_within_label_range(
+        seed in 0u64..500,
+        max_depth in 1usize..8,
+    ) {
+        let mut state = seed.wrapping_mul(4).wrapping_add(3);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..120).map(|_| vec![next(), next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|_| next() * 10.0 - 5.0).collect();
+        let forest = RandomForestTrainer::new(RandomForestParams {
+            num_trees: 10,
+            max_depth: Some(max_depth),
+            min_samples_leaf: 2,
+            seed,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        // RF averages leaf means, so predictions stay inside the label
+        // hull.
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for x in xs.iter().take(30) {
+            let p = forest.predict(x);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+}

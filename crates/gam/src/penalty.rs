@@ -1,0 +1,179 @@
+//! Penalty matrices for P-spline and tensor-product smooths.
+//!
+//! P-splines penalize squared `order`-th differences of adjacent spline
+//! coefficients: `P = DᵀD` where `D` is the difference operator. This is
+//! the discrete analogue of the integrated squared second derivative in
+//! the paper's cost function `J`. Tensor-product terms use the Kronecker
+//! construction `P₁ ⊗ I + I ⊗ P₂`, penalizing wiggliness along each
+//! margin.
+
+use gef_linalg::Matrix;
+
+/// `order`-th difference penalty `DᵀD` for `k` coefficients.
+///
+/// `order = 2` (the default throughout the workspace) penalizes the
+/// discrete curvature `β_{j-1} − 2β_j + β_{j+1}`; its null space is
+/// spanned by constant and linear coefficient sequences, so straight
+/// lines are unpenalized exactly as with cubic smoothing splines.
+pub fn difference_penalty(k: usize, order: usize) -> Matrix {
+    assert!(order >= 1, "difference order must be >= 1");
+    if k <= order {
+        // Too few coefficients to difference: zero penalty.
+        return Matrix::zeros(k, k);
+    }
+    // Build D by repeated first differences: D_order is (k-order) x k.
+    // Row i of the first-difference operator: -1 at i, +1 at i+1.
+    let mut d = Matrix::zeros(k - 1, k);
+    for i in 0..k - 1 {
+        d[(i, i)] = -1.0;
+        d[(i, i + 1)] = 1.0;
+    }
+    for _ in 1..order {
+        let rows = d.rows() - 1;
+        let mut next = Matrix::zeros(rows, k);
+        for i in 0..rows {
+            for j in 0..k {
+                next[(i, j)] = d[(i + 1, j)] - d[(i, j)];
+            }
+        }
+        d = next;
+    }
+    // P = DᵀD
+    d.transpose().matmul(&d).expect("conforming dimensions")
+}
+
+/// Identity (ridge) penalty of size `k` — used for factor terms.
+pub fn ridge_penalty(k: usize) -> Matrix {
+    Matrix::identity(k)
+}
+
+/// Tensor-product penalty `P₁ ⊗ I_{k₂} + I_{k₁} ⊗ P₂` for a bivariate
+/// term with `k₁ × k₂` coefficients laid out row-major (index
+/// `i·k₂ + j`, `i` over the first margin).
+pub fn tensor_penalty(p1: &Matrix, p2: &Matrix) -> Matrix {
+    let k1 = p1.rows();
+    let k2 = p2.rows();
+    debug_assert_eq!(p1.cols(), k1);
+    debug_assert_eq!(p2.cols(), k2);
+    let n = k1 * k2;
+    let mut out = Matrix::zeros(n, n);
+    // P1 ⊗ I: entry ((i1,j), (i2,j)) = P1[i1,i2]
+    for i1 in 0..k1 {
+        for i2 in 0..k1 {
+            let v = p1[(i1, i2)];
+            if v == 0.0 {
+                continue;
+            }
+            for j in 0..k2 {
+                out[(i1 * k2 + j, i2 * k2 + j)] += v;
+            }
+        }
+    }
+    // I ⊗ P2: entry ((i,j1), (i,j2)) = P2[j1,j2]
+    for i in 0..k1 {
+        for j1 in 0..k2 {
+            for j2 in 0..k2 {
+                let v = p2[(j1, j2)];
+                if v != 0.0 {
+                    out[(i * k2 + j1, i * k2 + j2)] += v;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_form(p: &Matrix, beta: &[f64]) -> f64 {
+        let pb = p.matvec(beta).unwrap();
+        beta.iter().zip(&pb).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn second_order_penalty_annihilates_lines() {
+        let p = difference_penalty(10, 2);
+        let constant = vec![3.0; 10];
+        let linear: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 - 5.0).collect();
+        assert!(quad_form(&p, &constant).abs() < 1e-12);
+        assert!(quad_form(&p, &linear).abs() < 1e-10);
+        // ...but not quadratics.
+        let quad: Vec<f64> = (0..10).map(|i| (i as f64).powi(2)).collect();
+        assert!(quad_form(&p, &quad) > 1.0);
+    }
+
+    #[test]
+    fn first_order_penalty_annihilates_constants_only() {
+        let p = difference_penalty(8, 1);
+        let constant = vec![1.0; 8];
+        let linear: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        assert!(quad_form(&p, &constant).abs() < 1e-12);
+        assert!(quad_form(&p, &linear) > 1.0);
+    }
+
+    #[test]
+    fn penalty_is_symmetric_psd() {
+        let p = difference_penalty(12, 2);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(p[(i, j)], p[(j, i)]);
+            }
+        }
+        // PSD: quadratic form non-negative on a few arbitrary vectors.
+        for seed in 0..5u64 {
+            let beta: Vec<f64> = (0..12)
+                .map(|i| ((seed.wrapping_mul(31).wrapping_add(i as u64 * 17)) % 13) as f64 - 6.0)
+                .collect();
+            assert!(quad_form(&p, &beta) >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_give_zero_penalty() {
+        let p = difference_penalty(2, 2);
+        assert_eq!(p, Matrix::zeros(2, 2));
+        let p = difference_penalty(1, 1);
+        assert_eq!(p, Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn known_3x3_second_difference() {
+        // k=3, order=2: D = [1, -2, 1], P = DᵀD.
+        let p = difference_penalty(3, 2);
+        let expect = [
+            [1.0, -2.0, 1.0],
+            [-2.0, 4.0, -2.0],
+            [1.0, -2.0, 1.0],
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p[(i, j)], expect[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_penalty_matches_explicit_small_case() {
+        let p1 = difference_penalty(3, 1);
+        let p2 = difference_penalty(2, 1);
+        let t = tensor_penalty(&p1, &p2);
+        assert_eq!(t.rows(), 6);
+        // Surface constant in both directions is unpenalized.
+        let flat = vec![1.0; 6];
+        assert!(quad_form(&t, &flat).abs() < 1e-12);
+        // Variation along margin 1 only: beta[i*k2+j] = i.
+        let along1: Vec<f64> = (0..6).map(|idx| (idx / 2) as f64).collect();
+        let q1 = quad_form(&t, &along1);
+        // Must equal k2 * quad_form(p1, (0,1,2)).
+        let expect = 2.0 * quad_form(&p1, &[0.0, 1.0, 2.0]);
+        assert!((q1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_is_identity() {
+        let r = ridge_penalty(4);
+        assert_eq!(r, Matrix::identity(4));
+    }
+}

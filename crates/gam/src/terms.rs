@@ -1,0 +1,374 @@
+//! GAM term types: univariate P-splines, categorical factors, and
+//! bivariate tensor-product smooths.
+//!
+//! These mirror the paper's Sec. 3.5 modelling choices: "third-order
+//! spline terms with a fixed number of p-spline basis for each
+//! continuous feature in F′, factor terms for each categorical variable
+//! in F′, and penalized tensor products for each variable in F″".
+
+use crate::bspline::BSplineBasis;
+use crate::penalty::{difference_penalty, ridge_penalty, tensor_penalty};
+use crate::GamError;
+use gef_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Default number of basis functions for a univariate spline term.
+pub const DEFAULT_SPLINE_BASIS: usize = 20;
+/// Default number of basis functions per margin of a tensor term.
+pub const DEFAULT_TENSOR_BASIS: usize = 8;
+/// Default spline degree (cubic, third-order as in the paper).
+pub const DEFAULT_DEGREE: usize = 3;
+
+/// Specification of one additive term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TermSpec {
+    /// Penalized cubic spline on one continuous feature.
+    Spline {
+        /// Feature index into the instance vector.
+        feature: usize,
+        /// Number of B-spline basis functions.
+        num_basis: usize,
+        /// Polynomial degree.
+        degree: usize,
+        /// Domain `(lo, hi)` over which knots are placed.
+        range: (f64, f64),
+    },
+    /// One-hot factor term for a categorical feature (ridge-penalized).
+    Factor {
+        /// Feature index into the instance vector.
+        feature: usize,
+        /// Sorted distinct levels; an input is matched to its nearest
+        /// level.
+        levels: Vec<f64>,
+    },
+    /// Penalized tensor-product smooth on a feature pair.
+    Tensor {
+        /// The two feature indices.
+        features: (usize, usize),
+        /// Basis sizes per margin.
+        num_basis: (usize, usize),
+        /// Domains per margin.
+        ranges: ((f64, f64), (f64, f64)),
+        /// Marginal spline degree.
+        degree: usize,
+    },
+    /// Penalized cubic spline with knots placed at quantiles of the
+    /// given (sorted) anchor values — robust for skewed domains, where
+    /// uniform knots would leave long spans without training support.
+    SplineAnchored {
+        /// Feature index into the instance vector.
+        feature: usize,
+        /// Number of B-spline basis functions.
+        num_basis: usize,
+        /// Polynomial degree.
+        degree: usize,
+        /// Sorted anchor values (e.g. the feature's sampling domain).
+        anchors: Vec<f64>,
+    },
+    /// Tensor-product smooth with anchored marginal knots.
+    TensorAnchored {
+        /// The two feature indices.
+        features: (usize, usize),
+        /// Basis sizes per margin.
+        num_basis: (usize, usize),
+        /// Sorted anchors per margin.
+        anchors: (Vec<f64>, Vec<f64>),
+        /// Marginal spline degree.
+        degree: usize,
+    },
+}
+
+impl TermSpec {
+    /// Convenience constructor: cubic spline with default basis size.
+    pub fn spline(feature: usize, range: (f64, f64)) -> Self {
+        TermSpec::Spline {
+            feature,
+            num_basis: DEFAULT_SPLINE_BASIS,
+            degree: DEFAULT_DEGREE,
+            range,
+        }
+    }
+
+    /// Convenience constructor: factor term.
+    pub fn factor(feature: usize, levels: Vec<f64>) -> Self {
+        TermSpec::Factor { feature, levels }
+    }
+
+    /// Convenience constructor: tensor smooth with default marginal
+    /// basis sizes.
+    pub fn tensor(features: (usize, usize), ranges: ((f64, f64), (f64, f64))) -> Self {
+        TermSpec::Tensor {
+            features,
+            num_basis: (DEFAULT_TENSOR_BASIS, DEFAULT_TENSOR_BASIS),
+            ranges,
+            degree: DEFAULT_DEGREE,
+        }
+    }
+
+    /// Features referenced by this term.
+    pub fn features(&self) -> Vec<usize> {
+        match self {
+            TermSpec::Spline { feature, .. }
+            | TermSpec::SplineAnchored { feature, .. }
+            | TermSpec::Factor { feature, .. } => vec![*feature],
+            TermSpec::Tensor { features, .. } | TermSpec::TensorAnchored { features, .. } => {
+                vec![features.0, features.1]
+            }
+        }
+    }
+
+    /// A short human-readable label, e.g. `s(3)` or `te(1,4)`.
+    pub fn label(&self) -> String {
+        match self {
+            TermSpec::Spline { feature, .. } | TermSpec::SplineAnchored { feature, .. } => {
+                format!("s({feature})")
+            }
+            TermSpec::Factor { feature, .. } => format!("f({feature})"),
+            TermSpec::Tensor { features, .. } | TermSpec::TensorAnchored { features, .. } => {
+                format!("te({},{})", features.0, features.1)
+            }
+        }
+    }
+}
+
+/// A term compiled into its basis/penalty machinery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum BuiltTerm {
+    Spline {
+        feature: usize,
+        basis: BSplineBasis,
+    },
+    Factor {
+        feature: usize,
+        levels: Vec<f64>,
+    },
+    Tensor {
+        features: (usize, usize),
+        basis_a: BSplineBasis,
+        basis_b: BSplineBasis,
+    },
+}
+
+impl BuiltTerm {
+    pub(crate) fn build(spec: &TermSpec) -> Result<Self, GamError> {
+        match spec {
+            TermSpec::Spline {
+                feature,
+                num_basis,
+                degree,
+                range,
+            } => Ok(BuiltTerm::Spline {
+                feature: *feature,
+                basis: BSplineBasis::new(*num_basis, *degree, range.0, range.1)?,
+            }),
+            TermSpec::Factor { feature, levels } => {
+                if levels.is_empty() {
+                    return Err(GamError::InvalidSpec(format!(
+                        "factor term on feature {feature} has no levels"
+                    )));
+                }
+                let mut sorted = levels.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+                sorted.dedup();
+                Ok(BuiltTerm::Factor {
+                    feature: *feature,
+                    levels: sorted,
+                })
+            }
+            TermSpec::Tensor {
+                features,
+                num_basis,
+                ranges,
+                degree,
+            } => Ok(BuiltTerm::Tensor {
+                features: *features,
+                basis_a: BSplineBasis::new(num_basis.0, *degree, ranges.0 .0, ranges.0 .1)?,
+                basis_b: BSplineBasis::new(num_basis.1, *degree, ranges.1 .0, ranges.1 .1)?,
+            }),
+            TermSpec::SplineAnchored {
+                feature,
+                num_basis,
+                degree,
+                anchors,
+            } => Ok(BuiltTerm::Spline {
+                feature: *feature,
+                basis: BSplineBasis::from_anchors(*num_basis, *degree, anchors)?,
+            }),
+            TermSpec::TensorAnchored {
+                features,
+                num_basis,
+                anchors,
+                degree,
+            } => Ok(BuiltTerm::Tensor {
+                features: *features,
+                basis_a: BSplineBasis::from_anchors(num_basis.0, *degree, &anchors.0)?,
+                basis_b: BSplineBasis::from_anchors(num_basis.1, *degree, &anchors.1)?,
+            }),
+        }
+    }
+
+    /// Number of coefficient columns contributed by the term.
+    pub(crate) fn num_cols(&self) -> usize {
+        match self {
+            BuiltTerm::Spline { basis, .. } => basis.num_basis(),
+            BuiltTerm::Factor { levels, .. } => levels.len(),
+            BuiltTerm::Tensor {
+                basis_a, basis_b, ..
+            } => basis_a.num_basis() * basis_b.num_basis(),
+        }
+    }
+
+    /// Append this term's non-zero design entries for instance `x`,
+    /// with columns shifted by `offset`.
+    pub(crate) fn fill_row(&self, x: &[f64], offset: usize, out: &mut Vec<(usize, f64)>) {
+        match self {
+            BuiltTerm::Spline { feature, basis } => {
+                let (first, vals) = basis.eval_sparse(x[*feature]);
+                out.extend(
+                    vals.iter()
+                        .enumerate()
+                        .map(|(j, &v)| (offset + first + j, v)),
+                );
+            }
+            BuiltTerm::Factor { feature, levels } => {
+                let idx = nearest_level(levels, x[*feature]);
+                out.push((offset + idx, 1.0));
+            }
+            BuiltTerm::Tensor {
+                features,
+                basis_a,
+                basis_b,
+            } => {
+                let (fa, va) = basis_a.eval_sparse(x[features.0]);
+                let (fb, vb) = basis_b.eval_sparse(x[features.1]);
+                let kb = basis_b.num_basis();
+                for (i, &a) in va.iter().enumerate() {
+                    for (j, &b) in vb.iter().enumerate() {
+                        out.push((offset + (fa + i) * kb + fb + j, a * b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The term's penalty block (square, `num_cols` wide).
+    pub(crate) fn penalty(&self, order: usize) -> Matrix {
+        match self {
+            BuiltTerm::Spline { basis, .. } => difference_penalty(basis.num_basis(), order),
+            BuiltTerm::Factor { levels, .. } => ridge_penalty(levels.len()),
+            BuiltTerm::Tensor {
+                basis_a, basis_b, ..
+            } => {
+                let pa = difference_penalty(basis_a.num_basis(), order);
+                let pb = difference_penalty(basis_b.num_basis(), order);
+                tensor_penalty(&pa, &pb)
+            }
+        }
+    }
+}
+
+/// Index of the level nearest to `v` (ties break to the lower level).
+pub(crate) fn nearest_level(levels: &[f64], v: f64) -> usize {
+    debug_assert!(!levels.is_empty());
+    match levels.binary_search_by(|l| l.partial_cmp(&v).expect("finite levels")) {
+        Ok(i) => i,
+        Err(0) => 0,
+        Err(i) if i == levels.len() => levels.len() - 1,
+        Err(i) => {
+            if (v - levels[i - 1]) <= (levels[i] - v) {
+                i - 1
+            } else {
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spline_row_has_degree_plus_one_entries() {
+        let t = BuiltTerm::build(&TermSpec::spline(0, (0.0, 1.0))).unwrap();
+        let mut row = Vec::new();
+        t.fill_row(&[0.35], 5, &mut row);
+        assert_eq!(row.len(), 4);
+        assert!(row.iter().all(|&(c, _)| (5..25).contains(&c)));
+        let s: f64 = row.iter().map(|&(_, v)| v).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_row_is_one_hot_nearest() {
+        let t = BuiltTerm::build(&TermSpec::factor(1, vec![0.0, 1.0, 2.0])).unwrap();
+        let mut row = Vec::new();
+        t.fill_row(&[9.9, 1.2], 0, &mut row);
+        assert_eq!(row, vec![(1, 1.0)]);
+        row.clear();
+        t.fill_row(&[0.0, 5.0], 0, &mut row);
+        assert_eq!(row, vec![(2, 1.0)]);
+        row.clear();
+        t.fill_row(&[0.0, -3.0], 0, &mut row);
+        assert_eq!(row, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn tensor_row_is_outer_product() {
+        let spec = TermSpec::Tensor {
+            features: (0, 1),
+            num_basis: (6, 5),
+            ranges: ((0.0, 1.0), (0.0, 1.0)),
+            degree: 2,
+        };
+        let t = BuiltTerm::build(&spec).unwrap();
+        assert_eq!(t.num_cols(), 30);
+        let mut row = Vec::new();
+        t.fill_row(&[0.4, 0.7], 0, &mut row);
+        assert_eq!(row.len(), 9); // (degree+1)^2
+        let s: f64 = row.iter().map(|&(_, v)| v).sum();
+        assert!((s - 1.0).abs() < 1e-12); // product of two partitions of unity
+    }
+
+    #[test]
+    fn nearest_level_tie_breaks_low() {
+        let levels = [0.0, 1.0];
+        assert_eq!(nearest_level(&levels, 0.5), 0);
+        assert_eq!(nearest_level(&levels, 0.51), 1);
+        assert_eq!(nearest_level(&levels, 1.0), 1);
+    }
+
+    #[test]
+    fn factor_levels_sorted_and_deduped() {
+        let t = BuiltTerm::build(&TermSpec::factor(0, vec![2.0, 0.0, 2.0, 1.0])).unwrap();
+        assert_eq!(t.num_cols(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_factor() {
+        assert!(BuiltTerm::build(&TermSpec::factor(0, vec![])).is_err());
+    }
+
+    #[test]
+    fn labels_and_features() {
+        assert_eq!(TermSpec::spline(3, (0.0, 1.0)).label(), "s(3)");
+        assert_eq!(TermSpec::factor(2, vec![0.0]).label(), "f(2)");
+        let te = TermSpec::tensor((1, 4), ((0.0, 1.0), (0.0, 1.0)));
+        assert_eq!(te.label(), "te(1,4)");
+        assert_eq!(te.features(), vec![1, 4]);
+    }
+
+    #[test]
+    fn penalty_dimensions_match_cols() {
+        for spec in [
+            TermSpec::spline(0, (0.0, 1.0)),
+            TermSpec::factor(0, vec![0.0, 1.0, 2.0]),
+            TermSpec::tensor((0, 1), ((0.0, 1.0), (0.0, 1.0))),
+        ] {
+            let t = BuiltTerm::build(&spec).unwrap();
+            let p = t.penalty(2);
+            assert_eq!(p.rows(), t.num_cols());
+            assert_eq!(p.cols(), t.num_cols());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the GAM machinery.
+
+use gef_gam::penalty::{difference_penalty, tensor_penalty};
+use gef_gam::{fit, BSplineBasis, GamSpec, LambdaSelection, TermSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bspline_partition_of_unity_everywhere(
+        num_basis in 4usize..30,
+        degree in 1usize..4,
+        lo in -50.0f64..50.0,
+        span in 0.1f64..100.0,
+        t in 0.0f64..1.0,
+    ) {
+        prop_assume!(num_basis > degree);
+        let hi = lo + span;
+        let b = BSplineBasis::new(num_basis, degree, lo, hi).unwrap();
+        let x = lo + t * span;
+        let (first, vals) = b.eval_sparse(x);
+        prop_assert_eq!(vals.len(), degree + 1);
+        prop_assert!(first + vals.len() <= num_basis);
+        let s: f64 = vals.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9, "sum = {}", s);
+        prop_assert!(vals.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn bspline_clamps_outside_domain(
+        num_basis in 5usize..15,
+        x in -1000.0f64..1000.0,
+    ) {
+        let b = BSplineBasis::new(num_basis, 3, 0.0, 1.0).unwrap();
+        let clamped = b.eval_sparse(x.clamp(0.0, 1.0));
+        prop_assert_eq!(b.eval_sparse(x), clamped);
+    }
+
+    #[test]
+    fn difference_penalty_annihilates_its_null_space(
+        k in 4usize..25,
+        order in 1usize..3,
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+    ) {
+        let p = difference_penalty(k, order);
+        // order-1: constants; order-2: constants + linear.
+        let beta: Vec<f64> = (0..k)
+            .map(|i| {
+                if order == 1 {
+                    a
+                } else {
+                    a + b * i as f64
+                }
+            })
+            .collect();
+        let pb = p.matvec(&beta).unwrap();
+        let quad: f64 = beta.iter().zip(&pb).map(|(x, y)| x * y).sum();
+        prop_assert!(quad.abs() < 1e-7 * (1.0 + a.abs() + b.abs()).powi(2) * k as f64);
+    }
+
+    #[test]
+    fn penalties_are_psd(
+        k1 in 3usize..8,
+        k2 in 3usize..8,
+        beta in proptest::collection::vec(-3.0f64..3.0, 64),
+    ) {
+        let p1 = difference_penalty(k1, 2);
+        let p2 = difference_penalty(k2, 2);
+        let t = tensor_penalty(&p1, &p2);
+        let v = &beta[..k1 * k2];
+        let tv = t.matvec(v).unwrap();
+        let quad: f64 = v.iter().zip(&tv).map(|(x, y)| x * y).sum();
+        prop_assert!(quad >= -1e-8);
+    }
+
+    #[test]
+    fn fitted_gam_prediction_is_finite_and_decomposes(
+        seed in 0u64..500,
+        q in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![((i as u64).wrapping_mul(seed * 2 + 1) % 97) as f64 / 97.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 4.0).sin()).collect();
+        let gam = fit(
+            &GamSpec {
+                lambda: LambdaSelection::Fixed(0.1),
+                ..GamSpec::regression(vec![TermSpec::spline(0, (0.0, 1.0))])
+            },
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let x = [q];
+        let pred = gam.predict(&x);
+        prop_assert!(pred.is_finite());
+        let sum = gam.effective_intercept() + gam.component(0, &x);
+        prop_assert!((sum - gam.predict_raw(&x)).abs() < 1e-9);
+        // Standard errors are non-negative and finite.
+        let (_, se) = gam.component_with_se(0, &x);
+        prop_assert!(se.is_finite() && se >= 0.0);
+    }
+
+    #[test]
+    fn logit_gam_outputs_probabilities(
+        seed in 0u64..500,
+        q in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i as u64).wrapping_mul(seed * 2 + 3) % 89) as f64 / 89.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f64::from(x[0] > 0.5)).collect();
+        let gam = fit(
+            &GamSpec {
+                lambda: LambdaSelection::Fixed(1.0),
+                ..GamSpec::classification(vec![TermSpec::spline(0, (0.0, 1.0))])
+            },
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let p = gam.predict(&[q]);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use gef_linalg::{stats, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Random SPD matrix A = MᵀM + n·I from a flat coefficient vector.
+fn spd_from(coeffs: &[f64], n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = coeffs[i * n + j];
+        }
+    }
+    let mut a = m.gram();
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_solves_random_spd_systems(
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 25),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let a = spd_from(&coeffs, 5);
+        let ch = Cholesky::factor(&a).expect("SPD by construction");
+        let x = ch.solve(&rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (p, q) in ax.iter().zip(&rhs) {
+            prop_assert!((p - q).abs() < 1e-8, "residual too large");
+        }
+        // log|A| is finite and the inverse is symmetric.
+        prop_assert!(ch.log_det().is_finite());
+        let inv = ch.inverse().unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((inv[(i, j)] - inv[(j, i)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn quad_inv_is_nonnegative(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 16),
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let a = spd_from(&coeffs, 4);
+        let ch = Cholesky::factor(&a).unwrap();
+        // xᵀA⁻¹x >= 0 for SPD A.
+        prop_assert!(ch.quad_inv(&x).unwrap() >= -1e-10);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (xs[0], xs[xs.len() - 1]);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let va = stats::quantile_sorted(&xs, qa);
+        let vb = stats::quantile_sorted(&xs, qb);
+        prop_assert!(va <= vb + 1e-12);
+        prop_assert!(va >= lo && vb <= hi);
+    }
+
+    #[test]
+    fn welch_p_value_is_symmetric_and_valid(
+        a in proptest::collection::vec(-10.0f64..10.0, 3..20),
+        b in proptest::collection::vec(-10.0f64..10.0, 3..20),
+    ) {
+        let r1 = stats::welch_t_test(&a, &b);
+        let r2 = stats::welch_t_test(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((r1.t + r2.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn student_t_cdf_is_monotone(
+        t1 in -20.0f64..20.0,
+        t2 in -20.0f64..20.0,
+        df in 1.0f64..100.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let ca = gef_linalg::special::student_t_cdf(lo, df);
+        let cb = gef_linalg::special::student_t_cdf(hi, df);
+        prop_assert!(ca <= cb + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ca));
+    }
+
+    #[test]
+    fn norm_ppf_inverts_cdf(p in 0.001f64..0.999) {
+        let x = gef_linalg::special::norm_ppf(p);
+        prop_assert!((gef_linalg::special::norm_cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gram_matrix_is_psd(
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 12),
+        v in proptest::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        // 4x3 matrix -> 3x3 gram; vᵀGv = ||Mv||² >= 0.
+        let m = Matrix::from_vec(4, 3, coeffs).unwrap();
+        let g = m.gram();
+        let gv = g.matvec(&v).unwrap();
+        let quad: f64 = v.iter().zip(&gv).map(|(a, b)| a * b).sum();
+        prop_assert!(quad >= -1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: distill a gradient-boosted forest into an interpretable
+//! GAM without touching the training data.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use gef::prelude::*;
+
+fn main() {
+    // 1. Someone trains a forest. (Pretend this happens elsewhere and
+    //    only the model file reaches us.)
+    let xs: Vec<Vec<f64>> = (0..4000)
+        .map(|i| {
+            let a = (i % 97) as f64 / 97.0;
+            let b = (i % 61) as f64 / 61.0;
+            let c = (i % 31) as f64 / 31.0;
+            vec![a, b, c]
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 2.0 * x[0] + (x[1] * 8.0).sin() - (x[2] - 0.5).powi(2) * 4.0)
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 200,
+        num_leaves: 16,
+        learning_rate: 0.1,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .expect("training succeeds");
+    println!(
+        "black-box forest: {} trees, {} nodes",
+        forest.trees.len(),
+        forest.num_nodes()
+    );
+
+    // 2. The original data is gone. Explain the forest from its
+    //    structure alone.
+    let config = GefConfig {
+        num_univariate: 3,
+        num_interactions: 0,
+        sampling: SamplingStrategy::EquiSize(200),
+        n_samples: 20_000,
+        ..Default::default()
+    };
+    let explanation = GefExplainer::new(config)
+        .explain(&forest)
+        .expect("explanation succeeds");
+    println!(
+        "surrogate GAM fidelity vs forest (held-out D*): RMSE = {:.4}, R2 = {:.4}",
+        explanation.fidelity_rmse, explanation.fidelity_r2
+    );
+
+    // 3. Global view: each feature's additive effect with a 95% band.
+    for &feature in &explanation.selected_features {
+        println!("\ncomponent of x{feature} (value, effect, 95% band):");
+        for (v, est, lo, hi) in explanation.component_curve(feature, 7).expect("curve") {
+            let bar_pos = ((est + 2.0) * 10.0).clamp(0.0, 40.0) as usize;
+            println!(
+                "  x = {v:5.2}  {est:7.3}  [{lo:7.3}, {hi:7.3}]  {}*",
+                " ".repeat(bar_pos)
+            );
+        }
+    }
+
+    // 4. Local view: why does the model predict what it predicts here?
+    let instance = [0.8, 0.2, 0.5];
+    let local = explanation.local(&instance);
+    println!("\nlocal explanation of {instance:?}:");
+    print!("{}", explanation.format_local(&local, None));
+    println!(
+        "forest itself predicts {:.3}; surrogate {:.3}",
+        forest.predict(&instance),
+        local.prediction
+    );
+}

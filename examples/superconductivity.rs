@@ -1,0 +1,96 @@
+//! The paper's regression case study: explain a forest that predicts
+//! superconducting critical temperatures, then use the explanation to
+//! find the discontinuity the paper highlights (the WEAM jump) and
+//! compare against SHAP.
+//!
+//! ```bash
+//! cargo run --release --example superconductivity
+//! ```
+
+use gef::baselines::treeshap::shap_values;
+use gef::data::superconductivity::{superconductivity_sim_sized, weam_index};
+use gef::prelude::*;
+
+fn main() {
+    // Simulated stand-in for UCI Superconductivity (see DESIGN.md).
+    let data = superconductivity_sim_sized(8_000, 1);
+    let (train, test) = data.train_test_split(0.8, 2);
+    let cut = train.len() * 3 / 4;
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 300,
+        num_leaves: 32,
+        learning_rate: 0.05,
+        early_stopping_rounds: Some(40),
+        ..Default::default()
+    })
+    .fit_with_valid(
+        &train.xs[..cut],
+        &train.ys[..cut],
+        &train.xs[cut..],
+        &train.ys[cut..],
+    )
+    .expect("training succeeds");
+    let preds = forest.predict_batch(&test.xs);
+    println!(
+        "forest test RMSE = {:.2} K over {} materials x {} features",
+        gef::data::metrics::rmse(&preds, &test.ys),
+        data.len(),
+        data.num_features()
+    );
+
+    // GEF with the paper's Superconductivity configuration: 7 splines,
+    // no interactions, Equi-Size sampling.
+    let explanation = GefExplainer::new(GefConfig {
+        num_univariate: 7,
+        num_interactions: 0,
+        sampling: SamplingStrategy::EquiSize(1_500),
+        n_samples: 30_000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("explanation succeeds");
+    println!(
+        "\nGEF surrogate: fidelity RMSE = {:.2}, R2 = {:.3}",
+        explanation.fidelity_rmse, explanation.fidelity_r2
+    );
+    println!("selected features (by forest gain):");
+    for &f in &explanation.selected_features {
+        println!("  {:28} gain = {:.0}", data.feature_names[f], explanation.profile.gain(f));
+    }
+
+    // The WEAM discontinuity: scan the learned spline for the largest
+    // jump between adjacent grid points.
+    let weam = weam_index();
+    if explanation.term_of_feature(weam).is_some() {
+        let curve = explanation.component_curve(weam, 60).expect("curve");
+        let (jump_at, jump) = curve
+            .windows(2)
+            .map(|w| (w[1].0, w[1].1 - w[0].1))
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+            .expect("non-trivial curve");
+        println!(
+            "\nlargest jump of the {} spline: {:+.2} K near value {:.3} \
+             (the paper reads the same discontinuity off its Fig. 9)",
+            data.feature_names[weam], jump, jump_at
+        );
+    }
+
+    // Compare with SHAP on one test material.
+    let sample = &test.xs[0];
+    let local = explanation.local(sample);
+    println!("\nGEF local explanation (top 5 terms):");
+    for c in local.contributions.iter().take(5) {
+        println!(
+            "  {:+9.3}  {}",
+            c.contribution,
+            data.feature_names[c.features[0]]
+        );
+    }
+    let (phi, base) = shap_values(&forest, sample);
+    let mut ranked: Vec<(usize, f64)> = phi.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+    println!("SHAP (base {base:.2}), top 5 features:");
+    for &(f, v) in ranked.iter().take(5) {
+        println!("  {:+9.3}  {}", v, data.feature_names[f]);
+    }
+}

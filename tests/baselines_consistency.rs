@@ -1,0 +1,167 @@
+//! Cross-method consistency: GEF's explanations must agree in trend
+//! with SHAP and LIME (the paper's Sec. 5.3 comparison), and the
+//! baselines must satisfy their own axioms against the forest.
+
+use gef::baselines::lime::{explain as lime_explain, scales_from_forest, LimeConfig};
+use gef::baselines::pdp::{partial_dependence_1d, shap_dependence};
+use gef::baselines::treeshap::shap_values;
+use gef::linalg::stats::pearson;
+use gef::prelude::*;
+
+fn forest_and_data() -> (Forest, Vec<Vec<f64>>) {
+    let mut state = 31u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..3_000).map(|_| vec![next(), next(), next()]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 3.0 * x[0] + (x[1] * 6.0).sin() - 1.5 * x[2])
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 120,
+        num_leaves: 16,
+        learning_rate: 0.1,
+        min_data_in_leaf: 10,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .expect("training succeeds");
+    (forest, xs)
+}
+
+#[test]
+fn gef_spline_trend_matches_shap_dependence() {
+    let (forest, xs) = forest_and_data();
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 3,
+        n_samples: 15_000,
+        sampling: SamplingStrategy::EquiSize(400),
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+
+    for feature in 0..3 {
+        let curve = exp.component_curve(feature, 25).expect("curve");
+        let dep = shap_dependence(&forest, &xs[..150], feature);
+        // Evaluate the spline at each SHAP instance's feature value.
+        let spline_at: Vec<f64> = dep
+            .iter()
+            .map(|&(v, _)| {
+                curve
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - v).abs().partial_cmp(&(b.0 - v).abs()).expect("finite")
+                    })
+                    .map(|&(_, e, ..)| e)
+                    .expect("non-empty curve")
+            })
+            .collect();
+        let phis: Vec<f64> = dep.iter().map(|&(_, p)| p).collect();
+        let corr = pearson(&spline_at, &phis);
+        assert!(
+            corr > 0.8,
+            "feature {feature}: GEF/SHAP trend correlation {corr}"
+        );
+    }
+}
+
+#[test]
+fn gef_spline_trend_matches_partial_dependence() {
+    let (forest, xs) = forest_and_data();
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 3,
+        n_samples: 15_000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+    let grid: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
+    for feature in 0..3 {
+        let pd = partial_dependence_1d(&forest, &xs[..200], feature, &grid);
+        let term = exp.term_of_feature(feature).expect("selected");
+        let spline: Vec<f64> = grid
+            .iter()
+            .map(|&v| {
+                let mut probe = vec![0.5; 3];
+                probe[feature] = v;
+                exp.gam.component(term, &probe)
+            })
+            .collect();
+        let corr = pearson(&pd, &spline);
+        assert!(corr > 0.9, "feature {feature}: GEF/PD correlation {corr}");
+    }
+}
+
+#[test]
+fn shap_local_accuracy_and_sign_agreement_with_gef() {
+    let (forest, xs) = forest_and_data();
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 3,
+        n_samples: 15_000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for x in xs.iter().take(40) {
+        let (phi, base) = shap_values(&forest, x);
+        // Local accuracy (axiom).
+        let sum: f64 = phi.iter().sum();
+        assert!((base + sum - forest.predict_raw(x)).abs() < 1e-8);
+        // Sign agreement with GEF contributions for strong features.
+        let local = exp.local(x);
+        for c in &local.contributions {
+            let f = c.features[0];
+            if c.contribution.abs() > 0.3 && phi[f].abs() > 0.3 {
+                total += 1;
+                if (c.contribution > 0.0) == (phi[f] > 0.0) {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 10, "not enough strong contributions to compare");
+    assert!(
+        agree as f64 / total as f64 > 0.9,
+        "GEF/SHAP sign agreement {agree}/{total}"
+    );
+}
+
+#[test]
+fn lime_signs_match_gef_for_monotone_features() {
+    let (forest, _) = forest_and_data();
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 3,
+        n_samples: 15_000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+    let x = [0.5, 0.25, 0.5];
+    let lime = lime_explain(
+        &forest,
+        &x,
+        &scales_from_forest(&forest),
+        &LimeConfig {
+            num_samples: 4_000,
+            ..Default::default()
+        },
+    );
+    // Feature 0 has slope +3, feature 2 slope -1.5 everywhere: LIME
+    // coefficients and GEF's local slopes must agree in sign.
+    assert!(lime.coefficients[0] > 0.0);
+    assert!(lime.coefficients[2] < 0.0);
+    let term0 = exp.term_of_feature(0).expect("selected");
+    let term2 = exp.term_of_feature(2).expect("selected");
+    let slope0 = exp.gam.component(term0, &[0.6, 0.0, 0.0]) - exp.gam.component(term0, &[0.4, 0.0, 0.0]);
+    let slope2 = exp.gam.component(term2, &[0.0, 0.0, 0.6]) - exp.gam.component(term2, &[0.0, 0.0, 0.4]);
+    assert!(slope0 > 0.0);
+    assert!(slope2 < 0.0);
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration tests: the full paper pipeline on the
+//! paper's synthetic generators, across crate boundaries.
+
+use gef::data::metrics::{r2, rmse};
+use gef::data::synthetic::{generator, make_d_prime, NUM_FEATURES};
+use gef::prelude::*;
+
+fn paper_forest(xs: &[Vec<f64>], ys: &[f64]) -> Forest {
+    let cut = xs.len() * 3 / 4;
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 150,
+        num_leaves: 32,
+        learning_rate: 0.08,
+        early_stopping_rounds: Some(30),
+        ..Default::default()
+    })
+    .fit_with_valid(&xs[..cut], &ys[..cut], &xs[cut..], &ys[cut..])
+    .expect("training succeeds")
+}
+
+#[test]
+fn gef_reconstructs_g_prime_components() {
+    let data = make_d_prime(6_000, 1);
+    let (train, test) = data.train_test_split(0.8, 2);
+    let forest = paper_forest(&train.xs, &train.ys);
+
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: NUM_FEATURES,
+        num_interactions: 0,
+        sampling: SamplingStrategy::EquiSize(1_000),
+        n_samples: 30_000,
+        seed: 3,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+
+    // High fidelity to the forest on held-out D*.
+    assert!(exp.fidelity_r2 > 0.93, "fidelity r2 = {}", exp.fidelity_r2);
+
+    // The surrogate is accurate on the *original* test data too
+    // (Table 2's point).
+    let gam_preds: Vec<f64> = test.xs.iter().map(|x| exp.predict(x)).collect();
+    let forest_preds = forest.predict_batch(&test.xs);
+    assert!(
+        r2(&gam_preds, &forest_preds) > 0.9,
+        "r2 vs forest = {}",
+        r2(&gam_preds, &forest_preds)
+    );
+    assert!(
+        r2(&gam_preds, &test.ys) > 0.85,
+        "r2 vs labels = {}",
+        r2(&gam_preds, &test.ys)
+    );
+
+    // Component reconstruction: each learned spline matches the
+    // centered true generator away from the margins (Fig. 4's point).
+    for &f in &exp.selected_features {
+        let curve = exp.component_curve(f, 41).expect("curve exists");
+        let interior: Vec<_> = curve
+            .iter()
+            .filter(|&&(v, ..)| (0.1..=0.9).contains(&v))
+            .collect();
+        assert!(interior.len() > 10, "curve too short for x{f}");
+        let truth: Vec<f64> = interior.iter().map(|&&(v, ..)| generator(f, v)).collect();
+        let t_mean = truth.iter().sum::<f64>() / truth.len() as f64;
+        let est: Vec<f64> = interior.iter().map(|&&(_, e, ..)| e).collect();
+        let centered: Vec<f64> = truth.iter().map(|t| t - t_mean).collect();
+        let err = rmse(&est, &centered);
+        assert!(err < 0.25, "component x{f} reconstruction rmse = {err}");
+    }
+}
+
+#[test]
+fn gef_handles_forest_roundtripped_through_model_file() {
+    // Third-party scenario: the explainer only sees the serialized
+    // model (the paper's certification-authority setting).
+    let data = make_d_prime(3_000, 7);
+    let forest = paper_forest(&data.xs, &data.ys);
+    let text = gef::forest::io::to_text(&forest);
+    let parsed = gef::forest::io::from_text(&text).expect("round trip parses");
+
+    let cfg = GefConfig {
+        num_univariate: NUM_FEATURES,
+        n_samples: 10_000,
+        ..Default::default()
+    };
+    let from_original = GefExplainer::new(cfg.clone()).explain(&forest).unwrap();
+    let from_parsed = GefExplainer::new(cfg).explain(&parsed).unwrap();
+    // Identical model structure -> identical explanation.
+    assert_eq!(
+        from_original.selected_features,
+        from_parsed.selected_features
+    );
+    let x = [0.3, 0.5, 0.7, 0.2, 0.9];
+    assert!((from_original.predict(&x) - from_parsed.predict(&x)).abs() < 1e-12);
+}
+
+#[test]
+fn gef_explains_random_forests_too() {
+    // The paper's future work: nothing in GEF assumes boosting.
+    let data = make_d_prime(3_000, 11);
+    let rf = RandomForestTrainer::new(RandomForestParams {
+        num_trees: 60,
+        max_depth: Some(10),
+        min_samples_leaf: 4,
+        seed: 3,
+        ..Default::default()
+    })
+    .fit(&data.xs, &data.ys)
+    .expect("rf trains");
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: NUM_FEATURES,
+        n_samples: 15_000,
+        sampling: SamplingStrategy::EquiSize(500),
+        ..Default::default()
+    })
+    .explain(&rf)
+    .expect("pipeline works on RF");
+    assert!(exp.fidelity_r2 > 0.85, "rf fidelity r2 = {}", exp.fidelity_r2);
+}
+
+#[test]
+fn classification_pipeline_probability_fidelity() {
+    let mut state = 1u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..4_000).map(|_| vec![next(), next()]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(next() < 1.0 / (1.0 + (-(6.0 * (x[0] + x[1] - 1.0))).exp())))
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 80,
+        num_leaves: 16,
+        learning_rate: 0.1,
+        objective: Objective::BinaryLogistic,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .expect("training succeeds");
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 2,
+        n_samples: 10_000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .expect("pipeline succeeds");
+    // Probabilities within [0,1]; fidelity to the forest in aggregate
+    // (pointwise gaps can be large where the smooth GAM crosses the
+    // forest's jagged decision boundary).
+    let mut abs_err: Vec<f64> = xs
+        .iter()
+        .take(400)
+        .map(|x| {
+            let p = exp.predict(x);
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+            (p - forest.predict_proba(x)).abs()
+        })
+        .collect();
+    abs_err.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean_err = abs_err.iter().sum::<f64>() / abs_err.len() as f64;
+    let p95 = abs_err[(abs_err.len() * 95) / 100];
+    assert!(mean_err < 0.10, "mean |Δp| = {mean_err}");
+    assert!(p95 < 0.35, "95th percentile |Δp| = {p95}");
+}

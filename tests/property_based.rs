@@ -1,0 +1,197 @@
+//! Property-based tests on cross-crate invariants, using proptest to
+//! generate random forests, datasets, and instances.
+
+use gef::baselines::treeshap::{brute_force_shap, shap_values};
+use gef::forest::io::{from_json, from_text, to_json, to_text};
+use gef::forest::tree::{Node, Tree};
+use gef::prelude::*;
+use proptest::prelude::*;
+
+/// Generate a random valid binary tree with `depth` levels on `d`
+/// features, with consistent covers.
+fn arb_tree(d: usize, max_depth: u32) -> impl Strategy<Value = Tree> {
+    // Recursive strategy: a leaf or a split with two subtrees.
+    let leaf = (any::<i16>(), 1u32..50).prop_map(|(v, c)| Tree {
+        nodes: vec![Node::leaf(v as f64 / 100.0, c)],
+    });
+    leaf.prop_recursive(max_depth, 64, 2, move |inner| {
+        (
+            inner.clone(),
+            inner,
+            0..d,
+            any::<i16>(),
+            0.0f64..10.0,
+        )
+            .prop_map(|(left, right, feature, thr, gain)| {
+                // Merge: re-index children into a single node array.
+                let mut nodes = Vec::with_capacity(1 + left.nodes.len() + right.nodes.len());
+                let count: u32 = left.nodes[0].count + right.nodes[0].count;
+                nodes.push(Node::split(
+                    feature,
+                    thr as f64 / 100.0,
+                    1,
+                    1 + left.nodes.len() as u32,
+                    gain,
+                    count,
+                ));
+                let off = 1u32;
+                for n in &left.nodes {
+                    let mut n = *n;
+                    if !n.is_leaf() {
+                        n.left += off;
+                        n.right += off;
+                    }
+                    nodes.push(n);
+                }
+                let off = 1 + left.nodes.len() as u32;
+                for n in &right.nodes {
+                    let mut n = *n;
+                    if !n.is_leaf() {
+                        n.left += off;
+                        n.right += off;
+                    }
+                    nodes.push(n);
+                }
+                Tree { nodes }
+            })
+    })
+}
+
+fn arb_forest(d: usize) -> impl Strategy<Value = Forest> {
+    (
+        proptest::collection::vec(arb_tree(d, 4), 1..5),
+        -10i16..10,
+    )
+        .prop_map(move |(trees, base)| Forest {
+            trees,
+            base_score: base as f64 / 10.0,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: d,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_trees_are_structurally_valid(tree in arb_tree(3, 5)) {
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+    }
+
+    #[test]
+    fn forest_io_round_trips(forest in arb_forest(3)) {
+        let text = to_text(&forest);
+        let parsed = from_text(&text).expect("text parses");
+        let json = to_json(&forest);
+        let jparsed = from_json(&json).expect("json parses");
+        for x in [[0.0, 0.5, 1.0], [0.25, 0.25, 0.25], [-1.0, 2.0, 0.1]] {
+            let p = forest.predict(&x);
+            prop_assert_eq!(p, parsed.predict(&x));
+            prop_assert_eq!(p, jparsed.predict(&x));
+        }
+    }
+
+    #[test]
+    fn treeshap_local_accuracy_on_random_forests(
+        forest in arb_forest(3),
+        x0 in 0.0f64..1.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let x = [x0, x1, x2];
+        let (phi, base) = shap_values(&forest, &x);
+        let total = base + phi.iter().sum::<f64>();
+        prop_assert!(
+            (total - forest.predict_raw(&x)).abs() < 1e-8,
+            "local accuracy: {} vs {}", total, forest.predict_raw(&x)
+        );
+    }
+
+    #[test]
+    fn treeshap_matches_brute_force_on_random_trees(
+        tree in arb_tree(3, 4),
+        x0 in 0.0f64..1.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let forest = Forest {
+            trees: vec![tree.clone()],
+            base_score: 0.0,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 3,
+        };
+        let x = [x0, x1, x2];
+        let (fast, _) = shap_values(&forest, &x);
+        let slow = brute_force_shap(&tree, &x, 3);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-9, "fast={:?} slow={:?}", fast, slow);
+        }
+    }
+
+    #[test]
+    fn sampling_domains_sorted_within_extended_range(
+        mut thresholds in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        k in 1usize..40,
+    ) {
+        thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        thresholds.dedup();
+        let lo = thresholds[0];
+        let hi = thresholds[thresholds.len() - 1];
+        let eps = 0.05 * (hi - lo).max(lo.abs().max(1.0));
+        for strategy in [
+            SamplingStrategy::AllThresholds,
+            SamplingStrategy::KQuantile(k),
+            SamplingStrategy::EquiWidth(k),
+            SamplingStrategy::KMeans(k),
+            SamplingStrategy::EquiSize(k),
+        ] {
+            let d = strategy.domain(&thresholds);
+            prop_assert!(!d.is_empty());
+            for w in d.windows(2) {
+                prop_assert!(w[0] < w[1], "{} domain unsorted", strategy.name());
+            }
+            for &v in &d {
+                prop_assert!(
+                    v >= lo - eps - 1e-9 && v <= hi + eps + 1e-9,
+                    "{} produced {} outside [{}, {}]",
+                    strategy.name(), v, lo - eps, hi + eps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gam_decomposition_is_exact(
+        seed in 0u64..1000,
+        x0 in 0.0f64..1.0,
+        x1 in 0.0f64..1.0,
+    ) {
+        // Small fixed GAM; the additive decomposition must hold for any
+        // query point.
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let a = ((i as u64).wrapping_mul(seed + 7) % 101) as f64 / 101.0;
+                let b = ((i as u64).wrapping_mul(seed + 31) % 89) as f64 / 89.0;
+                vec![a, b]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] - r[1]).collect();
+        let gam = gef::gam::fit(
+            &GamSpec {
+                lambda: LambdaSelection::Fixed(1.0),
+                ..GamSpec::regression(vec![
+                    TermSpec::spline(0, (0.0, 1.0)),
+                    TermSpec::spline(1, (0.0, 1.0)),
+                ])
+            },
+            &xs,
+            &ys,
+        )
+        .expect("fit succeeds");
+        let x = [x0, x1];
+        let sum = gam.effective_intercept() + gam.component(0, &x) + gam.component(1, &x);
+        prop_assert!((sum - gam.predict_raw(&x)).abs() < 1e-9);
+    }
+}
