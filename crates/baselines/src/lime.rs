@@ -79,9 +79,7 @@ pub fn explain(
     assert_eq!(feature_scales.len(), d, "scales width mismatch");
     assert!(config.num_samples >= d + 2, "too few samples");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let kw = config
-        .kernel_width
-        .unwrap_or(0.75 * (d as f64).sqrt());
+    let kw = config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt());
     let active: Vec<usize> = (0..d).filter(|&f| feature_scales[f] > 0.0).collect();
     let p = active.len();
 
@@ -209,7 +207,11 @@ mod tests {
             "c1={}",
             exp.coefficients[1]
         );
-        assert!(exp.coefficients[2].abs() < 0.08, "c2={}", exp.coefficients[2]);
+        assert!(
+            exp.coefficients[2].abs() < 0.08,
+            "c2={}",
+            exp.coefficients[2]
+        );
         // Ranking puts the strong feature first.
         assert_eq!(exp.ranked_features()[0].0, 0);
     }

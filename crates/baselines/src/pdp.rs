@@ -53,8 +53,7 @@ pub fn partial_dependence_2d(
                         row[features.0] = a;
                         row[features.1] = b;
                     }
-                    buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>()
-                        / buf.len() as f64
+                    buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>() / buf.len() as f64
                 })
                 .collect()
         })
@@ -85,11 +84,7 @@ pub fn ice_curves(
 
 /// SHAP dependence series for one feature: `(feature value, SHAP value)`
 /// per instance — the scatter the paper plots next to GEF's splines.
-pub fn shap_dependence(
-    forest: &Forest,
-    instances: &[Vec<f64>],
-    feature: usize,
-) -> Vec<(f64, f64)> {
+pub fn shap_dependence(forest: &Forest, instances: &[Vec<f64>], feature: usize) -> Vec<(f64, f64)> {
     instances
         .iter()
         .map(|x| {

@@ -231,13 +231,14 @@ pub fn brute_force_shap(tree: &Tree, x: &[f64], num_features: usize) -> Vec<f64>
     let mut phi = vec![0.0; num_features];
     let m = num_features;
     // Precompute factorials.
-    let fact: Vec<f64> = (0..=m).scan(1.0, |acc, k| {
-        if k > 0 {
-            *acc *= k as f64;
-        }
-        Some(*acc)
-    })
-    .collect();
+    let fact: Vec<f64> = (0..=m)
+        .scan(1.0, |acc, k| {
+            if k > 0 {
+                *acc *= k as f64;
+            }
+            Some(*acc)
+        })
+        .collect();
     for i in 0..m {
         for mask in 0..(1u32 << m) {
             if mask & (1 << i) != 0 {
@@ -272,9 +273,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
-        let xs: Vec<Vec<f64>> = (0..800)
-            .map(|_| (0..d).map(|_| next()).collect())
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..800).map(|_| (0..d).map(|_| next()).collect()).collect();
         let ys: Vec<f64> = xs
             .iter()
             .map(|x| x[0] * 3.0 + (x[1] * 5.0).sin() + x.get(2).map_or(0.0, |v| v * v))

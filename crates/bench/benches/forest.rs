@@ -52,7 +52,11 @@ fn bench_rf_train(c: &mut Criterion) {
             max_depth: Some(10),
             ..Default::default()
         };
-        b.iter(|| RandomForestTrainer::new(params.clone()).fit(&xs, &ys).unwrap());
+        b.iter(|| {
+            RandomForestTrainer::new(params.clone())
+                .fit(&xs, &ys)
+                .unwrap()
+        });
     });
     g.finish();
 }

@@ -45,16 +45,12 @@ fn bench_strategies(c: &mut Criterion) {
                 },
             ),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, trees),
-                &trees,
-                |b, _| {
-                    b.iter(|| {
-                        rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
-                            .unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, trees), &trees, |b, _| {
+                b.iter(|| {
+                    rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
+                        .unwrap()
+                })
+            });
         }
     }
     g.finish();

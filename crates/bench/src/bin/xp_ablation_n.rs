@@ -6,11 +6,12 @@
 //! sweep verifies the claim: fidelity RMSE as a function of `N`, with
 //! wall-clock time per run.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{
+    emit_telemetry, f3, fmt_secs, print_table, timed_run, train_paper_forest, RunSize,
+};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::synthetic::{make_d_prime, NUM_FEATURES};
 use gef_forest::Objective;
-use std::time::Instant;
 
 fn main() {
     let size = RunSize::from_args();
@@ -29,21 +30,22 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &n in &ns {
-        let t0 = Instant::now();
-        let exp = GefExplainer::new(GefConfig {
-            num_univariate: NUM_FEATURES,
-            sampling: SamplingStrategy::EquiSize(size.pick(300, 2_000, 12_000)),
-            n_samples: n,
-            seed: 3,
-            ..Default::default()
-        })
-        .explain(&forest)
-        .expect("pipeline succeeds");
+        let (exp, secs) = timed_run("xp.ablation_n.explain", || {
+            GefExplainer::new(GefConfig {
+                num_univariate: NUM_FEATURES,
+                sampling: SamplingStrategy::EquiSize(size.pick(300, 2_000, 12_000)),
+                n_samples: n,
+                seed: 3,
+                ..Default::default()
+            })
+            .explain(&forest)
+            .expect("pipeline succeeds")
+        });
         rows.push(vec![
             n.to_string(),
             f3(exp.fidelity_rmse),
             f3(exp.fidelity_r2),
-            format!("{:.2}s", t0.elapsed().as_secs_f64()),
+            fmt_secs(secs),
         ]);
     }
     println!();
@@ -53,4 +55,5 @@ fn main() {
          samples — the information in D* is bounded by the forest's threshold \
          structure, not by sample count."
     );
+    emit_telemetry("xp_ablation_n");
 }

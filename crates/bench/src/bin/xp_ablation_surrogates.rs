@@ -7,8 +7,8 @@
 //! on the same `D*`, and report fidelity to the forest on held-out `D*`
 //! and accuracy on the original test labels.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
 use gef_baselines::linear::LinearSurrogate;
+use gef_bench::{f3, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::metrics::{r2, rmse};
 use gef_data::synthetic::{make_d_second, NUM_FEATURES};
@@ -62,11 +62,19 @@ fn main() {
             "GAM (univariate)".to_string(),
             f3(gam_uni.fidelity_rmse),
             f3(r2(
-                &test.xs.iter().map(|x| gam_uni.predict(x)).collect::<Vec<_>>(),
+                &test
+                    .xs
+                    .iter()
+                    .map(|x| gam_uni.predict(x))
+                    .collect::<Vec<_>>(),
                 &forest_preds,
             )),
             f3(r2(
-                &test.xs.iter().map(|x| gam_uni.predict(x)).collect::<Vec<_>>(),
+                &test
+                    .xs
+                    .iter()
+                    .map(|x| gam_uni.predict(x))
+                    .collect::<Vec<_>>(),
                 &test.ys,
             )),
         ],
@@ -74,22 +82,28 @@ fn main() {
             "GAM (+3 interactions)".to_string(),
             f3(gam_inter.fidelity_rmse),
             f3(r2(
-                &test.xs.iter().map(|x| gam_inter.predict(x)).collect::<Vec<_>>(),
+                &test
+                    .xs
+                    .iter()
+                    .map(|x| gam_inter.predict(x))
+                    .collect::<Vec<_>>(),
                 &forest_preds,
             )),
             f3(r2(
-                &test.xs.iter().map(|x| gam_inter.predict(x)).collect::<Vec<_>>(),
+                &test
+                    .xs
+                    .iter()
+                    .map(|x| gam_inter.predict(x))
+                    .collect::<Vec<_>>(),
                 &test.ys,
             )),
         ],
     ];
     println!();
-    print_table(
-        &["surrogate", "D* RMSE", "R2 vs T(x)", "R2 vs y"],
-        &rows,
-    );
+    print_table(&["surrogate", "D* RMSE", "R2 vs T(x)", "R2 vs y"], &rows);
     println!(
         "\nExpected shape: linear << univariate GAM < GAM with interactions — \
          the flexibility/interpretability trade-off the paper describes."
     );
+    gef_bench::emit_telemetry("xp_ablation_surrogates");
 }

@@ -14,9 +14,9 @@
 //! * **LIME** (Fig. 13): standardized ridge coefficients in the
 //!   neighborhood of the sample.
 
-use gef_bench::{train_paper_forest, RunSize};
 use gef_baselines::lime::{explain as lime_explain, scales_from_forest, LimeConfig};
 use gef_baselines::treeshap::{expected_raw, shap_values};
+use gef_bench::{train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::superconductivity::{superconductivity_sim_sized, weam_index};
 use gef_forest::Objective;
@@ -52,14 +52,19 @@ fn main() {
         seed: 5,
         ..Default::default()
     };
-    let exp = GefExplainer::new(cfg).explain(&forest).expect("pipeline succeeds");
+    let exp = GefExplainer::new(cfg)
+        .explain(&forest)
+        .expect("pipeline succeeds");
     let local = exp.local(&sample);
     println!("\n## Fig. 11 — GEF local explanation");
     print!("{}", exp.format_local(&local, Some(&test.feature_names)));
 
     // The paper's "small increment reverses the contribution" zoom-in.
     if exp.term_of_feature(weam).is_some() {
-        println!("\n   What-if on {} (spline neighborhood):", test.feature_names[weam]);
+        println!(
+            "\n   What-if on {} (spline neighborhood):",
+            test.feature_names[weam]
+        );
         let mut probe = sample.clone();
         for delta in [-0.1, -0.05, 0.0, 0.05, 0.1, 0.2] {
             probe[weam] = sample[weam] + delta;
@@ -79,7 +84,11 @@ fn main() {
     // ---------- Fig. 12: SHAP ----------
     println!("\n## Fig. 12 — SHAP local explanation");
     let (phi, base) = shap_values(&forest, &sample);
-    println!("E[f(X)] = {:.3} (path-dependent expectation {:.3})", base, expected_raw(&forest));
+    println!(
+        "E[f(X)] = {:.3} (path-dependent expectation {:.3})",
+        base,
+        expected_raw(&forest)
+    );
     let mut ranked: Vec<(usize, f64)> = phi.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
     for &(f, v) in ranked.iter().take(8) {
@@ -128,7 +137,12 @@ fn main() {
             .contributions
             .iter()
             .take(3)
-            .map(|c| c.features.iter().map(|&f| test.feature_names[f].clone()).collect::<Vec<_>>())
+            .map(|c| c
+                .features
+                .iter()
+                .map(|&f| test.feature_names[f].clone())
+                .collect::<Vec<_>>())
             .collect::<Vec<_>>()
     );
+    gef_bench::emit_telemetry("xp_fig11_13");
 }

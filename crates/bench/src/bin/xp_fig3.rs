@@ -37,7 +37,13 @@ fn main() {
     let max = *bins.iter().max().unwrap_or(&1);
     for (i, &c) in bins.iter().enumerate() {
         let bar = "#".repeat((c * 50 / max.max(1)).max(usize::from(c > 0)));
-        println!("[{:.1},{:.1}) {:>5} {}", i as f64 / 10.0, (i + 1) as f64 / 10.0, c, bar);
+        println!(
+            "[{:.1},{:.1}) {:>5} {}",
+            i as f64 / 10.0,
+            (i + 1) as f64 / 10.0,
+            c,
+            bar
+        );
     }
 
     let k = size.pick(15, 30, 30);
@@ -76,4 +82,5 @@ fn main() {
          threshold density and emphasize the steep region near 0.5; \
          Equi-Width ignores it."
     );
+    gef_bench::emit_telemetry("xp_fig3");
 }

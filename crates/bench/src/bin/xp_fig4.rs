@@ -29,7 +29,9 @@ fn main() {
         seed: 3,
         ..Default::default()
     };
-    let exp = GefExplainer::new(cfg).explain(&forest).expect("pipeline succeeds");
+    let exp = GefExplainer::new(cfg)
+        .explain(&forest)
+        .expect("pipeline succeeds");
     println!(
         "fidelity on D* test split: RMSE = {}, R2 = {}",
         f3(exp.fidelity_rmse),
@@ -71,7 +73,12 @@ fn main() {
     }
     println!("\n## Learned vs true components (sorted by importance)");
     print_table(
-        &["component", "importance", "reconstruction RMSE", "truth inside 95% CI"],
+        &[
+            "component",
+            "importance",
+            "reconstruction RMSE",
+            "truth inside 95% CI",
+        ],
         &rows,
     );
 
@@ -99,4 +106,5 @@ fn main() {
         "\nExpected shape (paper): components match the generators closely except \
          near the domain margins."
     );
+    gef_bench::emit_telemetry("xp_fig4");
 }

@@ -103,14 +103,23 @@ fn main() {
     println!("\n## RMSE on a common uniform probe set (stricter; our extension)");
     print_table(&header_refs, &rows_common);
 
-    println!("\n## Best RMSE per strategy (vs All-Thresholds {})", f3(baseline));
+    println!(
+        "\n## Best RMSE per strategy (vs All-Thresholds {})",
+        f3(baseline)
+    );
     best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     for (name, rmse) in &best {
         let delta = rmse - baseline;
-        println!("{name:12} {}  ({}{} vs baseline)", f3(*rmse), if delta <= 0.0 { "" } else { "+" }, f3(delta));
+        println!(
+            "{name:12} {}  ({}{} vs baseline)",
+            f3(*rmse),
+            if delta <= 0.0 { "" } else { "+" },
+            f3(delta)
+        );
     }
     println!(
         "\nExpected shape (paper): Equi-Size best at tuned K; Equi-Size and \
          K-Quantile <= All-Thresholds; K-Means and Equi-Width worse."
     );
+    gef_bench::emit_telemetry("xp_fig5");
 }

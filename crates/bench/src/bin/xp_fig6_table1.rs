@@ -52,13 +52,9 @@ fn main() {
         let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
         let sample = generate(&forest, &domains, 400, true, 11);
         for (si, &strategy) in strategies.iter().enumerate() {
-            let ranked =
-                rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
-                    .expect("ranking succeeds");
-            let relevance: Vec<bool> = ranked
-                .iter()
-                .map(|&(p, _)| pairs.contains(&p))
-                .collect();
+            let ranked = rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
+                .expect("ranking succeeds");
+            let relevance: Vec<bool> = ranked.iter().map(|&(p, _)| pairs.contains(&p)).collect();
             aps[si].push(average_precision(&relevance));
         }
         if (ti + 1) % 20 == 0 {
@@ -68,27 +64,22 @@ fn main() {
 
     // Table 1.
     println!("\n## Table 1 — Average Precision per strategy");
-    let rows: Vec<Vec<String>> = [
-        ("Mean", 0),
-        ("SD", 1),
-        ("Min", 2),
-        ("Max", 3),
-    ]
-    .iter()
-    .map(|&(label, which)| {
-        let mut row = vec![label.to_string()];
-        for ap in &aps {
-            let v = match which {
-                0 => mean(ap),
-                1 => std_dev(ap),
-                2 => ap.iter().cloned().fold(f64::INFINITY, f64::min),
-                _ => ap.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-            };
-            row.push(f3(v));
-        }
-        row
-    })
-    .collect();
+    let rows: Vec<Vec<String>> = [("Mean", 0), ("SD", 1), ("Min", 2), ("Max", 3)]
+        .iter()
+        .map(|&(label, which)| {
+            let mut row = vec![label.to_string()];
+            for ap in &aps {
+                let v = match which {
+                    0 => mean(ap),
+                    1 => std_dev(ap),
+                    2 => ap.iter().cloned().fold(f64::INFINITY, f64::min),
+                    _ => ap.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                };
+                row.push(f3(v));
+            }
+            row
+        })
+        .collect();
     print_table(
         &["", "Pair-Gain", "Count-Path", "Gain-Path", "H-Stat"],
         &rows,
@@ -121,7 +112,9 @@ fn main() {
     for s in &mut sorted {
         s.sort_by(|a, b| b.partial_cmp(a).expect("finite AP"));
     }
-    let idx: Vec<usize> = (0..triples.len()).step_by((triples.len() / 12).max(1)).collect();
+    let idx: Vec<usize> = (0..triples.len())
+        .step_by((triples.len() / 12).max(1))
+        .collect();
     let rows: Vec<Vec<String>> = idx
         .iter()
         .map(|&i| {
@@ -141,4 +134,5 @@ fn main() {
          strategies share Min ~= 0.216 (the adversarial triples) and Max = 1.0; \
          no strategy significantly different from Gain-Path at alpha = 0.05."
     );
+    gef_bench::emit_telemetry("xp_fig6_table1");
 }

@@ -58,4 +58,5 @@ fn main() {
         "\nExpected shape (paper): RMSE falls with more components; the marginal \
          value of interactions at 7+ splines is small (~2%)."
     );
+    gef_bench::emit_telemetry("xp_fig7");
 }

@@ -70,4 +70,5 @@ fn main() {
         "\nExpected shape (paper): Equi-Size varies strongly with K and wins \
          after tuning; the other strategies are relatively flat."
     );
+    gef_bench::emit_telemetry("xp_fig8");
 }

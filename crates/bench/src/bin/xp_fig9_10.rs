@@ -7,8 +7,8 @@
 //! feature — the consistency check the paper makes visually: the trend
 //! of the two explanations should agree.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
 use gef_baselines::pdp::shap_dependence;
+use gef_bench::{f3, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, InteractionStrategy, SamplingStrategy};
 use gef_data::census::{census_processed, census_sim_sized};
 use gef_data::superconductivity::superconductivity_sim_sized;
@@ -49,6 +49,7 @@ fn main() {
         ..Default::default()
     };
     compare(&cforest, &ccfg, &ctest, size, 4);
+    gef_bench::emit_telemetry("xp_fig9_10");
 }
 
 /// Print the top components of the GEF explanation next to binned SHAP
@@ -115,7 +116,10 @@ fn compare(forest: &Forest, cfg: &GefConfig, test: &Dataset, size: RunSize, top:
             })
             .collect();
         println!("\n## {name} (GEF spline vs SHAP dependence)");
-        print_table(&["value", "spline", "lo95", "hi95", "SHAP mean", "n"], &rows);
+        print_table(
+            &["value", "spline", "lo95", "hi95", "SHAP mean", "n"],
+            &rows,
+        );
         // Trend agreement: correlation between spline and per-instance
         // SHAP values evaluated through the spline's x.
         let spline_at: Vec<f64> = dep
@@ -125,14 +129,20 @@ fn compare(forest: &Forest, cfg: &GefConfig, test: &Dataset, size: RunSize, top:
                 curve
                     .iter()
                     .min_by(|a, b| {
-                        (a.0 - fv).abs().partial_cmp(&(b.0 - fv).abs()).expect("finite")
+                        (a.0 - fv)
+                            .abs()
+                            .partial_cmp(&(b.0 - fv).abs())
+                            .expect("finite")
                     })
                     .map(|&(_, e, ..)| e)
                     .unwrap_or(0.0)
             })
             .collect();
         let phis: Vec<f64> = dep.iter().map(|&(_, p)| p).collect();
-        println!("trend agreement (corr spline vs SHAP): {}", f3(pearson(&spline_at, &phis)));
+        println!(
+            "trend agreement (corr spline vs SHAP): {}",
+            f3(pearson(&spline_at, &phis))
+        );
     }
     println!(
         "Expected shape (paper): the impact trend of each feature is the same \

@@ -9,9 +9,7 @@ use gef_bench::{f3, print_table, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::metrics::{r2, rmse};
 use gef_data::synthetic::{generator, make_d_prime, NUM_FEATURES};
-use gef_forest::{
-    Forest, GbdtParams, GbdtTrainer, RandomForestParams, RandomForestTrainer,
-};
+use gef_forest::{Forest, GbdtParams, GbdtTrainer, RandomForestParams, RandomForestTrainer};
 
 fn main() {
     let size = RunSize::from_args();
@@ -66,8 +64,7 @@ fn main() {
                 if interior.len() < 5 {
                     continue;
                 }
-                let truth: Vec<f64> =
-                    interior.iter().map(|&&(v, ..)| generator(f, v)).collect();
+                let truth: Vec<f64> = interior.iter().map(|&&(v, ..)| generator(f, v)).collect();
                 let t_mean = truth.iter().sum::<f64>() / truth.len() as f64;
                 let est: Vec<f64> = interior.iter().map(|&&(_, e, ..)| e).collect();
                 let centered: Vec<f64> = truth.iter().map(|t| t - t_mean).collect();
@@ -100,4 +97,5 @@ fn main() {
         "\nExpected shape: both ensembles are explained with high fidelity; \
          GEF makes no assumption about the training algorithm."
     );
+    gef_bench::emit_telemetry("xp_rf");
 }

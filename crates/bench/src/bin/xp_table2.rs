@@ -38,7 +38,9 @@ fn main() {
             seed: 3,
             ..Default::default()
         };
-        let exp = GefExplainer::new(cfg).explain(&forest).expect("pipeline succeeds");
+        let exp = GefExplainer::new(cfg)
+            .explain(&forest)
+            .expect("pipeline succeeds");
         let gam_preds: Vec<f64> = test.xs.iter().map(|x| exp.predict(x)).collect();
         let gam_r2_forest = r2(&gam_preds, &forest_preds);
         let gam_r2_y = r2(&gam_preds, &test.ys);
@@ -70,4 +72,5 @@ fn main() {
          Expected shape: GAM R2 vs T(x) high on both; GAM nearly as accurate as \
          the forest on the original labels (even slightly better on D')."
     );
+    gef_bench::emit_telemetry("xp_table2");
 }

@@ -92,11 +92,7 @@ pub fn train_paper_forest(
 /// surrogate on this *common* set makes the Fig. 5 / Fig. 8 comparisons
 /// apples-to-apples (a strategy's own grid-shaped `D*` test split would
 /// otherwise reward coarse grids with artificially easy test points).
-pub fn common_fidelity_set(
-    forest: &Forest,
-    n: usize,
-    seed: u64,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+pub fn common_fidelity_set(forest: &Forest, n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     use rand::{Rng, SeedableRng};
     let stats = gef_forest::importance::FeatureStats::collect(forest);
     let ranges: Vec<Option<(f64, f64)>> = stats
@@ -127,6 +123,36 @@ pub fn common_fidelity_set(
         .collect();
     let ys = forest.predict_batch(&xs);
     (xs, ys)
+}
+
+/// Run `f` under a gef-trace span named `span` and return its result
+/// together with the wall-clock seconds spent — the shared timing
+/// helper for the `xp_*` binaries (each used to roll its own
+/// `Instant` bookkeeping).
+///
+/// The span lands in the process-wide [`gef_trace`] registry, so a
+/// `GEF_TRACE=json` run of any experiment gets the same per-phase
+/// breakdown as the library pipeline itself.
+pub fn timed_run<T>(span: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = gef_trace::time(span, f);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Format a wall-clock duration the way the experiment tables do.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.2}s")
+}
+
+/// Emit the collected telemetry for an experiment binary under `label`.
+///
+/// Honours `GEF_TRACE`: with `summary` the table goes to stderr (so it
+/// never corrupts the experiment's stdout artifact), with `json` a
+/// [`gef_trace::report::TelemetryReport`] lands in `results/telemetry/`.
+/// Disabled mode does nothing — call it unconditionally at the end of
+/// `main`.
+pub fn emit_telemetry(label: &str) {
+    let _ = gef_trace::global().emit(label);
 }
 
 /// Print a Markdown-ish table: header row, separator, data rows.

@@ -90,28 +90,44 @@ pub fn generate(
     raw_labels: bool,
     seed: u64,
 ) -> SyntheticDataset {
+    let _span = gef_trace::Span::enter("core.generate");
     let mut rng = StdRng::seed_from_u64(seed);
     let d = forest.num_features;
     debug_assert_eq!(domains.len(), d);
     let mut xs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let x: Vec<f64> = (0..d)
-            .map(|f| {
-                let dom = &domains[f];
-                if dom.is_empty() {
-                    0.0
-                } else {
-                    dom[rng.gen_range(0..dom.len())]
-                }
-            })
-            .collect();
-        xs.push(x);
+    {
+        let _sample_span = gef_trace::Span::enter("core.generate.sample");
+        for _ in 0..n {
+            let x: Vec<f64> = (0..d)
+                .map(|f| {
+                    let dom = &domains[f];
+                    if dom.is_empty() {
+                        0.0
+                    } else {
+                        dom[rng.gen_range(0..dom.len())]
+                    }
+                })
+                .collect();
+            xs.push(x);
+        }
     }
+    let _label_span = gef_trace::Span::enter("core.generate.label");
+    let traced = gef_trace::enabled();
     let ys = if raw_labels {
+        // Raw labels are only requested on ancillary paths; counting is
+        // reserved for the response-scale D* labeling below.
         forest.predict_raw_batch(&xs)
+    } else if traced {
+        let (ys, visited) = forest.predict_batch_counted(&xs);
+        gef_trace::counter!("forest.nodes_visited").add(visited);
+        ys
     } else {
         forest.predict_batch(&xs)
     };
+    if traced {
+        gef_trace::counter!("core.dstar_rows").add(n as u64);
+    }
+    drop(_label_span);
     SyntheticDataset {
         xs,
         ys,

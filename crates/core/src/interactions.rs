@@ -77,20 +77,14 @@ pub fn rank_interactions(
             .into_iter()
             .map(|(i, j)| ((i, j), profile.gain(i) + profile.gain(j)))
             .collect(),
-        InteractionStrategy::CountPath => {
-            path_scores(forest, selected, |_, _| 1.0)
-        }
-        InteractionStrategy::GainPath => {
-            path_scores(forest, selected, |ga, gb| ga.min(gb))
-        }
+        InteractionStrategy::CountPath => path_scores(forest, selected, |_, _| 1.0),
+        InteractionStrategy::GainPath => path_scores(forest, selected, |ga, gb| ga.min(gb)),
         InteractionStrategy::HStat {
             eval_points,
             background,
         } => {
             let data = data.ok_or_else(|| {
-                GefError::InvalidConfig(
-                    "H-Stat requires a synthetic dataset sample".into(),
-                )
+                GefError::InvalidConfig("H-Stat requires a synthetic dataset sample".into())
             })?;
             if data.is_empty() {
                 return Err(GefError::InvalidConfig(
@@ -238,8 +232,7 @@ fn h_stat_scores(
                     row[i] = xk[i];
                     row[j] = xk[j];
                 }
-                let mean =
-                    buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>() / b as f64;
+                let mean = buf.iter().map(|r| forest.predict_raw(r)).sum::<f64>() / b as f64;
                 pd_ij.push(mean);
             }
             center(&mut pd_ij);
@@ -294,9 +287,7 @@ mod tests {
         .unwrap()
     }
 
-    fn ranked_with(
-        strategy: InteractionStrategy,
-    ) -> Vec<((usize, usize), f64)> {
+    fn ranked_with(strategy: InteractionStrategy) -> Vec<((usize, usize), f64)> {
         let f = interacting_forest();
         let profile = ForestProfile::analyze(&f);
         let selected = vec![0, 1, 2];
@@ -328,7 +319,10 @@ mod tests {
         let ranked = ranked_with(InteractionStrategy::h_stat_default());
         assert_eq!(ranked[0].0, (0, 1), "ranked={ranked:?}");
         // H² of the true pair well above the null pairs.
-        assert!(ranked[0].1 > 3.0 * ranked[1].1.max(1e-9), "ranked={ranked:?}");
+        assert!(
+            ranked[0].1 > 3.0 * ranked[1].1.max(1e-9),
+            "ranked={ranked:?}"
+        );
     }
 
     #[test]
@@ -366,8 +360,8 @@ mod tests {
     fn fewer_than_two_features_gives_empty() {
         let f = interacting_forest();
         let profile = ForestProfile::analyze(&f);
-        let r = rank_interactions(&f, &profile, &[0], InteractionStrategy::CountPath, None)
-            .unwrap();
+        let r =
+            rank_interactions(&f, &profile, &[0], InteractionStrategy::CountPath, None).unwrap();
         assert!(r.is_empty());
     }
 
@@ -401,13 +395,23 @@ mod tests {
             num_features: 2,
         };
         let profile = ForestProfile::analyze(&forest);
-        let count =
-            rank_interactions(&forest, &profile, &[0, 1], InteractionStrategy::CountPath, None)
-                .unwrap();
+        let count = rank_interactions(
+            &forest,
+            &profile,
+            &[0, 1],
+            InteractionStrategy::CountPath,
+            None,
+        )
+        .unwrap();
         assert_eq!(count, vec![((0, 1), 1.0)]);
-        let gain =
-            rank_interactions(&forest, &profile, &[0, 1], InteractionStrategy::GainPath, None)
-                .unwrap();
+        let gain = rank_interactions(
+            &forest,
+            &profile,
+            &[0, 1],
+            InteractionStrategy::GainPath,
+            None,
+        )
+        .unwrap();
         assert_eq!(gain, vec![((0, 1), 4.0)]); // min(10, 4)
     }
 
@@ -432,9 +436,14 @@ mod tests {
             num_features: 2,
         };
         let profile = ForestProfile::analyze(&forest);
-        let ranked =
-            rank_interactions(&forest, &profile, &[0, 1], InteractionStrategy::CountPath, None)
-                .unwrap();
+        let ranked = rank_interactions(
+            &forest,
+            &profile,
+            &[0, 1],
+            InteractionStrategy::CountPath,
+            None,
+        )
+        .unwrap();
         assert_eq!(ranked, vec![((0, 1), 0.0)]);
     }
 }

@@ -54,7 +54,7 @@ pub mod selection;
 
 pub use generate::SyntheticDataset;
 pub use interactions::InteractionStrategy;
-pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation};
+pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation, StageTimings};
 pub use report::ExplanationReport;
 pub use sampling::SamplingStrategy;
 

@@ -68,7 +68,9 @@ impl Default for GefConfig {
 impl GefConfig {
     fn validate(&self) -> Result<()> {
         if self.num_univariate == 0 {
-            return Err(GefError::InvalidConfig("num_univariate must be >= 1".into()));
+            return Err(GefError::InvalidConfig(
+                "num_univariate must be >= 1".into(),
+            ));
         }
         if self.n_samples < 16 {
             return Err(GefError::InvalidConfig("n_samples must be >= 16".into()));
@@ -78,13 +80,72 @@ impl GefConfig {
                 "train_fraction must be in (0,1)".into(),
             ));
         }
-        if self.spline_basis < 4 || self.tensor_basis < 4 {
-            return Err(GefError::InvalidConfig(
-                "basis sizes must be >= 4 (cubic splines)".into(),
-            ));
+        // Cubic B-splines (degree 3) need at least order = degree + 1
+        // basis functions; anything smaller cannot even represent a
+        // single polynomial piece.
+        if self.spline_basis < 4 {
+            return Err(GefError::InvalidConfig(format!(
+                "spline_basis ({}) is below the cubic B-spline order minimum of 4",
+                self.spline_basis
+            )));
+        }
+        if self.tensor_basis < 4 {
+            return Err(GefError::InvalidConfig(format!(
+                "tensor_basis ({}) is below the cubic B-spline order minimum of 4",
+                self.tensor_basis
+            )));
+        }
+        // There are only C(|F'|, 2) distinct unordered feature pairs.
+        let max_pairs = self.num_univariate * self.num_univariate.saturating_sub(1) / 2;
+        if self.num_interactions > max_pairs {
+            return Err(GefError::InvalidConfig(format!(
+                "num_interactions ({}) exceeds the {} distinct pairs available among {} univariate features",
+                self.num_interactions, max_pairs, self.num_univariate
+            )));
         }
         Ok(())
     }
+}
+
+/// Wall-clock nanoseconds spent in each pipeline stage of one
+/// [`GefExplainer::explain`] run.
+///
+/// Always populated (independently of whether `gef-trace` collection is
+/// enabled — five clock reads are free at pipeline granularity) and
+/// carried inside [`GefExplanation`] so archived explanations keep their
+/// provenance. Mirrors the `pipeline.*` spans that `gef-trace` records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Forest profiling + univariate feature selection.
+    pub selection_ns: u64,
+    /// Sampling-domain construction.
+    pub sampling_ns: u64,
+    /// `D*` generation and labeling.
+    pub generate_ns: u64,
+    /// Interaction ranking and selection.
+    pub interactions_ns: u64,
+    /// GAM term construction, fitting, and fidelity evaluation.
+    pub gam_fit_ns: u64,
+}
+
+impl StageTimings {
+    /// Total across all five stages.
+    pub fn total_ns(&self) -> u64 {
+        self.selection_ns
+            + self.sampling_ns
+            + self.generate_ns
+            + self.interactions_ns
+            + self.gam_fit_ns
+    }
+}
+
+/// Run `f` under the `gef-trace` span `name`, measuring its wall time
+/// into `slot` unconditionally.
+fn stage<T>(name: &str, slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t = std::time::Instant::now();
+    let out = gef_trace::time(name, f);
+    *slot = t.elapsed().as_nanos() as u64;
+    out
 }
 
 /// The GEF explainer: runs the pipeline on a forest.
@@ -112,14 +173,16 @@ impl GefExplainer {
 
     /// Like [`GefExplainer::explain`] but also returns the generated
     /// synthetic dataset `D*` (train split first) for inspection.
-    pub fn explain_with_data(
-        &self,
-        forest: &Forest,
-    ) -> Result<(GefExplanation, SyntheticDataset)> {
+    pub fn explain_with_data(&self, forest: &Forest) -> Result<(GefExplanation, SyntheticDataset)> {
         let cfg = &self.config;
         cfg.validate()?;
-        let profile = ForestProfile::analyze(forest);
-        let selected = profile.select_univariate(cfg.num_univariate);
+        let _span = gef_trace::Span::enter("pipeline.explain");
+        let mut timings = StageTimings::default();
+        let (profile, selected) = stage("pipeline.selection", &mut timings.selection_ns, || {
+            let profile = ForestProfile::analyze(forest);
+            let selected = profile.select_univariate(cfg.num_univariate);
+            (profile, selected)
+        });
         if selected.is_empty() {
             return Err(GefError::DegenerateForest(
                 "the forest contains no split nodes".into(),
@@ -132,84 +195,107 @@ impl GefExplainer {
         // domain regardless of strategy: interpolating quantiles or
         // means between a handful of discrete split points would
         // fabricate hundreds of spurious factor levels.
-        let domains: Vec<Vec<f64>> = (0..profile.num_features)
-            .map(|f| {
-                if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
-                    // Multiset thresholds: multiplicity = split density.
-                    cfg.sampling.domain(profile.threshold_multiset(f))
-                } else {
-                    SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
-                }
-            })
-            .collect();
-        let dataset = generate(forest, &domains, cfg.n_samples, false, cfg.seed);
+        let domains: Vec<Vec<f64>> = stage("pipeline.sampling", &mut timings.sampling_ns, || {
+            (0..profile.num_features)
+                .map(|f| {
+                    if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
+                        // Multiset thresholds: multiplicity = split density.
+                        cfg.sampling.domain(profile.threshold_multiset(f))
+                    } else {
+                        SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
+                    }
+                })
+                .collect()
+        });
+        let dataset = stage("pipeline.generate", &mut timings.generate_ns, || {
+            generate(forest, &domains, cfg.n_samples, false, cfg.seed)
+        });
 
         // Interaction selection (independent of the sampled data except
         // for H-Stat, per the paper).
-        let interaction_ranking = if cfg.num_interactions > 0 || selected.len() >= 2 {
-            rank_interactions(
-                forest,
-                &profile,
-                &selected,
-                cfg.interaction_strategy,
-                Some(&dataset),
-            )?
-        } else {
-            Vec::new()
-        };
+        let interaction_ranking = stage(
+            "pipeline.interactions",
+            &mut timings.interactions_ns,
+            || {
+                if cfg.num_interactions > 0 || selected.len() >= 2 {
+                    rank_interactions(
+                        forest,
+                        &profile,
+                        &selected,
+                        cfg.interaction_strategy,
+                        Some(&dataset),
+                    )
+                } else {
+                    Ok(Vec::new())
+                }
+            },
+        )?;
         let interactions = top_pairs(&interaction_ranking, cfg.num_interactions);
 
-        // Build GAM terms.
-        let mut terms = Vec::with_capacity(selected.len() + interactions.len());
-        let mut categorical = Vec::with_capacity(selected.len());
-        for &f in &selected {
-            let dom = &domains[f];
-            let is_cat = profile.is_categorical(f, cfg.categorical_l);
-            categorical.push(is_cat);
-            if is_cat || dom.len() < cfg.spline_basis.max(4) {
-                terms.push(TermSpec::factor(f, dom.clone()));
-            } else {
-                // Knots anchored on the sampling domain: every knot
-                // span receives an equal share of D*'s support, which
-                // keeps the spline well-conditioned on skewed domains.
-                terms.push(TermSpec::SplineAnchored {
-                    feature: f,
-                    num_basis: cfg.spline_basis,
-                    degree: 3,
-                    anchors: dom.clone(),
-                });
-            }
-        }
-        for &(i, j) in &interactions {
-            let (di, dj) = (&domains[i], &domains[j]);
-            terms.push(TermSpec::TensorAnchored {
-                features: (i, j),
-                num_basis: (
-                    cfg.tensor_basis.min(di.len().max(4)),
-                    cfg.tensor_basis.min(dj.len().max(4)),
-                ),
-                anchors: (di.clone(), dj.clone()),
-                degree: 3,
-            });
-        }
+        // Build GAM terms and fit (one stage: the fit dominates).
+        let fit_result = stage(
+            "pipeline.gam_fit",
+            &mut timings.gam_fit_ns,
+            || -> Result<_> {
+                let mut terms = Vec::with_capacity(selected.len() + interactions.len());
+                let mut categorical = Vec::with_capacity(selected.len());
+                for &f in &selected {
+                    let dom = &domains[f];
+                    let is_cat = profile.is_categorical(f, cfg.categorical_l);
+                    categorical.push(is_cat);
+                    if is_cat || dom.len() < cfg.spline_basis.max(4) {
+                        terms.push(TermSpec::factor(f, dom.clone()));
+                    } else {
+                        // Knots anchored on the sampling domain: every knot
+                        // span receives an equal share of D*'s support, which
+                        // keeps the spline well-conditioned on skewed domains.
+                        terms.push(TermSpec::SplineAnchored {
+                            feature: f,
+                            num_basis: cfg.spline_basis,
+                            degree: 3,
+                            anchors: dom.clone(),
+                        });
+                    }
+                }
+                for &(i, j) in &interactions {
+                    let (di, dj) = (&domains[i], &domains[j]);
+                    terms.push(TermSpec::TensorAnchored {
+                        features: (i, j),
+                        num_basis: (
+                            cfg.tensor_basis.min(di.len().max(4)),
+                            cfg.tensor_basis.min(dj.len().max(4)),
+                        ),
+                        anchors: (di.clone(), dj.clone()),
+                        degree: 3,
+                    });
+                }
 
-        let link = match forest.objective {
-            Objective::RegressionL2 => Link::Identity,
-            Objective::BinaryLogistic => Link::Logit,
-        };
-        let spec = GamSpec {
-            terms,
-            link,
-            lambda: cfg.lambda.clone(),
-            ..GamSpec::regression(Vec::new())
-        };
-        let (train, test) = dataset.split(cfg.train_fraction);
-        let gam = fit(&spec, &train.xs, &train.ys)?;
+                let link = match forest.objective {
+                    Objective::RegressionL2 => Link::Identity,
+                    Objective::BinaryLogistic => Link::Logit,
+                };
+                let spec = GamSpec {
+                    terms,
+                    link,
+                    lambda: cfg.lambda.clone(),
+                    ..GamSpec::regression(Vec::new())
+                };
+                let (train, test) = dataset.split(cfg.train_fraction);
+                let gam = fit(&spec, &train.xs, &train.ys)?;
 
-        // Fidelity of Γ vs the forest on held-out D*.
-        let preds = gam.predict_batch(&test.xs);
-        let fidelity_rmse = metrics::rmse(&preds, &test.ys);
-        let fidelity_r2 = metrics::r2(&preds, &test.ys);
+                // Fidelity of Γ vs the forest on held-out D*.
+                let preds = gam.predict_batch(&test.xs);
+                let fidelity_rmse = metrics::rmse(&preds, &test.ys);
+                let fidelity_r2 = metrics::r2(&preds, &test.ys);
+                Ok((gam, categorical, fidelity_rmse, fidelity_r2))
+            },
+        )?;
+        let (gam, categorical, fidelity_rmse, fidelity_r2) = fit_result;
+        if gef_trace::enabled() {
+            let t = gef_trace::global();
+            t.gauge("pipeline.fidelity_rmse", fidelity_rmse);
+            t.gauge("pipeline.fidelity_r2", fidelity_r2);
+        }
 
         Ok((
             GefExplanation {
@@ -223,6 +309,7 @@ impl GefExplainer {
                 fidelity_rmse,
                 fidelity_r2,
                 objective: forest.objective,
+                telemetry: timings,
             },
             dataset,
         ))
@@ -253,6 +340,11 @@ pub struct GefExplanation {
     pub fidelity_r2: f64,
     /// Objective of the explained forest.
     pub objective: Objective,
+    /// Per-stage wall-clock timings of the pipeline run that produced
+    /// this explanation. Defaults to zeros when deserializing archives
+    /// written before telemetry existed.
+    #[serde(default)]
+    pub telemetry: StageTimings,
 }
 
 impl GefExplanation {
@@ -268,10 +360,14 @@ impl GefExplanation {
 
     /// The global component curve of a selected feature: `(value,
     /// estimate, lower, upper)` over its sampling domain (95% band).
-    pub fn component_curve(&self, feature: usize, grid: usize) -> Result<Vec<(f64, f64, f64, f64)>> {
-        let term = self.term_of_feature(feature).ok_or_else(|| {
-            GefError::InvalidConfig(format!("feature {feature} is not in F'"))
-        })?;
+    pub fn component_curve(
+        &self,
+        feature: usize,
+        grid: usize,
+    ) -> Result<Vec<(f64, f64, f64, f64)>> {
+        let term = self
+            .term_of_feature(feature)
+            .ok_or_else(|| GefError::InvalidConfig(format!("feature {feature} is not in F'")))?;
         let dom = &self.domains[feature];
         let values: Vec<f64> = if self.categorical[term] || dom.len() <= grid {
             dom.clone()
@@ -514,11 +610,7 @@ mod tests {
 
     #[test]
     fn local_explanation_decomposes_prediction() {
-        let forest = make_forest(
-            |x| 3.0 * x[0] - 2.0 * x[1],
-            2,
-            Objective::RegressionL2,
-        );
+        let forest = make_forest(|x| 3.0 * x[0] - 2.0 * x[1], 2, Objective::RegressionL2);
         let exp = GefExplainer::new(GefConfig {
             num_univariate: 2,
             n_samples: 4000,
@@ -605,6 +697,83 @@ mod tests {
         ] {
             assert!(GefExplainer::new(cfg).explain(&forest).is_err());
         }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_spline_basis() {
+        let cfg = GefConfig {
+            spline_basis: 3,
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("spline_basis"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_tensor_basis() {
+        let cfg = GefConfig {
+            tensor_basis: 2,
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("tensor_basis"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_impossible_interaction_count() {
+        // 3 univariate features admit only C(3,2) = 3 pairs.
+        let cfg = GefConfig {
+            num_univariate: 3,
+            num_interactions: 4,
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("num_interactions"), "{err}");
+        // The boundary (exactly all pairs) is allowed…
+        assert!(GefConfig {
+            num_univariate: 3,
+            num_interactions: 3,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+        // …and a single feature admits no interactions at all.
+        assert!(GefConfig {
+            num_univariate: 1,
+            num_interactions: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn stage_timings_total_sums_stages() {
+        let t = StageTimings {
+            selection_ns: 1,
+            sampling_ns: 2,
+            generate_ns: 3,
+            interactions_ns: 4,
+            gam_fit_ns: 5,
+        };
+        assert_eq!(t.total_ns(), 15);
+        assert_eq!(StageTimings::default().total_ns(), 0);
+    }
+
+    #[test]
+    fn explanation_records_stage_timings() {
+        let forest = make_forest(|x| 2.0 * x[0], 1, Objective::RegressionL2);
+        let exp = GefExplainer::new(GefConfig {
+            num_univariate: 1,
+            n_samples: 1000,
+            ..Default::default()
+        })
+        .explain(&forest)
+        .unwrap();
+        // Generation and fitting always take measurable time.
+        assert!(exp.telemetry.generate_ns > 0);
+        assert!(exp.telemetry.gam_fit_ns > 0);
+        assert!(exp.telemetry.total_ns() > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! certification authority would archive next to the audited model, and
 //! what downstream plotting tools consume.
 
-use crate::pipeline::GefExplanation;
+use crate::pipeline::{GefExplanation, StageTimings};
 use serde::{Deserialize, Serialize};
 
 /// One univariate component curve.
@@ -63,16 +63,16 @@ pub struct ExplanationReport {
     pub fidelity_rmse: f64,
     /// R² of the surrogate vs the forest on held-out `D*`.
     pub fidelity_r2: f64,
+    /// Wall-clock spent in each pipeline stage (ns). Defaults to zero
+    /// when parsing reports archived before this field existed.
+    #[serde(default)]
+    pub stage_timings: StageTimings,
 }
 
 impl ExplanationReport {
     /// Build a report from an explanation; `names` (if given) resolves
     /// feature indices to names, `grid` controls curve resolution.
-    pub fn from_explanation(
-        exp: &GefExplanation,
-        names: Option<&[String]>,
-        grid: usize,
-    ) -> Self {
+    pub fn from_explanation(exp: &GefExplanation, names: Option<&[String]>, grid: usize) -> Self {
         let features = exp
             .selected_features
             .iter()
@@ -113,6 +113,7 @@ impl ExplanationReport {
             interactions,
             fidelity_rmse: exp.fidelity_rmse,
             fidelity_r2: exp.fidelity_r2,
+            stage_timings: exp.telemetry,
         }
     }
 
@@ -182,9 +183,15 @@ mod tests {
             if !f.categorical {
                 assert_eq!(f.curve.len(), 11);
             }
-            assert!(f.curve.iter().all(|p| p.lo <= p.estimate && p.estimate <= p.hi));
+            assert!(f
+                .curve
+                .iter()
+                .all(|p| p.lo <= p.estimate && p.estimate <= p.hi));
         }
         assert!(report.features[0].name.is_none());
+        // Stage timings are carried over from the explanation.
+        assert_eq!(report.stage_timings, exp.telemetry);
+        assert!(report.stage_timings.total_ns() > 0);
     }
 
     #[test]

@@ -206,7 +206,9 @@ mod tests {
 
     fn thresholds() -> Vec<f64> {
         // Concentrated around 0.5 like the Fig. 3 sigmoid forest.
-        vec![0.1, 0.42, 0.45, 0.47, 0.49, 0.5, 0.51, 0.53, 0.55, 0.58, 0.9]
+        vec![
+            0.1, 0.42, 0.45, 0.47, 0.49, 0.5, 0.51, 0.53, 0.55, 0.58, 0.9,
+        ]
     }
 
     #[test]

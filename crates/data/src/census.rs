@@ -55,6 +55,8 @@ pub fn census_sim(seed: u64) -> Dataset {
 
 /// Generate a raw simulated dataset with `n` rows.
 pub fn census_sim_sized(n: usize, seed: u64) -> Dataset {
+    let _span = gef_trace::Span::enter("data.census_sim");
+    gef_trace::counter!("data.rows_generated").add(n as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut xs = Vec::with_capacity(n);
     let mut ys = Vec::with_capacity(n);
@@ -66,8 +68,7 @@ pub fn census_sim_sized(n: usize, seed: u64) -> Dataset {
         // same information as a (redundant) categorical code.
         let edu_num = (1.0
             + 15.0
-                * ((0.45 + 0.15 * sample_normal(&mut rng) + 0.002 * (age - 38.0))
-                    .clamp(0.0, 1.0)))
+                * ((0.45 + 0.15 * sample_normal(&mut rng) + 0.002 * (age - 38.0)).clamp(0.0, 1.0)))
         .floor();
         let education = edu_num - 1.0; // redundant code 0..15
         let marital = (rng.gen::<f64>() * MARITAL as f64).floor();
@@ -91,9 +92,8 @@ pub fn census_sim_sized(n: usize, seed: u64) -> Dataset {
         // explanations surface. Married (codes 0/1) boosts odds as in
         // the real data; education dominates.
         let married = f64::from(marital < 2.0);
-        let logit = -5.5
-            + 0.38 * edu_num
-            + 0.045 * (age - 17.0) - 0.0006 * (age - 17.0) * (age - 17.0)
+        let logit = -5.5 + 0.38 * edu_num + 0.045 * (age - 17.0)
+            - 0.0006 * (age - 17.0) * (age - 17.0)
             + 0.030 * (hours - 40.0)
             + 1.4 * married
             + 0.25 * sex
@@ -117,7 +117,9 @@ pub fn census_sim_sized(n: usize, seed: u64) -> Dataset {
             capital_gain,
             capital_loss,
             hours,
-            (rng.gen::<f64>().powf(3.0) * COUNTRY as f64).floor().min(40.0),
+            (rng.gen::<f64>().powf(3.0) * COUNTRY as f64)
+                .floor()
+                .min(40.0),
         ]);
         ys.push(y);
     }

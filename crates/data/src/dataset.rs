@@ -254,10 +254,7 @@ mod tests {
     fn one_hot_expands_categorical() {
         let d = toy();
         let e = d.one_hot(&[1]);
-        assert_eq!(
-            e.feature_names,
-            vec!["a", "b", "cat=0", "cat=1", "cat=2"]
-        );
+        assert_eq!(e.feature_names, vec!["a", "b", "cat=0", "cat=1", "cat=2"]);
         assert_eq!(e.xs[0], vec![1.0, 10.0, 1.0, 0.0, 0.0]);
         assert_eq!(e.xs[2], vec![3.0, 30.0, 0.0, 0.0, 1.0]);
         // Each one-hot block has exactly one 1.

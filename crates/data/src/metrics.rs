@@ -29,13 +29,13 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     assert!(!pred.is_empty(), "r2 of empty slices");
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

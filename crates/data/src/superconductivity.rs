@@ -73,7 +73,10 @@ pub fn feature_names() -> Vec<String> {
 /// Index of the `wtd_entropy_atomic_mass` feature (the paper's WEAM).
 pub fn weam_index() -> usize {
     // number_of_elements + offset into atomic_mass block.
-    1 + STATS.iter().position(|&s| s == "wtd_entropy").expect("known stat")
+    1 + STATS
+        .iter()
+        .position(|&s| s == "wtd_entropy")
+        .expect("known stat")
 }
 
 /// Index of `range_atomic_radius` (the paper's RAR, prominent in the
@@ -83,7 +86,10 @@ pub fn rar_index() -> usize {
         .iter()
         .position(|&p| p == "atomic_radius")
         .expect("known property");
-    let stat = STATS.iter().position(|&s| s == "range").expect("known stat");
+    let stat = STATS
+        .iter()
+        .position(|&s| s == "range")
+        .expect("known stat");
     1 + prop * STATS.len() + stat
 }
 
@@ -95,6 +101,8 @@ pub fn superconductivity_sim(seed: u64) -> Dataset {
 /// Generate a simulated dataset with `n` rows (smaller sizes are handy
 /// for tests and quick experiment runs).
 pub fn superconductivity_sim_sized(n: usize, seed: u64) -> Dataset {
+    let _span = gef_trace::Span::enter("data.superconductivity_sim");
+    gef_trace::counter!("data.rows_generated").add(n as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let names = feature_names();
     let weam = weam_index();
@@ -122,9 +130,7 @@ pub fn superconductivity_sim_sized(n: usize, seed: u64) -> Dataset {
                     // means & gmeans: log-normal-ish positive scales
                     0..=3 => (base + noise).exp().max(1e-3),
                     // entropies: grow with composition complexity
-                    4 | 5 => {
-                        ((n_elem).ln() * (0.6 + 0.4 * disorder) + 0.1 * noise).max(0.0)
-                    }
+                    4 | 5 => ((n_elem).ln() * (0.6 + 0.4 * disorder) + 0.1 * noise).max(0.0),
                     // ranges: skewed positive, driven by disorder
                     6 | 7 => (disorder * 2.5 + 0.3 * noise.abs()) * base.abs(),
                     // stds

@@ -102,6 +102,8 @@ pub fn make_d_second(n: usize, pairs: &[(usize, usize)], seed: u64) -> Dataset {
 }
 
 fn make_with(n: usize, seed: u64, pairs: &[(usize, usize)]) -> Dataset {
+    let _span = gef_trace::Span::enter("data.synthetic");
+    gef_trace::counter!("data.rows_generated").add(n as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut xs = Vec::with_capacity(n);
     let mut ys = Vec::with_capacity(n);
@@ -132,6 +134,8 @@ pub fn sigmoid_example(x: f64) -> f64 {
 /// noise) — the forest trained on this produces the threshold
 /// distribution shown in Fig. 3.
 pub fn make_sigmoid_dataset(n: usize, seed: u64) -> Dataset {
+    let _span = gef_trace::Span::enter("data.synthetic");
+    gef_trace::counter!("data.rows_generated").add(n as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>()]).collect();
     let ys = xs.iter().map(|x| sigmoid_example(x[0])).collect();
@@ -196,14 +200,16 @@ mod tests {
         let d = make_d_prime(2000, 7);
         assert_eq!(d.len(), 2000);
         assert_eq!(d.num_features(), 5);
-        assert!(d.xs.iter().all(|r| r.iter().all(|&v| (0.0..=1.0).contains(&v))));
-        // Residual vs true function should have sd ≈ 0.1·√5 ≈ 0.224.
-        let resid: Vec<f64> = d
+        assert!(d
             .xs
             .iter()
-            .zip(&d.ys)
-            .map(|(x, y)| y - g_prime(x))
-            .collect();
+            .all(|r| r.iter().all(|&v| (0.0..=1.0).contains(&v))));
+        // Residual vs true function should have sd ≈ 0.1·√5 ≈ 0.224.
+        let resid: Vec<f64> =
+            d.xs.iter()
+                .zip(&d.ys)
+                .map(|(x, y)| y - g_prime(x))
+                .collect();
         let var = resid.iter().map(|r| r * r).sum::<f64>() / resid.len() as f64;
         assert!((var.sqrt() - 0.2236).abs() < 0.02, "sd={}", var.sqrt());
     }
@@ -212,12 +218,11 @@ mod tests {
     fn d_second_contains_interaction_signal() {
         let pairs = [(0, 1), (0, 4), (1, 4)];
         let d = make_d_second(3000, &pairs, 11);
-        let resid_noise: Vec<f64> = d
-            .xs
-            .iter()
-            .zip(&d.ys)
-            .map(|(x, y)| y - g_second(x, &pairs))
-            .collect();
+        let resid_noise: Vec<f64> =
+            d.xs.iter()
+                .zip(&d.ys)
+                .map(|(x, y)| y - g_second(x, &pairs))
+                .collect();
         let var = resid_noise.iter().map(|r| r * r).sum::<f64>() / resid_noise.len() as f64;
         // 8 noise components (5 generators + 3 interactions), each σ=0.1.
         assert!((var.sqrt() - (8f64).sqrt() * 0.1).abs() < 0.02);

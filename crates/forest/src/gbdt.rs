@@ -19,7 +19,7 @@
 
 use crate::binning::BinnedDataset;
 use crate::tree::{Node, Tree};
-use crate::{Forest, ForestError, Objective, Result, sigmoid};
+use crate::{sigmoid, Forest, ForestError, Objective, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -86,13 +86,19 @@ impl GbdtParams {
         // `!(x > 0)` deliberately rejects NaN alongside non-positive.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.learning_rate > 0.0) {
-            return Err(ForestError::InvalidParams("learning_rate must be > 0".into()));
+            return Err(ForestError::InvalidParams(
+                "learning_rate must be > 0".into(),
+            ));
         }
         if !(self.feature_fraction > 0.0 && self.feature_fraction <= 1.0) {
-            return Err(ForestError::InvalidParams("feature_fraction must be in (0,1]".into()));
+            return Err(ForestError::InvalidParams(
+                "feature_fraction must be in (0,1]".into(),
+            ));
         }
         if !(self.bagging_fraction > 0.0 && self.bagging_fraction <= 1.0) {
-            return Err(ForestError::InvalidParams("bagging_fraction must be in (0,1]".into()));
+            return Err(ForestError::InvalidParams(
+                "bagging_fraction must be in (0,1]".into(),
+            ));
         }
         if self.lambda_l2 < 0.0 {
             return Err(ForestError::InvalidParams("lambda_l2 must be >= 0".into()));
@@ -205,7 +211,9 @@ impl GbdtTrainer {
         let mut best_loss = f64::INFINITY;
         let mut best_iter = 0usize;
 
+        let _train_span = gef_trace::Span::enter("forest.train");
         for iter in 0..self.params.num_trees {
+            let _round_span = gef_trace::Span::enter("forest.round");
             self.compute_gradients(ys, &scores, &mut grad, &mut hess);
             let bag = self.sample_bag(n, &mut rng);
             let feats = self.sample_features(num_features, &mut rng);
@@ -219,12 +227,26 @@ impl GbdtTrainer {
                 let _ = i;
                 *s += tree.predict(x);
             }
-            if let Some((vx, vy)) = valid {
+            let valid_loss = valid.map(|(vx, vy)| {
                 for (s, x) in valid_scores.iter_mut().zip(vx) {
                     *s += tree.predict(x);
                 }
-                let loss = self.eval_loss(vy, &valid_scores);
-                trees.push(tree);
+                self.eval_loss(vy, &valid_scores)
+            });
+            if gef_trace::enabled() {
+                gef_trace::counter!("forest.trees_grown").incr();
+                let mut fields = vec![
+                    ("round", (iter + 1) as f64),
+                    ("num_leaves", tree.num_leaves() as f64),
+                    ("train_loss", self.eval_loss(ys, &scores)),
+                ];
+                if let Some(vl) = valid_loss {
+                    fields.push(("valid_loss", vl));
+                }
+                gef_trace::global().event("forest.round", &fields);
+            }
+            trees.push(tree);
+            if let Some(loss) = valid_loss {
                 if loss < best_loss - 1e-12 {
                     best_loss = loss;
                     best_iter = iter + 1;
@@ -234,8 +256,6 @@ impl GbdtTrainer {
                         break;
                     }
                 }
-            } else {
-                trees.push(tree);
             }
         }
         if valid.is_some() && self.params.early_stopping_rounds.is_some() {
@@ -334,13 +354,20 @@ impl GbdtTrainer {
         }
         offsets.push(acc);
         let hist_len = acc;
+        // Telemetry: split the tree-growth cost into its two halves
+        // (histogram construction vs split-candidate scanning). The
+        // accumulators stay thread-local to this call and are flushed
+        // once per tree, so the hot loops see no atomics.
+        let traced = gef_trace::enabled();
+        let mut hist_ns = 0u64;
+        let mut split_ns = 0u64;
 
         let mut tree = Tree {
             nodes: vec![Node::leaf(0.0, bag.len() as u32)],
         };
-        let (root_g, root_h) = bag
-            .iter()
-            .fold((0.0, 0.0), |(g, h), &i| (g + grad[i as usize], h + hess[i as usize]));
+        let (root_g, root_h) = bag.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + grad[i as usize], h + hess[i as usize])
+        });
         let mut root = LeafState {
             node_idx: 0,
             rows: bag.to_vec(),
@@ -349,8 +376,20 @@ impl GbdtTrainer {
             hist: vec![0.0; hist_len],
             best: None,
         };
-        build_hist(binned, grad, hess, &root.rows, &mut root.hist, &offsets, feats);
-        root.best = self.find_best_split(binned, &root, &offsets, feats);
+        timed(traced, &mut hist_ns, || {
+            build_hist(
+                binned,
+                grad,
+                hess,
+                &root.rows,
+                &mut root.hist,
+                &offsets,
+                feats,
+            )
+        });
+        root.best = timed(traced, &mut split_ns, || {
+            self.find_best_split(binned, &root, &offsets, feats)
+        });
         let mut leaves: Vec<LeafState> = vec![root];
 
         while leaves.len() < p.num_leaves {
@@ -383,8 +422,22 @@ impl GbdtTrainer {
             // larger from the parent.
             let build_left_small = left_rows.len() <= right_rows.len();
             let mut small_hist = vec![0.0; hist_len];
-            let small_rows = if build_left_small { &left_rows } else { &right_rows };
-            build_hist(binned, grad, hess, small_rows, &mut small_hist, &offsets, feats);
+            let small_rows = if build_left_small {
+                &left_rows
+            } else {
+                &right_rows
+            };
+            timed(traced, &mut hist_ns, || {
+                build_hist(
+                    binned,
+                    grad,
+                    hess,
+                    small_rows,
+                    &mut small_hist,
+                    &offsets,
+                    feats,
+                )
+            });
             let mut large_hist = leaf.hist; // reuse parent allocation
             for (lh, &sh) in large_hist.iter_mut().zip(&small_hist) {
                 *lh -= sh;
@@ -398,9 +451,9 @@ impl GbdtTrainer {
             // Materialize the split in the tree.
             let left_node = tree.nodes.len() as u32;
             let right_node = left_node + 1;
-            let (lg, lh2): (f64, f64) = left_rows
-                .iter()
-                .fold((0.0, 0.0), |(g, h), &i| (g + grad[i as usize], h + hess[i as usize]));
+            let (lg, lh2): (f64, f64) = left_rows.iter().fold((0.0, 0.0), |(g, h), &i| {
+                (g + grad[i as usize], h + hess[i as usize])
+            });
             let (rg, rh2) = (leaf.sum_g - lg, leaf.sum_h - lh2);
             tree.nodes.push(Node::leaf(0.0, left_rows.len() as u32));
             tree.nodes.push(Node::leaf(0.0, right_rows.len() as u32));
@@ -427,10 +480,18 @@ impl GbdtTrainer {
                 hist: right_hist,
                 best: None,
             };
-            left_leaf.best = self.find_best_split(binned, &left_leaf, &offsets, feats);
-            right_leaf.best = self.find_best_split(binned, &right_leaf, &offsets, feats);
+            left_leaf.best = timed(traced, &mut split_ns, || {
+                self.find_best_split(binned, &left_leaf, &offsets, feats)
+            });
+            right_leaf.best = timed(traced, &mut split_ns, || {
+                self.find_best_split(binned, &right_leaf, &offsets, feats)
+            });
             leaves.push(left_leaf);
             leaves.push(right_leaf);
+        }
+        if traced {
+            gef_trace::global().record_value("forest.hist_build_ns", hist_ns);
+            gef_trace::global().record_value("forest.split_search_ns", split_ns);
         }
 
         // Finalize leaf values with shrinkage.
@@ -481,11 +542,8 @@ impl GbdtTrainer {
                 }
                 let gr = leaf.sum_g - gl;
                 let hr = leaf.sum_h - hl;
-                let gain =
-                    0.5 * (gl * gl / (hl + lam) + gr * gr / (hr + lam) - parent_score);
-                if gain > p.min_gain_to_split
-                    && best.is_none_or(|bst| gain > bst.gain)
-                {
+                let gain = 0.5 * (gl * gl / (hl + lam) + gr * gr / (hr + lam) - parent_score);
+                if gain > p.min_gain_to_split && best.is_none_or(|bst| gain > bst.gain) {
                     best = Some(SplitInfo {
                         gain,
                         feature: f,
@@ -496,6 +554,19 @@ impl GbdtTrainer {
             }
         }
         best
+    }
+}
+
+/// Run `f`, adding its wall time to `acc` when `traced` is set.
+#[inline]
+fn timed<T>(traced: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    if traced {
+        let t = std::time::Instant::now();
+        let out = f();
+        *acc += t.elapsed().as_nanos() as u64;
+        out
+    } else {
+        f()
     }
 }
 
@@ -682,7 +753,9 @@ mod tests {
     fn constant_labels_yield_base_score_only() {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let ys = vec![5.0; 100];
-        let f = GbdtTrainer::new(GbdtParams::default()).fit(&xs, &ys).unwrap();
+        let f = GbdtTrainer::new(GbdtParams::default())
+            .fit(&xs, &ys)
+            .unwrap();
         assert!(f.trees.is_empty());
         assert_eq!(f.predict(&[42.0]), 5.0);
     }

@@ -47,13 +47,41 @@ pub fn to_text(forest: &Forest) -> String {
     for (i, tree) in forest.trees.iter().enumerate() {
         writeln!(out, "\nTree={i}").unwrap();
         writeln!(out, "num_nodes={}", tree.nodes.len()).unwrap();
-        write_field(&mut out, "split_feature", tree.nodes.iter().map(|n| n.feature.to_string()));
-        write_field(&mut out, "threshold", tree.nodes.iter().map(|n| format!("{}", n.threshold)));
-        write_field(&mut out, "left_child", tree.nodes.iter().map(|n| n.left.to_string()));
-        write_field(&mut out, "right_child", tree.nodes.iter().map(|n| n.right.to_string()));
-        write_field(&mut out, "leaf_value", tree.nodes.iter().map(|n| format!("{}", n.value)));
-        write_field(&mut out, "split_gain", tree.nodes.iter().map(|n| format!("{}", n.gain)));
-        write_field(&mut out, "count", tree.nodes.iter().map(|n| n.count.to_string()));
+        write_field(
+            &mut out,
+            "split_feature",
+            tree.nodes.iter().map(|n| n.feature.to_string()),
+        );
+        write_field(
+            &mut out,
+            "threshold",
+            tree.nodes.iter().map(|n| format!("{}", n.threshold)),
+        );
+        write_field(
+            &mut out,
+            "left_child",
+            tree.nodes.iter().map(|n| n.left.to_string()),
+        );
+        write_field(
+            &mut out,
+            "right_child",
+            tree.nodes.iter().map(|n| n.right.to_string()),
+        );
+        write_field(
+            &mut out,
+            "leaf_value",
+            tree.nodes.iter().map(|n| format!("{}", n.value)),
+        );
+        write_field(
+            &mut out,
+            "split_gain",
+            tree.nodes.iter().map(|n| format!("{}", n.gain)),
+        );
+        write_field(
+            &mut out,
+            "count",
+            tree.nodes.iter().map(|n| n.count.to_string()),
+        );
     }
     out
 }
@@ -155,10 +183,7 @@ fn missing(key: &str) -> ForestError {
     ForestError::Parse(format!("missing required key {key:?}"))
 }
 
-fn expect_tree<'a>(
-    pending: &'a mut Option<TreeFields>,
-    key: &str,
-) -> Result<&'a mut TreeFields> {
+fn expect_tree<'a>(pending: &'a mut Option<TreeFields>, key: &str) -> Result<&'a mut TreeFields> {
     pending
         .as_mut()
         .ok_or_else(|| ForestError::Parse(format!("{key} outside of a Tree block")))
@@ -189,9 +214,7 @@ struct TreeFields {
 
 impl TreeFields {
     fn finish(self) -> Result<Tree> {
-        let n = self
-            .num_nodes
-            .ok_or_else(|| missing("num_nodes"))?;
+        let n = self.num_nodes.ok_or_else(|| missing("num_nodes"))?;
         for (name, len) in [
             ("split_feature", self.feature.len()),
             ("threshold", self.threshold.len()),
@@ -308,10 +331,7 @@ mod tests {
     #[test]
     fn rejects_wrong_tree_count() {
         let f = small_forest();
-        let s = to_text(&f).replace(
-            &format!("num_trees={}", f.trees.len()),
-            "num_trees=99",
-        );
+        let s = to_text(&f).replace(&format!("num_trees={}", f.trees.len()), "num_trees=99");
         assert!(from_text(&s).is_err());
     }
 

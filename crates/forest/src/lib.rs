@@ -148,6 +148,62 @@ impl Forest {
         out
     }
 
+    /// Raw margin prediction plus the number of tree nodes visited.
+    pub fn predict_raw_counted(&self, x: &[f64]) -> (f64, u64) {
+        debug_assert!(x.len() >= self.num_features);
+        let mut visited = 0u64;
+        let mut sum = 0.0;
+        for t in &self.trees {
+            let (v, n) = t.predict_counted(x);
+            sum += v;
+            visited += n;
+        }
+        (self.base_score + self.scale * sum, visited)
+    }
+
+    /// Batch response-scale predictions plus the total number of tree
+    /// nodes visited across the batch.
+    ///
+    /// Same parallelization policy as [`Forest::predict_batch`]; the
+    /// visit count feeds the `forest.nodes_visited` telemetry counter
+    /// during D* labeling.
+    pub fn predict_batch_counted(&self, xs: &[Vec<f64>]) -> (Vec<f64>, u64) {
+        const PAR_THRESHOLD: usize = 4096;
+        if xs.len() < PAR_THRESHOLD || self.trees.len() < 64 {
+            let mut visited = 0u64;
+            let out = xs
+                .iter()
+                .map(|x| {
+                    let (raw, n) = self.predict_raw_counted(x);
+                    visited += n;
+                    self.objective.transform(raw)
+                })
+                .collect();
+            return (out, visited);
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
+        let chunk = xs.len().div_ceil(threads);
+        let mut out = vec![0.0; xs.len()];
+        let visited = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let visited = &visited;
+                s.spawn(move || {
+                    let mut local = 0u64;
+                    for (x, o) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let (raw, n) = self.predict_raw_counted(x);
+                        local += n;
+                        *o = self.objective.transform(raw);
+                    }
+                    visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        (out, visited.into_inner())
+    }
+
     /// Total number of nodes (internal + leaves) across all trees.
     pub fn num_nodes(&self) -> usize {
         self.trees.iter().map(|t| t.nodes.len()).sum()
@@ -191,6 +247,32 @@ pub type Result<T> = std::result::Result<T, ForestError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counted_prediction_matches_plain() {
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 1.0, 4),
+                Node::leaf(-1.0, 2),
+                Node::leaf(1.0, 2),
+            ],
+        };
+        let forest = Forest {
+            trees: vec![tree.clone(), tree],
+            base_score: 0.25,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 1,
+        };
+        let xs = vec![vec![0.2], vec![0.8]];
+        let (preds, visited) = forest.predict_batch_counted(&xs);
+        assert_eq!(preds, forest.predict_batch(&xs));
+        // 2 rows × 2 trees × 2 nodes per root-to-leaf path.
+        assert_eq!(visited, 8);
+        let (raw, n) = forest.predict_raw_counted(&xs[0]);
+        assert_eq!(raw, forest.predict_raw(&xs[0]));
+        assert_eq!(n, 4);
+    }
 
     #[test]
     fn sigmoid_props() {

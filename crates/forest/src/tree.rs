@@ -48,7 +48,14 @@ impl Node {
     }
 
     /// Construct an internal split node.
-    pub fn split(feature: usize, threshold: f64, left: u32, right: u32, gain: f64, count: u32) -> Self {
+    pub fn split(
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+        gain: f64,
+        count: u32,
+    ) -> Self {
         Node {
             feature: feature as i32,
             threshold,
@@ -90,6 +97,27 @@ impl Tree {
             let n = &self.nodes[idx];
             if n.is_leaf() {
                 return n.value;
+            }
+            idx = if x[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// Evaluate the tree and also report how many nodes the traversal
+    /// visited (root and leaf included). Used by telemetry to count
+    /// forest work during synthetic-dataset labeling.
+    #[inline]
+    pub fn predict_counted(&self, x: &[f64]) -> (f64, u64) {
+        let mut idx = 0usize;
+        let mut visited = 0u64;
+        loop {
+            let n = &self.nodes[idx];
+            visited += 1;
+            if n.is_leaf() {
+                return (n.value, visited);
             }
             idx = if x[n.feature as usize] <= n.threshold {
                 n.left as usize

@@ -5,7 +5,7 @@
 //! 25% validation split for early stopping; [`grid_search_cv`]
 //! reproduces that procedure for our GBDT trainer.
 
-use crate::{Forest, GbdtParams, GbdtTrainer, Objective, Result, sigmoid};
+use crate::{sigmoid, Forest, GbdtParams, GbdtTrainer, Objective, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

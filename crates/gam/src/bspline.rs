@@ -97,9 +97,7 @@ impl BSplineBasis {
         let segments = num_basis - degree;
         // Quantile breakpoints, repaired to be strictly increasing.
         let mut breaks: Vec<f64> = (0..=segments)
-            .map(|i| {
-                gef_linalg::stats::quantile_sorted(anchors, i as f64 / segments as f64)
-            })
+            .map(|i| gef_linalg::stats::quantile_sorted(anchors, i as f64 / segments as f64))
             .collect();
         let min_gap = (hi - lo) * 1e-9;
         let mut strictly_increasing = true;
@@ -346,7 +344,9 @@ mod tests {
     #[test]
     fn anchored_partition_of_unity_and_support() {
         // Heavily skewed anchors: most mass near 0, tail to 100.
-        let mut anchors: Vec<f64> = (0..500).map(|i| (i as f64 / 500.0).powi(4) * 100.0).collect();
+        let mut anchors: Vec<f64> = (0..500)
+            .map(|i| (i as f64 / 500.0).powi(4) * 100.0)
+            .collect();
         anchors.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let b = BSplineBasis::from_anchors(12, 3, &anchors).unwrap();
         for i in 0..=100 {

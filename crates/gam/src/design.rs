@@ -29,7 +29,9 @@ impl Design {
     /// Compile term specifications into a design.
     pub(crate) fn compile(specs: &[TermSpec], penalty_order: usize) -> Result<Self, GamError> {
         if specs.is_empty() {
-            return Err(GamError::InvalidSpec("a GAM needs at least one term".into()));
+            return Err(GamError::InvalidSpec(
+                "a GAM needs at least one term".into(),
+            ));
         }
         let terms: Vec<BuiltTerm> = specs
             .iter()
@@ -101,9 +103,9 @@ mod tests {
 
     fn specs() -> Vec<TermSpec> {
         vec![
-            TermSpec::spline(0, (0.0, 1.0)),                       // 20 cols
-            TermSpec::factor(1, vec![0.0, 1.0, 2.0]),              // 3 cols
-            TermSpec::tensor((0, 2), ((0.0, 1.0), (0.0, 1.0))),    // 64 cols
+            TermSpec::spline(0, (0.0, 1.0)),                    // 20 cols
+            TermSpec::factor(1, vec![0.0, 1.0, 2.0]),           // 3 cols
+            TermSpec::tensor((0, 2), ((0.0, 1.0), (0.0, 1.0))), // 64 cols
         ]
     }
 

@@ -144,6 +144,7 @@ pub struct Gam {
 /// `xs` are row-major instances, `ys` the responses (in `[0, 1]` for
 /// [`Link::Logit`]).
 pub fn fit(spec: &GamSpec, xs: &[Vec<f64>], ys: &[f64]) -> Result<Gam> {
+    let _span = gef_trace::Span::enter("gam.fit");
     if xs.len() != ys.len() {
         return Err(GamError::InvalidData(format!(
             "{} rows but {} responses",
@@ -174,7 +175,9 @@ pub fn fit(spec: &GamSpec, xs: &[Vec<f64>], ys: &[f64]) -> Result<Gam> {
     if ys.iter().any(|y| !y.is_finite()) {
         return Err(GamError::InvalidData("non-finite response".into()));
     }
-    let design = Design::compile(&spec.terms, spec.penalty_order)?;
+    let design = gef_trace::time("gam.design_compile", || {
+        Design::compile(&spec.terms, spec.penalty_order)
+    })?;
     let n = xs.len();
     let p = design.num_cols;
     if n < p {
@@ -229,6 +232,14 @@ pub fn fit(spec: &GamSpec, xs: &[Vec<f64>], ys: &[f64]) -> Result<Gam> {
         )?,
     };
     let (beta, cov, summary) = fitted;
+    if gef_trace::enabled() {
+        let t = gef_trace::global();
+        t.gauge("gam.lambda", summary.lambda);
+        t.gauge("gam.gcv", summary.gcv);
+        t.gauge("gam.edf", summary.edf);
+        t.gauge("gam.deviance", summary.deviance);
+        t.gauge("gam.pirls_iters", summary.pirls_iters as f64);
+    }
 
     // Per-term training contributions (for centering and importance).
     let t = design.terms.len();
@@ -411,8 +422,10 @@ fn fit_gaussian(
     g.mirror_upper();
     let ridge = ridge_for(&g);
 
+    let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
     let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
     for &lambda in grid {
+        let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
         let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
         let beta = chol.solve(&b)?;
         let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -422,6 +435,18 @@ fn fit_gaussian(
         let edf = edf_trace(&chol, &g)?;
         let denom = (n as f64 - edf).max(1.0);
         let gcv = n as f64 * rss / (denom * denom);
+        if gef_trace::enabled() {
+            gef_trace::global().event(
+                "gam.gcv",
+                &[
+                    ("lambda", lambda),
+                    ("gcv", gcv),
+                    ("edf", edf),
+                    ("deviance", rss),
+                    ("pirls_iters", 1.0),
+                ],
+            );
+        }
         if best.as_ref().is_none_or(|bst| gcv < bst.0) {
             best = Some((gcv, lambda, beta, chol, rss, edf));
         }
@@ -458,14 +483,28 @@ fn fit_logit(
     constraint: &Matrix,
 ) -> Result<Fitted> {
     let n = rows.len();
+    let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
     type LogitBest = (f64, f64, Vec<f64>, Cholesky, f64, f64, usize);
     let mut best: Option<LogitBest> = None;
     for &lambda in grid {
+        let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
         let (beta, chol, gw, dev, iters) =
             pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
         let edf = edf_trace(&chol, &gw)?;
         let denom = (n as f64 - edf).max(1.0);
         let gcv = n as f64 * dev / (denom * denom);
+        if gef_trace::enabled() {
+            gef_trace::global().event(
+                "gam.gcv",
+                &[
+                    ("lambda", lambda),
+                    ("gcv", gcv),
+                    ("edf", edf),
+                    ("deviance", dev),
+                    ("pirls_iters", iters as f64),
+                ],
+            );
+        }
         if best.as_ref().is_none_or(|bst| gcv < bst.0) {
             best = Some((gcv, lambda, beta, chol, dev, edf, iters));
         }
@@ -510,6 +549,7 @@ fn pirls_logit(
     let mut beta = vec![0.0; p];
     let mut result: Option<(Cholesky, Matrix)> = None;
     let mut iters = 0;
+    let mut last_delta = f64::INFINITY;
     for it in 0..max_iter {
         iters = it + 1;
         let mut g = Matrix::zeros(p, p);
@@ -539,9 +579,21 @@ fn pirls_logit(
             *e = sparse_dot(row, &beta).clamp(-30.0, 30.0);
         }
         result = Some((chol, g));
+        last_delta = delta;
         if delta < tol * (1.0 + scale_ref) {
             break;
         }
+    }
+    if gef_trace::enabled() {
+        gef_trace::counter!("gam.pirls_iterations").add(iters as u64);
+        gef_trace::global().event(
+            "gam.pirls",
+            &[
+                ("lambda", lambda),
+                ("iters", iters as f64),
+                ("final_delta", last_delta),
+            ],
+        );
     }
     let (chol, g) = result.expect("at least one iteration ran");
     // Binomial deviance.
@@ -781,9 +833,7 @@ mod tests {
         ]);
         let gam = fit(&spec, &xs, &ys).unwrap();
         for x in xs.iter().take(20) {
-            let sum = gam.effective_intercept()
-                + gam.component(0, x)
-                + gam.component(1, x);
+            let sum = gam.effective_intercept() + gam.component(0, x) + gam.component(1, x);
             assert!((sum - gam.predict_raw(x)).abs() < 1e-9);
         }
     }
@@ -791,10 +841,7 @@ mod tests {
     #[test]
     fn heavy_smoothing_flattens_curve() {
         let xs = uniform(800, 1, 5);
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|x| (x[0] * 20.0).sin())
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 20.0).sin()).collect();
         let smooth = fit(
             &GamSpec {
                 lambda: LambdaSelection::Fixed(1e8),
@@ -831,10 +878,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.4
         };
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|x| (x[0] * 6.0).sin() + noise())
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 6.0).sin() + noise()).collect();
         let gam = fit(
             &GamSpec::regression(vec![TermSpec::spline(0, (0.0, 1.0))]),
             &xs,
@@ -942,10 +986,7 @@ mod tests {
         let xs = uniform(300, 2, 23);
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
         let gam = fit(
-            &GamSpec::regression(vec![TermSpec::tensor(
-                (0, 1),
-                ((0.0, 1.0), (0.0, 1.0)),
-            )]),
+            &GamSpec::regression(vec![TermSpec::tensor((0, 1), ((0.0, 1.0), (0.0, 1.0)))]),
             &xs,
             &ys,
         )
@@ -980,10 +1021,7 @@ mod tests {
         let xs = uniform(4000, 2, 77);
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| {
-                (x[0] * std::f64::consts::PI * 2.0).sin()
-                    + 3.0 * (x[0] - 0.5) * (x[1] - 0.5)
-            })
+            .map(|x| (x[0] * std::f64::consts::PI * 2.0).sin() + 3.0 * (x[0] - 0.5) * (x[1] - 0.5))
             .collect();
         let gam = fit(
             &GamSpec::regression(vec![

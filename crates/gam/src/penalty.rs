@@ -142,11 +142,7 @@ mod tests {
     fn known_3x3_second_difference() {
         // k=3, order=2: D = [1, -2, 1], P = DᵀD.
         let p = difference_penalty(3, 2);
-        let expect = [
-            [1.0, -2.0, 1.0],
-            [-2.0, 4.0, -2.0],
-            [1.0, -2.0, 1.0],
-        ];
+        let expect = [[1.0, -2.0, 1.0], [-2.0, 4.0, -2.0], [1.0, -2.0, 1.0]];
         for i in 0..3 {
             for j in 0..3 {
                 assert_eq!(p[(i, j)], expect[i][j]);

@@ -66,6 +66,7 @@ impl Cholesky {
     /// ×10 up to `max_tries` times) restores definiteness with a
     /// perturbation far below the statistical noise floor.
     pub fn factor_jittered(a: &Matrix, base: f64, max_tries: u32) -> Result<Self> {
+        let _span = gef_trace::Span::enter("linalg.cholesky_jittered");
         match Self::factor(a) {
             Ok(c) => return Ok(c),
             Err(LinalgError::NotPositiveDefinite { .. }) => {}
@@ -79,6 +80,7 @@ impl Cholesky {
             value: 0.0,
         };
         for _ in 0..max_tries {
+            gef_trace::counter!("linalg.cholesky_jitter_retries").incr();
             let mut aj = a.clone();
             for i in 0..n {
                 aj[(i, i)] += jitter;
@@ -209,7 +211,9 @@ mod tests {
         let mut state = 42u64;
         for i in 0..n {
             for j in 0..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 m[(i, j)] = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             }
         }

@@ -380,8 +380,7 @@ mod tests {
 
     #[test]
     fn gram_equals_explicit_product() {
-        let m =
-            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![-1.0, 0.5]]).unwrap();
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![-1.0, 0.5]]).unwrap();
         let g = m.gram();
         let e = m.transpose().matmul(&m).unwrap();
         for i in 0..2 {

@@ -143,7 +143,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// Log-spaced grid of `n` points from `lo` to `hi` inclusive (both > 0).
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
-    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,8 +186,14 @@ mod tests {
     fn welch_matches_scipy_reference() {
         // Reference (scipy.stats.ttest_ind(a, b, equal_var=False)):
         // t = -2.835264, df = 27.71363, p = 0.0084527.
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ];
         let r = welch_t_test(&a, &b);
         assert!((r.t + 2.835_264).abs() < 1e-5, "t={}", r.t);
         assert!((r.df - 27.713_626).abs() < 1e-4, "df={}", r.df);

@@ -1,0 +1,258 @@
+//! Log-linear histogram for latency-style values.
+//!
+//! Values (nanoseconds, counts, …) are bucketed on a log-linear grid: one
+//! major bucket per power of two of the value, each subdivided into
+//! [`SUB_BUCKETS`] linear sub-buckets. This bounds the relative quantile
+//! error at `1 / SUB_BUCKETS` (25%) per estimate while keeping the whole
+//! histogram a fixed 256 × `u64` array — cheap enough to keep one per
+//! instrumented site and merge without allocation.
+
+/// Number of power-of-two major buckets (covers the full `u64` range).
+pub const MAJOR_BUCKETS: usize = 64;
+/// Linear subdivisions inside each major bucket.
+pub const SUB_BUCKETS: usize = 4;
+/// Total bucket count of a [`Histogram`].
+pub const NUM_BUCKETS: usize = MAJOR_BUCKETS * SUB_BUCKETS;
+
+/// Fixed-size log-linear histogram with exact `count`/`sum`/`min`/`max`.
+///
+/// Quantiles ([`Histogram::quantile`]) are estimated from the bucket grid;
+/// everything else is exact. The histogram is a plain value type — thread
+/// safety is provided by the registry that owns it.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0u64; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket that `value` falls into.
+    fn bucket_index(value: u64) -> usize {
+        // Values below SUB_BUCKETS map 1:1 onto the first buckets.
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize; // >= 2 here
+        let major = msb - 1; // shift so small values occupy low majors
+        let sub = ((value >> (msb - 2)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        let idx = major * SUB_BUCKETS + sub;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of bucket `idx`, used when
+    /// estimating quantiles.
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let major = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        let msb = major + 1;
+        if msb >= 64 {
+            // The top few bucket slots are unreachable from `bucket_index`
+            // (it clamps at major 62); saturate instead of overflowing.
+            return u64::MAX;
+        }
+        (1u64 << msb) + (sub << (msb - 2))
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the bucket grid.
+    ///
+    /// The estimate is the floor of the bucket containing the target rank,
+    /// clamped to the exact `[min, max]` range, so single-bucket
+    /// distributions return exact values.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based, rounded up).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 1000, 7, 42] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 3 + 9 + 1000 + 7 + 42);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        assert_eq!(h.quantile(0.5), 777);
+        assert_eq!(h.quantile(0.95), 777);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let p95 = h.quantile(0.95) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.30, "p50={p50}");
+        assert!((p95 - 9_500.0).abs() / 9_500.0 < 0.30, "p95={p95}");
+        // Monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_nondecreasing() {
+        let mut last = 0usize;
+        for v in 0..100_000u64 {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= last, "v={v} idx={idx} last={last}");
+            last = idx;
+        }
+        // Extremes don't panic and land in range.
+        assert!(Histogram::bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_floor_is_consistent_with_index() {
+        for idx in 0..NUM_BUCKETS {
+            let floor = Histogram::bucket_floor(idx);
+            if floor == u64::MAX {
+                continue; // unreachable top slots saturate
+            }
+            // The floor of a bucket must map back into that bucket.
+            assert_eq!(
+                Histogram::bucket_index(floor),
+                idx,
+                "idx={idx} floor={floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.sum(), 111);
+    }
+}

@@ -1,0 +1,423 @@
+//! Minimal hand-rolled JSON support.
+//!
+//! `gef-trace` is intentionally dependency-free, so it ships its own tiny
+//! JSON *writer* ([`JsonWriter`]) for serializing [`crate::report::TelemetryReport`]
+//! and a structural *validator* ([`validate`]) used by tests to assert that
+//! emitted documents are well-formed. Neither is a general-purpose JSON
+//! library: the writer only produces what the tracer needs, and the
+//! validator checks syntax, not schema.
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number.
+///
+/// JSON has no NaN/Infinity; those are mapped to `null` so documents stay
+/// parseable by strict consumers.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` gives a round-trippable shortest representation.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer that produces compact, syntactically valid JSON.
+///
+/// The writer tracks nesting and comma placement; callers just emit
+/// fields/values in order:
+///
+/// ```
+/// use gef_trace::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("name", "gam.fit");
+/// w.field_u64("count", 3);
+/// w.key("nested");
+/// w.begin_array();
+/// w.value_f64(1.5);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"gam.fit","count":3,"nested":[1.5]}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    // true when the next emission at the current nesting level needs a comma
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            need_comma: vec![false],
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Open a `{`. Use [`Self::key`] first when inside an object.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Close the current `}`.
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Open a `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Close the current `]`.
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emit an object key; the next emission is its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        // The value that follows must not get a comma.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    /// Emit a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Emit a float value (NaN/inf become `null`).
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_value();
+        self.buf.push_str(&number(v));
+    }
+
+    /// Emit a raw pre-serialized JSON fragment as a value.
+    ///
+    /// The fragment must itself be valid JSON; it is inserted verbatim.
+    pub fn value_raw(&mut self, fragment: &str) {
+        self.pre_value();
+        self.buf.push_str(fragment);
+    }
+
+    /// `"k": "v"` shorthand.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+    }
+
+    /// `"k": v` shorthand for integers.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+    }
+
+    /// `"k": v` shorthand for floats.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+    }
+
+    /// Consume the writer and return the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Structurally validate a JSON document.
+///
+/// Returns `Ok(())` when `input` is exactly one well-formed JSON value,
+/// otherwise `Err` with a byte offset and message. This is a strict
+/// recursive-descent checker (no trailing garbage, no trailing commas,
+/// `\uXXXX` escapes verified) used by the test suite to vouch for the
+/// output of [`JsonWriter`] without pulling in `serde_json`.
+pub fn validate(input: &str) -> Result<(), String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {pos}")),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control char in string at byte {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("expected digits at byte {pos}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected fraction digits at byte {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digits at byte {pos}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "pipeline.gam_fit");
+        w.field_u64("count", 42);
+        w.field_f64("mean_ns", 1234.5);
+        w.field_f64("nan_becomes_null", f64::NAN);
+        w.key("items");
+        w.begin_array();
+        for i in 0..3 {
+            w.begin_object();
+            w.field_u64("i", i);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid: {e}\n{doc}"));
+        assert!(doc.contains(r#""nan_becomes_null":null"#));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let doc = format!("\"{}\"", escape("tab\tchar and \u{1} ctrl"));
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":null}],"c":"xé"}"#,
+            "  { \"k\" : [ ] }  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{a:1}",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "[1] trailing",
+            "{\"bad\\q\":1}",
+        ] {
+            assert!(validate(doc).is_err(), "should reject: {doc}");
+        }
+    }
+
+    #[test]
+    fn number_formatting_round_trips() {
+        for v in [0.0, -1.25, 1e-9, 123456789.5, f64::MAX] {
+            let s = number(v);
+            let parsed: f64 = s.parse().unwrap();
+            assert_eq!(parsed, v, "{s}");
+        }
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

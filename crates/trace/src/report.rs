@@ -1,0 +1,390 @@
+//! Snapshot types and rendering: schema-versioned JSON reports and the
+//! human-readable summary table.
+//!
+//! A [`TelemetryReport`] is produced by [`crate::Telemetry::snapshot`] and
+//! rendered either as JSON ([`TelemetryReport::to_json`]) — the document
+//! written under `results/telemetry/` — or as a fixed-width table
+//! ([`TelemetryReport::summary`]) for terminal use.
+
+use crate::hist::Histogram;
+use crate::json::JsonWriter;
+use crate::Event;
+
+/// Version of the JSON document layout. Bump on breaking changes to the
+/// report structure; consumers should check this field first.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Milliseconds since the Unix epoch (0 if the system clock is before it).
+pub fn unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Aggregated duration statistics for one span path (all times ns).
+#[derive(Clone, Debug)]
+pub struct SpanStats {
+    /// Hierarchical span path, e.g. `pipeline.gam_fit/gam.gcv_grid`.
+    pub name: String,
+    /// Number of completed spans recorded at this path.
+    pub count: u64,
+    /// Exact total of all durations.
+    pub total_ns: u64,
+    /// Mean duration.
+    pub mean_ns: f64,
+    /// Estimated median duration.
+    pub p50_ns: u64,
+    /// Estimated 95th-percentile duration.
+    pub p95_ns: u64,
+    /// Exact fastest duration.
+    pub min_ns: u64,
+    /// Exact slowest duration.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn from_hist(name: &str, h: &Histogram) -> SpanStats {
+        SpanStats {
+            name: name.to_string(),
+            count: h.count(),
+            total_ns: h.sum(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.5),
+            p95_ns: h.quantile(0.95),
+            min_ns: h.min(),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Aggregated statistics for one value histogram (unit defined by the
+/// recording site — see the metric's documentation).
+#[derive(Clone, Debug)]
+pub struct HistStats {
+    /// Histogram name, e.g. `forest.hist_build_ns`.
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl HistStats {
+    pub(crate) fn from_hist(name: &str, h: &Histogram) -> HistStats {
+        HistStats {
+            name: name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            min: h.min(),
+            max: h.max(),
+        }
+    }
+}
+
+/// Final value of one counter.
+#[derive(Clone, Debug)]
+pub struct CounterStat {
+    /// Counter name, e.g. `forest.nodes_visited`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Final value of one gauge.
+#[derive(Clone, Debug)]
+pub struct GaugeStat {
+    /// Gauge name, e.g. `gam.pirls_iters`.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Complete snapshot of the registry, ready for serialization.
+///
+/// All collections are sorted by name (spans additionally reflect their
+/// hierarchical paths); `events` preserve insertion order.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Caller-supplied run label (also used as the output file stem).
+    pub label: String,
+    /// Wall-clock creation time, ms since Unix epoch.
+    pub created_unix_ms: u64,
+    /// Nanoseconds since the registry was created or last reset.
+    pub wall_ns: u64,
+    /// Per-span-path duration statistics.
+    pub spans: Vec<SpanStats>,
+    /// Value histograms.
+    pub histograms: Vec<HistStats>,
+    /// Counter totals.
+    pub counters: Vec<CounterStat>,
+    /// Gauge values.
+    pub gauges: Vec<GaugeStat>,
+    /// Bounded event log (insertion order).
+    pub events: Vec<Event>,
+    /// Events discarded after the log filled up.
+    pub events_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Serialize as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("schema_version", self.schema_version as u64);
+        w.field_str("label", &self.label);
+        w.field_u64("created_unix_ms", self.created_unix_ms);
+        w.field_u64("wall_ns", self.wall_ns);
+        w.key("spans");
+        w.begin_array();
+        for s in &self.spans {
+            w.begin_object();
+            w.field_str("name", &s.name);
+            w.field_u64("count", s.count);
+            w.field_u64("total_ns", s.total_ns);
+            w.field_f64("mean_ns", s.mean_ns);
+            w.field_u64("p50_ns", s.p50_ns);
+            w.field_u64("p95_ns", s.p95_ns);
+            w.field_u64("min_ns", s.min_ns);
+            w.field_u64("max_ns", s.max_ns);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("histograms");
+        w.begin_array();
+        for h in &self.histograms {
+            w.begin_object();
+            w.field_str("name", &h.name);
+            w.field_u64("count", h.count);
+            w.field_u64("sum", h.sum);
+            w.field_f64("mean", h.mean);
+            w.field_u64("p50", h.p50);
+            w.field_u64("p95", h.p95);
+            w.field_u64("min", h.min);
+            w.field_u64("max", h.max);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("counters");
+        w.begin_array();
+        for c in &self.counters {
+            w.begin_object();
+            w.field_str("name", &c.name);
+            w.field_u64("value", c.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("gauges");
+        w.begin_array();
+        for g in &self.gauges {
+            w.begin_object();
+            w.field_str("name", &g.name);
+            w.field_f64("value", g.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("events");
+        w.begin_array();
+        for e in &self.events {
+            w.begin_object();
+            w.field_str("name", &e.name);
+            w.key("fields");
+            w.begin_object();
+            for (k, v) in &e.fields {
+                w.field_f64(k, *v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("events_dropped", self.events_dropped);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Render a fixed-width human-readable table (the `GEF_TRACE=summary`
+    /// output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== gef-trace summary: {} (wall {}) ==\n",
+            self.label,
+            fmt_duration_ns(self.wall_ns)
+        ));
+        if !self.spans.is_empty() {
+            let w = self
+                .spans
+                .iter()
+                .map(|s| s.name.len())
+                .max()
+                .unwrap()
+                .max(4);
+            out.push_str(&format!(
+                "-- spans --\n{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                "path", "count", "total", "mean", "p50", "p95",
+            ));
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                    s.name,
+                    s.count,
+                    fmt_duration_ns(s.total_ns),
+                    fmt_duration_ns(s.mean_ns as u64),
+                    fmt_duration_ns(s.p50_ns),
+                    fmt_duration_ns(s.p95_ns),
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap()
+                .max(4);
+            out.push_str(&format!(
+                "-- histograms --\n{:<w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                "name", "count", "sum", "mean", "p50", "p95",
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<w$}  {:>8}  {:>12}  {:>12.1}  {:>12}  {:>12}\n",
+                    h.name, h.count, h.sum, h.mean, h.p50, h.p95,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            let w = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap()
+                .max(4);
+            out.push_str("-- counters --\n");
+            for c in &self.counters {
+                out.push_str(&format!("{:<w$}  {:>14}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self
+                .gauges
+                .iter()
+                .map(|g| g.name.len())
+                .max()
+                .unwrap()
+                .max(4);
+            out.push_str("-- gauges --\n");
+            for g in &self.gauges {
+                out.push_str(&format!("{:<w$}  {:>14.6}\n", g.name, g.value));
+            }
+        }
+        out.push_str(&format!(
+            "-- events: {} recorded, {} dropped --\n",
+            self.events.len(),
+            self.events_dropped
+        ));
+        out
+    }
+}
+
+/// Format nanoseconds with an adaptive unit (`412ns`, `3.1µs`, `25ms`, `1.2s`).
+pub fn fmt_duration_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        let mut h = Histogram::new();
+        h.record(1_500);
+        h.record(2_500);
+        TelemetryReport {
+            schema_version: SCHEMA_VERSION,
+            label: "unit \"test\"".to_string(),
+            created_unix_ms: 1_700_000_000_000,
+            wall_ns: 5_000_000,
+            spans: vec![SpanStats::from_hist("pipeline.gam_fit", &h)],
+            histograms: vec![HistStats::from_hist("forest.leaves", &h)],
+            counters: vec![CounterStat {
+                name: "forest.nodes_visited".into(),
+                value: 123,
+            }],
+            gauges: vec![GaugeStat {
+                name: "gam.pirls_iters".into(),
+                value: 7.0,
+            }],
+            events: vec![Event {
+                name: "gam.gcv".into(),
+                fields: vec![("lambda".into(), 0.1), ("gcv".into(), f64::NAN)],
+            }],
+            events_dropped: 2,
+        }
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let doc = sample_report().to_json();
+        crate::json::validate(&doc).unwrap_or_else(|e| panic!("invalid: {e}\n{doc}"));
+        for needle in [
+            "\"schema_version\":1",
+            "pipeline.gam_fit",
+            "forest.nodes_visited",
+            "gam.pirls_iters",
+            "\"gam.gcv\"",
+            "\"events_dropped\":2",
+            "unit \\\"test\\\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let s = sample_report().summary();
+        for needle in [
+            "-- spans --",
+            "-- histograms --",
+            "-- counters --",
+            "-- gauges --",
+            "pipeline.gam_fit",
+            "2 dropped",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in\n{s}");
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_ns(412), "412ns");
+        assert_eq!(fmt_duration_ns(3_100), "3.1µs");
+        assert_eq!(fmt_duration_ns(25_000_000), "25.0ms");
+        assert_eq!(fmt_duration_ns(1_200_000_000), "1.20s");
+    }
+}

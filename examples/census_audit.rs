@@ -60,7 +60,10 @@ fn main() {
         println!("  {}", data.feature_names[f]);
     }
     for &(a, b) in &explanation.interactions {
-        println!("  interaction: {} x {}", data.feature_names[a], data.feature_names[b]);
+        println!(
+            "  interaction: {} x {}",
+            data.feature_names[a], data.feature_names[b]
+        );
     }
 
     // The paper reads off Fig. 10 that EducationNum correlates
@@ -75,7 +78,11 @@ fn main() {
             let increasing = curve.last().expect("non-empty").1 > curve[0].1;
             println!(
                 "  -> education effect is {}",
-                if increasing { "POSITIVE (matches the paper)" } else { "NEGATIVE (unexpected!)" }
+                if increasing {
+                    "POSITIVE (matches the paper)"
+                } else {
+                    "NEGATIVE (unexpected!)"
+                }
             );
         }
     }

@@ -61,7 +61,11 @@ fn main() {
     if let Some(t) = term2 {
         println!(
             "feature x2 detected as {} ({} thresholds in the forest)",
-            if explanation.categorical[t] { "categorical" } else { "continuous" },
+            if explanation.categorical[t] {
+                "categorical"
+            } else {
+                "continuous"
+            },
             explanation.profile.thresholds(2).len()
         );
     }

@@ -75,4 +75,9 @@ fn main() {
         forest.predict(&instance),
         local.prediction
     );
+
+    // 5. Observability: with `GEF_TRACE=summary` a per-stage timing
+    //    table lands on stderr; with `GEF_TRACE=json` a structured
+    //    report is written to results/telemetry/quickstart.json.
+    gef_trace::global().emit("quickstart");
 }

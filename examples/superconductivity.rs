@@ -55,7 +55,11 @@ fn main() {
     );
     println!("selected features (by forest gain):");
     for &f in &explanation.selected_features {
-        println!("  {:28} gain = {:.0}", data.feature_names[f], explanation.profile.gain(f));
+        println!(
+            "  {:28} gain = {:.0}",
+            data.feature_names[f],
+            explanation.profile.gain(f)
+        );
     }
 
     // The WEAM discontinuity: scan the learned spline for the largest
@@ -82,8 +86,7 @@ fn main() {
     for c in local.contributions.iter().take(5) {
         println!(
             "  {:+9.3}  {}",
-            c.contribution,
-            data.feature_names[c.features[0]]
+            c.contribution, data.feature_names[c.features[0]]
         );
     }
     let (phi, base) = shap_values(&forest, sample);

@@ -55,7 +55,10 @@ fn gef_spline_trend_matches_shap_dependence() {
                 curve
                     .iter()
                     .min_by(|a, b| {
-                        (a.0 - v).abs().partial_cmp(&(b.0 - v).abs()).expect("finite")
+                        (a.0 - v)
+                            .abs()
+                            .partial_cmp(&(b.0 - v).abs())
+                            .expect("finite")
                     })
                     .map(|&(_, e, ..)| e)
                     .expect("non-empty curve")
@@ -160,8 +163,10 @@ fn lime_signs_match_gef_for_monotone_features() {
     assert!(lime.coefficients[2] < 0.0);
     let term0 = exp.term_of_feature(0).expect("selected");
     let term2 = exp.term_of_feature(2).expect("selected");
-    let slope0 = exp.gam.component(term0, &[0.6, 0.0, 0.0]) - exp.gam.component(term0, &[0.4, 0.0, 0.0]);
-    let slope2 = exp.gam.component(term2, &[0.0, 0.0, 0.6]) - exp.gam.component(term2, &[0.0, 0.0, 0.4]);
+    let slope0 =
+        exp.gam.component(term0, &[0.6, 0.0, 0.0]) - exp.gam.component(term0, &[0.4, 0.0, 0.0]);
+    let slope2 =
+        exp.gam.component(term2, &[0.0, 0.0, 0.6]) - exp.gam.component(term2, &[0.0, 0.0, 0.4]);
     assert!(slope0 > 0.0);
     assert!(slope2 < 0.0);
 }

@@ -117,7 +117,11 @@ fn gef_explains_random_forests_too() {
     })
     .explain(&rf)
     .expect("pipeline works on RF");
-    assert!(exp.fidelity_r2 > 0.85, "rf fidelity r2 = {}", exp.fidelity_r2);
+    assert!(
+        exp.fidelity_r2 > 0.85,
+        "rf fidelity r2 = {}",
+        exp.fidelity_r2
+    );
 }
 
 #[test]

@@ -52,9 +52,8 @@ fn all_strategies_beat_random_ranking() {
         let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
         let sample = generate(&forest, &domains, 300, true, 3);
         for (ki, &strategy) in strategies.iter().enumerate() {
-            let ranked =
-                rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
-                    .expect("ranking succeeds");
+            let ranked = rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
+                .expect("ranking succeeds");
             assert_eq!(ranked.len(), 10, "all candidate pairs ranked");
             let rel: Vec<bool> = ranked.iter().map(|&(p, _)| pairs.contains(&p)).collect();
             mean_ap[ki] += average_precision(&rel) / sets.len() as f64;

@@ -15,14 +15,8 @@ fn arb_tree(d: usize, max_depth: u32) -> impl Strategy<Value = Tree> {
         nodes: vec![Node::leaf(v as f64 / 100.0, c)],
     });
     leaf.prop_recursive(max_depth, 64, 2, move |inner| {
-        (
-            inner.clone(),
-            inner,
-            0..d,
-            any::<i16>(),
-            0.0f64..10.0,
-        )
-            .prop_map(|(left, right, feature, thr, gain)| {
+        (inner.clone(), inner, 0..d, any::<i16>(), 0.0f64..10.0).prop_map(
+            |(left, right, feature, thr, gain)| {
                 // Merge: re-index children into a single node array.
                 let mut nodes = Vec::with_capacity(1 + left.nodes.len() + right.nodes.len());
                 let count: u32 = left.nodes[0].count + right.nodes[0].count;
@@ -53,22 +47,21 @@ fn arb_tree(d: usize, max_depth: u32) -> impl Strategy<Value = Tree> {
                     nodes.push(n);
                 }
                 Tree { nodes }
-            })
+            },
+        )
     })
 }
 
 fn arb_forest(d: usize) -> impl Strategy<Value = Forest> {
-    (
-        proptest::collection::vec(arb_tree(d, 4), 1..5),
-        -10i16..10,
-    )
-        .prop_map(move |(trees, base)| Forest {
+    (proptest::collection::vec(arb_tree(d, 4), 1..5), -10i16..10).prop_map(move |(trees, base)| {
+        Forest {
             trees,
             base_score: base as f64 / 10.0,
             scale: 1.0,
             objective: Objective::RegressionL2,
             num_features: d,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -1,0 +1,102 @@
+//! Integration test for the gef-trace instrumentation of the full
+//! pipeline: a complete `GefExplainer::explain` run must emit all five
+//! stage spans with nonzero durations, and the PIRLS iteration count
+//! recorded by gef-trace must agree with the `FitSummary`.
+
+use gef_core::{GefConfig, GefExplainer};
+use gef_forest::{GbdtParams, GbdtTrainer};
+
+/// The five pipeline stages, in execution order.
+const STAGES: [&str; 5] = [
+    "pipeline.selection",
+    "pipeline.sampling",
+    "pipeline.generate",
+    "pipeline.interactions",
+    "pipeline.gam_fit",
+];
+
+#[test]
+fn explain_emits_all_stage_spans_and_consistent_pirls_count() {
+    // Enable tracing for this process and start from a clean registry.
+    gef_trace::set_enabled(true);
+    gef_trace::global().reset();
+
+    let xs: Vec<Vec<f64>> = (0..900)
+        .map(|i| {
+            vec![
+                (i % 47) as f64 / 47.0,
+                (i % 31) as f64 / 31.0,
+                (i % 13) as f64 / 13.0,
+            ]
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 2.0 * x[0] - x[1] + 0.5 * x[0] * x[2])
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 30,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 5,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap();
+
+    let exp = GefExplainer::new(GefConfig {
+        num_univariate: 3,
+        num_interactions: 1,
+        n_samples: 3000,
+        ..Default::default()
+    })
+    .explain(&forest)
+    .unwrap();
+
+    let t = gef_trace::global();
+
+    // Every stage span fired exactly once with a nonzero duration.
+    // Stages run nested under `pipeline.explain`, so match on the leaf
+    // segment of the hierarchical span path.
+    for stage in STAGES {
+        assert_eq!(t.span_leaf_count(stage), 1, "span {stage} should fire once");
+        assert!(
+            t.span_leaf_total_ns(stage) > 0,
+            "span {stage} has zero duration"
+        );
+    }
+    // The wrapper span covers the whole run.
+    assert_eq!(t.span_count("pipeline.explain"), 1);
+    let stage_sum: u64 = STAGES.iter().map(|s| t.span_leaf_total_ns(s)).sum();
+    assert!(t.span_total_ns("pipeline.explain") >= stage_sum);
+
+    // The always-on StageTimings agree with the trace (same stages ran).
+    assert!(exp.telemetry.generate_ns > 0);
+    assert!(exp.telemetry.gam_fit_ns > 0);
+    assert!(exp.telemetry.total_ns() <= t.span_total_ns("pipeline.explain"));
+
+    // FitSummary's PIRLS iteration count matches the recorded gauge.
+    let recorded = t.gauge_value("gam.pirls_iters").expect("gauge recorded");
+    assert_eq!(recorded, exp.gam.summary().pirls_iters as f64);
+
+    // Forest labeling was counted: one D* row costs at least one node
+    // visit per tree queried.
+    assert!(t.counter_value("forest.nodes_visited") > 0);
+    assert_eq!(t.counter_value("core.dstar_rows"), 3000);
+
+    // Per-lambda GCV events carry the model-selection trail.
+    let gcv_events = t.events_named("gam.gcv");
+    assert!(!gcv_events.is_empty(), "no gam.gcv events recorded");
+    for ev in &gcv_events {
+        let has = |k: &str| ev.fields.iter().any(|(n, _)| n == k);
+        assert!(has("lambda") && has("gcv") && has("edf") && has("deviance"));
+    }
+
+    // The JSON snapshot is valid and mentions every stage span.
+    let report = t.snapshot("telemetry-integration");
+    let json = report.to_json();
+    gef_trace::json::validate(&json).expect("snapshot JSON must be valid");
+    for stage in STAGES {
+        assert!(json.contains(stage), "JSON report missing {stage}");
+    }
+}
