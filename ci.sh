@@ -9,10 +9,19 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test --features fault-injection --test robustness"
+cargo test --features fault-injection --test robustness -q
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# No-panic gate: gef-core and gef-gam deny unwrap/expect in non-test
+# library code via #![cfg_attr(not(test), deny(...))] in their lib.rs;
+# this lint pass compiles the libs without cfg(test) to enforce it.
+echo "==> cargo clippy (no-panic gate: gef-core, gef-gam)"
+cargo clippy -p gef-core -p gef-gam --lib -- -D warnings
 
 echo "CI gate passed."

@@ -7,7 +7,8 @@
 //! wall-clock time per run.
 
 use gef_bench::{
-    emit_telemetry, f3, fmt_secs, print_table, timed_run, train_paper_forest, RunSize,
+    emit_telemetry, f3, fmt_secs, note_degradations, print_table, timed_run, train_paper_forest,
+    RunSize,
 };
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::synthetic::{make_d_prime, NUM_FEATURES};
@@ -41,15 +42,20 @@ fn main() {
             .explain(&forest)
             .expect("pipeline succeeds")
         });
+        let degraded = note_degradations("xp_ablation_n", &exp);
         rows.push(vec![
             n.to_string(),
             f3(exp.fidelity_rmse),
             f3(exp.fidelity_r2),
             fmt_secs(secs),
+            degraded.to_string(),
         ]);
     }
     println!();
-    print_table(&["N", "D* RMSE", "D* R2", "wall time"], &rows);
+    print_table(
+        &["N", "D* RMSE", "D* R2", "wall time", "degradations"],
+        &rows,
+    );
     println!(
         "\nExpected shape (paper): fidelity is flat in N beyond a few thousand \
          samples — the information in D* is bounded by the forest's threshold \

@@ -8,7 +8,7 @@
 //! and accuracy on the original test labels.
 
 use gef_baselines::linear::LinearSurrogate;
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{f3, note_degradations, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::metrics::{r2, rmse};
 use gef_data::synthetic::{make_d_second, NUM_FEATURES};
@@ -42,9 +42,11 @@ fn main() {
     })
     .explain(&forest)
     .expect("pipeline succeeds");
+    note_degradations("xp_ablation_surrogates/gam_inter", &gam_inter);
     let (gam_uni, dstar) = GefExplainer::new(base_cfg)
         .explain_with_data(&forest)
         .expect("pipeline succeeds");
+    note_degradations("xp_ablation_surrogates/gam_uni", &gam_uni);
 
     // (i) Linear surrogate on the same D*.
     let (dtrain, dtest) = dstar.split(0.8);

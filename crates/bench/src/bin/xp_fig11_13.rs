@@ -16,7 +16,7 @@
 
 use gef_baselines::lime::{explain as lime_explain, scales_from_forest, LimeConfig};
 use gef_baselines::treeshap::{expected_raw, shap_values};
-use gef_bench::{train_paper_forest, RunSize};
+use gef_bench::{note_degradations, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::superconductivity::{superconductivity_sim_sized, weam_index};
 use gef_forest::Objective;
@@ -55,6 +55,7 @@ fn main() {
     let exp = GefExplainer::new(cfg)
         .explain(&forest)
         .expect("pipeline succeeds");
+    note_degradations("xp_fig11_13", &exp);
     let local = exp.local(&sample);
     println!("\n## Fig. 11 — GEF local explanation");
     print!("{}", exp.format_local(&local, Some(&test.feature_names)));

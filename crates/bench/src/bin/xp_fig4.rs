@@ -6,7 +6,7 @@
 //! components sorted by importance with per-component reconstruction
 //! RMSE — the numerical counterpart of the paper's spline plots.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{f3, note_degradations, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::synthetic::{generator, make_d_prime, NUM_FEATURES};
 use gef_forest::Objective;
@@ -32,6 +32,7 @@ fn main() {
     let exp = GefExplainer::new(cfg)
         .explain(&forest)
         .expect("pipeline succeeds");
+    note_degradations("xp_fig4", &exp);
     println!(
         "fidelity on D* test split: RMSE = {}, R2 = {}",
         f3(exp.fidelity_rmse),

@@ -7,7 +7,9 @@
 //! K-Quantile and Equi-Size beat All-Thresholds; K-Means and Equi-Width
 //! do worse.
 
-use gef_bench::{common_fidelity_set, f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{
+    common_fidelity_set, f3, note_degradations, print_table, train_paper_forest, RunSize,
+};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::synthetic::{make_d_prime, NUM_FEATURES};
 use gef_forest::importance::FeatureStats;
@@ -59,6 +61,7 @@ fn main() {
         let exp = GefExplainer::new(cfg)
             .explain(&forest)
             .expect("pipeline succeeds");
+        note_degradations("xp_fig5", &exp);
         let preds: Vec<f64> = test_xs.iter().map(|x| exp.predict(x)).collect();
         (exp.fidelity_rmse, gef_data::metrics::rmse(&preds, &test_ys))
     };

@@ -7,7 +7,7 @@
 //! splines already come within ~5% of the maximum configuration, and
 //! interactions add little on top of 7 splines.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{f3, note_degradations, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, InteractionStrategy, SamplingStrategy};
 use gef_data::superconductivity::superconductivity_sim_sized;
 use gef_forest::Objective;
@@ -45,6 +45,7 @@ fn main() {
             let exp = GefExplainer::new(cfg)
                 .explain(&forest)
                 .expect("pipeline succeeds");
+            note_degradations("xp_fig7", &exp);
             row.push(f3(exp.fidelity_rmse));
         }
         rows.push(row);

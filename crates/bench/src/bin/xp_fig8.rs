@@ -5,7 +5,9 @@
 //! The paper's shape: Equi-Size is strongly K-sensitive and, tuned,
 //! clearly the best; the other strategies are flat in `K`.
 
-use gef_bench::{common_fidelity_set, f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{
+    common_fidelity_set, f3, note_degradations, print_table, train_paper_forest, RunSize,
+};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::superconductivity::superconductivity_sim_sized;
 use gef_forest::Objective;
@@ -52,6 +54,7 @@ fn main() {
             let exp = GefExplainer::new(cfg)
                 .explain(&forest)
                 .expect("pipeline succeeds");
+            note_degradations("xp_fig8", &exp);
             let preds: Vec<f64> = test_xs.iter().map(|x| exp.predict(x)).collect();
             row.push(f3(exp.fidelity_rmse));
             row_common.push(f3(gef_data::metrics::rmse(&preds, &test_ys)));

@@ -8,7 +8,7 @@
 //! of the two explanations should agree.
 
 use gef_baselines::pdp::shap_dependence;
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{f3, note_degradations, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, InteractionStrategy, SamplingStrategy};
 use gef_data::census::{census_processed, census_sim_sized};
 use gef_data::superconductivity::superconductivity_sim_sized;
@@ -58,6 +58,7 @@ fn compare(forest: &Forest, cfg: &GefConfig, test: &Dataset, size: RunSize, top:
     let exp = GefExplainer::new(cfg.clone())
         .explain(forest)
         .expect("pipeline succeeds");
+    note_degradations("xp_fig9_10", &exp);
     println!(
         "fidelity on D*: RMSE = {}, R2 = {}; selected features: {:?}",
         f3(exp.fidelity_rmse),

@@ -5,7 +5,7 @@
 //! runs the identical pipeline on a GBDT and an RF trained on the same
 //! `D'` data and compares fidelity and component reconstruction.
 
-use gef_bench::{f3, print_table, RunSize};
+use gef_bench::{f3, note_degradations, print_table, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::metrics::{r2, rmse};
 use gef_data::synthetic::{generator, make_d_prime, NUM_FEATURES};
@@ -47,6 +47,7 @@ fn main() {
         })
         .explain(forest)
         .expect("pipeline succeeds");
+        note_degradations("xp_rf", &exp);
 
         // Forest accuracy and surrogate fidelity on the original test set.
         let fpred = forest.predict_batch(&test.xs);

@@ -6,7 +6,7 @@
 //! `y`, both on the held-out split of `D'` and `D''`. Fixing
 //! `F'' = {(f1,f2), (f1,f5), (f2,f5)}` as the paper does.
 
-use gef_bench::{f3, print_table, train_paper_forest, RunSize};
+use gef_bench::{f3, note_degradations, print_table, train_paper_forest, RunSize};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::metrics::r2;
 use gef_data::synthetic::{make_d_prime, make_d_second, NUM_FEATURES};
@@ -41,6 +41,7 @@ fn main() {
         let exp = GefExplainer::new(cfg)
             .explain(&forest)
             .expect("pipeline succeeds");
+        note_degradations("xp_table2", &exp);
         let gam_preds: Vec<f64> = test.xs.iter().map(|x| exp.predict(x)).collect();
         let gam_r2_forest = r2(&gam_preds, &forest_preds);
         let gam_r2_y = r2(&gam_preds, &test.ys);

@@ -155,6 +155,22 @@ pub fn emit_telemetry(label: &str) {
     let _ = gef_trace::global().emit(label);
 }
 
+/// Warn (on stderr, so stdout artifacts stay clean) when an explanation
+/// was produced through graceful degradation, so experiment tables
+/// can't silently mix degraded fits with clean ones. Returns the
+/// degradation count.
+pub fn note_degradations(label: &str, exp: &gef_core::GefExplanation) -> usize {
+    let n = exp.degradations.len();
+    if n > 0 {
+        let actions: Vec<&str> = exp.degradations.iter().map(|d| d.action.label()).collect();
+        eprintln!(
+            "[{label}] explanation degraded {n} time(s): {}",
+            actions.join(", ")
+        );
+    }
+    n
+}
+
 /// Print a Markdown-ish table: header row, separator, data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -1,0 +1,156 @@
+//! Deterministic fault injection for the GEF pipeline (only compiled
+//! with the `fault-injection` cargo feature).
+//!
+//! This is the `gef-core` facade over [`gef_trace::fault`]: the named
+//! injection sites threaded through the pipeline's dependencies, plus a
+//! `GEF_FAULTS` environment activation syntax so experiment binaries
+//! can inject faults without code changes.
+//!
+//! ## Injection sites
+//!
+//! | site | location | effect when fired |
+//! |------|----------|-------------------|
+//! | [`CHOL_FACTOR`] | `gef_linalg::Cholesky::factor` | returns `NotPositiveDefinite` |
+//! | [`PIRLS_ITER`] | `gef_gam` PIRLS iteration | corrupts the candidate β to NaN |
+//! | [`PIRLS_STEP`] | `gef_gam` PIRLS iteration | finite overshoot (recoverable by step-halving) |
+//! | [`FOREST_PREDICT_NAN`] | `gef_forest::Forest::predict_raw` | returns NaN |
+//! | [`SAMPLING_DOMAIN_COLLAPSE`] | pipeline sampling stage | truncates a selected feature's domain to one point |
+//!
+//! ## `GEF_FAULTS` syntax
+//!
+//! Comma-separated `site=trigger` entries:
+//!
+//! ```text
+//! GEF_FAULTS="chol.factor=stage<2,forest.predict_nan=first:50"
+//! ```
+//!
+//! Triggers: `always`, `first:N`, `hits:I|J|K` (0-based hit indices),
+//! `stage<N`, `seeded:SEED:PROB`.
+
+pub use gef_trace::fault::{
+    arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage, Trigger,
+};
+
+/// `gef_linalg::Cholesky::factor` fails with `NotPositiveDefinite`.
+pub const CHOL_FACTOR: &str = "chol.factor";
+/// A PIRLS iteration's solved coefficients become NaN.
+pub const PIRLS_ITER: &str = "pirls.iter";
+/// A PIRLS iteration's solved coefficients overshoot (finitely).
+pub const PIRLS_STEP: &str = "pirls.step";
+/// `Forest::predict_raw` returns NaN.
+pub const FOREST_PREDICT_NAN: &str = "forest.predict_nan";
+/// A selected feature's sampling domain collapses to a single point.
+pub const SAMPLING_DOMAIN_COLLAPSE: &str = "sampling.domain_collapse";
+
+/// All known injection sites.
+pub const ALL_SITES: [&str; 5] = [
+    CHOL_FACTOR,
+    PIRLS_ITER,
+    PIRLS_STEP,
+    FOREST_PREDICT_NAN,
+    SAMPLING_DOMAIN_COLLAPSE,
+];
+
+/// Parse a `GEF_FAULTS`-style activation string into `(site, trigger)`
+/// pairs. See the module docs for the syntax.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger)>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, trig) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("bad GEF_FAULTS entry (no '='): {entry:?}"))?;
+        let trigger = parse_trigger(trig.trim())?;
+        out.push((site.trim().to_string(), trigger));
+    }
+    Ok(out)
+}
+
+fn parse_trigger(t: &str) -> Result<Trigger, String> {
+    if t == "always" {
+        return Ok(Trigger::Always);
+    }
+    if let Some(n) = t.strip_prefix("first:") {
+        return n
+            .parse()
+            .map(Trigger::FirstN)
+            .map_err(|_| format!("bad first:N trigger: {t:?}"));
+    }
+    if let Some(list) = t.strip_prefix("hits:") {
+        let hits: Result<Vec<u64>, _> = list.split('|').map(str::parse).collect();
+        return hits
+            .map(Trigger::Hits)
+            .map_err(|_| format!("bad hits:I|J trigger: {t:?}"));
+    }
+    if let Some(n) = t.strip_prefix("stage<") {
+        return n
+            .parse()
+            .map(Trigger::StageBelow)
+            .map_err(|_| format!("bad stage<N trigger: {t:?}"));
+    }
+    if let Some(rest) = t.strip_prefix("seeded:") {
+        let (seed, prob) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad seeded:SEED:PROB trigger: {t:?}"))?;
+        let seed = seed
+            .parse()
+            .map_err(|_| format!("bad seed in trigger: {t:?}"))?;
+        let prob: f64 = prob
+            .parse()
+            .map_err(|_| format!("bad probability in trigger: {t:?}"))?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!("probability out of [0,1]: {t:?}"));
+        }
+        return Ok(Trigger::Seeded { seed, prob });
+    }
+    Err(format!("unknown trigger: {t:?}"))
+}
+
+/// Arm every site listed in the `GEF_FAULTS` environment variable.
+/// Returns how many sites were armed; a malformed spec is an error.
+pub fn arm_from_env() -> Result<usize, String> {
+    let Ok(spec) = std::env::var("GEF_FAULTS") else {
+        return Ok(0);
+    };
+    let entries = parse_spec(&spec)?;
+    let n = entries.len();
+    for (site, trigger) in entries {
+        arm(&site, trigger);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_trigger_form() {
+        let parsed = parse_spec(
+            "chol.factor=always, pirls.iter=first:3,forest.predict_nan=hits:0|4|9,\
+             sampling.domain_collapse=stage<2,pirls.step=seeded:42:0.25",
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed[0], (CHOL_FACTOR.to_string(), Trigger::Always));
+        assert_eq!(parsed[1].1, Trigger::FirstN(3));
+        assert_eq!(parsed[2].1, Trigger::Hits(vec![0, 4, 9]));
+        assert_eq!(parsed[3].1, Trigger::StageBelow(2));
+        assert_eq!(
+            parsed[4].1,
+            Trigger::Seeded {
+                seed: 42,
+                prob: 0.25
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_spec("no_equals_sign").is_err());
+        assert!(parse_spec("a=never").is_err());
+        assert!(parse_spec("a=first:x").is_err());
+        assert!(parse_spec("a=seeded:1:1.5").is_err());
+        // Empty spec is fine (nothing armed).
+        assert_eq!(parse_spec("").unwrap().len(), 0);
+    }
+}

@@ -39,6 +39,22 @@ impl SyntheticDataset {
         self.xs.is_empty()
     }
 
+    /// Remove every row whose label is NaN or infinite (a forest fed a
+    /// hostile model file, or an injected prediction fault, can produce
+    /// them). Returns the number of rows removed.
+    pub fn scrub_non_finite_labels(&mut self) -> usize {
+        let before = self.ys.len();
+        let keep: Vec<bool> = self.ys.iter().map(|y| y.is_finite()).collect();
+        if keep.iter().all(|&k| k) {
+            return 0;
+        }
+        let mut it = keep.iter();
+        self.xs.retain(|_| *it.next().unwrap_or(&true));
+        let mut it = keep.iter();
+        self.ys.retain(|_| *it.next().unwrap_or(&true));
+        before - self.ys.len()
+    }
+
     /// Split into train/test parts (no shuffle needed: rows are i.i.d.
     /// by construction).
     pub fn split(&self, train_fraction: f64) -> (SyntheticDataset, SyntheticDataset) {

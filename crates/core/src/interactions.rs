@@ -94,11 +94,7 @@ pub fn rank_interactions(
             h_stat_scores(forest, selected, data, eval_points, background)
         }
     };
-    scores.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("interaction scores are finite")
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     Ok(scores)
 }
 

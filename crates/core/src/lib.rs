@@ -45,9 +45,16 @@
 //! assert!(err < 0.35, "surrogate should track the forest, err={err}");
 //! ```
 
+// Library code must surface failures as `GefError`, never panic; tests
+// are exempt. Local `#[allow]`s mark the few provably-infallible spots.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod generate;
 pub mod interactions;
 pub mod pipeline;
+pub mod recovery;
 pub mod report;
 pub mod sampling;
 pub mod selection;
@@ -55,6 +62,7 @@ pub mod selection;
 pub use generate::SyntheticDataset;
 pub use interactions::InteractionStrategy;
 pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation, StageTimings};
+pub use recovery::{Degradation, DegradationAction};
 pub use report::ExplanationReport;
 pub use sampling::SamplingStrategy;
 
@@ -67,6 +75,21 @@ pub enum GefError {
     InvalidConfig(String),
     /// Failure in the underlying GAM fit.
     Gam(gef_gam::GamError),
+    /// Too many `D*` rows carried non-finite forest labels to fit
+    /// anything after scrubbing.
+    NonFiniteLabels {
+        /// Rows removed by the scrub.
+        removed: usize,
+        /// Rows before scrubbing.
+        total: usize,
+    },
+    /// Every rung of the degradation ladder failed.
+    RecoveryExhausted {
+        /// Fit attempts made (full spec + each ladder rung tried).
+        attempts: usize,
+        /// The last attempt's failure.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for GefError {
@@ -75,6 +98,14 @@ impl std::fmt::Display for GefError {
             GefError::DegenerateForest(m) => write!(f, "degenerate forest: {m}"),
             GefError::InvalidConfig(m) => write!(f, "invalid GEF configuration: {m}"),
             GefError::Gam(e) => write!(f, "GAM fitting failed: {e}"),
+            GefError::NonFiniteLabels { removed, total } => write!(
+                f,
+                "{removed} of {total} D* rows had non-finite forest labels; too few remain"
+            ),
+            GefError::RecoveryExhausted { attempts, last } => write!(
+                f,
+                "degradation ladder exhausted after {attempts} attempts; last failure: {last}"
+            ),
         }
     }
 }

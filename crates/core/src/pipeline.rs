@@ -12,12 +12,12 @@
 
 use crate::generate::{generate, SyntheticDataset};
 use crate::interactions::{rank_interactions, top_pairs, InteractionStrategy};
+use crate::recovery::{fit_with_recovery, Degradation, DegradationAction};
 use crate::sampling::SamplingStrategy;
 use crate::selection::{ForestProfile, DEFAULT_CATEGORICAL_L};
 use crate::{GefError, Result};
-use gef_data::metrics;
 use gef_forest::{Forest, Objective};
-use gef_gam::{fit, Gam, GamSpec, LambdaSelection, Link, TermSpec};
+use gef_gam::{Gam, GamSpec, LambdaSelection, Link, TermSpec};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the GEF pipeline.
@@ -195,21 +195,62 @@ impl GefExplainer {
         // domain regardless of strategy: interpolating quantiles or
         // means between a handful of discrete split points would
         // fabricate hundreds of spurious factor levels.
+        let mut degradations: Vec<Degradation> = Vec::new();
         let domains: Vec<Vec<f64>> = stage("pipeline.sampling", &mut timings.sampling_ns, || {
             (0..profile.num_features)
                 .map(|f| {
                     if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
                         // Multiset thresholds: multiplicity = split density.
-                        cfg.sampling.domain(profile.threshold_multiset(f))
+                        let mut dom = cfg.sampling.domain(profile.threshold_multiset(f));
+                        if gef_trace::fault::fires("sampling.domain_collapse") {
+                            dom.truncate(1);
+                        }
+                        if dom.len() < 2 {
+                            // A budgeted strategy collapsed this feature's
+                            // domain (e.g. K-Means centroids merging on a
+                            // pathological threshold multiset). Fall back
+                            // to the raw All-Thresholds domain — a
+                            // non-categorical feature always has one.
+                            let fallback =
+                                SamplingStrategy::AllThresholds.domain(profile.thresholds(f));
+                            if fallback.len() > dom.len() {
+                                Degradation::record(
+                                    &mut degradations,
+                                    "sampling",
+                                    DegradationAction::DomainFallback { feature: f },
+                                    format!(
+                                        "strategy domain for feature {f} collapsed to {} point(s)",
+                                        dom.len()
+                                    ),
+                                );
+                                dom = fallback;
+                            }
+                        }
+                        dom
                     } else {
                         SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
                     }
                 })
                 .collect()
         });
-        let dataset = stage("pipeline.generate", &mut timings.generate_ns, || {
+        let mut dataset = stage("pipeline.generate", &mut timings.generate_ns, || {
             generate(forest, &domains, cfg.n_samples, false, cfg.seed)
         });
+        // Scrub rows the forest labelled with NaN/Inf (a hostile model
+        // file can hold non-finite leaf values) — never fit on them.
+        let removed = dataset.scrub_non_finite_labels();
+        if removed > 0 {
+            let total = removed + dataset.len();
+            if dataset.len() < 16 {
+                return Err(GefError::NonFiniteLabels { removed, total });
+            }
+            Degradation::record(
+                &mut degradations,
+                "labeling",
+                DegradationAction::ScrubbedNonFiniteLabels { removed, total },
+                format!("{removed} of {total} forest labels were non-finite"),
+            );
+        }
 
         // Interaction selection (independent of the sampled data except
         // for H-Stat, per the paper).
@@ -281,12 +322,17 @@ impl GefExplainer {
                     ..GamSpec::regression(Vec::new())
                 };
                 let (train, test) = dataset.split(cfg.train_fraction);
-                let gam = fit(&spec, &train.xs, &train.ys)?;
-
-                // Fidelity of Γ vs the forest on held-out D*.
-                let preds = gam.predict_batch(&test.xs);
-                let fidelity_rmse = metrics::rmse(&preds, &test.ys);
-                let fidelity_r2 = metrics::r2(&preds, &test.ys);
+                // Fit with the degradation ladder: numerical failures
+                // walk the spec down (drop worst tensor → shrink bases →
+                // widen λ grid → univariate-only → linear surrogate)
+                // instead of failing the whole pipeline. Fidelity of Γ
+                // vs the forest on held-out D* comes back with the fit.
+                let (gam, fidelity_rmse, fidelity_r2) = fit_with_recovery(
+                    &spec,
+                    (&train.xs, &train.ys),
+                    (&test.xs, &test.ys),
+                    &mut degradations,
+                )?;
                 Ok((gam, categorical, fidelity_rmse, fidelity_r2))
             },
         )?;
@@ -295,6 +341,7 @@ impl GefExplainer {
             let t = gef_trace::global();
             t.gauge("pipeline.fidelity_rmse", fidelity_rmse);
             t.gauge("pipeline.fidelity_r2", fidelity_r2);
+            t.gauge("pipeline.degradation_count", degradations.len() as f64);
         }
 
         Ok((
@@ -310,6 +357,7 @@ impl GefExplainer {
                 fidelity_r2,
                 objective: forest.objective,
                 telemetry: timings,
+                degradations,
             },
             dataset,
         ))
@@ -345,6 +393,12 @@ pub struct GefExplanation {
     /// written before telemetry existed.
     #[serde(default)]
     pub telemetry: StageTimings,
+    /// Graceful degradations applied while producing this explanation
+    /// (domain fallbacks, label scrubbing, GAM ladder rungs). Empty on
+    /// a clean run; defaults to empty for archives written before the
+    /// recovery ladder existed.
+    #[serde(default)]
+    pub degradations: Vec<Degradation>,
 }
 
 impl GefExplanation {
@@ -398,12 +452,7 @@ impl GefExplanation {
                 std_error: se,
             });
         }
-        contributions.sort_by(|a, b| {
-            b.contribution
-                .abs()
-                .partial_cmp(&a.contribution.abs())
-                .expect("finite contributions")
-        });
+        contributions.sort_by(|a, b| b.contribution.abs().total_cmp(&a.contribution.abs()));
         LocalExplanation {
             prediction: self.gam.predict(x),
             linear_predictor: self.gam.predict_raw(x),
@@ -417,12 +466,12 @@ impl GefExplanation {
     pub fn format_local(&self, local: &LocalExplanation, names: Option<&[String]>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(
+        // Writing to a String cannot fail; the Result is only fmt API shape.
+        let _ = writeln!(
             out,
             "prediction = {:.4}  (baseline {:.4}, linear predictor {:.4})",
             local.prediction, local.baseline, local.linear_predictor
-        )
-        .unwrap();
+        );
         for c in &local.contributions {
             let desc: Vec<String> = c
                 .features
@@ -436,15 +485,14 @@ impl GefExplanation {
                 })
                 .collect();
             let sign = if c.contribution >= 0.0 { '+' } else { '-' };
-            writeln!(
+            let _ = writeln!(
                 out,
                 "  {sign} {:>9.4}  ± {:>7.4}  {:10}  [{}]",
                 c.contribution.abs(),
                 1.96 * c.std_error,
                 c.label,
                 desc.join(", ")
-            )
-            .unwrap();
+            );
         }
         out
     }
@@ -458,6 +506,8 @@ impl GefExplanation {
     /// Serialize the whole explanation (fitted GAM, selections,
     /// domains, profile) to JSON so it can be archived and reloaded
     /// without re-running the pipeline.
+    // Serialization of a plain-data struct cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("explanation serialization is infallible")
     }

@@ -7,6 +7,7 @@
 //! what downstream plotting tools consume.
 
 use crate::pipeline::{GefExplanation, StageTimings};
+use crate::recovery::Degradation;
 use serde::{Deserialize, Serialize};
 
 /// One univariate component curve.
@@ -67,6 +68,13 @@ pub struct ExplanationReport {
     /// when parsing reports archived before this field existed.
     #[serde(default)]
     pub stage_timings: StageTimings,
+    /// Graceful degradations applied while producing the explanation.
+    /// An auditor reading the report can tell at a glance whether the
+    /// fidelity numbers come from the full model or a degraded one.
+    /// Defaults to empty for reports archived before the recovery
+    /// ladder existed.
+    #[serde(default)]
+    pub degradations: Vec<Degradation>,
 }
 
 impl ExplanationReport {
@@ -114,10 +122,13 @@ impl ExplanationReport {
             fidelity_rmse: exp.fidelity_rmse,
             fidelity_r2: exp.fidelity_r2,
             stage_timings: exp.telemetry,
+            degradations: exp.degradations.clone(),
         }
     }
 
     /// Serialize to pretty JSON.
+    // Serialization of a plain-data struct cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
@@ -189,9 +200,14 @@ mod tests {
                 .all(|p| p.lo <= p.estimate && p.estimate <= p.hi));
         }
         assert!(report.features[0].name.is_none());
-        // Stage timings are carried over from the explanation.
+        // Stage timings and degradations are carried over.
         assert_eq!(report.stage_timings, exp.telemetry);
         assert!(report.stage_timings.total_ns() > 0);
+        assert_eq!(report.degradations, exp.degradations);
+        assert!(
+            report.degradations.is_empty(),
+            "clean run should not degrade"
+        );
     }
 
     #[test]

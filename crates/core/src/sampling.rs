@@ -83,7 +83,7 @@ impl SamplingStrategy {
             SamplingStrategy::KMeans(k) => k_means_1d(thresholds, k),
             SamplingStrategy::EquiSize(k) => equi_size(thresholds, k),
         };
-        out.sort_by(|a, b| a.partial_cmp(b).expect("finite domain points"));
+        out.sort_by(f64::total_cmp);
         out.dedup();
         out
     }
@@ -178,7 +178,7 @@ fn k_means_1d(v: &[f64], k: usize) -> Vec<f64> {
             }
             next.push(updated);
         }
-        next.sort_by(|a, b| a.partial_cmp(b).expect("finite centroids"));
+        next.sort_by(f64::total_cmp);
         centroids = next;
         if !moved {
             break;

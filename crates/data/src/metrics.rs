@@ -5,6 +5,115 @@
 //! score interaction-detection heuristics (Fig. 6 / Table 1): candidate
 //! pairs are ranked by estimated importance and scored against the set
 //! of truly injected pairs.
+//!
+//! ## NaN/Inf policy
+//!
+//! The plain metrics ([`rmse`], [`r2`], …) assume finite, non-empty
+//! inputs: they `assert!` on empty/mismatched slices and **propagate
+//! NaN arithmetically** when fed non-finite values. Pipeline code that
+//! can meet hostile numerics (the GEF recovery ladder scoring a
+//! possibly-degenerate fit) should use the checked variants
+//! [`try_rmse`] / [`try_r2`] / [`try_average_precision`], which return
+//! a [`MetricError`] instead of a sentinel or a panic.
+
+use std::fmt;
+
+/// Why a checked metric could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Input slices were empty.
+    Empty,
+    /// Input slices had different lengths.
+    LengthMismatch {
+        /// Length of the prediction slice.
+        pred: usize,
+        /// Length of the truth slice.
+        truth: usize,
+    },
+    /// An input value (or the resulting score) was NaN or infinite.
+    NonFinite {
+        /// Index of the first offending value, if attributable.
+        index: Option<usize>,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::Empty => write!(f, "metric on empty input"),
+            MetricError::LengthMismatch { pred, truth } => {
+                write!(
+                    f,
+                    "metric length mismatch: {pred} predictions vs {truth} truths"
+                )
+            }
+            MetricError::NonFinite { index: Some(i) } => {
+                write!(f, "non-finite metric input at index {i}")
+            }
+            MetricError::NonFinite { index: None } => write!(f, "non-finite metric value"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check_pair(pred: &[f64], truth: &[f64]) -> Result<(), MetricError> {
+    if pred.len() != truth.len() {
+        return Err(MetricError::LengthMismatch {
+            pred: pred.len(),
+            truth: truth.len(),
+        });
+    }
+    if pred.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    for (i, (p, t)) in pred.iter().zip(truth).enumerate() {
+        if !p.is_finite() || !t.is_finite() {
+            return Err(MetricError::NonFinite { index: Some(i) });
+        }
+    }
+    Ok(())
+}
+
+/// Checked [`rmse`]: errors on empty, mismatched, or non-finite input.
+pub fn try_rmse(pred: &[f64], truth: &[f64]) -> Result<f64, MetricError> {
+    check_pair(pred, truth)?;
+    let v = rmse(pred, truth);
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        // Finite inputs can still overflow the sum of squares.
+        Err(MetricError::NonFinite { index: None })
+    }
+}
+
+/// Checked [`r2`]: errors on empty, mismatched, or non-finite input.
+///
+/// The constant-truth sentinel (`NEG_INFINITY` for an imperfect fit on
+/// zero-variance truth) is reported as [`MetricError::NonFinite`] so
+/// callers never mistake it for a real score.
+pub fn try_r2(pred: &[f64], truth: &[f64]) -> Result<f64, MetricError> {
+    check_pair(pred, truth)?;
+    let v = r2(pred, truth);
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(MetricError::NonFinite { index: None })
+    }
+}
+
+/// Checked [`average_precision`]: errors on an empty ranking or one
+/// with no relevant items (where the 0.0 the plain function returns is
+/// a sentinel, not a score).
+pub fn try_average_precision(ranked_relevance: &[bool]) -> Result<f64, MetricError> {
+    if ranked_relevance.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if !ranked_relevance.iter().any(|&r| r) {
+        return Err(MetricError::NonFinite { index: None });
+    }
+    Ok(average_precision(ranked_relevance))
+}
 
 /// Root mean squared error.
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
@@ -186,5 +295,61 @@ mod tests {
     #[should_panic]
     fn auc_requires_both_classes() {
         roc_auc(&[0.5, 0.6], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn try_metrics_reject_empty() {
+        assert_eq!(try_rmse(&[], &[]), Err(MetricError::Empty));
+        assert_eq!(try_r2(&[], &[]), Err(MetricError::Empty));
+        assert_eq!(try_average_precision(&[]), Err(MetricError::Empty));
+    }
+
+    #[test]
+    fn try_metrics_reject_mismatch() {
+        assert_eq!(
+            try_rmse(&[1.0], &[1.0, 2.0]),
+            Err(MetricError::LengthMismatch { pred: 1, truth: 2 })
+        );
+    }
+
+    #[test]
+    fn try_metrics_reject_non_finite() {
+        assert_eq!(
+            try_rmse(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(MetricError::NonFinite { index: Some(1) })
+        );
+        assert_eq!(
+            try_r2(&[f64::INFINITY], &[1.0]),
+            Err(MetricError::NonFinite { index: Some(0) })
+        );
+        // Plain rmse propagates NaN silently — the documented contrast.
+        assert!(rmse(&[f64::NAN], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn try_r2_constant_truth_edge_cases() {
+        // Perfect fit on constant truth is a real score.
+        assert_eq!(try_r2(&[5.0, 5.0], &[5.0, 5.0]), Ok(1.0));
+        // Imperfect fit on constant truth: the NEG_INFINITY sentinel
+        // becomes an error.
+        assert_eq!(
+            try_r2(&[5.0, 6.0], &[5.0, 5.0]),
+            Err(MetricError::NonFinite { index: None })
+        );
+    }
+
+    #[test]
+    fn try_ap_matches_plain_when_defined() {
+        let ranking = [true, false, true, false];
+        assert_eq!(
+            try_average_precision(&ranking),
+            Ok(average_precision(&ranking))
+        );
+        // No relevant items: plain returns the 0.0 sentinel, checked errors.
+        assert_eq!(average_precision(&[false, false]), 0.0);
+        assert_eq!(
+            try_average_precision(&[false, false]),
+            Err(MetricError::NonFinite { index: None })
+        );
     }
 }

@@ -101,14 +101,24 @@ fn write_field(out: &mut String, name: &str, vals: impl Iterator<Item = String>)
 }
 
 /// Parse a forest from the LightGBM-style text format.
+///
+/// Parse errors carry the 1-based line number of the offending line;
+/// structural problems (duplicate or out-of-order `Tree=` blocks,
+/// truncated field arrays, out-of-range child indices, non-finite split
+/// thresholds) are rejected with a description instead of panicking
+/// downstream.
 pub fn from_text(s: &str) -> Result<Forest> {
-    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
+    let mut lines = s
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+    let (header_line, header) = lines
         .next()
         .ok_or_else(|| ForestError::Parse("empty model text".into()))?;
-    if header.trim() != "gef_forest_v1" {
+    if header != "gef_forest_v1" {
         return Err(ForestError::Parse(format!(
-            "unknown format header: {header:?}"
+            "line {header_line}: unknown format header: {header:?}"
         )));
     }
     let mut objective = None;
@@ -119,47 +129,69 @@ pub fn from_text(s: &str) -> Result<Forest> {
     let mut trees: Vec<Tree> = Vec::new();
     let mut pending: Option<TreeFields> = None;
 
-    for line in lines {
-        let line = line.trim();
-        let (key, val) = line
-            .split_once('=')
-            .ok_or_else(|| ForestError::Parse(format!("bad line: {line:?}")))?;
-        match key {
-            "objective" => {
-                objective = Some(match val {
-                    "regression" => Objective::RegressionL2,
-                    "binary" => Objective::BinaryLogistic,
-                    other => {
-                        return Err(ForestError::Parse(format!("unknown objective {other:?}")))
-                    }
-                })
-            }
-            "num_features" => num_features = Some(parse_num::<usize>(key, val)?),
-            "base_score" => base_score = Some(parse_num::<f64>(key, val)?),
-            "scale" => scale = Some(parse_num::<f64>(key, val)?),
-            "num_trees" => num_trees = Some(parse_num::<usize>(key, val)?),
-            "Tree" => {
-                if let Some(p) = pending.take() {
-                    trees.push(p.finish()?);
+    for (lineno, line) in lines {
+        let (key, val) = line.split_once('=').ok_or_else(|| {
+            ForestError::Parse(format!("line {lineno}: bad line (no '='): {line:?}"))
+        })?;
+        let res: Result<()> = (|| {
+            match key {
+                "objective" => {
+                    objective = Some(match val {
+                        "regression" => Objective::RegressionL2,
+                        "binary" => Objective::BinaryLogistic,
+                        other => {
+                            return Err(ForestError::Parse(format!("unknown objective {other:?}")))
+                        }
+                    })
                 }
-                pending = Some(TreeFields::default());
+                "num_features" => num_features = Some(parse_num::<usize>(key, val)?),
+                "base_score" => base_score = Some(parse_num::<f64>(key, val)?),
+                "scale" => scale = Some(parse_num::<f64>(key, val)?),
+                "num_trees" => num_trees = Some(parse_num::<usize>(key, val)?),
+                "Tree" => {
+                    if let Some(p) = pending.take() {
+                        trees.push(p.finish()?);
+                    }
+                    // Tree blocks must appear exactly once each, in
+                    // order: a duplicated or shuffled block would
+                    // silently reassemble a different ensemble.
+                    let idx = parse_num::<usize>(key, val)?;
+                    if idx != trees.len() {
+                        return Err(ForestError::Parse(format!(
+                            "Tree={idx} out of order (expected Tree={}; duplicate or \
+                             missing block?)",
+                            trees.len()
+                        )));
+                    }
+                    pending = Some(TreeFields::default());
+                }
+                "num_nodes" => {
+                    let p = expect_tree(&mut pending, key)?;
+                    p.num_nodes = Some(parse_num::<usize>(key, val)?);
+                }
+                "split_feature" => expect_tree(&mut pending, key)?.feature = parse_vec(key, val)?,
+                "threshold" => expect_tree(&mut pending, key)?.threshold = parse_vec(key, val)?,
+                "left_child" => expect_tree(&mut pending, key)?.left = parse_vec(key, val)?,
+                "right_child" => expect_tree(&mut pending, key)?.right = parse_vec(key, val)?,
+                "leaf_value" => expect_tree(&mut pending, key)?.value = parse_vec(key, val)?,
+                "split_gain" => expect_tree(&mut pending, key)?.gain = parse_vec(key, val)?,
+                "count" => expect_tree(&mut pending, key)?.count = parse_vec(key, val)?,
+                other => return Err(ForestError::Parse(format!("unknown key {other:?}"))),
             }
-            "num_nodes" => {
-                let p = expect_tree(&mut pending, key)?;
-                p.num_nodes = Some(parse_num::<usize>(key, val)?);
-            }
-            "split_feature" => expect_tree(&mut pending, key)?.feature = parse_vec(key, val)?,
-            "threshold" => expect_tree(&mut pending, key)?.threshold = parse_vec(key, val)?,
-            "left_child" => expect_tree(&mut pending, key)?.left = parse_vec(key, val)?,
-            "right_child" => expect_tree(&mut pending, key)?.right = parse_vec(key, val)?,
-            "leaf_value" => expect_tree(&mut pending, key)?.value = parse_vec(key, val)?,
-            "split_gain" => expect_tree(&mut pending, key)?.gain = parse_vec(key, val)?,
-            "count" => expect_tree(&mut pending, key)?.count = parse_vec(key, val)?,
-            other => return Err(ForestError::Parse(format!("unknown key {other:?}"))),
-        }
+            Ok(())
+        })();
+        res.map_err(|e| match e {
+            ForestError::Parse(msg) => ForestError::Parse(format!("line {lineno}: {msg}")),
+            other => other,
+        })?;
     }
     if let Some(p) = pending.take() {
-        trees.push(p.finish()?);
+        trees.push(p.finish().map_err(|e| match e {
+            ForestError::Parse(msg) => {
+                ForestError::Parse(format!("tree {} (last block): {msg}", trees.len()))
+            }
+            other => other,
+        })?);
     }
     let forest = Forest {
         trees,
@@ -363,6 +395,87 @@ mod tests {
         f.num_features = 1; // tree nodes still reference feature 1
         let json = to_json(&f);
         assert!(from_json(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_text() {
+        let f = small_forest();
+        let s = to_text(&f);
+        // Cutting the dump anywhere after the header must fail cleanly
+        // (missing keys, short field arrays, or a wrong tree count) —
+        // never panic or silently accept a partial ensemble.
+        for frac in [1, 2, 3] {
+            let cut = s.len() * frac / 4;
+            let truncated = &s[..cut];
+            assert!(from_text(truncated).is_err(), "cut at {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_tree_block() {
+        let f = small_forest();
+        let s = to_text(&f);
+        // Duplicate the first tree block verbatim: same Tree=0 header
+        // twice. The parser must flag the out-of-order index.
+        let start = s.find("Tree=0").unwrap();
+        let end = s.find("Tree=1").unwrap();
+        let block = &s[start..end];
+        let dup = format!("{}{}{}", &s[..end], block, &s[end..]);
+        let err = from_text(&dup).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out of order"), "unexpected error: {msg}");
+        assert!(msg.contains("line "), "error lacks line number: {msg}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_child_in_text() {
+        let mut f = small_forest();
+        f.trees.truncate(1);
+        let s = to_text(&f).replace("num_trees=8", "num_trees=1");
+        // Point every left child at node 999.
+        let s = s
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("left_child=") {
+                    let n = rest.split_whitespace().count();
+                    format!("left_child={}", vec!["999"; n].join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = from_text(&s).unwrap_err();
+        assert!(err.to_string().contains("child index out of range"));
+    }
+
+    #[test]
+    fn rejects_non_finite_threshold_in_text() {
+        let mut f = small_forest();
+        f.trees.truncate(1);
+        let s = to_text(&f).replace("num_trees=8", "num_trees=1");
+        let s = s
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("threshold=") {
+                    let n = rest.split_whitespace().count();
+                    format!("threshold={}", vec!["NaN"; n].join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = from_text(&s).unwrap_err();
+        assert!(err.to_string().contains("non-finite threshold"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_text("gef_forest_v1\nnum_features=oops\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = from_text("gef_forest_v1\nnot a key value line\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,9 @@ impl Forest {
     /// Raw margin prediction for a single instance.
     pub fn predict_raw(&self, x: &[f64]) -> f64 {
         debug_assert!(x.len() >= self.num_features);
+        if gef_trace::fault::fires("forest.predict_nan") {
+            return f64::NAN;
+        }
         let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
         self.base_score + self.scale * sum
     }
@@ -151,6 +154,9 @@ impl Forest {
     /// Raw margin prediction plus the number of tree nodes visited.
     pub fn predict_raw_counted(&self, x: &[f64]) -> (f64, u64) {
         debug_assert!(x.len() >= self.num_features);
+        if gef_trace::fault::fires("forest.predict_nan") {
+            return (f64::NAN, 0);
+        }
         let mut visited = 0u64;
         let mut sum = 0.0;
         for t in &self.trees {

@@ -68,6 +68,89 @@ proptest! {
     }
 
     #[test]
+    fn truncated_dump_never_parses_or_panics(
+        seed in 0u64..200,
+        cut_frac in 0.01f64..0.99,
+    ) {
+        let mut state = seed.wrapping_mul(8).wrapping_add(5);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..120).map(|_| vec![next(), next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] - x[1]).collect();
+        let forest = GbdtTrainer::new(GbdtParams {
+            num_trees: 6,
+            num_leaves: 5,
+            min_data_in_leaf: 5,
+            seed,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        let text = to_text(&forest);
+        let mut cut = (text.len() as f64 * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        // A truncated dump must either fail to parse or (if the cut
+        // landed exactly on a tree-block boundary) be caught by the
+        // num_trees cross-check — it must never panic.
+        prop_assert!(from_text(&text[..cut]).is_err());
+    }
+
+    #[test]
+    fn mutated_dump_line_is_rejected_with_location(
+        seed in 0u64..100,
+        victim_line in 1usize..40,
+    ) {
+        let mut state = seed.wrapping_mul(16).wrapping_add(9);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..100).map(|_| vec![next()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0).collect();
+        let forest = GbdtTrainer::new(GbdtParams {
+            num_trees: 4,
+            num_leaves: 4,
+            min_data_in_leaf: 5,
+            seed,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap();
+        let text = to_text(&forest);
+        let lines: Vec<&str> = text.lines().collect();
+        let victim = victim_line.min(lines.len() - 1);
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == victim {
+                    // Replace the value side with garbage, keeping the key.
+                    match l.split_once('=') {
+                        Some((k, _)) => format!("{k}=@garbage@"),
+                        None => "@garbage@".to_string(),
+                    }
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = from_text(&mutated).unwrap_err();
+        // Errors below the header always name the offending line.
+        if victim > 0 && !lines[victim].trim().is_empty() {
+            prop_assert!(err.to_string().contains("line "), "{err}");
+        }
+    }
+
+    #[test]
     fn classification_forest_probabilities_valid(
         seed in 0u64..500,
     ) {

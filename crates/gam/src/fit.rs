@@ -119,6 +119,10 @@ pub struct FitSummary {
     pub n_obs: usize,
     /// PIRLS iterations used at the selected λ (1 for Gaussian).
     pub pirls_iters: usize,
+    /// Step-halvings taken by PIRLS at the selected λ (0 for Gaussian
+    /// and for cleanly converging logit fits).
+    #[serde(default)]
+    pub step_halvings: usize,
 }
 
 /// A fitted Generalized Additive Model.
@@ -196,7 +200,7 @@ pub fn fit(spec: &GamSpec, xs: &[Vec<f64>], ys: &[f64]) -> Result<Gam> {
         LambdaSelection::Fixed(l) => vec![*l],
         LambdaSelection::GcvGrid(g) => {
             if g.is_empty() {
-                return Err(GamError::InvalidSpec("empty λ grid".into()));
+                return Err(GamError::EmptyLambdaGrid);
             }
             g.clone()
         }
@@ -424,17 +428,33 @@ fn fit_gaussian(
 
     let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
     let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
+    let mut last_err: Option<GamError> = None;
+    let mut evaluated = 0usize;
     for &lambda in grid {
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
-        let beta = chol.solve(&b)?;
-        let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
-        let g_beta = g.matvec(&beta)?;
-        let bt_g_b: f64 = beta.iter().zip(&g_beta).map(|(x, y)| x * y).sum();
-        let rss = (yty - 2.0 * bt_b + bt_g_b).max(0.0);
-        let edf = edf_trace(&chol, &g)?;
-        let denom = (n as f64 - edf).max(1.0);
-        let gcv = n as f64 * rss / (denom * denom);
+        // A candidate whose factorization or solve fails is skipped, not
+        // fatal: other λ values (typically larger, better conditioned)
+        // may still produce a usable fit.
+        let eval = (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
+            let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
+            let beta = chol.solve(&b)?;
+            let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let g_beta = g.matvec(&beta)?;
+            let bt_g_b: f64 = beta.iter().zip(&g_beta).map(|(x, y)| x * y).sum();
+            let rss = (yty - 2.0 * bt_b + bt_g_b).max(0.0);
+            let edf = edf_trace(&chol, &g)?;
+            let denom = (n as f64 - edf).max(1.0);
+            let gcv = n as f64 * rss / (denom * denom);
+            Ok((gcv, beta, chol, rss, edf))
+        })();
+        let (gcv, beta, chol, rss, edf) = match eval {
+            Ok(v) => v,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        evaluated += 1;
         if gef_trace::enabled() {
             gef_trace::global().event(
                 "gam.gcv",
@@ -447,11 +467,23 @@ fn fit_gaussian(
                 ],
             );
         }
+        if !gcv.is_finite() {
+            continue;
+        }
         if best.as_ref().is_none_or(|bst| gcv < bst.0) {
             best = Some((gcv, lambda, beta, chol, rss, edf));
         }
     }
-    let (gcv, lambda, beta, chol, rss, edf) = best.expect("non-empty grid");
+    let Some((gcv, lambda, beta, chol, rss, edf)) = best else {
+        return Err(match last_err {
+            // Every candidate died in linear algebra before producing a
+            // GCV score: surface the underlying numerical failure.
+            Some(e) if evaluated == 0 => e,
+            _ => GamError::NonFiniteGcv {
+                candidates: grid.len(),
+            },
+        });
+    };
     let scale = rss / (n as f64 - edf).max(1.0);
     let mut cov = chol.inverse()?;
     for v in cov.data_mut() {
@@ -468,6 +500,7 @@ fn fit_gaussian(
             deviance: rss,
             n_obs: n,
             pirls_iters: 1,
+            step_halvings: 0,
         },
     ))
 }
@@ -484,15 +517,30 @@ fn fit_logit(
 ) -> Result<Fitted> {
     let n = rows.len();
     let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
-    type LogitBest = (f64, f64, Vec<f64>, Cholesky, f64, f64, usize);
+    type LogitBest = (f64, f64, Pirls, f64);
     let mut best: Option<LogitBest> = None;
+    let mut last_err: Option<GamError> = None;
+    let mut evaluated = 0usize;
     for &lambda in grid {
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        let (beta, chol, gw, dev, iters) =
-            pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
-        let edf = edf_trace(&chol, &gw)?;
-        let denom = (n as f64 - edf).max(1.0);
-        let gcv = n as f64 * dev / (denom * denom);
+        // A diverging PIRLS run at one λ (typically a small one on
+        // near-separable data) is skipped; better-conditioned candidates
+        // can still win the grid.
+        let eval = (|| -> Result<(Pirls, f64, f64)> {
+            let run = pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
+            let edf = edf_trace(&run.chol, &run.weighted_gram)?;
+            let denom = (n as f64 - edf).max(1.0);
+            let gcv = n as f64 * run.deviance / (denom * denom);
+            Ok((run, edf, gcv))
+        })();
+        let (run, edf, gcv) = match eval {
+            Ok(v) => v,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        evaluated += 1;
         if gef_trace::enabled() {
             gef_trace::global().event(
                 "gam.gcv",
@@ -500,33 +548,85 @@ fn fit_logit(
                     ("lambda", lambda),
                     ("gcv", gcv),
                     ("edf", edf),
-                    ("deviance", dev),
-                    ("pirls_iters", iters as f64),
+                    ("deviance", run.deviance),
+                    ("pirls_iters", run.iters as f64),
                 ],
             );
         }
+        if !gcv.is_finite() {
+            continue;
+        }
         if best.as_ref().is_none_or(|bst| gcv < bst.0) {
-            best = Some((gcv, lambda, beta, chol, dev, edf, iters));
+            best = Some((gcv, lambda, run, edf));
         }
     }
-    let (gcv, lambda, beta, chol, dev, edf, iters) = best.expect("non-empty grid");
-    let cov = chol.inverse()?;
+    let Some((gcv, lambda, run, edf)) = best else {
+        return Err(match last_err {
+            Some(e) if evaluated == 0 => e,
+            _ => GamError::NonFiniteGcv {
+                candidates: grid.len(),
+            },
+        });
+    };
+    let cov = run.chol.inverse()?;
     Ok((
-        beta,
+        run.beta,
         cov,
         FitSummary {
             lambda,
             gcv,
             edf,
             scale: 1.0,
-            deviance: dev,
+            deviance: run.deviance,
             n_obs: n,
-            pirls_iters: iters,
+            pirls_iters: run.iters,
+            step_halvings: run.step_halvings,
         },
     ))
 }
 
+/// Result of one penalized IRLS run at a fixed λ.
+struct Pirls {
+    beta: Vec<f64>,
+    chol: Cholesky,
+    /// Final weighted Gram matrix `XᵀWX` (needed for the edf trace).
+    weighted_gram: Matrix,
+    deviance: f64,
+    iters: usize,
+    step_halvings: usize,
+}
+
+/// Binomial deviance of the responses under linear predictors `eta`.
+fn binomial_deviance(ys: &[f64], eta: &[f64]) -> f64 {
+    ys.iter()
+        .zip(eta)
+        .map(|(&y, &e)| {
+            let mu = Link::Logit.inverse(e).clamp(1e-12, 1.0 - 1e-12);
+            let term_y = if y > 0.0 { y * (y / mu).ln() } else { 0.0 };
+            let term_n = if y < 1.0 {
+                (1.0 - y) * ((1.0 - y) / (1.0 - mu)).ln()
+            } else {
+                0.0
+            };
+            2.0 * (term_y + term_n)
+        })
+        .sum()
+}
+
+/// Maximum step-halvings per PIRLS iteration before giving up on the
+/// candidate step.
+const MAX_STEP_HALVINGS: usize = 12;
+
 /// One penalized IRLS run for the logit link at a fixed λ.
+///
+/// Each Newton/IRLS step is guarded by **step-halving** (mgcv-style):
+/// if the candidate coefficients raise the penalized-model deviance (or
+/// make it non-finite), the step is repeatedly halved back toward the
+/// previous iterate. A step that stays non-finite after
+/// [`MAX_STEP_HALVINGS`] halvings aborts the run with
+/// [`GamError::PirlsDiverged`]; a finite but non-improving step keeps
+/// the previous iterate and stops early (best-effort convergence on
+/// e.g. separable data).
 #[allow(clippy::too_many_arguments)]
 fn pirls_logit(
     design: &Design,
@@ -536,7 +636,7 @@ fn pirls_logit(
     max_iter: usize,
     tol: f64,
     constraint: &Matrix,
-) -> Result<(Vec<f64>, Cholesky, Matrix, f64, usize)> {
+) -> Result<Pirls> {
     let p = design.num_cols;
     // Initialize the linear predictor from shrunken responses.
     let mut eta: Vec<f64> = ys
@@ -550,6 +650,11 @@ fn pirls_logit(
     let mut result: Option<(Cholesky, Matrix)> = None;
     let mut iters = 0;
     let mut last_delta = f64::INFINITY;
+    // The initial eta is a heuristic warm start, not X·β for any β, so
+    // the first accepted step has no previous deviance to compare
+    // against: any finite deviance is accepted.
+    let mut prev_dev = f64::INFINITY;
+    let mut step_halvings = 0usize;
     for it in 0..max_iter {
         iters = it + 1;
         let mut g = Matrix::zeros(p, p);
@@ -567,7 +672,54 @@ fn pirls_logit(
         g.mirror_upper();
         let ridge = ridge_for(&g);
         let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
-        let new_beta = chol.solve(&b)?;
+        let mut new_beta = chol.solve(&b)?;
+        if gef_trace::fault::fires("pirls.iter") {
+            // Simulated solver corruption: non-finite coefficients.
+            new_beta.fill(f64::NAN);
+        }
+        if gef_trace::fault::fires("pirls.step") {
+            // Simulated overshoot: finite but wildly overscaled step,
+            // recoverable by step-halving.
+            for v in &mut new_beta {
+                *v = *v * 64.0 + 64.0;
+            }
+        }
+        // Step-halving: walk the candidate back toward the previous
+        // iterate while it makes the deviance worse or non-finite.
+        let mut halved = 0usize;
+        let (new_eta, dev, accepted) = loop {
+            let cand_eta: Vec<f64> = rows
+                .iter()
+                .map(|row| sparse_dot(row, &new_beta).clamp(-30.0, 30.0))
+                .collect();
+            let dev = binomial_deviance(ys, &cand_eta);
+            if dev.is_finite() && dev <= prev_dev + 1e-6 * (1.0 + prev_dev.abs()) {
+                break (cand_eta, dev, true);
+            }
+            if halved >= MAX_STEP_HALVINGS {
+                if !dev.is_finite() {
+                    return Err(GamError::PirlsDiverged {
+                        iters,
+                        deviance: dev,
+                    });
+                }
+                // Finite but no improvement even at a tiny step: the
+                // previous iterate is (numerically) the optimum.
+                break (eta.clone(), prev_dev, false);
+            }
+            halved += 1;
+            for (nb, ob) in new_beta.iter_mut().zip(&beta) {
+                *nb = 0.5 * (*nb + *ob);
+            }
+        };
+        step_halvings += halved;
+        if !accepted {
+            // Kept the previous iterate; its factorization is already in
+            // `result` (the first iteration always either accepts a
+            // finite step or diverges above).
+            last_delta = 0.0;
+            break;
+        }
         let delta = new_beta
             .iter()
             .zip(&beta)
@@ -575,9 +727,8 @@ fn pirls_logit(
             .fold(0.0f64, f64::max);
         let scale_ref = new_beta.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         beta = new_beta;
-        for (e, row) in eta.iter_mut().zip(rows) {
-            *e = sparse_dot(row, &beta).clamp(-30.0, 30.0);
-        }
+        eta = new_eta;
+        prev_dev = dev;
         result = Some((chol, g));
         last_delta = delta;
         if delta < tol * (1.0 + scale_ref) {
@@ -586,32 +737,35 @@ fn pirls_logit(
     }
     if gef_trace::enabled() {
         gef_trace::counter!("gam.pirls_iterations").add(iters as u64);
+        if step_halvings > 0 {
+            gef_trace::counter!("gam.pirls_step_halvings").add(step_halvings as u64);
+        }
         gef_trace::global().event(
             "gam.pirls",
             &[
                 ("lambda", lambda),
                 ("iters", iters as f64),
                 ("final_delta", last_delta),
+                ("step_halvings", step_halvings as f64),
             ],
         );
     }
-    let (chol, g) = result.expect("at least one iteration ran");
-    // Binomial deviance.
-    let dev: f64 = ys
-        .iter()
-        .zip(&eta)
-        .map(|(&y, &e)| {
-            let mu = Link::Logit.inverse(e).clamp(1e-12, 1.0 - 1e-12);
-            let term_y = if y > 0.0 { y * (y / mu).ln() } else { 0.0 };
-            let term_n = if y < 1.0 {
-                (1.0 - y) * ((1.0 - y) / (1.0 - mu)).ln()
-            } else {
-                0.0
-            };
-            2.0 * (term_y + term_n)
-        })
-        .sum();
-    Ok((beta, chol, g, dev, iters))
+    let Some((chol, weighted_gram)) = result else {
+        // Only reachable when the very first iteration exhausted its
+        // halvings without a finite improvement.
+        return Err(GamError::PirlsDiverged {
+            iters,
+            deviance: prev_dev,
+        });
+    };
+    Ok(Pirls {
+        beta,
+        chol,
+        weighted_gram,
+        deviance: prev_dev,
+        iters,
+        step_halvings,
+    })
 }
 
 impl Gam {
@@ -761,6 +915,8 @@ impl Gam {
     /// JSON, so a surrogate can be archived and reloaded without
     /// refitting.
     pub fn to_json(&self) -> String {
+        // Serialization of a plain-data struct cannot fail.
+        #[allow(clippy::expect_used)]
         serde_json::to_string(self).expect("GAM serialization is infallible")
     }
 
@@ -772,11 +928,7 @@ impl Gam {
     /// Terms sorted by descending importance.
     pub fn terms_by_importance(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.num_terms()).collect();
-        idx.sort_by(|&a, &b| {
-            self.component_sds[b]
-                .partial_cmp(&self.component_sds[a])
-                .expect("importances are finite")
-        });
+        idx.sort_by(|&a, &b| self.component_sds[b].total_cmp(&self.component_sds[a]));
         idx
     }
 }

@@ -25,6 +25,10 @@
 //! assert!((gam.predict(&[0.25]) - (0.25f64 * 6.0).sin()).abs() < 0.05);
 //! ```
 
+// Library code must surface failures as `GamError`, never panic; tests
+// are exempt. Local `#[allow]`s mark the few provably-infallible spots.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bspline;
 pub mod design;
 pub mod fit;
@@ -44,6 +48,36 @@ pub enum GamError {
     InvalidData(String),
     /// Numerical failure in the underlying linear algebra.
     Numerical(String),
+    /// The λ grid was empty, so no candidate could be evaluated.
+    EmptyLambdaGrid,
+    /// Every λ candidate produced a non-finite GCV score.
+    NonFiniteGcv {
+        /// Number of λ candidates evaluated (and skipped).
+        candidates: usize,
+    },
+    /// PIRLS failed to find a deviance-decreasing step at every λ.
+    PirlsDiverged {
+        /// Iterations completed before divergence (at the last λ tried).
+        iters: usize,
+        /// Last finite deviance observed, or NaN if none was.
+        deviance: f64,
+    },
+}
+
+impl GamError {
+    /// Whether a simpler model specification could plausibly avoid this
+    /// error. The recovery ladder in `gef-core` retries on exactly these
+    /// variants; specification and data errors are not retried since no
+    /// amount of simplification fixes a malformed input.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GamError::Numerical(_)
+                | GamError::EmptyLambdaGrid
+                | GamError::NonFiniteGcv { .. }
+                | GamError::PirlsDiverged { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for GamError {
@@ -52,6 +86,14 @@ impl std::fmt::Display for GamError {
             GamError::InvalidSpec(m) => write!(f, "invalid GAM specification: {m}"),
             GamError::InvalidData(m) => write!(f, "invalid GAM data: {m}"),
             GamError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            GamError::EmptyLambdaGrid => write!(f, "empty λ grid: no candidate to evaluate"),
+            GamError::NonFiniteGcv { candidates } => {
+                write!(f, "all {candidates} λ candidates produced non-finite GCV")
+            }
+            GamError::PirlsDiverged { iters, deviance } => write!(
+                f,
+                "PIRLS diverged after {iters} iterations (deviance {deviance})"
+            ),
         }
     }
 }

@@ -38,7 +38,9 @@ pub fn difference_penalty(k: usize, order: usize) -> Matrix {
         }
         d = next;
     }
-    // P = DᵀD
+    // P = DᵀD — Dᵀ has k rows and D has k columns, so the product
+    // always conforms.
+    #[allow(clippy::expect_used)]
     d.transpose().matmul(&d).expect("conforming dimensions")
 }
 

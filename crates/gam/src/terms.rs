@@ -168,7 +168,7 @@ impl BuiltTerm {
                     )));
                 }
                 let mut sorted = levels.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+                sorted.sort_by(f64::total_cmp);
                 sorted.dedup();
                 Ok(BuiltTerm::Factor {
                     feature: *feature,
@@ -270,7 +270,7 @@ impl BuiltTerm {
 /// Index of the level nearest to `v` (ties break to the lower level).
 pub(crate) fn nearest_level(levels: &[f64], v: f64) -> usize {
     debug_assert!(!levels.is_empty());
-    match levels.binary_search_by(|l| l.partial_cmp(&v).expect("finite levels")) {
+    match levels.binary_search_by(|l| l.total_cmp(&v)) {
         Ok(i) => i,
         Err(0) => 0,
         Err(i) if i == levels.len() => levels.len() - 1,

@@ -23,6 +23,12 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is ≤ 0 (within a
     /// small tolerance scaled by the matrix magnitude).
     pub fn factor(a: &Matrix) -> Result<Self> {
+        if gef_trace::fault::fires("chol.factor") {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: 0,
+                value: f64::NAN,
+            });
+        }
         if a.rows() != a.cols() {
             return Err(LinalgError::DimensionMismatch {
                 context: "Cholesky::factor (non-square)",
@@ -272,6 +278,20 @@ mod tests {
         assert!(Cholesky::factor(&a).is_err());
         let ch = Cholesky::factor_jittered(&a, 1e-10, 12).unwrap();
         assert_eq!(ch.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_exhaustion_returns_last_error() {
+        // Strongly indefinite: diagonal -1, so every jittered attempt
+        // (base 1e-10 escalated ×10, at most 3 tries → ≤ 1e-8) still has
+        // a negative pivot. All tries must be consumed and the final
+        // NotPositiveDefinite error returned instead of a panic.
+        let a = Matrix::from_rows(&[vec![-1.0, 0.0], vec![0.0, -1.0]]).unwrap();
+        let err = Cholesky::factor_jittered(&a, 1e-10, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            LinalgError::NotPositiveDefinite { pivot: 0, value } if value < 0.0
+        ));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! # gef_trace::global().reset();
 //! ```
 
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod report;

@@ -21,8 +21,8 @@ pub use gef_linalg as linalg;
 pub mod prelude {
     pub use gef_baselines::{shap_values, shap_values_batch, LimeConfig, LinearSurrogate};
     pub use gef_core::{
-        GefConfig, GefExplainer, GefExplanation, InteractionStrategy, LocalExplanation,
-        SamplingStrategy,
+        Degradation, DegradationAction, ExplanationReport, GefConfig, GefExplainer, GefExplanation,
+        InteractionStrategy, LocalExplanation, SamplingStrategy,
     };
     pub use gef_data::{Dataset, Task};
     pub use gef_forest::{

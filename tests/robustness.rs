@@ -1,0 +1,310 @@
+//! Fault-injection robustness suite (run with `--features
+//! fault-injection`).
+//!
+//! Exercises every rung of the degradation ladder, the input-hardening
+//! paths (label scrubbing, domain-collapse fallback), and PIRLS
+//! step-halving, by arming deterministic faults at the sites threaded
+//! through the pipeline (see `gef_core::faults`). The fault registry is
+//! process-global, so every test serialises behind one mutex and resets
+//! the registry on entry and exit.
+#![cfg(feature = "fault-injection")]
+
+use gef::core::faults::{self, Trigger};
+use gef::core::recovery::{Degradation, DegradationAction};
+use gef::core::{GefConfig, GefError, GefExplainer, InteractionStrategy, SamplingStrategy};
+use gef::forest::{Forest, GbdtParams, GbdtTrainer, Objective};
+use gef::gam::{fit, GamSpec, LambdaSelection, Link, TermSpec};
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with exclusive ownership of the (process-global) fault
+/// registry, resetting it before and after.
+fn with_faults<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::reset();
+    let out = f();
+    faults::reset();
+    out
+}
+
+/// A regression forest with genuine pairwise interactions so that a
+/// two-tensor GAM spec is the natural explanation.
+fn interaction_forest() -> Forest {
+    let xs: Vec<Vec<f64>> = (0..900)
+        .map(|i| {
+            vec![
+                (i % 31) as f64 / 31.0,
+                (i % 17) as f64 / 17.0,
+                (i % 23) as f64 / 23.0,
+            ]
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x[0] * x[1] + x[1] * x[2] + 0.5 * x[0])
+        .collect();
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 40,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 5,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap()
+}
+
+/// A binary-classification forest (for the PIRLS paths).
+fn classification_forest() -> Forest {
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i % 41) as f64 / 41.0, (i % 13) as f64 / 13.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(x[0] + 0.5 * x[1] > 0.7))
+        .collect();
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 30,
+        num_leaves: 6,
+        learning_rate: 0.2,
+        min_data_in_leaf: 5,
+        objective: Objective::BinaryLogistic,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap()
+}
+
+/// Pipeline config with two tensor terms, so every ladder rung (drop
+/// tensor, shrink, widen λ, univariate-only, linear) is applicable.
+fn two_tensor_config() -> GefConfig {
+    GefConfig {
+        num_univariate: 3,
+        num_interactions: 2,
+        interaction_strategy: InteractionStrategy::GainPath,
+        n_samples: 1500,
+        spline_basis: 12,
+        tensor_basis: 6,
+        ..Default::default()
+    }
+}
+
+fn assert_finite_fidelity(exp: &gef::core::GefExplanation) {
+    assert!(
+        exp.fidelity_rmse.is_finite() && exp.fidelity_r2.is_finite(),
+        "fidelity must be finite: rmse={} r2={}",
+        exp.fidelity_rmse,
+        exp.fidelity_r2
+    );
+}
+
+#[test]
+fn clean_run_records_zero_degradations() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        let exp = GefExplainer::new(two_tensor_config())
+            .explain(&forest)
+            .unwrap();
+        assert!(
+            exp.degradations.is_empty(),
+            "clean run degraded: {:?}",
+            exp.degradations
+        );
+        assert_finite_fidelity(&exp);
+        assert!(exp.fidelity_r2 > 0.5, "r2={}", exp.fidelity_r2);
+    });
+}
+
+/// The expected action label of each ladder rung, in descent order.
+const RUNG_LABELS: [&str; 5] = [
+    "dropped_tensor",
+    "shrunk_bases",
+    "widened_lambda_grid",
+    "univariate_only",
+    "linear_surrogate",
+];
+
+#[test]
+fn ladder_descends_exactly_one_rung_per_failed_attempt() {
+    let forest = interaction_forest();
+    for rungs in 1..=5usize {
+        let exp = with_faults(|| {
+            // The ladder publishes its attempt index as the fault stage,
+            // so StageBelow(r) fails exactly the first r attempts.
+            faults::arm(faults::CHOL_FACTOR, Trigger::StageBelow(rungs as u32));
+            GefExplainer::new(two_tensor_config()).explain(&forest)
+        })
+        .unwrap_or_else(|e| panic!("rungs={rungs}: {e}"));
+        let labels: Vec<&str> = exp.degradations.iter().map(|d| d.action.label()).collect();
+        assert_eq!(
+            labels,
+            &RUNG_LABELS[..rungs],
+            "rungs={rungs}: wrong descent"
+        );
+        assert!(exp.degradations.iter().all(|d| d.stage == "gam_fit"));
+        assert!(
+            exp.degradations.iter().all(|d| !d.cause.is_empty()),
+            "every degradation must carry its cause"
+        );
+        assert_finite_fidelity(&exp);
+    }
+}
+
+#[test]
+fn exhausted_ladder_reports_recovery_exhausted() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        faults::arm(faults::CHOL_FACTOR, Trigger::Always);
+        let err = GefExplainer::new(two_tensor_config())
+            .explain(&forest)
+            .unwrap_err();
+        match err {
+            GefError::RecoveryExhausted { attempts, ref last } => {
+                // Full spec + all five rungs.
+                assert_eq!(attempts, 6);
+                assert!(!last.is_empty());
+            }
+            other => panic!("expected RecoveryExhausted, got: {other}"),
+        }
+    });
+}
+
+#[test]
+fn non_finite_forest_labels_are_scrubbed_and_recorded() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        // Exactly the first 50 D* labels become NaN.
+        faults::arm(faults::FOREST_PREDICT_NAN, Trigger::FirstN(50));
+        let exp = GefExplainer::new(two_tensor_config())
+            .explain(&forest)
+            .unwrap();
+        assert_eq!(
+            exp.degradations,
+            vec![Degradation {
+                stage: "labeling".into(),
+                action: DegradationAction::ScrubbedNonFiniteLabels {
+                    removed: 50,
+                    total: 1500,
+                },
+                cause: "50 of 1500 forest labels were non-finite".into(),
+            }]
+        );
+        assert_finite_fidelity(&exp);
+    });
+}
+
+#[test]
+fn all_labels_non_finite_is_a_hard_error() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        faults::arm(faults::FOREST_PREDICT_NAN, Trigger::Always);
+        let err = GefExplainer::new(two_tensor_config())
+            .explain(&forest)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GefError::NonFiniteLabels {
+                    removed: 1500,
+                    total: 1500
+                }
+            ),
+            "expected NonFiniteLabels, got: {err}"
+        );
+    });
+}
+
+#[test]
+fn collapsed_domains_fall_back_to_all_thresholds() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        faults::arm(faults::SAMPLING_DOMAIN_COLLAPSE, Trigger::Always);
+        let cfg = GefConfig {
+            sampling: SamplingStrategy::EquiSize(8),
+            ..two_tensor_config()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        // Every selected feature's strategy domain collapsed; each got
+        // its All-Thresholds fallback, recorded — never silently.
+        assert_eq!(exp.degradations.len(), exp.selected_features.len());
+        for (d, &f) in exp.degradations.iter().zip(&exp.selected_features) {
+            assert_eq!(d.stage, "sampling");
+            assert_eq!(d.action, DegradationAction::DomainFallback { feature: f });
+        }
+        // The fallback restored usable domains.
+        for &f in &exp.selected_features {
+            assert!(exp.domains[f].len() >= 2);
+        }
+        assert_finite_fidelity(&exp);
+    });
+}
+
+#[test]
+fn pirls_divergence_walks_the_ladder() {
+    let forest = classification_forest();
+    with_faults(|| {
+        // Corrupt every PIRLS solve during the first fit attempt only.
+        faults::arm(faults::PIRLS_ITER, Trigger::StageBelow(1));
+        let cfg = GefConfig {
+            num_univariate: 2,
+            num_interactions: 1,
+            n_samples: 1200,
+            spline_basis: 10,
+            tensor_basis: 5,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        assert_eq!(exp.degradations.len(), 1);
+        assert_eq!(exp.degradations[0].action.label(), "dropped_tensor");
+        assert!(
+            exp.degradations[0].cause.contains("PIRLS"),
+            "cause should name PIRLS: {}",
+            exp.degradations[0].cause
+        );
+        assert_finite_fidelity(&exp);
+    });
+}
+
+#[test]
+fn pirls_step_halving_recovers_finite_overshoot() {
+    // Direct gef-gam fit on near-separable logistic data: an injected
+    // finite overshoot on one iteration must be absorbed by
+    // step-halving, not fail the fit.
+    let xs: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 300.0]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| f64::from(x[0] > 0.5)).collect();
+    let spec = GamSpec {
+        link: Link::Logit,
+        lambda: LambdaSelection::Fixed(1.0),
+        ..GamSpec::regression(vec![TermSpec::spline(0, (0.0, 1.0))])
+    };
+    let (clean_halvings, faulty) = with_faults(|| {
+        let clean = fit(&spec, &xs, &ys).unwrap();
+        let clean_halvings = clean.summary().step_halvings;
+        faults::arm(faults::PIRLS_STEP, Trigger::Hits(vec![1]));
+        (clean_halvings, fit(&spec, &xs, &ys))
+    });
+    let faulty = faulty.expect("overshoot must be recoverable");
+    assert!(
+        faulty.summary().step_halvings > clean_halvings,
+        "injected overshoot should force extra step-halvings ({} vs {clean_halvings})",
+        faulty.summary().step_halvings
+    );
+    // The recovered fit still separates the classes.
+    assert!(faulty.predict(&[0.1]) < 0.5);
+    assert!(faulty.predict(&[0.9]) > 0.5);
+}
+
+#[test]
+fn degradations_survive_the_report_round_trip() {
+    let forest = interaction_forest();
+    with_faults(|| {
+        faults::arm(faults::CHOL_FACTOR, Trigger::StageBelow(2));
+        let exp = GefExplainer::new(two_tensor_config())
+            .explain(&forest)
+            .unwrap();
+        assert_eq!(exp.degradations.len(), 2);
+        let report = gef::core::ExplanationReport::from_explanation(&exp, None, 11);
+        assert_eq!(report.degradations, exp.degradations);
+    });
+}
