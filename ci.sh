@@ -1,16 +1,44 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format, lint. Run before pushing.
+# Local CI gate: build, test, docs, determinism, format, lint. Run
+# before pushing.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
-cargo test --workspace -q
+# The tier-1 suite runs twice: once serial, once on the gef-par worker
+# pool. Every assertion must hold identically — the parallel runtime's
+# contract is bit-identical results at any thread count.
+echo "==> cargo test (GEF_THREADS=1)"
+GEF_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (GEF_THREADS=4)"
+GEF_THREADS=4 cargo test --workspace -q
+
+echo "==> cargo test --doc"
+cargo test --workspace --doc -q
+
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Telemetry determinism: the same pipeline run at 1 and 4 threads must
+# produce reports that agree on every non-timing field (span counts,
+# counters, gauges, the event sequence). telemetry_diff exits nonzero
+# on any divergence.
+echo "==> telemetry determinism (GEF_THREADS=1 vs 4)"
+GEF_TRACE=json GEF_THREADS=1 \
+    cargo run --release -q -p gef-bench --bin xp_scaling -- --quick --ci-label scaling_t1
+GEF_TRACE=json GEF_THREADS=4 \
+    cargo run --release -q -p gef-bench --bin xp_scaling -- --quick --ci-label scaling_t4
+cargo run --release -q -p gef-bench --bin telemetry_diff -- \
+    results/telemetry/scaling_t1.json results/telemetry/scaling_t4.json
 
 echo "==> cargo test --features fault-injection --test robustness"
 cargo test --features fault-injection --test robustness -q
+
+echo "==> cargo test --features fault-injection --test parallel"
+cargo test --features fault-injection --test parallel -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -1,0 +1,162 @@
+//! Diff two gef-trace JSON telemetry reports on their *deterministic*
+//! fields, ignoring everything timing-dependent.
+//!
+//! ```text
+//! telemetry_diff <report_a.json> <report_b.json>
+//! ```
+//!
+//! `ci.sh` runs the same workload twice (`GEF_THREADS=1` and
+//! `GEF_THREADS=4`), emits a report from each, and pipes both through
+//! this tool: the gef-par determinism contract says the two runs must
+//! agree on every value-carrying signal, so any surviving difference is
+//! a real nondeterminism bug, not noise.
+//!
+//! Compared (exactly):
+//! * span paths → occurrence counts;
+//! * histogram names → observation counts;
+//! * counter names → accumulated values;
+//! * gauge names → final values (bit-exact f64);
+//! * the event sequence → names and field maps (bit-exact f64).
+//!
+//! Ignored:
+//! * anything `par.`-prefixed (worker/chunk bookkeeping legitimately
+//!   varies with thread count — serial runs emit none of it);
+//! * timing statistics (`*_ns` aggregates, `wall_ns`,
+//!   `created_unix_ms`) and `events_dropped` / `label`.
+//!
+//! Exits 0 when the reports match, 1 with a printed diff otherwise.
+
+use gef_trace::json::{parse, JsonValue};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: telemetry_diff <report_a.json> <report_b.json>");
+        std::process::exit(2);
+    }
+    let a = load(&args[1]);
+    let b = load(&args[2]);
+    let diffs = diff_reports(&a, &b);
+    if diffs.is_empty() {
+        println!(
+            "telemetry_diff: {} and {} agree on all deterministic fields",
+            args[1], args[2]
+        );
+        return;
+    }
+    eprintln!(
+        "telemetry_diff: {} difference(s) between {} and {}:",
+        diffs.len(),
+        args[1],
+        args[2]
+    );
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("telemetry_diff: cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("telemetry_diff: {path} is not valid JSON: {e}"))
+}
+
+/// `par.`-prefixed signals (including hierarchical span paths with a
+/// `par.`-prefixed segment) are thread-count bookkeeping, not pipeline
+/// semantics.
+fn is_par_name(name: &str) -> bool {
+    name.split('/').any(|seg| seg.starts_with("par."))
+}
+
+fn str_field(v: &JsonValue, key: &str) -> String {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn num_field(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(f64::NAN)
+}
+
+/// Collect `name -> value-of(key)` from an array of objects, skipping
+/// `par.*` entries.
+fn named_values(report: &JsonValue, section: &str, key: &str) -> Vec<(String, f64)> {
+    report
+        .get(section)
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|item| !is_par_name(&str_field(item, "name")))
+        .map(|item| (str_field(item, "name"), num_field(item, key)))
+        .collect()
+}
+
+fn diff_named(diffs: &mut Vec<String>, what: &str, a: &[(String, f64)], b: &[(String, f64)]) {
+    for (name, va) in a {
+        match b.iter().find(|(n, _)| n == name) {
+            None => diffs.push(format!("{what} `{name}` only in first report")),
+            Some((_, vb)) if va.to_bits() != vb.to_bits() => {
+                diffs.push(format!("{what} `{name}`: {va} vs {vb}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, _) in b {
+        if !a.iter().any(|(n, _)| n == name) {
+            diffs.push(format!("{what} `{name}` only in second report"));
+        }
+    }
+}
+
+fn event_key(e: &JsonValue) -> String {
+    let name = str_field(e, "name");
+    let mut fields: Vec<String> = Vec::new();
+    if let Some(JsonValue::Object(pairs)) = e.get("fields") {
+        for (k, v) in pairs {
+            let bits = v.as_f64().unwrap_or(f64::NAN).to_bits();
+            fields.push(format!("{k}={bits:#x}"));
+        }
+    }
+    format!("{name}{{{}}}", fields.join(","))
+}
+
+fn diff_reports(a: &JsonValue, b: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+
+    for (section, key, what) in [
+        ("spans", "count", "span count"),
+        ("histograms", "count", "histogram count"),
+        ("counters", "value", "counter"),
+        ("gauges", "value", "gauge"),
+    ] {
+        diff_named(
+            &mut diffs,
+            what,
+            &named_values(a, section, key),
+            &named_values(b, section, key),
+        );
+    }
+
+    let events = |r: &JsonValue| -> Vec<String> {
+        r.get("events")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|e| !is_par_name(&str_field(e, "name")))
+            .map(event_key)
+            .collect()
+    };
+    let (ea, eb) = (events(a), events(b));
+    if ea.len() != eb.len() {
+        diffs.push(format!("event count: {} vs {}", ea.len(), eb.len()));
+    }
+    for (i, (x, y)) in ea.iter().zip(&eb).enumerate() {
+        if x != y {
+            diffs.push(format!("event[{i}]: {x} vs {y}"));
+            break; // one sequence divergence is enough to report
+        }
+    }
+    diffs
+}

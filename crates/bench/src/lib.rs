@@ -133,7 +133,24 @@ pub fn common_fidelity_set(forest: &Forest, n: usize, seed: u64) -> (Vec<Vec<f64
 /// The span lands in the process-wide [`gef_trace`] registry, so a
 /// `GEF_TRACE=json` run of any experiment gets the same per-phase
 /// breakdown as the library pipeline itself.
+///
+/// The gef-par worker pool is spawned (idempotently) *before* the clock
+/// starts, so the first parallel measurement in a process is not
+/// charged for thread start-up.
 pub fn timed_run<T>(span: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    gef_par::prestart();
+    let t0 = std::time::Instant::now();
+    let out = gef_trace::time(span, f);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Like [`timed_run`], but runs `f` once untimed first (after
+/// prestarting the pool) so caches, allocator arenas, and branch
+/// predictors are warm — the measurement protocol used by `xp_scaling`
+/// when comparing serial vs parallel wall-clock.
+pub fn timed_run_warmed<T>(span: &str, mut f: impl FnMut() -> T) -> (T, f64) {
+    gef_par::prestart();
+    let _warmup = f();
     let t0 = std::time::Instant::now();
     let out = gef_trace::time(span, f);
     (out, t0.elapsed().as_secs_f64())

@@ -28,7 +28,7 @@
 //! `stage<N`, `seeded:SEED:PROB`.
 
 pub use gef_trace::fault::{
-    arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage, Trigger,
+    any_armed, arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage, Trigger,
 };
 
 /// `gef_linalg::Cholesky::factor` fails with `NotPositiveDefinite`.

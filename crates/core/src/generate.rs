@@ -75,22 +75,23 @@ impl SyntheticDataset {
 
 /// Build the per-feature sampling domains: `strategy` for the selected
 /// features, All-Thresholds for the other features the forest uses.
+///
+/// Features are independent, so construction fans out on the gef-par
+/// pool; results return in feature order regardless of thread count.
 pub fn build_domains(
     profile: &ForestProfile,
     selected: &[usize],
     strategy: SamplingStrategy,
 ) -> Vec<Vec<f64>> {
-    (0..profile.num_features)
-        .map(|f| {
-            if selected.contains(&f) {
-                // The multiset carries the split-density signal the
-                // budgeted strategies rely on.
-                strategy.domain(profile.threshold_multiset(f))
-            } else {
-                SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
-            }
-        })
-        .collect()
+    gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
+        if selected.contains(&f) {
+            // The multiset carries the split-density signal the
+            // budgeted strategies rely on.
+            strategy.domain(profile.threshold_multiset(f))
+        } else {
+            SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
+        }
+    })
 }
 
 /// Generate `n` labelled instances from the given domains.

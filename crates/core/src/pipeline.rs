@@ -196,43 +196,59 @@ impl GefExplainer {
         // means between a handful of discrete split points would
         // fabricate hundreds of spurious factor levels.
         let mut degradations: Vec<Degradation> = Vec::new();
-        let domains: Vec<Vec<f64>> = stage("pipeline.sampling", &mut timings.sampling_ns, || {
-            (0..profile.num_features)
-                .map(|f| {
-                    if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
-                        // Multiset thresholds: multiplicity = split density.
-                        let mut dom = cfg.sampling.domain(profile.threshold_multiset(f));
-                        if gef_trace::fault::fires("sampling.domain_collapse") {
-                            dom.truncate(1);
-                        }
-                        if dom.len() < 2 {
-                            // A budgeted strategy collapsed this feature's
-                            // domain (e.g. K-Means centroids merging on a
-                            // pathological threshold multiset). Fall back
-                            // to the raw All-Thresholds domain — a
-                            // non-categorical feature always has one.
-                            let fallback =
-                                SamplingStrategy::AllThresholds.domain(profile.thresholds(f));
-                            if fallback.len() > dom.len() {
-                                Degradation::record(
-                                    &mut degradations,
-                                    "sampling",
-                                    DegradationAction::DomainFallback { feature: f },
-                                    format!(
-                                        "strategy domain for feature {f} collapsed to {} point(s)",
-                                        dom.len()
-                                    ),
-                                );
-                                dom = fallback;
-                            }
-                        }
-                        dom
-                    } else {
-                        SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
+        // Per-feature domain construction runs on the gef-par pool; the
+        // per-feature closure is pure (it returns the fallback *cause*
+        // instead of recording it), and the coordinator then records
+        // degradations serially in feature order, so the ladder is
+        // identical at every thread count.
+        let per_feature = stage("pipeline.sampling", &mut timings.sampling_ns, || {
+            gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
+                if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
+                    // Multiset thresholds: multiplicity = split density.
+                    let mut dom = cfg.sampling.domain(profile.threshold_multiset(f));
+                    if gef_trace::fault::fires("sampling.domain_collapse") {
+                        dom.truncate(1);
                     }
-                })
-                .collect()
+                    if dom.len() < 2 {
+                        // A budgeted strategy collapsed this feature's
+                        // domain (e.g. K-Means centroids merging on a
+                        // pathological threshold multiset). Fall back
+                        // to the raw All-Thresholds domain — a
+                        // non-categorical feature always has one.
+                        let fallback =
+                            SamplingStrategy::AllThresholds.domain(profile.thresholds(f));
+                        if fallback.len() > dom.len() {
+                            let cause = format!(
+                                "strategy domain for feature {f} collapsed to {} point(s)",
+                                dom.len()
+                            );
+                            return (fallback, Some(cause));
+                        }
+                    }
+                    (dom, None)
+                } else {
+                    (
+                        SamplingStrategy::AllThresholds.domain(profile.thresholds(f)),
+                        None,
+                    )
+                }
+            })
         });
+        let domains: Vec<Vec<f64>> = per_feature
+            .into_iter()
+            .enumerate()
+            .map(|(f, (dom, fallback_cause))| {
+                if let Some(cause) = fallback_cause {
+                    Degradation::record(
+                        &mut degradations,
+                        "sampling",
+                        DegradationAction::DomainFallback { feature: f },
+                        cause,
+                    );
+                }
+                dom
+            })
+            .collect();
         let mut dataset = stage("pipeline.generate", &mut timings.generate_ns, || {
             generate(forest, &domains, cfg.n_samples, false, cfg.seed)
         });

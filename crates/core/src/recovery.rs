@@ -6,7 +6,8 @@
 //! near-separable labels, an all-non-finite GCV grid). When the fit of
 //! the full specification fails with a *retryable* error (see
 //! [`gef_gam::GamError::is_retryable`]) — or succeeds but produces
-//! non-finite held-out fidelity — [`fit_with_recovery`] retries with
+//! non-finite held-out fidelity — `fit_with_recovery` (crate-internal)
+//! retries with
 //! progressively simpler specifications:
 //!
 //! 1. **full** — the requested specification, unmodified;

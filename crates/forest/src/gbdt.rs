@@ -503,7 +503,16 @@ impl GbdtTrainer {
         tree
     }
 
-    /// Scan all (feature, bin) candidates of a leaf's histogram.
+    /// Best split over all (feature, bin) candidates of a leaf's
+    /// histogram.
+    ///
+    /// Dispatches the scan over ascending feature chunks on the gef-par
+    /// pool when the leaf has enough candidate bins to amortize it. The
+    /// parallel result is bit-identical to the serial scan: chunk
+    /// boundaries are fixed by `feats.len()` alone and [`better_split`]
+    /// folds chunk winners left-to-right keeping the earlier (lower
+    /// feature index) candidate on exact gain ties — the same
+    /// first-best rule the serial loop applies.
     fn find_best_split(
         &self,
         binned: &BinnedDataset,
@@ -511,10 +520,32 @@ impl GbdtTrainer {
         offsets: &[usize],
         feats: &[usize],
     ) -> Option<SplitInfo> {
-        let p = &self.params;
-        if leaf.rows.len() < 2 * p.min_data_in_leaf {
+        if leaf.rows.len() < 2 * self.params.min_data_in_leaf {
             return None;
         }
+        let total_bins: usize = feats.iter().map(|&f| binned.features[f].num_bins()).sum();
+        if total_bins < SPLIT_PAR_MIN_BINS || gef_par::threads() <= 1 {
+            return self.scan_split_candidates(binned, leaf, offsets, feats);
+        }
+        gef_par::map_reduce(
+            feats.len(),
+            gef_par::Options::default(),
+            |r| self.scan_split_candidates(binned, leaf, offsets, &feats[r]),
+            better_split,
+        )
+        .flatten()
+    }
+
+    /// Serial scan of a contiguous run of the leaf's candidate features
+    /// (first-best kept on gain ties).
+    fn scan_split_candidates(
+        &self,
+        binned: &BinnedDataset,
+        leaf: &LeafState,
+        offsets: &[usize],
+        feats: &[usize],
+    ) -> Option<SplitInfo> {
+        let p = &self.params;
         let lam = p.lambda_l2;
         let parent_score = leaf.sum_g * leaf.sum_g / (leaf.sum_h + lam);
         let total_count = leaf.rows.len() as f64;
@@ -570,8 +601,83 @@ fn timed<T>(traced: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
     }
 }
 
+/// Minimum `rows × features` work for a histogram build to dispatch to
+/// the gef-par pool. A latency threshold only — it never changes values.
+const HIST_PAR_MIN_WORK: usize = 1 << 14;
+
+/// Minimum total candidate bins for a split search to dispatch to the
+/// gef-par pool.
+const SPLIT_PAR_MIN_BINS: usize = 1 << 12;
+
+/// Ordered combiner for chunk-local split winners: the later candidate
+/// replaces only on *strictly* greater gain, so folding ascending
+/// feature chunks left-to-right keeps the lowest-feature-index winner
+/// on exact ties — identical to the serial first-best scan.
+fn better_split(a: Option<SplitInfo>, b: Option<SplitInfo>) -> Option<SplitInfo> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if y.gain > x.gain { y } else { x }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// Accumulate (sum_g, sum_h, count) histograms for the given rows.
+///
+/// Dispatches over feature chunks on the gef-par pool when the
+/// `rows × features` work is large enough. Each chunk owns a disjoint
+/// `&mut` region of `hist` (features are ascending, so the regions are
+/// carved with `split_at_mut`) and accumulates its slots in the same
+/// row order as the serial loop — the parallel build is bit-identical.
 fn build_hist(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[u32],
+    hist: &mut [f64],
+    offsets: &[usize],
+    feats: &[usize],
+) {
+    if rows.len().saturating_mul(feats.len()) < HIST_PAR_MIN_WORK || gef_par::threads() <= 1 {
+        build_hist_serial(binned, grad, hess, rows, hist, offsets, feats);
+        return;
+    }
+    // One task per fixed chunk of the (ascending) sampled features. A
+    // chunk's histogram region spans from its first feature's offset to
+    // the end of its last feature's block; gaps from unsampled features
+    // inside a region are simply never written.
+    let ranges = gef_par::chunk_ranges(feats.len());
+    let mut tasks: Vec<(&[usize], usize, &mut [f64])> = Vec::with_capacity(ranges.len());
+    let mut rest = hist;
+    let mut cursor = 0usize;
+    for r in &ranges {
+        let lo = offsets[feats[r.start]];
+        let hi = offsets[feats[r.end - 1] + 1];
+        let (_, tail) = rest.split_at_mut(lo - cursor);
+        let (region, tail) = tail.split_at_mut(hi - lo);
+        rest = tail;
+        cursor = hi;
+        tasks.push((&feats[r.clone()], lo, region));
+    }
+    gef_par::for_each_task(
+        tasks,
+        gef_par::Options::default(),
+        |_, (chunk_feats, region_start, region)| {
+            for &f in chunk_feats {
+                let base = offsets[f] - region_start;
+                let fbins = &binned.bins[f];
+                for &r in rows {
+                    let i = r as usize;
+                    let slot = base + 3 * fbins[i] as usize;
+                    region[slot] += grad[i];
+                    region[slot + 1] += hess[i];
+                    region[slot + 2] += 1.0;
+                }
+            }
+        },
+    );
+}
+
+fn build_hist_serial(
     binned: &BinnedDataset,
     grad: &[f64],
     hess: &[f64],

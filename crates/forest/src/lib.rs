@@ -127,25 +127,28 @@ impl Forest {
         xs.iter().map(|x| self.predict_raw(x)).collect()
     }
 
-    /// Batch response-scale predictions, parallelized with scoped
-    /// threads when the batch is large enough to amortize spawning.
+    /// Whether a batch is large enough to dispatch to the gef-par pool.
+    /// Purely a latency threshold — per-row predictions are independent,
+    /// so the parallel and serial paths compute identical values.
+    #[inline]
+    fn batch_is_parallel(&self, n: usize) -> bool {
+        n >= 512 && n.saturating_mul(self.trees.len().max(1)) >= (1 << 18)
+    }
+
+    /// Batch response-scale predictions, dispatched to the gef-par pool
+    /// (fixed chunk boundaries, bit-identical to serial at any thread
+    /// count) when the batch is large enough to amortize dispatch.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        const PAR_THRESHOLD: usize = 4096;
-        if xs.len() < PAR_THRESHOLD || self.trees.len() < 64 {
-            return xs.iter().map(|x| self.predict(x)).collect();
-        }
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(16);
-        let chunk = xs.len().div_ceil(threads);
         let mut out = vec![0.0; xs.len()];
-        std::thread::scope(|s| {
-            for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (x, o) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *o = self.predict(x);
-                    }
-                });
+        if !self.batch_is_parallel(xs.len()) {
+            for (x, o) in xs.iter().zip(out.iter_mut()) {
+                *o = self.predict(x);
+            }
+            return out;
+        }
+        gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = self.predict(&xs[start + k]);
             }
         });
         out
@@ -174,38 +177,25 @@ impl Forest {
     /// visit count feeds the `forest.nodes_visited` telemetry counter
     /// during D* labeling.
     pub fn predict_batch_counted(&self, xs: &[Vec<f64>]) -> (Vec<f64>, u64) {
-        const PAR_THRESHOLD: usize = 4096;
-        if xs.len() < PAR_THRESHOLD || self.trees.len() < 64 {
+        let mut out = vec![0.0; xs.len()];
+        if !self.batch_is_parallel(xs.len()) {
             let mut visited = 0u64;
-            let out = xs
-                .iter()
-                .map(|x| {
-                    let (raw, n) = self.predict_raw_counted(x);
-                    visited += n;
-                    self.objective.transform(raw)
-                })
-                .collect();
+            for (x, o) in xs.iter().zip(out.iter_mut()) {
+                let (raw, n) = self.predict_raw_counted(x);
+                visited += n;
+                *o = self.objective.transform(raw);
+            }
             return (out, visited);
         }
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(16);
-        let chunk = xs.len().div_ceil(threads);
-        let mut out = vec![0.0; xs.len()];
         let visited = std::sync::atomic::AtomicU64::new(0);
-        std::thread::scope(|s| {
-            for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                let visited = &visited;
-                s.spawn(move || {
-                    let mut local = 0u64;
-                    for (x, o) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
-                        let (raw, n) = self.predict_raw_counted(x);
-                        local += n;
-                        *o = self.objective.transform(raw);
-                    }
-                    visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-                });
+        gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
+            let mut local = 0u64;
+            for (k, o) in chunk.iter_mut().enumerate() {
+                let (raw, n) = self.predict_raw_counted(&xs[start + k]);
+                local += n;
+                *o = self.objective.transform(raw);
             }
+            visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
         });
         (out, visited.into_inner())
     }

@@ -427,15 +427,15 @@ fn fit_gaussian(
     let ridge = ridge_for(&g);
 
     let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
-    let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
-    let mut last_err: Option<GamError> = None;
-    let mut evaluated = 0usize;
-    for &lambda in grid {
+    // Each λ candidate owns its factorization, so the grid evaluates on
+    // the gef-par pool; results come back in grid order. A candidate
+    // whose factorization or solve fails is skipped, not fatal: other λ
+    // values (typically larger, better conditioned) may still produce a
+    // usable fit — the PR 2 per-candidate error-skip semantics.
+    let evals = gef_par::map(grid.len(), gef_par::Options::coarse(), |gi| {
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        // A candidate whose factorization or solve fails is skipped, not
-        // fatal: other λ values (typically larger, better conditioned)
-        // may still produce a usable fit.
-        let eval = (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
+        let lambda = grid[gi];
+        (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
             let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
             let beta = chol.solve(&b)?;
             let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -446,7 +446,15 @@ fn fit_gaussian(
             let denom = (n as f64 - edf).max(1.0);
             let gcv = n as f64 * rss / (denom * denom);
             Ok((gcv, beta, chol, rss, edf))
-        })();
+        })()
+    });
+    // Selection and event emission stay serial and in grid order, so
+    // the telemetry stream is identical at every thread count.
+    let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
+    let mut last_err: Option<GamError> = None;
+    let mut evaluated = 0usize;
+    for (gi, eval) in evals.into_iter().enumerate() {
+        let lambda = grid[gi];
         let (gcv, beta, chol, rss, edf) = match eval {
             Ok(v) => v,
             Err(e) => {
@@ -517,22 +525,30 @@ fn fit_logit(
 ) -> Result<Fitted> {
     let n = rows.len();
     let _grid_span = gef_trace::Span::enter("gam.gcv_grid");
-    type LogitBest = (f64, f64, Pirls, f64);
-    let mut best: Option<LogitBest> = None;
-    let mut last_err: Option<GamError> = None;
-    let mut evaluated = 0usize;
-    for &lambda in grid {
+    // λ candidates evaluate on the gef-par pool (each PIRLS run owns its
+    // factorization); results come back in grid order. A diverging PIRLS
+    // run at one λ (typically a small one on near-separable data) is
+    // skipped; better-conditioned candidates can still win the grid.
+    let evals = gef_par::map(grid.len(), gef_par::Options::coarse(), |gi| {
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        // A diverging PIRLS run at one λ (typically a small one on
-        // near-separable data) is skipped; better-conditioned candidates
-        // can still win the grid.
-        let eval = (|| -> Result<(Pirls, f64, f64)> {
+        let lambda = grid[gi];
+        (|| -> Result<(Pirls, f64, f64)> {
             let run = pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
             let edf = edf_trace(&run.chol, &run.weighted_gram)?;
             let denom = (n as f64 - edf).max(1.0);
             let gcv = n as f64 * run.deviance / (denom * denom);
             Ok((run, edf, gcv))
-        })();
+        })()
+    });
+    // Selection and per-candidate telemetry (PIRLS counters + events)
+    // stay serial and in grid order, so the event stream is identical
+    // at every thread count.
+    type LogitBest = (f64, f64, Pirls, f64);
+    let mut best: Option<LogitBest> = None;
+    let mut last_err: Option<GamError> = None;
+    let mut evaluated = 0usize;
+    for (gi, eval) in evals.into_iter().enumerate() {
+        let lambda = grid[gi];
         let (run, edf, gcv) = match eval {
             Ok(v) => v,
             Err(e) => {
@@ -542,6 +558,19 @@ fn fit_logit(
         };
         evaluated += 1;
         if gef_trace::enabled() {
+            gef_trace::counter!("gam.pirls_iterations").add(run.iters as u64);
+            if run.step_halvings > 0 {
+                gef_trace::counter!("gam.pirls_step_halvings").add(run.step_halvings as u64);
+            }
+            gef_trace::global().event(
+                "gam.pirls",
+                &[
+                    ("lambda", lambda),
+                    ("iters", run.iters as f64),
+                    ("final_delta", run.final_delta),
+                    ("step_halvings", run.step_halvings as f64),
+                ],
+            );
             gef_trace::global().event(
                 "gam.gcv",
                 &[
@@ -594,6 +623,10 @@ struct Pirls {
     deviance: f64,
     iters: usize,
     step_halvings: usize,
+    /// Max-norm coefficient change of the last accepted step, carried
+    /// out so the coordinator can emit the `gam.pirls` event in grid
+    /// order (PIRLS runs may execute on pool workers).
+    final_delta: f64,
 }
 
 /// Binomial deviance of the responses under linear predictors `eta`.
@@ -735,21 +768,6 @@ fn pirls_logit(
             break;
         }
     }
-    if gef_trace::enabled() {
-        gef_trace::counter!("gam.pirls_iterations").add(iters as u64);
-        if step_halvings > 0 {
-            gef_trace::counter!("gam.pirls_step_halvings").add(step_halvings as u64);
-        }
-        gef_trace::global().event(
-            "gam.pirls",
-            &[
-                ("lambda", lambda),
-                ("iters", iters as f64),
-                ("final_delta", last_delta),
-                ("step_halvings", step_halvings as f64),
-            ],
-        );
-    }
     let Some((chol, weighted_gram)) = result else {
         // Only reachable when the very first iteration exhausted its
         // halvings without a finite improvement.
@@ -765,6 +783,7 @@ fn pirls_logit(
         deviance: prev_dev,
         iters,
         step_halvings,
+        final_delta: last_delta,
     })
 }
 

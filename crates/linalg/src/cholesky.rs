@@ -142,6 +142,22 @@ impl Cholesky {
     }
 
     /// Solve `A x = b`, returning a fresh vector.
+    ///
+    /// ```
+    /// use gef_linalg::{Cholesky, Matrix};
+    ///
+    /// // A = [[4, 2], [2, 3]] is symmetric positive definite.
+    /// let mut a = Matrix::zeros(2, 2);
+    /// a[(0, 0)] = 4.0;
+    /// a[(0, 1)] = 2.0;
+    /// a[(1, 0)] = 2.0;
+    /// a[(1, 1)] = 3.0;
+    /// let chol = Cholesky::factor(&a).unwrap();
+    /// let x = chol.solve(&[10.0, 8.0]).unwrap();
+    /// // Check A·x = b.
+    /// assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-12);
+    /// assert!((2.0 * x[0] + 3.0 * x[1] - 8.0).abs() < 1e-12);
+    /// ```
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let mut x = b.to_vec();
         self.solve_into(&mut x)?;

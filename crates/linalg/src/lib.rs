@@ -18,6 +18,8 @@
 //! * [`special`] — log-gamma and the regularized incomplete beta
 //!   function backing the t-distribution CDF.
 
+#![deny(missing_docs)]
+
 pub mod cholesky;
 pub mod matrix;
 pub mod special;

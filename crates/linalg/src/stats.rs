@@ -141,6 +141,14 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 /// Log-spaced grid of `n` points from `lo` to `hi` inclusive (both > 0).
+///
+/// ```
+/// let grid = gef_linalg::stats::logspace(1e-2, 1e2, 5);
+/// assert_eq!(grid.len(), 5);
+/// for (g, want) in grid.iter().zip([1e-2, 1e-1, 1.0, 1e1, 1e2]) {
+///     assert!((g - want).abs() < 1e-9 * want);
+/// }
+/// ```
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
     linspace(lo.ln(), hi.ln(), n)

@@ -1,0 +1,665 @@
+//! # gef-par
+//!
+//! A small, zero-external-dependency parallel runtime for the GEF
+//! workspace: a persistent scoped thread pool with **deterministic
+//! chunked fan-out**. Every fan-out primitive here guarantees
+//! *bit-identical* results at any thread count:
+//!
+//! * **Fixed chunk boundaries.** [`chunk_ranges`] partitions a workload
+//!   from its length alone (never from the thread count), so the same
+//!   input always produces the same task decomposition.
+//! * **Ordered reduction.** [`map`] returns results in task-index order
+//!   and [`map_reduce`] folds chunk results left-to-right in chunk-index
+//!   order, so floating-point accumulation order never depends on which
+//!   thread finished first.
+//! * **Execution order is free, arithmetic order is not.** Threads may
+//!   claim tasks in any interleaving; each task's arithmetic and every
+//!   cross-task combination step are fixed by index.
+//!
+//! # Sizing
+//!
+//! The pool is sized by the `GEF_THREADS` environment variable, falling
+//! back to [`std::thread::available_parallelism`]. `threads() == 1` (and
+//! any workload of a single task) bypasses the pool entirely — no worker
+//! threads are ever spawned and the fan-out primitives degenerate to
+//! plain loops with zero synchronization. Tests and benchmarks can
+//! override the size in-process with [`set_threads`].
+//!
+//! # Fault-injection interplay
+//!
+//! Deterministic fault sites ([`gef_trace::fault`]) count *hits* in
+//! invocation order, so running guarded code on racing worker threads
+//! would make fault schedules thread-count-dependent. The runtime
+//! therefore checks [`gef_trace::fault::any_armed`] at dispatch time, in
+//! the coordinating thread: while any site is armed, every region runs
+//! serially (in task-index order) on the coordinator, making fault hit
+//! sequences invariant across `GEF_THREADS` settings by construction.
+//!
+//! # Telemetry
+//!
+//! When tracing is enabled and a region actually dispatches to the pool,
+//! the runtime records a `par.workers` gauge (threads participating,
+//! coordinator included), a `par.regions` counter, a `par.tasks`
+//! histogram, and — for coarse regions that opt in via
+//! [`Options::chunk_events`] — one `par.chunk` event per task at
+//! dispatch time. Serial execution records none of these, so `par.*`
+//! names are the only telemetry delta between thread counts (the CI
+//! determinism diff excludes exactly that namespace). Worker threads
+//! inherit the coordinator's span path (via
+//! [`gef_trace::push_base_path`]), so spans opened inside tasks land at
+//! the same hierarchical paths as in a serial run.
+//!
+//! # Example
+//!
+//! ```
+//! // Results are in index order regardless of which thread ran what.
+//! let squares = gef_par::map(8, gef_par::Options::default(), |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! // Chunked sum: same chunk boundaries and fold order at any thread
+//! // count, so the f64 result is bit-identical to a serial run.
+//! let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+//! let total = gef_par::map_reduce(
+//!     xs.len(),
+//!     gef_par::Options::default(),
+//!     |r| xs[r].iter().sum::<f64>(),
+//!     |a, b| a + b,
+//! )
+//! .unwrap_or(0.0);
+//! let serial: f64 = gef_par::chunk_ranges(xs.len())
+//!     .into_iter()
+//!     .map(|r| xs[r].iter().sum::<f64>())
+//!     .sum();
+//! assert_eq!(total.to_bits(), serial.to_bits());
+//! ```
+
+#![deny(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard upper bound on the configured thread count (defensive cap for
+/// absurd `GEF_THREADS` values).
+pub const MAX_THREADS: usize = 512;
+
+/// Maximum number of chunks [`chunk_ranges`] partitions a workload
+/// into. A constant (never the thread count!) so that chunk boundaries
+/// — and therefore per-chunk floating-point accumulation — depend only
+/// on the workload length.
+pub const MAX_CHUNKS: usize = 64;
+
+// 0 = unresolved (read GEF_THREADS on first use), otherwise the count.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn threads_from_env() -> usize {
+    let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = match std::env::var("GEF_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(fallback),
+        Err(_) => fallback,
+    };
+    n.min(MAX_THREADS)
+}
+
+/// The configured thread count (coordinator included), resolving
+/// `GEF_THREADS` on first call. `1` means strictly serial execution.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = threads_from_env();
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Override the thread count in-process (clamped to
+/// `1..=`[`MAX_THREADS`]), taking precedence over `GEF_THREADS`.
+///
+/// Intended for tests and benchmarks that compare thread counts within
+/// one process. Already-spawned workers are never torn down — lowering
+/// the count simply parks the surplus.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Deterministic partition of `0..len` into at most [`MAX_CHUNKS`]
+/// contiguous, equally sized ranges (the last may be shorter).
+///
+/// The boundaries are a pure function of `len` — thread count plays no
+/// role — which is the foundation of the runtime's bit-identical
+/// determinism contract.
+///
+/// ```
+/// let ranges = gef_par::chunk_ranges(10);
+/// assert_eq!(ranges.len(), 10); // len <= MAX_CHUNKS → unit chunks
+/// let ranges = gef_par::chunk_ranges(1000);
+/// assert_eq!(ranges.len(), 63);
+/// assert_eq!(ranges[0], 0..16);
+/// assert_eq!(ranges.last().unwrap().end, 1000);
+/// ```
+pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = chunk_size(len);
+    (0..len)
+        .step_by(size)
+        .map(|s| s..(s + size).min(len))
+        .collect()
+}
+
+/// The chunk length [`chunk_ranges`] uses for a workload of `len`
+/// items (a pure function of `len`).
+pub fn chunk_size(len: usize) -> usize {
+    len.div_ceil(len.clamp(1, MAX_CHUNKS)).max(1)
+}
+
+/// Per-region dispatch options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Emit one `par.chunk` telemetry event per task at dispatch time.
+    /// Reserve this for *coarse* regions (a handful of dispatches per
+    /// run); hot inner loops such as per-leaf histogram builds would
+    /// flood the bounded event log.
+    pub chunk_events: bool,
+}
+
+impl Options {
+    /// Options for a coarse region: per-chunk events enabled.
+    pub fn coarse() -> Options {
+        Options { chunk_events: true }
+    }
+}
+
+/// Write-once result slots, indexed by task id.
+///
+/// Safety contract: the runtime claims every task index exactly once,
+/// so each cell is touched by exactly one thread; the completion latch
+/// (a mutex) orders all writes before the coordinator reads.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn empty(n: usize) -> Self {
+        Slots {
+            cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    fn filled(items: Vec<T>) -> Self {
+        Slots {
+            cells: items
+                .into_iter()
+                .map(|v| UnsafeCell::new(Some(v)))
+                .collect(),
+        }
+    }
+
+    /// Store the result for task `i`.
+    ///
+    /// # Safety
+    /// `i` must be claimed by exactly one thread (guaranteed by the
+    /// runtime's atomic task claiming).
+    unsafe fn put(&self, i: usize, v: T) {
+        unsafe { *self.cells[i].get() = Some(v) };
+    }
+
+    /// Move task `i`'s input out of its slot.
+    ///
+    /// # Safety
+    /// Same uniqueness requirement as [`Slots::put`].
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.cells[i].get()).take() }
+    }
+
+    fn into_results(self) -> Vec<Option<T>> {
+        self.cells.into_iter().map(|c| c.into_inner()).collect()
+    }
+}
+
+/// Lifetime-erased pointer to the region's task closure. Only
+/// dereferenced between a successful task claim and its completion
+/// acknowledgement, a window during which the coordinator is provably
+/// still blocked in [`run_tasks`] (so the borrow is live).
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One parallel region: a task closure plus claim/completion state.
+struct Region {
+    task: TaskPtr,
+    n_tasks: usize,
+    next: AtomicUsize,
+    completed: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+    /// Coordinator's span path at dispatch, propagated to workers so
+    /// spans opened inside tasks nest identically to a serial run.
+    base_path: Option<String>,
+}
+
+impl Region {
+    /// Claim and run tasks until none remain. Callable from any number
+    /// of threads concurrently; each task index runs exactly once.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            // The claim → acknowledge window is what keeps the erased
+            // borrow live; see TaskPtr.
+            let task = unsafe { &*self.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut done = self.completed.lock().unwrap_or_else(|e| e.into_inner());
+            *done += 1;
+            if *done == self.n_tasks {
+                self.all_done.notify_all();
+            }
+        }
+    }
+
+    /// Block until every task has been acknowledged. The latch mutex
+    /// also publishes all task-side writes to the caller.
+    fn wait(&self) {
+        let mut done = self.completed.lock().unwrap_or_else(|e| e.into_inner());
+        while *done < self.n_tasks {
+            done = self.all_done.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Pool {
+    /// Pending helper slots: one queue entry wakes one worker to join a
+    /// region. Entries for already-finished regions are harmless — the
+    /// worker finds no unclaimed task and moves on.
+    queue: Mutex<Vec<Arc<Region>>>,
+    ready: Condvar,
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static REGION_ID: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(Vec::new()),
+        ready: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let region = {
+            let mut q = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(r) = q.pop() {
+                    break r;
+                }
+                q = pool.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let _path = region.base_path.as_deref().map(gef_trace::push_base_path);
+        region.work();
+    }
+}
+
+/// Spawn workers until `want` exist (process lifetime; they park when
+/// idle). Spawn failures are tolerated: the coordinator always
+/// participates, so a region completes with however many threads exist.
+fn ensure_workers(pool: &'static Pool, want: usize) {
+    loop {
+        let cur = pool.spawned.load(Ordering::Relaxed);
+        if cur >= want {
+            return;
+        }
+        if pool
+            .spawned
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let spawned = std::thread::Builder::new()
+            .name(format!("gef-par-{cur}"))
+            .spawn(move || worker_loop(pool));
+        if spawned.is_err() {
+            pool.spawned.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Spawn the pool's worker threads now (idempotent, cheap when already
+/// up). Benchmarks call this once per process so the first timed region
+/// does not pay thread start-up.
+pub fn prestart() {
+    let t = threads();
+    if t > 1 {
+        ensure_workers(pool(), t - 1);
+    }
+}
+
+/// Core dispatch: run `task(i)` for every `i in 0..n_tasks`.
+///
+/// Serial (a plain in-order loop on the calling thread) whenever the
+/// pool is sized to one thread, the region has a single task, or any
+/// fault-injection site is armed (see the crate docs). Otherwise tasks
+/// are claimed atomically by the coordinator plus up to `threads()-1`
+/// pool workers; the call returns only after every task completed.
+/// Panics inside tasks are caught, the region is drained, and a panic
+/// is re-raised on the caller.
+fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let t = threads();
+    if t <= 1 || n_tasks == 1 || gef_trace::fault::any_armed() {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let helpers = (t - 1).min(n_tasks - 1);
+    let pool = pool();
+    ensure_workers(pool, helpers);
+
+    let traced = gef_trace::enabled();
+    let base_path = if traced {
+        gef_trace::current_path()
+    } else {
+        None
+    };
+    if traced {
+        let g = gef_trace::global();
+        g.gauge("par.workers", (helpers + 1) as f64);
+        gef_trace::counter!("par.regions").incr();
+        g.record_value("par.tasks", n_tasks as u64);
+        if opts.chunk_events {
+            let region = REGION_ID.fetch_add(1, Ordering::Relaxed) as f64;
+            for i in 0..n_tasks {
+                g.event(
+                    "par.chunk",
+                    &[
+                        ("region", region),
+                        ("chunk", i as f64),
+                        ("of", n_tasks as f64),
+                    ],
+                );
+            }
+        }
+    }
+
+    // Erase the task borrow's lifetime for the worker threads. Sound
+    // because this function does not return before `region.wait()`
+    // observes every task completed, and stale queue entries never
+    // dereference the pointer (no unclaimed task remains).
+    let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(task as *const _)
+    };
+    let region = Arc::new(Region {
+        task: TaskPtr(erased),
+        n_tasks,
+        next: AtomicUsize::new(0),
+        completed: Mutex::new(0),
+        all_done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+        base_path,
+    });
+    {
+        let mut q = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..helpers {
+            q.push(Arc::clone(&region));
+        }
+    }
+    pool.ready.notify_all();
+    region.work();
+    region.wait();
+    if region.panicked.load(Ordering::Relaxed) {
+        panic!("gef-par: a parallel task panicked (see worker backtrace above)");
+    }
+}
+
+/// Run `f(i)` for every `i in 0..n` on the pool (serial fallback per
+/// the crate determinism rules). Side effects must be per-index
+/// independent; ordering across indices is unspecified when parallel.
+pub fn for_each_index(n: usize, opts: Options, f: impl Fn(usize) + Sync) {
+    run_tasks(n, opts, &f);
+}
+
+/// Compute `f(i)` for every `i in 0..n` and return the results in index
+/// order — the parallel equivalent of `(0..n).map(f).collect()`.
+pub fn map<T: Send>(n: usize, opts: Options, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots = Slots::empty(n);
+    run_tasks(n, opts, &|i| {
+        let v = f(i);
+        // Safety: each index is claimed exactly once.
+        unsafe { slots.put(i, v) };
+    });
+    slots
+        .into_results()
+        .into_iter()
+        .map(|o| o.expect("gef-par: completed task left no result"))
+        .collect()
+}
+
+/// Feed each element of `tasks` (moved) to `f` along with its index.
+/// The parallel equivalent of `tasks.into_iter().enumerate().for_each(..)`
+/// for inputs that are not `Clone` (e.g. disjoint `&mut` sub-slices).
+pub fn for_each_task<T: Send>(tasks: Vec<T>, opts: Options, f: impl Fn(usize, T) + Sync) {
+    let n = tasks.len();
+    let slots = Slots::filled(tasks);
+    run_tasks(n, opts, &|i| {
+        // Safety: each index is claimed exactly once.
+        if let Some(v) = unsafe { slots.take(i) } {
+            f(i, v);
+        }
+    });
+}
+
+/// Run `f(chunk_index, range)` over the fixed [`chunk_ranges`]
+/// partition of `0..len`.
+pub fn for_each_chunk(len: usize, opts: Options, f: impl Fn(usize, Range<usize>) + Sync) {
+    let ranges = chunk_ranges(len);
+    run_tasks(ranges.len(), opts, &|i| f(i, ranges[i].clone()));
+}
+
+/// Hand out disjoint mutable chunks of `data` (fixed [`chunk_size`]
+/// boundaries): `f(chunk_index, start_offset, chunk)`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    opts: Options,
+    f: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let size = chunk_size(len);
+    let chunks: Vec<(usize, &mut [T])> = data
+        .chunks_mut(size)
+        .enumerate()
+        .map(|(i, c)| (i * size, c))
+        .collect();
+    for_each_task(chunks, opts, |i, (start, chunk)| f(i, start, chunk));
+}
+
+/// Chunked map-reduce over `0..len`: `map_fn` runs per fixed chunk, and
+/// the chunk results are folded **left-to-right in chunk-index order**
+/// with `reduce` — so the combination order (and therefore any
+/// floating-point rounding) is identical at every thread count. Returns
+/// `None` for an empty workload.
+pub fn map_reduce<T: Send>(
+    len: usize,
+    opts: Options,
+    map_fn: impl Fn(Range<usize>) -> T + Sync,
+    reduce: impl FnMut(T, T) -> T,
+) -> Option<T> {
+    let ranges = chunk_ranges(len);
+    let parts = map(ranges.len(), opts, |i| map_fn(ranges[i].clone()));
+    parts.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `threads()` is process-global; tests that change it serialise.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn at_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        set_threads(n);
+        let out = f();
+        set_threads(1);
+        out
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 63, 64, 65, 1000, 4096, 100_000] {
+            let ranges = chunk_ranges(len);
+            assert!(ranges.len() <= MAX_CHUNKS);
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(r.end > r.start);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, len);
+        }
+    }
+
+    #[test]
+    fn map_returns_index_order() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for t in [1, 4] {
+            let got = at_threads(t, || map(100, Options::default(), |i| i * 3));
+            assert_eq!(got, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_across_thread_counts() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let xs: Vec<f64> = (0..50_000).map(|i| ((i * 37) as f64).sin() * 1e3).collect();
+        let sum_at = |t: usize| {
+            at_threads(t, || {
+                map_reduce(
+                    xs.len(),
+                    Options::default(),
+                    |r| xs[r].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap_or(0.0)
+            })
+        };
+        let s1 = sum_at(1);
+        for t in [2, 4, 8] {
+            assert_eq!(s1.to_bits(), sum_at(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_every_slot() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for t in [1, 4] {
+            let mut out = vec![0usize; 10_000];
+            at_threads(t, || {
+                for_each_chunk_mut(&mut out, Options::default(), |_, start, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = start + k;
+                    }
+                });
+            });
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        }
+    }
+
+    #[test]
+    fn for_each_task_consumes_each_input_once() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        at_threads(4, || {
+            let tasks: Vec<usize> = (0..64).collect();
+            for_each_task(tasks, Options::default(), |i, v| {
+                assert_eq!(i, v);
+                hits[v].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn task_panic_propagates_to_coordinator() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let result = at_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                for_each_index(32, Options::default(), |i| {
+                    assert!(i != 17, "injected test panic");
+                });
+            }))
+        });
+        assert!(result.is_err());
+        // The pool stays usable after a panicked region.
+        let ok = at_threads(4, || map(32, Options::default(), |i| i));
+        assert_eq!(ok.len(), 32);
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let got = at_threads(4, || {
+            map(8, Options::default(), |i| {
+                map(8, Options::default(), |j| i * 8 + j)
+                    .into_iter()
+                    .sum::<usize>()
+            })
+        });
+        let want: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(usize::MAX);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(1);
+    }
+
+    #[test]
+    fn empty_workloads_are_no_ops() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        at_threads(4, || {
+            assert!(map(0, Options::default(), |i| i).is_empty());
+            assert_eq!(
+                map_reduce(0, Options::default(), |_| 1usize, |a, b| a + b),
+                None
+            );
+            for_each_chunk_mut(&mut [] as &mut [u8], Options::default(), |_, _, _| {
+                panic!("must not run")
+            });
+        });
+    }
+}

@@ -174,6 +174,15 @@ mod imp {
     pub fn fired_count(site: &str) -> u64 {
         lock().get(site).map(|s| s.fired).unwrap_or(0)
     }
+
+    /// Whether *any* site is currently armed (one atomic load).
+    ///
+    /// Parallel runtimes check this at dispatch time and fall back to
+    /// serial execution while faults are armed, so hit counters advance
+    /// in a thread-count-invariant order.
+    pub fn any_armed() -> bool {
+        ANY_ARMED.load(Ordering::Acquire)
+    }
 }
 
 #[cfg(not(feature = "fault-injection"))]
@@ -220,9 +229,15 @@ mod imp {
     pub fn fired_count(_site: &str) -> u64 {
         0
     }
+
+    /// Constant `false` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn any_armed() -> bool {
+        false
+    }
 }
 
-pub use imp::{arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage};
+pub use imp::{any_armed, arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage};
 
 #[cfg(all(test, feature = "fault-injection"))]
 mod tests {

@@ -304,6 +304,191 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Err("unterminated string".to_string())
 }
 
+/// A parsed JSON value (see [`parse`]).
+///
+/// Objects preserve key order as a `Vec` of pairs — telemetry reports
+/// are emitted with deterministic ordering, and consumers like the
+/// `telemetry_diff` CI tool compare them order-sensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite numbers serialize to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, key order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document into a [`JsonValue`].
+///
+/// Same strictness as [`validate`] (no trailing garbage, no trailing
+/// commas). This is the read half of the crate's dependency-free JSON
+/// support, used by tools that consume emitted telemetry reports.
+///
+/// ```
+/// use gef_trace::json::{parse, JsonValue};
+/// let v = parse(r#"{"name":"gam.fit","count":3}"#).unwrap();
+/// assert_eq!(v.get("count").and_then(JsonValue::as_f64), Some(3.0));
+/// ```
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value_build(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value_build(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b'"') {
+                    return Err(format!("expected object key at byte {pos}"));
+                }
+                let key = parse_string_build(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value_build(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value_build(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string_build(b, pos).map(JsonValue::String),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| JsonValue::Null),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| format!("unparseable number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn parse_string_build(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    // Slice between the validated quotes, then decode escapes.
+    let raw = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("invalid utf-8 in string at byte {start}"))?;
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in string at byte {start}"))?;
+                // Validated above; lone surrogates fall back to U+FFFD.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err(format!("bad escape in string at byte {start}")),
+        }
+    }
+    Ok(out)
+}
+
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -419,5 +604,52 @@ mod tests {
             assert_eq!(parsed, v, "{s}");
         }
         assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn parser_builds_values() {
+        let v = parse(r#"{"a":[1,2.5,-3e1],"b":{"s":"x\ny é"},"t":true,"n":null}"#).unwrap();
+        let arr = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-30.0));
+        let s = v
+            .get("b")
+            .and_then(|b| b.get("s"))
+            .and_then(JsonValue::as_str);
+        assert_eq!(s, Some("x\ny é"));
+        assert_eq!(v.get("t"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("n"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("label", "quote \" slash \\ tab \t");
+        w.field_f64("value", -0.125);
+        w.key("items");
+        w.begin_array();
+        w.value_u64(7);
+        w.value_raw("null");
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("label").and_then(JsonValue::as_str),
+            Some("quote \" slash \\ tab \t")
+        );
+        assert_eq!(v.get("value").and_then(JsonValue::as_f64), Some(-0.125));
+        let items = v.get("items").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items, &[JsonValue::Number(7.0), JsonValue::Null]);
+    }
+
+    #[test]
+    fn parser_rejects_what_validator_rejects() {
+        for doc in ["", "{", "[1,]", "{\"a\":1,}", "1 2", "[1] trailing"] {
+            assert!(parse(doc).is_err(), "should reject: {doc}");
+        }
     }
 }

@@ -52,6 +52,8 @@
 //! # gef_trace::global().reset();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod fault;
 pub mod hist;
 pub mod json;
@@ -499,6 +501,19 @@ thread_local! {
 /// Spans nest per thread: a span entered while another is open on the same
 /// thread is recorded under `parent_path/name`. While tracing is disabled,
 /// `enter` takes no clock reading and `drop` records nothing.
+///
+/// ```
+/// gef_trace::set_enabled(true);
+/// {
+///     let outer = gef_trace::Span::enter("pipeline.gam_fit");
+///     assert_eq!(outer.path(), "pipeline.gam_fit");
+///     let inner = gef_trace::Span::enter("gam.gcv_grid");
+///     assert_eq!(inner.path(), "pipeline.gam_fit/gam.gcv_grid");
+/// } // both guards drop here, recording their durations
+/// assert_eq!(gef_trace::global().span_count("pipeline.gam_fit/gam.gcv_grid"), 1);
+/// gef_trace::set_enabled(false);
+/// # gef_trace::global().reset();
+/// ```
 #[must_use = "a span records on drop — bind it with `let _span = …`"]
 pub struct Span {
     start: Option<Instant>,
@@ -544,6 +559,52 @@ impl Drop for Span {
                 stack.borrow_mut().pop();
             });
             global().record_span_ns(&self.path, ns);
+        }
+    }
+}
+
+/// The full path of the innermost span currently open on this thread,
+/// or `None` when no span is open (or tracing is disabled).
+///
+/// Parallel runtimes capture this on the coordinating thread and replay
+/// it on workers via [`push_base_path`] so spans opened inside parallel
+/// tasks nest exactly as they would in a serial run.
+pub fn current_path() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// RAII guard returned by [`push_base_path`]; pops the synthetic base
+/// path from this thread's span stack on drop.
+#[must_use = "the base path is popped when this guard drops"]
+pub struct BasePathGuard {
+    active: bool,
+}
+
+/// Seed this thread's span stack with a base path, so that subsequent
+/// [`Span::enter`] calls nest under `path` instead of starting a fresh
+/// top-level hierarchy. No-op (and records nothing) while tracing is
+/// disabled or `path` is empty.
+///
+/// Used by worker threads to inherit the dispatching thread's span
+/// context; the base path itself is *not* recorded as a span — only
+/// spans opened under it are.
+pub fn push_base_path(path: &str) -> BasePathGuard {
+    if !enabled() || path.is_empty() {
+        return BasePathGuard { active: false };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(path.to_string()));
+    BasePathGuard { active: true }
+}
+
+impl Drop for BasePathGuard {
+    fn drop(&mut self) {
+        if self.active {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
         }
     }
 }

@@ -16,6 +16,7 @@ pub use gef_data as data;
 pub use gef_forest as forest;
 pub use gef_gam as gam;
 pub use gef_linalg as linalg;
+pub use gef_par as par;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

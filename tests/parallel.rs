@@ -1,0 +1,233 @@
+//! Parallel-determinism suite: the gef-par contract says every result
+//! is **bit-identical** at any thread count.
+//!
+//! Each test runs the same workload at `threads = 1` (the serial
+//! fallback path, no pool dispatch at all) and `threads = 4` (chunked
+//! fan-out over the worker pool) and compares outputs with
+//! [`f64::to_bits`] — not a tolerance. The chunk boundaries and ordered
+//! reductions in gef-par are derived from input length alone, so any
+//! difference here is a real nondeterminism bug.
+//!
+//! `gef_par::set_threads` is process-global, so every test serialises
+//! behind one mutex and restores `threads = 1` on exit.
+
+use gef::data::synthetic::{make_d_prime, NUM_FEATURES};
+use gef::gam::fit;
+use gef::par;
+use gef::prelude::*;
+use std::sync::Mutex;
+
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with exclusive ownership of the global thread-count setting,
+/// restoring serial mode afterwards.
+fn with_thread_control<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = f();
+    par::set_threads(1);
+    out
+}
+
+/// Run `f` at a given thread count (inside [`with_thread_control`]).
+fn at_threads<T>(t: usize, f: impl FnOnce() -> T) -> T {
+    par::set_threads(t);
+    let out = f();
+    par::set_threads(1);
+    out
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// A training set big enough that the histogram build and batched
+/// prediction both clear their parallel-dispatch thresholds
+/// (`rows × features ≥ 2^14`, `rows × trees ≥ 2^18`).
+fn training_data() -> gef::data::Dataset {
+    make_d_prime(4_000, 1)
+}
+
+fn train(data: &gef::data::Dataset) -> Forest {
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 80,
+        num_leaves: 16,
+        learning_rate: 0.1,
+        min_data_in_leaf: 10,
+        ..Default::default()
+    })
+    .fit(&data.xs, &data.ys)
+    .expect("training succeeds")
+}
+
+#[test]
+fn forest_training_is_bit_identical_across_thread_counts() {
+    with_thread_control(|| {
+        let data = training_data();
+        let serial = at_threads(1, || train(&data));
+        let parallel = at_threads(4, || train(&data));
+        assert_eq!(serial.trees.len(), parallel.trees.len());
+        // Identical trees ⇒ identical predictions, bit for bit. Predict
+        // serially on both so only training differs between the runs.
+        let ps: Vec<f64> = data.xs.iter().map(|x| serial.predict(x)).collect();
+        let pp: Vec<f64> = data.xs.iter().map(|x| parallel.predict(x)).collect();
+        assert_eq!(bits(&ps), bits(&pp));
+    });
+}
+
+#[test]
+fn dstar_labeling_is_bit_identical_across_thread_counts() {
+    with_thread_control(|| {
+        let data = training_data();
+        let forest = at_threads(1, || train(&data));
+        // Per-row serial prediction is the reference semantics.
+        let reference: Vec<f64> = data.xs.iter().map(|x| forest.predict(x)).collect();
+        let serial = at_threads(1, || forest.predict_batch(&data.xs));
+        let parallel = at_threads(4, || forest.predict_batch(&data.xs));
+        assert_eq!(bits(&serial), bits(&reference));
+        assert_eq!(bits(&parallel), bits(&reference));
+    });
+}
+
+#[test]
+fn gcv_lambda_selection_is_bit_identical_across_thread_counts() {
+    with_thread_control(|| {
+        let xs: Vec<Vec<f64>> = (0..600)
+            .map(|i| vec![(i % 97) as f64 / 97.0, (i % 41) as f64 / 41.0])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (6.0 * x[0]).sin() + x[1] * x[1])
+            .collect();
+        let spec = GamSpec::regression(vec![
+            TermSpec::spline(0, (0.0, 1.0)),
+            TermSpec::spline(1, (0.0, 1.0)),
+        ]);
+        let serial = at_threads(1, || fit(&spec, &xs, &ys).unwrap());
+        let parallel = at_threads(4, || fit(&spec, &xs, &ys).unwrap());
+        assert_eq!(
+            serial.summary().lambda.to_bits(),
+            parallel.summary().lambda.to_bits(),
+            "λ selection must not depend on thread count"
+        );
+        assert_eq!(
+            serial.summary().gcv.to_bits(),
+            parallel.summary().gcv.to_bits()
+        );
+        assert_eq!(
+            serial.summary().edf.to_bits(),
+            parallel.summary().edf.to_bits()
+        );
+        let ps = serial.predict_batch(&xs);
+        let pp = parallel.predict_batch(&xs);
+        assert_eq!(bits(&ps), bits(&pp));
+    });
+}
+
+#[test]
+fn full_pipeline_explanation_is_bit_identical_across_thread_counts() {
+    with_thread_control(|| {
+        let data = training_data();
+        let forest = at_threads(1, || train(&data));
+        let explain = || {
+            GefExplainer::new(GefConfig {
+                num_univariate: NUM_FEATURES,
+                num_interactions: 1,
+                sampling: SamplingStrategy::EquiSize(400),
+                n_samples: 6_000,
+                seed: 3,
+                ..Default::default()
+            })
+            .explain(&forest)
+            .expect("pipeline succeeds")
+        };
+        let serial = at_threads(1, explain);
+        let parallel = at_threads(4, explain);
+
+        assert_eq!(serial.selected_features, parallel.selected_features);
+        assert_eq!(
+            serial.gam.summary().lambda.to_bits(),
+            parallel.gam.summary().lambda.to_bits()
+        );
+        assert_eq!(
+            serial.fidelity_rmse.to_bits(),
+            parallel.fidelity_rmse.to_bits()
+        );
+        assert_eq!(serial.fidelity_r2.to_bits(), parallel.fidelity_r2.to_bits());
+        // The degradation ladder (none expected here, but compared
+        // structurally either way) must also be thread-count-invariant.
+        assert_eq!(serial.degradations, parallel.degradations);
+        let ps: Vec<f64> = data.xs.iter().map(|x| serial.predict(x)).collect();
+        let pp: Vec<f64> = data.xs.iter().map(|x| parallel.predict(x)).collect();
+        assert_eq!(bits(&ps), bits(&pp));
+    });
+}
+
+/// With a fault armed, gef-par falls back to serial dispatch (fault
+/// triggers are hit-counted, so ordering must not depend on worker
+/// interleaving): the whole run — hit counts, fired counts, and the
+/// resulting degradation ladder — must be identical at any thread
+/// count.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn fault_ordering_is_invariant_across_thread_counts() {
+    use gef::core::faults::{self, Trigger};
+
+    // PIRLS only runs for logit links, so use a binary-classification
+    // forest (same shape as the robustness suite's).
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i % 41) as f64 / 41.0, (i % 13) as f64 / 13.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(x[0] + 0.5 * x[1] > 0.7))
+        .collect();
+    with_thread_control(|| {
+        let forest = at_threads(1, || {
+            GbdtTrainer::new(GbdtParams {
+                num_trees: 30,
+                num_leaves: 6,
+                learning_rate: 0.2,
+                min_data_in_leaf: 5,
+                objective: Objective::BinaryLogistic,
+                ..Default::default()
+            })
+            .fit(&xs, &ys)
+            .unwrap()
+        });
+        let run = || {
+            faults::reset();
+            faults::arm(faults::PIRLS_ITER, Trigger::StageBelow(1));
+            let exp = GefExplainer::new(GefConfig {
+                num_univariate: 2,
+                num_interactions: 1,
+                n_samples: 1_500,
+                spline_basis: 10,
+                tensor_basis: 5,
+                ..Default::default()
+            })
+            .explain(&forest)
+            .expect("pipeline degrades gracefully");
+            let counts = (
+                faults::hit_count(faults::PIRLS_ITER),
+                faults::fired_count(faults::PIRLS_ITER),
+            );
+            faults::reset();
+            (exp, counts)
+        };
+        let (serial, serial_counts) = at_threads(1, run);
+        let (parallel, parallel_counts) = at_threads(4, run);
+
+        assert_eq!(serial_counts, parallel_counts, "fault hit/fire counts");
+        assert!(serial_counts.1 > 0, "the armed fault must actually fire");
+        assert_eq!(serial.degradations, parallel.degradations);
+        assert!(!serial.degradations.is_empty(), "ladder must engage");
+        assert_eq!(
+            serial.gam.summary().lambda.to_bits(),
+            parallel.gam.summary().lambda.to_bits()
+        );
+        assert_eq!(
+            serial.fidelity_rmse.to_bits(),
+            parallel.fidelity_rmse.to_bits()
+        );
+    });
+}
