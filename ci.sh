@@ -40,16 +40,28 @@ cargo test --features fault-injection --test robustness -q
 echo "==> cargo test --features fault-injection --test parallel"
 cargo test --features fault-injection --test parallel -q
 
+# Seeded chaos gate: a short random sweep over the GEF_FAULTS schedule
+# space with a tight deadline armed. xp_chaos exits nonzero on any
+# invariant violation (panic, hang past the hard deadline, or an
+# untyped/invalid completion) and prints a replayable GEF_FAULTS
+# string for the offending schedule.
+echo "==> chaos sweep (xp_chaos --schedules 25 --seed 7)"
+cargo run --release -q -p gef-bench --features fault-injection \
+    --bin xp_chaos -- --schedules 25 --seed 7 --deadline-ms 1500
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# No-panic gate: gef-core and gef-gam deny unwrap/expect in non-test
-# library code via #![cfg_attr(not(test), deny(...))] in their lib.rs;
-# this lint pass compiles the libs without cfg(test) to enforce it.
-echo "==> cargo clippy (no-panic gate: gef-core, gef-gam)"
-cargo clippy -p gef-core -p gef-gam --lib -- -D warnings
+# No-panic gate: gef-core, gef-gam, and gef-par deny unwrap/expect in
+# non-test library code via #![cfg_attr(not(test), deny(...))] in
+# their lib.rs; this lint pass compiles the libs without cfg(test) to
+# enforce it. gef-par is included so the guarantee covers the parallel
+# paths: a task panic comes back as ParError::TaskPanicked, never a
+# coordinator re-raise.
+echo "==> cargo clippy (no-panic gate: gef-core, gef-gam, gef-par)"
+cargo clippy -p gef-core -p gef-gam -p gef-par --lib -- -D warnings
 
 echo "CI gate passed."

@@ -77,7 +77,7 @@ fn bench_predict(c: &mut Criterion) {
         b.iter(|| black_box(forest.predict(black_box(&xs[7]))));
     });
     g.bench_function("batch4k_300trees", |b| {
-        b.iter(|| black_box(forest.predict_batch(black_box(&xs))));
+        b.iter(|| black_box(forest.predict_batch(black_box(&xs)).expect("no deadline")));
     });
     g.finish();
 }

@@ -31,8 +31,9 @@ fn bench_strategies(c: &mut Criterion) {
         let forest = forest_with(trees);
         let profile = ForestProfile::analyze(&forest);
         let selected: Vec<usize> = (0..5).collect();
-        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
-        let sample = generate(&forest, &domains, 300, true, 3);
+        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds)
+            .expect("domain construction");
+        let sample = generate(&forest, &domains, 300, true, 3).expect("D* generation");
         for (name, strategy) in [
             ("pair_gain", InteractionStrategy::PairGain),
             ("count_path", InteractionStrategy::CountPath),

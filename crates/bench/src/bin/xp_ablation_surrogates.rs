@@ -21,7 +21,7 @@ fn main() {
     let data = make_d_second(size.pick(3_000, 10_000, 10_000), &pairs, 1);
     let (train, test) = data.train_test_split(0.8, 2);
     let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
-    let forest_preds = forest.predict_batch(&test.xs);
+    let forest_preds = forest.predict_batch(&test.xs).expect("no deadline armed");
     println!(
         "# Ablation — surrogate model class ladder on D'' ({} trees)",
         forest.trees.len()

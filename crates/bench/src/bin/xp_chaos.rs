@@ -1,0 +1,375 @@
+//! Seeded chaos sweep over the `GEF_FAULTS` schedule space.
+//!
+//! Generates `--schedules` random fault schedules (every registered
+//! injection site crossed with the `always` / `first:N` / `hits:I|J` /
+//! `seeded:SEED:PROB` trigger families), runs the full GEF pipeline
+//! under each with a hard deadline armed, and asserts the robustness
+//! invariant:
+//!
+//! > Every run ends in a **valid explanation** (finite fidelity and
+//! > predictions, degradations recorded when the ladder stepped) or a
+//! > **typed `GefError`**, within the deadline — never a panic, never
+//! > a hang.
+//!
+//! The sweep is fully deterministic per `--seed`: the same seed
+//! regenerates the same schedules, and each schedule is printed in
+//! replayable `GEF_FAULTS` syntax so a violation reproduces with
+//!
+//! ```text
+//! GEF_FAULTS="<schedule>" GEF_DEADLINE_MS=<ms> cargo run ... --bin xp_<experiment>
+//! ```
+//!
+//! Results land in `CHAOS_report.json` (violations first, then every
+//! run's outcome). Exits nonzero when any schedule violates the
+//! invariant. Requires `--features fault-injection`.
+//!
+//! Flags: `--schedules N` (default 100), `--seed S` (default 7),
+//! `--deadline-ms D` (default 2000).
+
+use gef_core::faults::{self, ALL_SITES};
+use gef_core::{GefConfig, GefExplainer, RunBudget, SamplingStrategy};
+use gef_forest::{Forest, GbdtParams, GbdtTrainer, Objective};
+use gef_trace::json::JsonWriter;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// SplitMix64: tiny, seedable, and good enough to spread schedules
+/// across the space deterministically.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One random `site=trigger` entry in `GEF_FAULTS` syntax, drawn from
+/// every registered site and all four env-expressible trigger families.
+fn random_entry(rng: &mut SplitMix) -> String {
+    let site = ALL_SITES[rng.below(ALL_SITES.len() as u64) as usize];
+    let trigger = match rng.below(4) {
+        0 => "always".to_string(),
+        1 => format!("first:{}", 1 + rng.below(8)),
+        2 => {
+            let k = 1 + rng.below(3);
+            let hits: Vec<String> = (0..k).map(|_| rng.below(16).to_string()).collect();
+            format!("hits:{}", hits.join("|"))
+        }
+        _ => format!(
+            "seeded:{}:{:.2}",
+            rng.below(1_000_000),
+            0.05 + 0.85 * rng.unit()
+        ),
+    };
+    format!("{site}={trigger}")
+}
+
+/// A full schedule: 1–3 distinct-site entries, rendered as the exact
+/// string `GEF_FAULTS` would accept (the replay handle).
+fn random_schedule(rng: &mut SplitMix) -> String {
+    let k = 1 + rng.below(3);
+    let mut entries: Vec<String> = Vec::new();
+    for _ in 0..k {
+        let e = random_entry(rng);
+        let site = e.split('=').next().unwrap_or("");
+        if !entries.iter().any(|p| p.starts_with(site)) {
+            entries.push(e);
+        }
+    }
+    entries.join(",")
+}
+
+struct RunRecord {
+    index: usize,
+    schedule: String,
+    outcome: &'static str,
+    detail: String,
+    elapsed_ms: u64,
+    degradations: usize,
+    fired: u64,
+}
+
+struct Args {
+    schedules: usize,
+    seed: u64,
+    deadline_ms: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        schedules: 100,
+        seed: 7,
+        deadline_ms: 2000,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |j: usize| -> u64 {
+            argv.get(j)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} requires an integer argument", argv[j - 1]))
+        };
+        match argv[i].as_str() {
+            "--schedules" => {
+                out.schedules = val(i + 1) as usize;
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = val(i + 1);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                out.deadline_ms = val(i + 1);
+                i += 2;
+            }
+            other => panic!("unknown flag {other:?} (expected --schedules/--seed/--deadline-ms)"),
+        }
+    }
+    out
+}
+
+/// Train the two small forests (regression and classification) the
+/// sweep explains; built once, before any fault is armed.
+fn forests() -> (Forest, Forest) {
+    let xs: Vec<Vec<f64>> = (0..900)
+        .map(|i| {
+            vec![
+                (i % 71) as f64 / 71.0,
+                (i % 53) as f64 / 53.0,
+                (i % 29) as f64 / 29.0,
+            ]
+        })
+        .collect();
+    let ys_reg: Vec<f64> = xs
+        .iter()
+        .map(|x| x[0] * 2.0 + (x[1] * 5.0).sin() - x[2] + 3.0 * x[0] * x[1])
+        .collect();
+    let ys_cls: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(x[0] + x[1] - x[2] > 0.8))
+        .collect();
+    let params = |objective| GbdtParams {
+        num_trees: 30,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 10,
+        objective,
+        ..Default::default()
+    };
+    let reg = GbdtTrainer::new(params(Objective::RegressionL2))
+        .fit(&xs, &ys_reg)
+        .expect("regression forest trains");
+    let cls = GbdtTrainer::new(params(Objective::BinaryLogistic))
+        .fit(&xs, &ys_cls)
+        .expect("classification forest trains");
+    (reg, cls)
+}
+
+fn chaos_config() -> GefConfig {
+    GefConfig {
+        num_univariate: 3,
+        num_interactions: 1,
+        sampling: SamplingStrategy::EquiSize(40),
+        n_samples: 1500,
+        spline_basis: 10,
+        tensor_basis: 5,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (reg, cls) = forests();
+    let explainer = GefExplainer::new(chaos_config());
+    let probe = [0.4, 0.6, 0.2];
+    // Hang detection is necessarily a wall-clock bound: cooperative
+    // checkpoints abort *between* units of work, so one non-stalled
+    // unit of slack past the deadline is legitimate; an order of
+    // magnitude more is a missed checkpoint.
+    let overrun_ms = args.deadline_ms + 3000;
+
+    let mut rng = SplitMix(args.seed);
+    let mut runs: Vec<RunRecord> = Vec::with_capacity(args.schedules);
+    let mut violations: Vec<usize> = Vec::new();
+
+    println!(
+        "# chaos sweep: {} schedules, seed {}, deadline {} ms, sites: {}",
+        args.schedules,
+        args.seed,
+        args.deadline_ms,
+        ALL_SITES.join(", ")
+    );
+
+    for index in 0..args.schedules {
+        let schedule = random_schedule(&mut rng);
+        let entries = match faults::parse_spec(&schedule) {
+            Ok(e) => e,
+            Err(err) => {
+                // The generator only emits grammar the parser accepts;
+                // a parse failure is itself an invariant violation.
+                runs.push(RunRecord {
+                    index,
+                    schedule,
+                    outcome: "violation",
+                    detail: format!("generated schedule failed to parse: {err}"),
+                    elapsed_ms: 0,
+                    degradations: 0,
+                    fired: 0,
+                });
+                violations.push(index);
+                continue;
+            }
+        };
+        faults::reset();
+        let armed_sites: Vec<String> = entries.iter().map(|(s, _)| s.clone()).collect();
+        for (site, trigger) in entries {
+            faults::arm(&site, trigger);
+        }
+        let budget = RunBudget {
+            hard_deadline: Some(Duration::from_millis(args.deadline_ms)),
+            soft_deadline: Some(Duration::from_millis(args.deadline_ms * 4 / 5)),
+            ..RunBudget::unlimited()
+        };
+        let forest = if index % 2 == 0 { &reg } else { &cls };
+
+        let start = Instant::now();
+        let result = {
+            let _guard = budget.arm();
+            panic::catch_unwind(AssertUnwindSafe(|| explainer.explain(forest)))
+        };
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let fired: u64 = armed_sites.iter().map(|s| faults::fired_count(s)).sum();
+        faults::reset();
+
+        let (outcome, detail, degradations) = match result {
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                ("violation", format!("panicked: {msg}"), 0)
+            }
+            Ok(Ok(exp)) => {
+                let p = exp.predict(&probe);
+                if !(exp.fidelity_rmse.is_finite() && exp.fidelity_r2.is_finite() && p.is_finite())
+                {
+                    (
+                        "violation",
+                        format!(
+                            "explanation is not valid: rmse={} r2={} probe={p}",
+                            exp.fidelity_rmse, exp.fidelity_r2
+                        ),
+                        exp.degradations.len(),
+                    )
+                } else if exp.degradations.is_empty() {
+                    ("ok", String::new(), 0)
+                } else {
+                    (
+                        "ok_degraded",
+                        exp.degradations
+                            .iter()
+                            .map(|d| d.action.label())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        exp.degradations.len(),
+                    )
+                }
+            }
+            Ok(Err(e)) => ("typed_error", e.to_string(), 0),
+        };
+        let outcome = if outcome != "violation" && elapsed_ms > overrun_ms {
+            violations.push(index);
+            runs.push(RunRecord {
+                index,
+                schedule,
+                outcome: "violation",
+                detail: format!("overran the deadline: {elapsed_ms} ms > {overrun_ms} ms budget"),
+                elapsed_ms,
+                degradations,
+                fired,
+            });
+            continue;
+        } else {
+            outcome
+        };
+        if outcome == "violation" {
+            violations.push(index);
+        }
+        runs.push(RunRecord {
+            index,
+            schedule,
+            outcome,
+            detail,
+            elapsed_ms,
+            degradations,
+            fired,
+        });
+    }
+
+    let count = |o: &str| runs.iter().filter(|r| r.outcome == o).count();
+    let (n_ok, n_degraded, n_err) = (count("ok"), count("ok_degraded"), count("typed_error"));
+    println!(
+        "# outcomes: {n_ok} clean, {n_degraded} degraded, {n_err} typed errors, {} violations",
+        violations.len()
+    );
+    for &v in &violations {
+        let r = &runs[v];
+        println!("VIOLATION schedule {}: {}", r.index, r.detail);
+        println!(
+            "  replay: GEF_FAULTS=\"{}\" GEF_DEADLINE_MS={}",
+            r.schedule, args.deadline_ms
+        );
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("seed", args.seed);
+    w.field_u64("schedules", args.schedules as u64);
+    w.field_u64("deadline_ms", args.deadline_ms);
+    w.field_u64("violations", violations.len() as u64);
+    w.key("replay_violations");
+    w.begin_array();
+    for &v in &violations {
+        w.value_str(&format!(
+            "GEF_FAULTS=\"{}\" GEF_DEADLINE_MS={}",
+            runs[v].schedule, args.deadline_ms
+        ));
+    }
+    w.end_array();
+    w.key("runs");
+    w.begin_array();
+    for r in &runs {
+        w.begin_object();
+        w.field_u64("index", r.index as u64);
+        w.field_str("faults", &r.schedule);
+        w.field_str("outcome", r.outcome);
+        w.field_str("detail", &r.detail);
+        w.field_u64("elapsed_ms", r.elapsed_ms);
+        w.field_u64("degradations", r.degradations as u64);
+        w.field_u64("fired", r.fired);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
+    std::fs::write("CHAOS_report.json", &json).expect("write CHAOS_report.json");
+    println!("wrote CHAOS_report.json");
+
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -49,8 +49,9 @@ fn main() {
         let profile = ForestProfile::analyze(&forest);
         let selected: Vec<usize> = (0..NUM_FEATURES).collect();
         // H-Stat needs a D* sample; generate a small one once per forest.
-        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
-        let sample = generate(&forest, &domains, 400, true, 11);
+        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds)
+            .expect("domain construction");
+        let sample = generate(&forest, &domains, 400, true, 11).expect("D* generation");
         for (si, &strategy) in strategies.iter().enumerate() {
             let ranked = rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
                 .expect("ranking succeeds");

@@ -50,7 +50,7 @@ fn main() {
         note_degradations("xp_rf", &exp);
 
         // Forest accuracy and surrogate fidelity on the original test set.
-        let fpred = forest.predict_batch(&test.xs);
+        let fpred = forest.predict_batch(&test.xs).expect("no deadline armed");
         let gpred: Vec<f64> = test.xs.iter().map(|x| exp.predict(x)).collect();
 
         // Mean component reconstruction error across the 5 generators.

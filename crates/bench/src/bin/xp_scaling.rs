@@ -96,8 +96,9 @@ fn sweep() {
         });
 
         let (label_xs, _) = gef_bench::common_fidelity_set(&forest, label_n, 7);
-        let (labels, label_s) =
-            timed_run_warmed("xp.scaling.label", || forest.predict_batch(&label_xs));
+        let (labels, label_s) = timed_run_warmed("xp.scaling.label", || {
+            forest.predict_batch(&label_xs).expect("no deadline armed")
+        });
 
         // λ-grid GCV search on a surrogate-style spline GAM over the
         // labeled batch (the same shape the pipeline's gam_fit stage

@@ -27,7 +27,7 @@ fn main() {
     ] {
         let (train, test) = data.train_test_split(0.8, 2);
         let forest = train_paper_forest(&train.xs, &train.ys, size, Objective::RegressionL2);
-        let forest_preds = forest.predict_batch(&test.xs);
+        let forest_preds = forest.predict_batch(&test.xs).expect("no deadline armed");
         let forest_r2_y = r2(&forest_preds, &test.ys);
 
         let cfg = GefConfig {

@@ -121,7 +121,9 @@ pub fn common_fidelity_set(forest: &Forest, n: usize, seed: u64) -> (Vec<Vec<f64
                 .collect()
         })
         .collect();
-    let ys = forest.predict_batch(&xs);
+    let ys = forest
+        .predict_batch(&xs)
+        .expect("benchmark labeling runs without a deadline");
     (xs, ys)
 }
 

@@ -1,0 +1,213 @@
+//! Run budgets: wall-clock deadlines and size caps for one pipeline run.
+//!
+//! [`RunBudget`] is the `gef-core` facade over the always-compiled
+//! process-global primitive in [`gef_trace::budget`]. It reads the
+//! environment knobs, and [`RunBudget::arm`] installs deadlines and
+//! iteration caps for the duration of a scope (the returned guard
+//! disarms everything on drop).
+//!
+//! ## Environment knobs
+//!
+//! | variable | meaning |
+//! |----------|---------|
+//! | `GEF_DEADLINE_MS` | hard wall-clock deadline for the run; once passed, every cooperative checkpoint returns [`GefError::DeadlineExceeded`] |
+//! | `GEF_SOFT_DEADLINE_MS` | soft deadline (budget pressure); the GAM recovery ladder descends one rung preemptively, recorded as a degradation. Defaults to 80% of the hard deadline when only that is set |
+//! | `GEF_MAX_BOOST_ROUNDS` | cap on forest boosting rounds (0 = unlimited) |
+//! | `GEF_MAX_PIRLS_ITERS` | cap on PIRLS iterations per GAM fit (0 = unlimited) |
+//! | `GEF_MAX_DSTAR_ROWS` | cap on `D*` rows; a tighter-than-requested cap is recorded as a degradation, a cap below the fitting minimum (16) fails with [`GefError::BudgetExceeded`] |
+//!
+//! Invalid (unparseable) values are never fatal: the knob is ignored,
+//! a warning naming the raw value goes to stderr, and — when telemetry
+//! is enabled — a `core.budget.invalid_env` event is recorded.
+//!
+//! [`GefError::DeadlineExceeded`]: crate::GefError::DeadlineExceeded
+//! [`GefError::BudgetExceeded`]: crate::GefError::BudgetExceeded
+
+use std::time::Duration;
+
+/// Declarative budget for one [`crate::GefExplainer::explain`] run.
+///
+/// Construct with [`RunBudget::from_env`] (production: driven by the
+/// `GEF_*` variables above) or build one programmatically; then
+/// [`RunBudget::arm`] it around the work it should bound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Hard wall-clock deadline (None = unbounded).
+    pub hard_deadline: Option<Duration>,
+    /// Soft deadline: budget pressure, not an abort (None = unarmed).
+    pub soft_deadline: Option<Duration>,
+    /// Boosting-round cap for forest training (0 = unlimited).
+    pub max_boost_rounds: u64,
+    /// PIRLS-iteration cap per GAM fit (0 = unlimited).
+    pub max_pirls_iters: u64,
+    /// `D*` row cap (0 = unlimited).
+    pub max_dstar_rows: usize,
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("gef-core: invalid {var} value {raw:?}; ignoring it");
+            if gef_trace::enabled() {
+                gef_trace::global()
+                    .event("core.budget.invalid_env", &[("raw_len", raw.len() as f64)]);
+            }
+            None
+        }
+    }
+}
+
+impl RunBudget {
+    /// An unlimited budget: nothing armed, nothing capped.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Whether this budget constrains anything at all.
+    pub fn is_unlimited(&self) -> bool {
+        *self == RunBudget::default()
+    }
+
+    /// Read the budget from the `GEF_*` environment knobs (see the
+    /// module docs). Unset or invalid variables leave that limit off.
+    pub fn from_env() -> Self {
+        let hard_ms = env_u64("GEF_DEADLINE_MS").filter(|&ms| ms > 0);
+        let soft_ms = env_u64("GEF_SOFT_DEADLINE_MS")
+            .filter(|&ms| ms > 0)
+            // With only a hard deadline set, arm soft pressure at 80%
+            // of it so the ladder starts cutting cost before the abort.
+            .or(hard_ms.map(|ms| ms.saturating_mul(4) / 5));
+        RunBudget {
+            hard_deadline: hard_ms.map(Duration::from_millis),
+            soft_deadline: soft_ms.map(Duration::from_millis),
+            max_boost_rounds: env_u64("GEF_MAX_BOOST_ROUNDS").unwrap_or(0),
+            max_pirls_iters: env_u64("GEF_MAX_PIRLS_ITERS").unwrap_or(0),
+            max_dstar_rows: env_u64("GEF_MAX_DSTAR_ROWS").unwrap_or(0) as usize,
+        }
+    }
+
+    /// Arm the process-global budget with this run's deadlines and
+    /// iteration caps. Everything disarms (and any pending cancellation
+    /// clears) when the returned guard drops.
+    ///
+    /// The budget is process-global state, like the telemetry and fault
+    /// registries: nest scopes rather than racing concurrent runs.
+    #[must_use = "the budget disarms when this guard drops"]
+    pub fn arm(&self) -> gef_trace::budget::BudgetGuard {
+        gef_trace::budget::set_boost_round_cap(self.max_boost_rounds);
+        gef_trace::budget::set_pirls_iter_cap(self.max_pirls_iters);
+        gef_trace::budget::scoped(self.hard_deadline, self.soft_deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env vars and the global budget are process-wide; serialise.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    const VARS: [&str; 5] = [
+        "GEF_DEADLINE_MS",
+        "GEF_SOFT_DEADLINE_MS",
+        "GEF_MAX_BOOST_ROUNDS",
+        "GEF_MAX_PIRLS_ITERS",
+        "GEF_MAX_DSTAR_ROWS",
+    ];
+
+    fn with_env<T>(pairs: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for v in VARS {
+            std::env::remove_var(v);
+        }
+        for (k, v) in pairs {
+            std::env::set_var(k, v);
+        }
+        let out = f();
+        for v in VARS {
+            std::env::remove_var(v);
+        }
+        gef_trace::budget::reset();
+        out
+    }
+
+    #[test]
+    fn empty_env_is_unlimited() {
+        with_env(&[], || {
+            let b = RunBudget::from_env();
+            assert!(b.is_unlimited());
+            let _guard = b.arm();
+            assert!(!gef_trace::budget::hard_exceeded());
+            assert!(!gef_trace::budget::soft_exceeded());
+        });
+    }
+
+    #[test]
+    fn soft_deadline_defaults_to_fraction_of_hard() {
+        with_env(&[("GEF_DEADLINE_MS", "1000")], || {
+            let b = RunBudget::from_env();
+            assert_eq!(b.hard_deadline, Some(Duration::from_millis(1000)));
+            assert_eq!(b.soft_deadline, Some(Duration::from_millis(800)));
+        });
+    }
+
+    #[test]
+    fn explicit_soft_deadline_wins() {
+        with_env(
+            &[("GEF_DEADLINE_MS", "1000"), ("GEF_SOFT_DEADLINE_MS", "100")],
+            || {
+                let b = RunBudget::from_env();
+                assert_eq!(b.soft_deadline, Some(Duration::from_millis(100)));
+            },
+        );
+    }
+
+    #[test]
+    fn invalid_values_are_ignored_not_fatal() {
+        with_env(
+            &[
+                ("GEF_DEADLINE_MS", "soon"),
+                ("GEF_MAX_BOOST_ROUNDS", "-3"),
+                ("GEF_MAX_PIRLS_ITERS", "7"),
+            ],
+            || {
+                let b = RunBudget::from_env();
+                assert_eq!(b.hard_deadline, None);
+                assert_eq!(b.max_boost_rounds, 0);
+                assert_eq!(b.max_pirls_iters, 7);
+            },
+        );
+    }
+
+    #[test]
+    fn arm_installs_caps_and_deadlines() {
+        with_env(&[], || {
+            // A generous deadline: sibling lib tests share the process
+            // global, so never arm a tripping deadline here (trip
+            // semantics are covered by gef-trace's own tests and the
+            // deadline integration tests).
+            let b = RunBudget {
+                hard_deadline: Some(Duration::from_secs(3600)),
+                soft_deadline: None,
+                max_boost_rounds: 5,
+                max_pirls_iters: 2,
+                max_dstar_rows: 100,
+            };
+            {
+                let _guard = b.arm();
+                assert!(gef_trace::budget::active());
+                assert!(!gef_trace::budget::hard_exceeded());
+                assert_eq!(gef_trace::budget::boost_round_cap(), 5);
+                assert_eq!(gef_trace::budget::pirls_iter_cap(), 2);
+            }
+            assert!(!gef_trace::budget::active(), "guard drop disarms");
+            // Caps outlive the guard by design (they are process config,
+            // not per-run state) — clear them for the other tests.
+            gef_trace::budget::set_boost_round_cap(0);
+            gef_trace::budget::set_pirls_iter_cap(0);
+        });
+    }
+}

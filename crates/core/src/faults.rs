@@ -13,6 +13,7 @@
 //! | [`CHOL_FACTOR`] | `gef_linalg::Cholesky::factor` | returns `NotPositiveDefinite` |
 //! | [`PIRLS_ITER`] | `gef_gam` PIRLS iteration | corrupts the candidate β to NaN |
 //! | [`PIRLS_STEP`] | `gef_gam` PIRLS iteration | finite overshoot (recoverable by step-halving) |
+//! | [`PIRLS_STALL`] | `gef_gam` PIRLS iteration | sleeps 5 ms (no numeric effect) — exists to prove deadline enforcement |
 //! | [`FOREST_PREDICT_NAN`] | `gef_forest::Forest::predict_raw` | returns NaN |
 //! | [`SAMPLING_DOMAIN_COLLAPSE`] | pipeline sampling stage | truncates a selected feature's domain to one point |
 //!
@@ -37,35 +38,104 @@ pub const CHOL_FACTOR: &str = "chol.factor";
 pub const PIRLS_ITER: &str = "pirls.iter";
 /// A PIRLS iteration's solved coefficients overshoot (finitely).
 pub const PIRLS_STEP: &str = "pirls.step";
+/// A PIRLS iteration stalls (sleeps 5 ms per fire, no numeric effect).
+/// Exists so deadline enforcement can be proven: an `always`-stalled
+/// PIRLS loop under `GEF_DEADLINE_MS` must return `DeadlineExceeded`,
+/// never hang.
+pub const PIRLS_STALL: &str = "pirls.stall";
 /// `Forest::predict_raw` returns NaN.
 pub const FOREST_PREDICT_NAN: &str = "forest.predict_nan";
 /// A selected feature's sampling domain collapses to a single point.
 pub const SAMPLING_DOMAIN_COLLAPSE: &str = "sampling.domain_collapse";
 
 /// All known injection sites.
-pub const ALL_SITES: [&str; 5] = [
+pub const ALL_SITES: [&str; 6] = [
     CHOL_FACTOR,
     PIRLS_ITER,
     PIRLS_STEP,
+    PIRLS_STALL,
     FOREST_PREDICT_NAN,
     SAMPLING_DOMAIN_COLLAPSE,
 ];
 
+/// A malformed or unknown `GEF_FAULTS` specification.
+///
+/// The `Display` form of [`FaultSpecError::UnknownSite`] lists every
+/// registered site so a typo in a chaos schedule is self-diagnosing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpecError {
+    /// An entry had no `site=trigger` shape.
+    MissingEquals {
+        /// The offending entry.
+        entry: String,
+    },
+    /// The named site is not in [`ALL_SITES`].
+    UnknownSite {
+        /// The unrecognized site name.
+        site: String,
+    },
+    /// The trigger half of an entry did not parse.
+    MalformedTrigger {
+        /// The offending trigger text.
+        trigger: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::MissingEquals { entry } => {
+                write!(f, "bad GEF_FAULTS entry (no '='): {entry:?}")
+            }
+            FaultSpecError::UnknownSite { site } => {
+                write!(
+                    f,
+                    "unknown GEF_FAULTS site {site:?}; valid sites: {}",
+                    ALL_SITES.join(", ")
+                )
+            }
+            FaultSpecError::MalformedTrigger { trigger, reason } => {
+                write!(f, "bad GEF_FAULTS trigger {trigger:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// Parse a `GEF_FAULTS`-style activation string into `(site, trigger)`
-/// pairs. See the module docs for the syntax.
-pub fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger)>, String> {
+/// pairs, rejecting unknown sites and malformed triggers with a typed
+/// [`FaultSpecError`]. See the module docs for the syntax.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger)>, FaultSpecError> {
     let mut out = Vec::new();
     for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
         let (site, trig) = entry
             .split_once('=')
-            .ok_or_else(|| format!("bad GEF_FAULTS entry (no '='): {entry:?}"))?;
+            .ok_or_else(|| FaultSpecError::MissingEquals {
+                entry: entry.to_string(),
+            })?;
+        let site = site.trim();
+        if !ALL_SITES.contains(&site) {
+            return Err(FaultSpecError::UnknownSite {
+                site: site.to_string(),
+            });
+        }
         let trigger = parse_trigger(trig.trim())?;
-        out.push((site.trim().to_string(), trigger));
+        out.push((site.to_string(), trigger));
     }
     Ok(out)
 }
 
-fn parse_trigger(t: &str) -> Result<Trigger, String> {
+fn malformed(t: &str, reason: impl Into<String>) -> FaultSpecError {
+    FaultSpecError::MalformedTrigger {
+        trigger: t.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn parse_trigger(t: &str) -> Result<Trigger, FaultSpecError> {
     if t == "always" {
         return Ok(Trigger::Always);
     }
@@ -73,41 +143,44 @@ fn parse_trigger(t: &str) -> Result<Trigger, String> {
         return n
             .parse()
             .map(Trigger::FirstN)
-            .map_err(|_| format!("bad first:N trigger: {t:?}"));
+            .map_err(|_| malformed(t, "expected first:N with integer N"));
     }
     if let Some(list) = t.strip_prefix("hits:") {
         let hits: Result<Vec<u64>, _> = list.split('|').map(str::parse).collect();
         return hits
             .map(Trigger::Hits)
-            .map_err(|_| format!("bad hits:I|J trigger: {t:?}"));
+            .map_err(|_| malformed(t, "expected hits:I|J|K with integer hit indices"));
     }
     if let Some(n) = t.strip_prefix("stage<") {
         return n
             .parse()
             .map(Trigger::StageBelow)
-            .map_err(|_| format!("bad stage<N trigger: {t:?}"));
+            .map_err(|_| malformed(t, "expected stage<N with integer N"));
     }
     if let Some(rest) = t.strip_prefix("seeded:") {
         let (seed, prob) = rest
             .split_once(':')
-            .ok_or_else(|| format!("bad seeded:SEED:PROB trigger: {t:?}"))?;
+            .ok_or_else(|| malformed(t, "expected seeded:SEED:PROB"))?;
         let seed = seed
             .parse()
-            .map_err(|_| format!("bad seed in trigger: {t:?}"))?;
+            .map_err(|_| malformed(t, "seed is not an integer"))?;
         let prob: f64 = prob
             .parse()
-            .map_err(|_| format!("bad probability in trigger: {t:?}"))?;
+            .map_err(|_| malformed(t, "probability is not a number"))?;
         if !(0.0..=1.0).contains(&prob) {
-            return Err(format!("probability out of [0,1]: {t:?}"));
+            return Err(malformed(t, "probability out of [0,1]"));
         }
         return Ok(Trigger::Seeded { seed, prob });
     }
-    Err(format!("unknown trigger: {t:?}"))
+    Err(malformed(
+        t,
+        "expected always, first:N, hits:I|J, stage<N, or seeded:SEED:PROB",
+    ))
 }
 
 /// Arm every site listed in the `GEF_FAULTS` environment variable.
 /// Returns how many sites were armed; a malformed spec is an error.
-pub fn arm_from_env() -> Result<usize, String> {
+pub fn arm_from_env() -> Result<usize, FaultSpecError> {
     let Ok(spec) = std::env::var("GEF_FAULTS") else {
         return Ok(0);
     };
@@ -146,11 +219,46 @@ mod tests {
 
     #[test]
     fn rejects_malformed_specs() {
-        assert!(parse_spec("no_equals_sign").is_err());
-        assert!(parse_spec("a=never").is_err());
-        assert!(parse_spec("a=first:x").is_err());
-        assert!(parse_spec("a=seeded:1:1.5").is_err());
+        assert!(matches!(
+            parse_spec("no_equals_sign"),
+            Err(FaultSpecError::MissingEquals { .. })
+        ));
+        assert!(matches!(
+            parse_spec("chol.factor=never"),
+            Err(FaultSpecError::MalformedTrigger { .. })
+        ));
+        assert!(matches!(
+            parse_spec("chol.factor=first:x"),
+            Err(FaultSpecError::MalformedTrigger { .. })
+        ));
+        assert!(matches!(
+            parse_spec("chol.factor=seeded:1:1.5"),
+            Err(FaultSpecError::MalformedTrigger { .. })
+        ));
         // Empty spec is fine (nothing armed).
         assert_eq!(parse_spec("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_site_error_lists_valid_sites() {
+        let err = parse_spec("chol.faktor=always").unwrap_err();
+        assert_eq!(
+            err,
+            FaultSpecError::UnknownSite {
+                site: "chol.faktor".into()
+            }
+        );
+        let msg = err.to_string();
+        for site in ALL_SITES {
+            assert!(msg.contains(site), "{msg:?} should list {site}");
+        }
+    }
+
+    #[test]
+    fn every_registered_site_parses() {
+        for site in ALL_SITES {
+            let parsed = parse_spec(&format!("{site}=first:1")).unwrap();
+            assert_eq!(parsed, vec![(site.to_string(), Trigger::FirstN(1))]);
+        }
     }
 }

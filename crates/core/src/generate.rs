@@ -11,6 +11,7 @@
 
 use crate::sampling::SamplingStrategy;
 use crate::selection::ForestProfile;
+use crate::Result;
 use gef_forest::Forest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,8 +83,8 @@ pub fn build_domains(
     profile: &ForestProfile,
     selected: &[usize],
     strategy: SamplingStrategy,
-) -> Vec<Vec<f64>> {
-    gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
+) -> Result<Vec<Vec<f64>>> {
+    let domains = gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
         if selected.contains(&f) {
             // The multiset carries the split-density signal the
             // budgeted strategies rely on.
@@ -91,7 +92,8 @@ pub fn build_domains(
         } else {
             SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
         }
-    })
+    })?;
+    Ok(domains)
 }
 
 /// Generate `n` labelled instances from the given domains.
@@ -106,7 +108,7 @@ pub fn generate(
     n: usize,
     raw_labels: bool,
     seed: u64,
-) -> SyntheticDataset {
+) -> Result<SyntheticDataset> {
     let _span = gef_trace::Span::enter("core.generate");
     let mut rng = StdRng::seed_from_u64(seed);
     let d = forest.num_features;
@@ -135,21 +137,21 @@ pub fn generate(
         // reserved for the response-scale D* labeling below.
         forest.predict_raw_batch(&xs)
     } else if traced {
-        let (ys, visited) = forest.predict_batch_counted(&xs);
+        let (ys, visited) = forest.predict_batch_counted(&xs)?;
         gef_trace::counter!("forest.nodes_visited").add(visited);
         ys
     } else {
-        forest.predict_batch(&xs)
+        forest.predict_batch(&xs)?
     };
     if traced {
         gef_trace::counter!("core.dstar_rows").add(n as u64);
     }
     drop(_label_span);
-    SyntheticDataset {
+    Ok(SyntheticDataset {
         xs,
         ys,
         domains: domains.to_vec(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -178,8 +180,8 @@ mod tests {
         let f = forest();
         let profile = ForestProfile::analyze(&f);
         let selected = profile.select_univariate(2);
-        let domains = build_domains(&profile, &selected, SamplingStrategy::EquiSize(5));
-        let ds = generate(&f, &domains, 500, false, 1);
+        let domains = build_domains(&profile, &selected, SamplingStrategy::EquiSize(5)).unwrap();
+        let ds = generate(&f, &domains, 500, false, 1).unwrap();
         assert_eq!(ds.len(), 500);
         for x in &ds.xs {
             for (fi, &v) in x.iter().enumerate() {
@@ -199,8 +201,8 @@ mod tests {
     fn labels_match_forest_predictions() {
         let f = forest();
         let profile = ForestProfile::analyze(&f);
-        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::AllThresholds);
-        let ds = generate(&f, &domains, 50, false, 3);
+        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::AllThresholds).unwrap();
+        let ds = generate(&f, &domains, 50, false, 3).unwrap();
         for (x, &y) in ds.xs.iter().zip(&ds.ys) {
             assert_eq!(y, f.predict(x));
         }
@@ -221,9 +223,9 @@ mod tests {
         .fit(&xs, &ys)
         .unwrap();
         let profile = ForestProfile::analyze(&f);
-        let domains = build_domains(&profile, &[0], SamplingStrategy::AllThresholds);
-        let raw = generate(&f, &domains, 40, true, 5);
-        let resp = generate(&f, &domains, 40, false, 5);
+        let domains = build_domains(&profile, &[0], SamplingStrategy::AllThresholds).unwrap();
+        let raw = generate(&f, &domains, 40, true, 5).unwrap();
+        let resp = generate(&f, &domains, 40, false, 5).unwrap();
         // Same instances (same seed), different label scales.
         assert_eq!(raw.xs, resp.xs);
         for (&r, &p) in raw.ys.iter().zip(&resp.ys) {
@@ -236,9 +238,9 @@ mod tests {
     fn unused_feature_fixed_at_zero() {
         let f = forest(); // feature 2 is constant 7.0 -> never split
         let profile = ForestProfile::analyze(&f);
-        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::EquiWidth(4));
+        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::EquiWidth(4)).unwrap();
         assert!(domains[2].is_empty());
-        let ds = generate(&f, &domains, 20, false, 9);
+        let ds = generate(&f, &domains, 20, false, 9).unwrap();
         assert!(ds.xs.iter().all(|x| x[2] == 0.0));
     }
 
@@ -246,8 +248,8 @@ mod tests {
     fn split_fractions() {
         let f = forest();
         let profile = ForestProfile::analyze(&f);
-        let domains = build_domains(&profile, &[0], SamplingStrategy::EquiSize(3));
-        let ds = generate(&f, &domains, 100, false, 11);
+        let domains = build_domains(&profile, &[0], SamplingStrategy::EquiSize(3)).unwrap();
+        let ds = generate(&f, &domains, 100, false, 11).unwrap();
         let (tr, te) = ds.split(0.8);
         assert_eq!(tr.len(), 80);
         assert_eq!(te.len(), 20);
@@ -257,11 +259,11 @@ mod tests {
     fn deterministic_per_seed() {
         let f = forest();
         let profile = ForestProfile::analyze(&f);
-        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::KQuantile(6));
-        let a = generate(&f, &domains, 30, false, 42);
-        let b = generate(&f, &domains, 30, false, 42);
+        let domains = build_domains(&profile, &[0, 1], SamplingStrategy::KQuantile(6)).unwrap();
+        let a = generate(&f, &domains, 30, false, 42).unwrap();
+        let b = generate(&f, &domains, 30, false, 42).unwrap();
         assert_eq!(a.xs, b.xs);
-        let c = generate(&f, &domains, 30, false, 43);
+        let c = generate(&f, &domains, 30, false, 43).unwrap();
         assert_ne!(a.xs, c.xs);
     }
 }

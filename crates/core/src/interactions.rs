@@ -288,8 +288,9 @@ mod tests {
         let profile = ForestProfile::analyze(&f);
         let selected = vec![0, 1, 2];
         let data = if matches!(strategy, InteractionStrategy::HStat { .. }) {
-            let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
-            Some(generate(&f, &domains, 400, true, 7))
+            let domains =
+                build_domains(&profile, &selected, SamplingStrategy::AllThresholds).unwrap();
+            Some(generate(&f, &domains, 400, true, 7).unwrap())
         } else {
             None
         };

@@ -49,6 +49,7 @@
 // are exempt. Local `#[allow]`s mark the few provably-infallible spots.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod generate;
@@ -59,6 +60,7 @@ pub mod report;
 pub mod sampling;
 pub mod selection;
 
+pub use budget::RunBudget;
 pub use generate::SyntheticDataset;
 pub use interactions::InteractionStrategy;
 pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation, StageTimings};
@@ -90,6 +92,24 @@ pub enum GefError {
         /// The last attempt's failure.
         last: String,
     },
+    /// The run's hard wall-clock deadline (`GEF_DEADLINE_MS` /
+    /// [`budget::RunBudget`]) passed at a cooperative checkpoint.
+    /// Already-completed work is abandoned cleanly — never a hang,
+    /// never a panic.
+    DeadlineExceeded {
+        /// The checkpoint that observed the trip (a pipeline stage
+        /// name, `"gcv_grid"`, `"pirls"`, `"train"`, `"predict"`, or
+        /// `"parallel"` for a mid-region cancellation).
+        at: &'static str,
+    },
+    /// A non-time budget cap (e.g. `GEF_MAX_DSTAR_ROWS`) is too tight
+    /// to produce any valid explanation.
+    BudgetExceeded(String),
+    /// A parallel worker panicked; carries the first worker's panic
+    /// payload (see `gef_par::ParError`).
+    WorkerPanicked(String),
+    /// Failure in the underlying forest (training or batch labeling).
+    Forest(gef_forest::ForestError),
 }
 
 impl std::fmt::Display for GefError {
@@ -106,6 +126,14 @@ impl std::fmt::Display for GefError {
                 f,
                 "degradation ladder exhausted after {attempts} attempts; last failure: {last}"
             ),
+            GefError::DeadlineExceeded { at } => {
+                write!(f, "hard deadline exceeded (at {at})")
+            }
+            GefError::BudgetExceeded(m) => write!(f, "run budget exceeded: {m}"),
+            GefError::WorkerPanicked(payload) => {
+                write!(f, "a parallel worker panicked: {payload}")
+            }
+            GefError::Forest(e) => write!(f, "forest failure: {e}"),
         }
     }
 }
@@ -114,7 +142,34 @@ impl std::error::Error for GefError {}
 
 impl From<gef_gam::GamError> for GefError {
     fn from(e: gef_gam::GamError) -> Self {
-        GefError::Gam(e)
+        // Budget trips and worker panics keep their typed identity
+        // across the layer boundary instead of vanishing into `Gam`.
+        match e {
+            gef_gam::GamError::DeadlineExceeded { at } => GefError::DeadlineExceeded { at },
+            gef_gam::GamError::WorkerPanicked(payload) => GefError::WorkerPanicked(payload),
+            e => GefError::Gam(e),
+        }
+    }
+}
+
+impl From<gef_forest::ForestError> for GefError {
+    fn from(e: gef_forest::ForestError) -> Self {
+        match e {
+            gef_forest::ForestError::DeadlineExceeded { at } => GefError::DeadlineExceeded { at },
+            gef_forest::ForestError::WorkerPanicked(payload) => GefError::WorkerPanicked(payload),
+            e => GefError::Forest(e),
+        }
+    }
+}
+
+impl From<gef_par::ParError> for GefError {
+    fn from(e: gef_par::ParError) -> Self {
+        match e {
+            gef_par::ParError::TaskPanicked { payload } => GefError::WorkerPanicked(payload),
+            // A cancelled region means the hard deadline (or an explicit
+            // cancel) fired mid-fan-out.
+            gef_par::ParError::Cancelled => GefError::DeadlineExceeded { at: "parallel" },
+        }
     }
 }
 

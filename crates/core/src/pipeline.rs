@@ -10,6 +10,7 @@
 //! prediction would move under small changes of each feature — the
 //! capability the paper contrasts against SHAP and LIME).
 
+use crate::budget::RunBudget;
 use crate::generate::{generate, SyntheticDataset};
 use crate::interactions::{rank_interactions, top_pairs, InteractionStrategy};
 use crate::recovery::{fit_with_recovery, Degradation, DegradationAction};
@@ -148,6 +149,15 @@ fn stage<T>(name: &str, slot: &mut u64, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Cooperative checkpoint at a pipeline stage boundary: abort pending
+/// work (typed, never a panic or hang) once the hard deadline passed.
+fn checkpoint(at: &'static str) -> Result<()> {
+    if gef_trace::budget::hard_exceeded() {
+        return Err(GefError::DeadlineExceeded { at });
+    }
+    Ok(())
+}
+
 /// The GEF explainer: runs the pipeline on a forest.
 #[derive(Debug, Clone, Default)]
 pub struct GefExplainer {
@@ -176,8 +186,18 @@ impl GefExplainer {
     pub fn explain_with_data(&self, forest: &Forest) -> Result<(GefExplanation, SyntheticDataset)> {
         let cfg = &self.config;
         cfg.validate()?;
+        // Arm the env-configured run budget (`GEF_DEADLINE_MS` & co.)
+        // unless the caller already armed one programmatically — the
+        // guard disarms it when this run returns, on every path.
+        let budget = RunBudget::from_env();
+        let _budget_guard = if gef_trace::budget::active() {
+            None
+        } else {
+            Some(budget.arm())
+        };
         let _span = gef_trace::Span::enter("pipeline.explain");
         let mut timings = StageTimings::default();
+        checkpoint("selection")?;
         let (profile, selected) = stage("pipeline.selection", &mut timings.selection_ns, || {
             let profile = ForestProfile::analyze(forest);
             let selected = profile.select_univariate(cfg.num_univariate);
@@ -201,6 +221,7 @@ impl GefExplainer {
         // instead of recording it), and the coordinator then records
         // degradations serially in feature order, so the ladder is
         // identical at every thread count.
+        checkpoint("sampling")?;
         let per_feature = stage("pipeline.sampling", &mut timings.sampling_ns, || {
             gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
                 if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
@@ -233,7 +254,7 @@ impl GefExplainer {
                     )
                 }
             })
-        });
+        })?;
         let domains: Vec<Vec<f64>> = per_feature
             .into_iter()
             .enumerate()
@@ -249,9 +270,36 @@ impl GefExplainer {
                 dom
             })
             .collect();
+        // The D*-row cap bounds the most memory- and labeling-hungry
+        // stage. A cap tighter than requested degrades (recorded, never
+        // silent); a cap below the fitting minimum cannot produce any
+        // valid explanation and fails typed.
+        let mut n_samples = cfg.n_samples;
+        if budget.max_dstar_rows > 0 && budget.max_dstar_rows < n_samples {
+            if budget.max_dstar_rows < 16 {
+                return Err(GefError::BudgetExceeded(format!(
+                    "GEF_MAX_DSTAR_ROWS ({}) is below the 16-row fitting minimum",
+                    budget.max_dstar_rows
+                )));
+            }
+            Degradation::record(
+                &mut degradations,
+                "generate",
+                DegradationAction::CappedDstarRows {
+                    requested: n_samples,
+                    capped: budget.max_dstar_rows,
+                },
+                format!(
+                    "GEF_MAX_DSTAR_ROWS caps D* at {} of {} requested rows",
+                    budget.max_dstar_rows, n_samples
+                ),
+            );
+            n_samples = budget.max_dstar_rows;
+        }
+        checkpoint("generate")?;
         let mut dataset = stage("pipeline.generate", &mut timings.generate_ns, || {
-            generate(forest, &domains, cfg.n_samples, false, cfg.seed)
-        });
+            generate(forest, &domains, n_samples, false, cfg.seed)
+        })?;
         // Scrub rows the forest labelled with NaN/Inf (a hostile model
         // file can hold non-finite leaf values) — never fit on them.
         let removed = dataset.scrub_non_finite_labels();
@@ -270,6 +318,7 @@ impl GefExplainer {
 
         // Interaction selection (independent of the sampled data except
         // for H-Stat, per the paper).
+        checkpoint("interactions")?;
         let interaction_ranking = stage(
             "pipeline.interactions",
             &mut timings.interactions_ns,
@@ -290,6 +339,7 @@ impl GefExplainer {
         let interactions = top_pairs(&interaction_ranking, cfg.num_interactions);
 
         // Build GAM terms and fit (one stage: the fit dominates).
+        checkpoint("gam_fit")?;
         let fit_result = stage(
             "pipeline.gam_fit",
             &mut timings.gam_fit_ns,

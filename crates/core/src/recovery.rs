@@ -73,6 +73,14 @@ pub enum DegradationAction {
         /// The affected feature.
         feature: usize,
     },
+    /// The `GEF_MAX_DSTAR_ROWS` budget capped `D*` below the requested
+    /// size.
+    CappedDstarRows {
+        /// Rows the configuration asked for.
+        requested: usize,
+        /// Rows actually generated.
+        capped: usize,
+    },
 }
 
 impl DegradationAction {
@@ -86,6 +94,7 @@ impl DegradationAction {
             DegradationAction::LinearSurrogate => "linear_surrogate",
             DegradationAction::ScrubbedNonFiniteLabels { .. } => "scrubbed_non_finite_labels",
             DegradationAction::DomainFallback { .. } => "domain_fallback",
+            DegradationAction::CappedDstarRows { .. } => "capped_dstar_rows",
         }
     }
 }
@@ -269,6 +278,16 @@ fn linear_surrogate(spec: &GamSpec) -> GamSpec {
     out
 }
 
+/// Why one fit attempt failed: descend the ladder, or abort typed.
+enum AttemptFailure {
+    /// Abort now with this error — budget trips and worker panics keep
+    /// their typed identity; non-retryable data/spec errors stop the
+    /// ladder immediately.
+    Fatal(GefError),
+    /// Numerically hostile but worth retrying on a simpler spec.
+    Retryable(String),
+}
+
 /// One fit attempt: fit on the train split, score fidelity on the test
 /// split with the checked metrics, and fail retryably when the score is
 /// not a real number.
@@ -276,17 +295,75 @@ fn attempt(
     spec: &GamSpec,
     train: (&[Vec<f64>], &[f64]),
     test: (&[Vec<f64>], &[f64]),
-) -> std::result::Result<(Gam, f64, f64), (bool, String)> {
+) -> std::result::Result<(Gam, f64, f64), AttemptFailure> {
+    use gef_gam::GamError;
     let gam = match fit(spec, train.0, train.1) {
         Ok(g) => g,
-        Err(e) => return Err((e.is_retryable(), e.to_string())),
+        Err(e @ (GamError::DeadlineExceeded { .. } | GamError::WorkerPanicked(_))) => {
+            return Err(AttemptFailure::Fatal(e.into()))
+        }
+        Err(e) if e.is_retryable() => return Err(AttemptFailure::Retryable(e.to_string())),
+        Err(e) => {
+            return Err(AttemptFailure::Fatal(GefError::Gam(GamError::InvalidData(
+                e.to_string(),
+            ))))
+        }
     };
     let preds = gam.predict_batch(test.0);
     let rmse = metrics::try_rmse(&preds, test.1)
-        .map_err(|e| (true, format!("non-finite fidelity: {e}")))?;
-    let r2 =
-        metrics::try_r2(&preds, test.1).map_err(|e| (true, format!("non-finite fidelity: {e}")))?;
+        .map_err(|e| AttemptFailure::Retryable(format!("non-finite fidelity: {e}")))?;
+    let r2 = metrics::try_r2(&preds, test.1)
+        .map_err(|e| AttemptFailure::Retryable(format!("non-finite fidelity: {e}")))?;
     Ok((gam, rmse, r2))
+}
+
+/// Advance `rung` to the next *applicable* simplification of `current`
+/// and return the simplified spec with its degradation action. Rungs
+/// that would not change the spec (no tensor to drop, nothing left to
+/// shrink) are skipped; `None` means the ladder is exhausted.
+fn next_rung(current: &GamSpec, rung: &mut usize) -> Option<(GamSpec, DegradationAction)> {
+    loop {
+        *rung += 1;
+        match *rung {
+            1 => {
+                if let Some((next, features)) = drop_worst_tensor(current) {
+                    return Some((next, DegradationAction::DroppedTensor { features }));
+                }
+            }
+            2 => {
+                if let Some((next, sb, tb)) = shrink_bases(current) {
+                    return Some((
+                        next,
+                        DegradationAction::ShrunkBases {
+                            spline_basis: sb,
+                            tensor_basis: tb,
+                        },
+                    ));
+                }
+            }
+            3 => {
+                return Some((
+                    widen_lambda(current),
+                    DegradationAction::WidenedLambdaGrid {
+                        lo: WIDE_LAMBDA.0,
+                        hi: WIDE_LAMBDA.1,
+                    },
+                ));
+            }
+            4 => {
+                if let Some(next) = univariate_only(current) {
+                    return Some((next, DegradationAction::UnivariateOnly));
+                }
+            }
+            5 => {
+                return Some((
+                    linear_surrogate(current),
+                    DegradationAction::LinearSurrogate,
+                ));
+            }
+            _ => return None,
+        }
+    }
 }
 
 /// Fit `spec`, descending the degradation ladder on retryable failure.
@@ -307,7 +384,32 @@ pub(crate) fn fit_with_recovery(
     // shrink) are skipped without counting as attempts.
     let mut rung = 0usize;
     let mut attempts = 0usize;
+    // Soft-deadline pressure descends the ladder preemptively, at most
+    // once per run: trade resolution for time *before* the hard
+    // deadline forces an abort.
+    let mut soft_stepped = false;
     loop {
+        // Attempt-boundary checkpoints: the hard deadline aborts typed,
+        // the soft one steers the next attempt to a cheaper spec.
+        if gef_trace::budget::hard_exceeded() {
+            gef_trace::fault::set_stage(0);
+            return Err(GefError::DeadlineExceeded { at: "gam_fit" });
+        }
+        if !soft_stepped && gef_trace::budget::soft_exceeded() {
+            soft_stepped = true;
+            if let Some((next, action)) = next_rung(&current, &mut rung) {
+                if gef_trace::enabled() {
+                    gef_trace::global().event("pipeline.soft_deadline", &[("rung", rung as f64)]);
+                }
+                Degradation::record(
+                    degradations,
+                    "gam_fit",
+                    action,
+                    "soft deadline exceeded; descending to a cheaper spec preemptively".into(),
+                );
+                current = next;
+            }
+        }
         gef_trace::fault::set_stage(attempts as u32);
         let _span = gef_trace::Span::enter("pipeline.fit_attempt");
         match attempt(&current, train, test) {
@@ -315,56 +417,13 @@ pub(crate) fn fit_with_recovery(
                 gef_trace::fault::set_stage(0);
                 return Ok(out);
             }
-            Err((retryable, cause)) => {
-                if !retryable {
-                    gef_trace::fault::set_stage(0);
-                    return Err(GefError::Gam(gef_gam::GamError::InvalidData(cause)));
-                }
+            Err(AttemptFailure::Fatal(e)) => {
+                gef_trace::fault::set_stage(0);
+                return Err(e);
+            }
+            Err(AttemptFailure::Retryable(cause)) => {
                 attempts += 1;
-                // Find the next applicable simplification.
-                let next = loop {
-                    rung += 1;
-                    match rung {
-                        1 => {
-                            if let Some((next, features)) = drop_worst_tensor(&current) {
-                                break Some((next, DegradationAction::DroppedTensor { features }));
-                            }
-                        }
-                        2 => {
-                            if let Some((next, sb, tb)) = shrink_bases(&current) {
-                                break Some((
-                                    next,
-                                    DegradationAction::ShrunkBases {
-                                        spline_basis: sb,
-                                        tensor_basis: tb,
-                                    },
-                                ));
-                            }
-                        }
-                        3 => {
-                            break Some((
-                                widen_lambda(&current),
-                                DegradationAction::WidenedLambdaGrid {
-                                    lo: WIDE_LAMBDA.0,
-                                    hi: WIDE_LAMBDA.1,
-                                },
-                            ));
-                        }
-                        4 => {
-                            if let Some(next) = univariate_only(&current) {
-                                break Some((next, DegradationAction::UnivariateOnly));
-                            }
-                        }
-                        5 => {
-                            break Some((
-                                linear_surrogate(&current),
-                                DegradationAction::LinearSurrogate,
-                            ));
-                        }
-                        _ => break None,
-                    }
-                };
-                let Some((next, action)) = next else {
+                let Some((next, action)) = next_rung(&current, &mut rung) else {
                     gef_trace::fault::set_stage(0);
                     return Err(GefError::RecoveryExhausted {
                         attempts,

@@ -211,13 +211,34 @@ impl GbdtTrainer {
         let mut best_loss = f64::INFINITY;
         let mut best_iter = 0usize;
 
+        // Budget cap on boosting rounds (0 = unlimited): a process-wide
+        // clamp on top of `num_trees`, recorded when it bites.
+        let max_rounds = match gef_trace::budget::boost_round_cap() {
+            0 => self.params.num_trees,
+            cap => self.params.num_trees.min(cap as usize),
+        };
+        if max_rounds < self.params.num_trees && gef_trace::enabled() {
+            gef_trace::global().event(
+                "forest.budget_round_cap",
+                &[
+                    ("requested", self.params.num_trees as f64),
+                    ("capped", max_rounds as f64),
+                ],
+            );
+        }
         let _train_span = gef_trace::Span::enter("forest.train");
-        for iter in 0..self.params.num_trees {
+        for iter in 0..max_rounds {
+            // Per-round cooperative checkpoint: a passed hard deadline
+            // aborts training with a typed error instead of finishing
+            // the remaining rounds.
+            if gef_trace::budget::hard_exceeded() {
+                return Err(ForestError::DeadlineExceeded { at: "train" });
+            }
             let _round_span = gef_trace::Span::enter("forest.round");
             self.compute_gradients(ys, &scores, &mut grad, &mut hess);
             let bag = self.sample_bag(n, &mut rng);
             let feats = self.sample_features(num_features, &mut rng);
-            let tree = self.grow_tree(&binned, &grad, &hess, &bag, &feats);
+            let tree = self.grow_tree(&binned, &grad, &hess, &bag, &feats)?;
             if tree.num_leaves() < 2 {
                 // No useful split anywhere: boosting has converged.
                 break;
@@ -335,7 +356,8 @@ impl GbdtTrainer {
         idx
     }
 
-    /// Grow one tree leaf-wise on the binned dataset.
+    /// Grow one tree leaf-wise on the binned dataset. Fallible only
+    /// through the parallel dispatch (worker panic / cancellation).
     fn grow_tree(
         &self,
         binned: &BinnedDataset,
@@ -343,7 +365,7 @@ impl GbdtTrainer {
         hess: &[f64],
         bag: &[u32],
         feats: &[usize],
-    ) -> Tree {
+    ) -> Result<Tree> {
         let p = &self.params;
         // Histogram layout: offsets[f] .. offsets[f]+3*num_bins(f).
         let mut offsets = Vec::with_capacity(binned.num_features() + 1);
@@ -386,10 +408,10 @@ impl GbdtTrainer {
                 &offsets,
                 feats,
             )
-        });
+        })?;
         root.best = timed(traced, &mut split_ns, || {
             self.find_best_split(binned, &root, &offsets, feats)
-        });
+        })?;
         let mut leaves: Vec<LeafState> = vec![root];
 
         while leaves.len() < p.num_leaves {
@@ -437,7 +459,7 @@ impl GbdtTrainer {
                     &offsets,
                     feats,
                 )
-            });
+            })?;
             let mut large_hist = leaf.hist; // reuse parent allocation
             for (lh, &sh) in large_hist.iter_mut().zip(&small_hist) {
                 *lh -= sh;
@@ -482,10 +504,10 @@ impl GbdtTrainer {
             };
             left_leaf.best = timed(traced, &mut split_ns, || {
                 self.find_best_split(binned, &left_leaf, &offsets, feats)
-            });
+            })?;
             right_leaf.best = timed(traced, &mut split_ns, || {
                 self.find_best_split(binned, &right_leaf, &offsets, feats)
-            });
+            })?;
             leaves.push(left_leaf);
             leaves.push(right_leaf);
         }
@@ -500,7 +522,7 @@ impl GbdtTrainer {
             debug_assert!(node.is_leaf());
             node.value = -p.learning_rate * leaf.sum_g / (leaf.sum_h + p.lambda_l2);
         }
-        tree
+        Ok(tree)
     }
 
     /// Best split over all (feature, bin) candidates of a leaf's
@@ -519,21 +541,21 @@ impl GbdtTrainer {
         leaf: &LeafState,
         offsets: &[usize],
         feats: &[usize],
-    ) -> Option<SplitInfo> {
+    ) -> Result<Option<SplitInfo>> {
         if leaf.rows.len() < 2 * self.params.min_data_in_leaf {
-            return None;
+            return Ok(None);
         }
         let total_bins: usize = feats.iter().map(|&f| binned.features[f].num_bins()).sum();
         if total_bins < SPLIT_PAR_MIN_BINS || gef_par::threads() <= 1 {
-            return self.scan_split_candidates(binned, leaf, offsets, feats);
+            return Ok(self.scan_split_candidates(binned, leaf, offsets, feats));
         }
-        gef_par::map_reduce(
+        Ok(gef_par::map_reduce(
             feats.len(),
             gef_par::Options::default(),
             |r| self.scan_split_candidates(binned, leaf, offsets, &feats[r]),
             better_split,
-        )
-        .flatten()
+        )?
+        .flatten())
     }
 
     /// Serial scan of a contiguous run of the leaf's candidate features
@@ -636,10 +658,10 @@ fn build_hist(
     hist: &mut [f64],
     offsets: &[usize],
     feats: &[usize],
-) {
+) -> Result<()> {
     if rows.len().saturating_mul(feats.len()) < HIST_PAR_MIN_WORK || gef_par::threads() <= 1 {
         build_hist_serial(binned, grad, hess, rows, hist, offsets, feats);
-        return;
+        return Ok(());
     }
     // One task per fixed chunk of the (ascending) sampled features. A
     // chunk's histogram region spans from its first feature's offset to
@@ -674,7 +696,8 @@ fn build_hist(
                 }
             }
         },
-    );
+    )?;
+    Ok(())
 }
 
 fn build_hist_serial(

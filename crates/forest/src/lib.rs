@@ -138,20 +138,30 @@ impl Forest {
     /// Batch response-scale predictions, dispatched to the gef-par pool
     /// (fixed chunk boundaries, bit-identical to serial at any thread
     /// count) when the batch is large enough to amortize dispatch.
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+    ///
+    /// Fallible: a hard-deadline trip mid-batch (cooperative checkpoints
+    /// between serial rows, between chunks on the pool) returns
+    /// [`ForestError::DeadlineExceeded`]; a worker panic comes back as
+    /// [`ForestError::WorkerPanicked`] instead of unwinding.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
         let mut out = vec![0.0; xs.len()];
         if !self.batch_is_parallel(xs.len()) {
-            for (x, o) in xs.iter().zip(out.iter_mut()) {
+            for (ri, (x, o)) in xs.iter().zip(out.iter_mut()).enumerate() {
+                // Row-striped checkpoint: cheap relaxed load, checked at
+                // chunk-sized strides so huge serial batches stay bounded.
+                if ri % 1024 == 0 && gef_trace::budget::hard_exceeded() {
+                    return Err(ForestError::DeadlineExceeded { at: "predict" });
+                }
                 *o = self.predict(x);
             }
-            return out;
+            return Ok(out);
         }
         gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
             for (k, o) in chunk.iter_mut().enumerate() {
                 *o = self.predict(&xs[start + k]);
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Raw margin prediction plus the number of tree nodes visited.
@@ -176,16 +186,19 @@ impl Forest {
     /// Same parallelization policy as [`Forest::predict_batch`]; the
     /// visit count feeds the `forest.nodes_visited` telemetry counter
     /// during D* labeling.
-    pub fn predict_batch_counted(&self, xs: &[Vec<f64>]) -> (Vec<f64>, u64) {
+    pub fn predict_batch_counted(&self, xs: &[Vec<f64>]) -> Result<(Vec<f64>, u64)> {
         let mut out = vec![0.0; xs.len()];
         if !self.batch_is_parallel(xs.len()) {
             let mut visited = 0u64;
-            for (x, o) in xs.iter().zip(out.iter_mut()) {
+            for (ri, (x, o)) in xs.iter().zip(out.iter_mut()).enumerate() {
+                if ri % 1024 == 0 && gef_trace::budget::hard_exceeded() {
+                    return Err(ForestError::DeadlineExceeded { at: "predict" });
+                }
                 let (raw, n) = self.predict_raw_counted(x);
                 visited += n;
                 *o = self.objective.transform(raw);
             }
-            return (out, visited);
+            return Ok((out, visited));
         }
         let visited = std::sync::atomic::AtomicU64::new(0);
         gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
@@ -196,8 +209,8 @@ impl Forest {
                 *o = self.objective.transform(raw);
             }
             visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-        });
-        (out, visited.into_inner())
+        })?;
+        Ok((out, visited.into_inner()))
     }
 
     /// Total number of nodes (internal + leaves) across all trees.
@@ -223,6 +236,16 @@ pub enum ForestError {
     InvalidParams(String),
     /// Model parsing failed.
     Parse(String),
+    /// The run's hard wall-clock deadline ([`gef_trace::budget`]) passed
+    /// at a cooperative checkpoint (per boosting round or per predict
+    /// chunk).
+    DeadlineExceeded {
+        /// Checkpoint that observed the trip (`"train"`, `"predict"`).
+        at: &'static str,
+    },
+    /// A parallel worker panicked during training or batch prediction;
+    /// carries the first panic's payload (see `gef_par::ParError`).
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ForestError {
@@ -231,11 +254,26 @@ impl std::fmt::Display for ForestError {
             ForestError::InvalidData(m) => write!(f, "invalid training data: {m}"),
             ForestError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
             ForestError::Parse(m) => write!(f, "model parse error: {m}"),
+            ForestError::DeadlineExceeded { at } => {
+                write!(f, "hard deadline exceeded in the forest (at {at})")
+            }
+            ForestError::WorkerPanicked(payload) => {
+                write!(f, "parallel worker panicked in the forest: {payload}")
+            }
         }
     }
 }
 
 impl std::error::Error for ForestError {}
+
+impl From<gef_par::ParError> for ForestError {
+    fn from(e: gef_par::ParError) -> Self {
+        match e {
+            gef_par::ParError::TaskPanicked { payload } => ForestError::WorkerPanicked(payload),
+            gef_par::ParError::Cancelled => ForestError::DeadlineExceeded { at: "parallel" },
+        }
+    }
+}
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, ForestError>;
@@ -261,8 +299,8 @@ mod tests {
             num_features: 1,
         };
         let xs = vec![vec![0.2], vec![0.8]];
-        let (preds, visited) = forest.predict_batch_counted(&xs);
-        assert_eq!(preds, forest.predict_batch(&xs));
+        let (preds, visited) = forest.predict_batch_counted(&xs).unwrap();
+        assert_eq!(preds, forest.predict_batch(&xs).unwrap());
         // 2 rows × 2 trees × 2 nodes per root-to-leaf path.
         assert_eq!(visited, 8);
         let (raw, n) = forest.predict_raw_counted(&xs[0]);

@@ -436,6 +436,11 @@ fn fit_gaussian(
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
         let lambda = grid[gi];
         (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
+            // Per-λ cooperative checkpoint: a passed hard deadline stops
+            // the grid search with a typed error instead of grinding on.
+            if gef_trace::budget::hard_exceeded() {
+                return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
+            }
             let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
             let beta = chol.solve(&b)?;
             let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -447,7 +452,7 @@ fn fit_gaussian(
             let gcv = n as f64 * rss / (denom * denom);
             Ok((gcv, beta, chol, rss, edf))
         })()
-    });
+    })?;
     // Selection and event emission stay serial and in grid order, so
     // the telemetry stream is identical at every thread count.
     let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
@@ -533,13 +538,18 @@ fn fit_logit(
         let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
         let lambda = grid[gi];
         (|| -> Result<(Pirls, f64, f64)> {
+            // Per-λ cooperative checkpoint (the PIRLS loop inside adds a
+            // per-iteration one).
+            if gef_trace::budget::hard_exceeded() {
+                return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
+            }
             let run = pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
             let edf = edf_trace(&run.chol, &run.weighted_gram)?;
             let denom = (n as f64 - edf).max(1.0);
             let gcv = n as f64 * run.deviance / (denom * denom);
             Ok((run, edf, gcv))
         })()
-    });
+    })?;
     // Selection and per-candidate telemetry (PIRLS counters + events)
     // stay serial and in grid order, so the event stream is identical
     // at every thread count.
@@ -688,7 +698,23 @@ fn pirls_logit(
     // against: any finite deviance is accepted.
     let mut prev_dev = f64::INFINITY;
     let mut step_halvings = 0usize;
+    // Budget cap on PIRLS iterations (0 = unlimited): a process-wide
+    // clamp on top of the spec's own `max_pirls_iter`.
+    let max_iter = match gef_trace::budget::pirls_iter_cap() {
+        0 => max_iter,
+        cap => max_iter.min(cap as usize),
+    };
     for it in 0..max_iter {
+        // Per-iteration cooperative checkpoint: one relaxed load when no
+        // budget is armed, so unbudgeted runs stay bit-identical.
+        if gef_trace::budget::hard_exceeded() {
+            return Err(GamError::DeadlineExceeded { at: "pirls" });
+        }
+        if gef_trace::fault::fires("pirls.stall") {
+            // Simulated wedged iteration: burns wall-clock without any
+            // numeric effect, so only a deadline can bound the run.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
         iters = it + 1;
         let mut g = Matrix::zeros(p, p);
         let mut b = vec![0.0; p];

@@ -62,6 +62,16 @@ pub enum GamError {
         /// Last finite deviance observed, or NaN if none was.
         deviance: f64,
     },
+    /// The run's hard wall-clock deadline ([`gef_trace::budget`]) passed
+    /// at a cooperative checkpoint (per-λ candidate or per-PIRLS
+    /// iteration). Not retryable: a cheaper spec cannot buy time back.
+    DeadlineExceeded {
+        /// Checkpoint that observed the trip (`"gcv_grid"`, `"pirls"`).
+        at: &'static str,
+    },
+    /// A parallel worker panicked while evaluating the λ grid; carries
+    /// the first panic's payload (see `gef_par::ParError`).
+    WorkerPanicked(String),
 }
 
 impl GamError {
@@ -94,6 +104,12 @@ impl std::fmt::Display for GamError {
                 f,
                 "PIRLS diverged after {iters} iterations (deviance {deviance})"
             ),
+            GamError::DeadlineExceeded { at } => {
+                write!(f, "hard deadline exceeded during GAM fit (at {at})")
+            }
+            GamError::WorkerPanicked(payload) => {
+                write!(f, "parallel worker panicked during GAM fit: {payload}")
+            }
         }
     }
 }
@@ -103,6 +119,17 @@ impl std::error::Error for GamError {}
 impl From<gef_linalg::LinalgError> for GamError {
     fn from(e: gef_linalg::LinalgError) -> Self {
         GamError::Numerical(e.to_string())
+    }
+}
+
+impl From<gef_par::ParError> for GamError {
+    fn from(e: gef_par::ParError) -> Self {
+        match e {
+            gef_par::ParError::TaskPanicked { payload } => GamError::WorkerPanicked(payload),
+            // A cancelled region means the hard deadline (or an explicit
+            // cancel) fired mid-dispatch.
+            gef_par::ParError::Cancelled => GamError::DeadlineExceeded { at: "parallel" },
+        }
     }
 }
 

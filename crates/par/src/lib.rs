@@ -19,11 +19,33 @@
 //! # Sizing
 //!
 //! The pool is sized by the `GEF_THREADS` environment variable, falling
-//! back to [`std::thread::available_parallelism`]. `threads() == 1` (and
-//! any workload of a single task) bypasses the pool entirely — no worker
-//! threads are ever spawned and the fan-out primitives degenerate to
-//! plain loops with zero synchronization. Tests and benchmarks can
+//! back to [`std::thread::available_parallelism`]. Invalid values
+//! (garbage, `0`, counts beyond [`MAX_THREADS`]) are clamped or replaced
+//! by the fallback — never silently: the raw value is named in a stderr
+//! warning and a `par.threads.invalid` telemetry event. `threads() == 1`
+//! (and any workload of a single task) bypasses the pool entirely — no
+//! worker threads are ever spawned and the fan-out primitives degenerate
+//! to plain loops with zero synchronization. Tests and benchmarks can
 //! override the size in-process with [`set_threads`].
+//!
+//! # Errors and cancellation
+//!
+//! Every fan-out primitive returns `Result<_, `[`ParError`]`>` instead
+//! of panicking:
+//!
+//! * A panic inside a task is caught (on workers and on the serial
+//!   path alike), the region is drained, and the **first** panic's
+//!   payload comes back as [`ParError::TaskPanicked`] — the coordinator
+//!   never re-raises, so callers under a no-panic gate get a typed
+//!   error they can surface (e.g. as `GefError::WorkerPanicked`).
+//! * Workers poll [`gef_trace::budget::cancel_requested`] between task
+//!   claims, so a hard deadline or an explicit cancellation fires
+//!   *mid-region*: remaining tasks are skipped, the latch still opens,
+//!   and the call returns [`ParError::Cancelled`].
+//!
+//! With no budget armed and no panicking task, every primitive returns
+//! `Ok` and behaves exactly as before — the checks are relaxed atomic
+//! loads.
 //!
 //! # Fault-injection interplay
 //!
@@ -53,7 +75,7 @@
 //!
 //! ```
 //! // Results are in index order regardless of which thread ran what.
-//! let squares = gef_par::map(8, gef_par::Options::default(), |i| i * i);
+//! let squares = gef_par::map(8, gef_par::Options::default(), |i| i * i).unwrap();
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //!
 //! // Chunked sum: same chunk boundaries and fold order at any thread
@@ -65,6 +87,7 @@
 //!     |r| xs[r].iter().sum::<f64>(),
 //!     |a, b| a + b,
 //! )
+//! .unwrap()
 //! .unwrap_or(0.0);
 //! let serial: f64 = gef_par::chunk_ranges(xs.len())
 //!     .into_iter()
@@ -74,6 +97,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::cell::UnsafeCell;
 use std::ops::Range;
@@ -94,18 +118,89 @@ pub const MAX_CHUNKS: usize = 64;
 // 0 = unresolved (read GEF_THREADS on first use), otherwise the count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Warn (stderr + `par.threads.invalid` telemetry event) that a
+/// `GEF_THREADS` value was rejected, naming the raw value and what it
+/// was replaced with. Event fields are numeric, so the raw string is
+/// carried by its parsed value when one exists (`NaN`-free: garbage
+/// that did not parse reports `parsed = -1`).
+fn warn_invalid_threads(raw: &str, parsed: Option<usize>, used: usize) {
+    eprintln!("gef-par: invalid GEF_THREADS value {raw:?}; using {used}");
+    gef_trace::global().event(
+        "par.threads.invalid",
+        &[
+            ("parsed", parsed.map_or(-1.0, |n| n as f64)),
+            ("used", used as f64),
+            ("raw_len", raw.len() as f64),
+        ],
+    );
+}
+
 fn threads_from_env() -> usize {
-    let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let n = match std::env::var("GEF_THREADS") {
-        Ok(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or(fallback),
+    let fallback = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(MAX_THREADS);
+    match std::env::var("GEF_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => {
+                warn_invalid_threads(&v, Some(0), fallback);
+                fallback
+            }
+            Ok(n) if n > MAX_THREADS => {
+                warn_invalid_threads(&v, Some(n), MAX_THREADS);
+                MAX_THREADS
+            }
+            Ok(n) => n,
+            Err(_) => {
+                warn_invalid_threads(&v, None, fallback);
+                fallback
+            }
+        },
         Err(_) => fallback,
-    };
-    n.min(MAX_THREADS)
+    }
+}
+
+/// Typed failure of a parallel region. Replaces the runtime's former
+/// coordinator re-panic: callers get a value they can propagate (the
+/// GEF pipeline surfaces it as `GefError::WorkerPanicked`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A task panicked. The region was drained (remaining tasks may
+    /// have been skipped) and this carries the **first** panic's
+    /// payload, rendered as a string.
+    TaskPanicked {
+        /// The panic payload (`&str`/`String` payloads verbatim,
+        /// anything else as a placeholder).
+        payload: String,
+    },
+    /// The region was cancelled before every task ran — an explicit
+    /// [`gef_trace::budget::cancel`] or a passed hard deadline
+    /// observed at a between-task poll.
+    Cancelled,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::TaskPanicked { payload } => {
+                write!(f, "a parallel task panicked: {payload}")
+            }
+            ParError::Cancelled => write!(f, "parallel region cancelled (deadline or cancel)"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Render a `catch_unwind` payload as a string (`&str` / `String`
+/// payloads verbatim, anything else as a placeholder).
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The configured thread count (coordinator included), resolving
@@ -246,6 +341,10 @@ struct Region {
     completed: Mutex<usize>,
     all_done: Condvar,
     panicked: AtomicBool,
+    /// First panic's payload, rendered as a string (first writer wins).
+    panic_payload: Mutex<Option<String>>,
+    /// Tasks that actually executed (vs. drained after panic/cancel).
+    executed: AtomicUsize,
     /// Coordinator's span path at dispatch, propagated to workers so
     /// spans opened inside tasks nest identically to a serial run.
     base_path: Option<String>,
@@ -253,18 +352,37 @@ struct Region {
 
 impl Region {
     /// Claim and run tasks until none remain. Callable from any number
-    /// of threads concurrently; each task index runs exactly once.
+    /// of threads concurrently; each task index is claimed exactly once.
+    ///
+    /// Once a task has panicked or cancellation is requested (polled
+    /// between claims, so a deadline fires mid-region), remaining
+    /// claims are *drained*: acknowledged without running, so the
+    /// completion latch still opens and nothing hangs.
     fn work(&self) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n_tasks {
                 return;
             }
-            // The claim → acknowledge window is what keeps the erased
-            // borrow live; see TaskPtr.
-            let task = unsafe { &*self.task.0 };
-            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
-                self.panicked.store(true, Ordering::Relaxed);
+            let draining =
+                self.panicked.load(Ordering::Relaxed) || gef_trace::budget::cancel_requested();
+            if !draining {
+                // The claim → acknowledge window is what keeps the
+                // erased borrow live; see TaskPtr.
+                let task = unsafe { &*self.task.0 };
+                match catch_unwind(AssertUnwindSafe(|| task(i))) {
+                    Ok(()) => {
+                        self.executed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload_to_string(payload.as_ref()));
+                        }
+                        drop(slot);
+                        self.panicked.store(true, Ordering::Relaxed);
+                    }
+                }
             }
             let mut done = self.completed.lock().unwrap_or_else(|e| e.into_inner());
             *done += 1;
@@ -362,19 +480,26 @@ pub fn prestart() {
 /// pool is sized to one thread, the region has a single task, or any
 /// fault-injection site is armed (see the crate docs). Otherwise tasks
 /// are claimed atomically by the coordinator plus up to `threads()-1`
-/// pool workers; the call returns only after every task completed.
-/// Panics inside tasks are caught, the region is drained, and a panic
-/// is re-raised on the caller.
-fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) {
+/// pool workers; the call returns only after every task was claimed and
+/// acknowledged. Panics inside tasks are caught (never re-raised) and
+/// cancellation is polled between tasks on both paths; see [`ParError`].
+fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Result<(), ParError> {
     if n_tasks == 0 {
-        return;
+        return Ok(());
     }
     let t = threads();
     if t <= 1 || n_tasks == 1 || gef_trace::fault::any_armed() {
         for i in 0..n_tasks {
-            task(i);
+            if gef_trace::budget::cancel_requested() {
+                return Err(ParError::Cancelled);
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                return Err(ParError::TaskPanicked {
+                    payload: payload_to_string(payload.as_ref()),
+                });
+            }
         }
-        return;
+        return Ok(());
     }
     let helpers = (t - 1).min(n_tasks - 1);
     let pool = pool();
@@ -423,6 +548,8 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) {
         completed: Mutex::new(0),
         all_done: Condvar::new(),
         panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+        executed: AtomicUsize::new(0),
         base_path,
     });
     {
@@ -435,37 +562,59 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) {
     region.work();
     region.wait();
     if region.panicked.load(Ordering::Relaxed) {
-        panic!("gef-par: a parallel task panicked (see worker backtrace above)");
+        let payload = region
+            .panic_payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| "unknown panic payload".to_string());
+        return Err(ParError::TaskPanicked { payload });
     }
+    if region.executed.load(Ordering::Relaxed) < n_tasks {
+        return Err(ParError::Cancelled);
+    }
+    Ok(())
 }
 
 /// Run `f(i)` for every `i in 0..n` on the pool (serial fallback per
 /// the crate determinism rules). Side effects must be per-index
 /// independent; ordering across indices is unspecified when parallel.
-pub fn for_each_index(n: usize, opts: Options, f: impl Fn(usize) + Sync) {
-    run_tasks(n, opts, &f);
+pub fn for_each_index(n: usize, opts: Options, f: impl Fn(usize) + Sync) -> Result<(), ParError> {
+    run_tasks(n, opts, &f)
 }
 
 /// Compute `f(i)` for every `i in 0..n` and return the results in index
 /// order — the parallel equivalent of `(0..n).map(f).collect()`.
-pub fn map<T: Send>(n: usize, opts: Options, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub fn map<T: Send>(
+    n: usize,
+    opts: Options,
+    f: impl Fn(usize) -> T + Sync,
+) -> Result<Vec<T>, ParError> {
     let slots = Slots::empty(n);
     run_tasks(n, opts, &|i| {
         let v = f(i);
         // Safety: each index is claimed exactly once.
         unsafe { slots.put(i, v) };
-    });
-    slots
+    })?;
+    // Ok from run_tasks means every task executed, so every slot is
+    // filled; the expect is unreachable by construction.
+    #[allow(clippy::expect_used)]
+    Ok(slots
         .into_results()
         .into_iter()
         .map(|o| o.expect("gef-par: completed task left no result"))
-        .collect()
+        .collect())
 }
 
 /// Feed each element of `tasks` (moved) to `f` along with its index.
 /// The parallel equivalent of `tasks.into_iter().enumerate().for_each(..)`
 /// for inputs that are not `Clone` (e.g. disjoint `&mut` sub-slices).
-pub fn for_each_task<T: Send>(tasks: Vec<T>, opts: Options, f: impl Fn(usize, T) + Sync) {
+/// On cancellation, unconsumed inputs are dropped with the slots.
+pub fn for_each_task<T: Send>(
+    tasks: Vec<T>,
+    opts: Options,
+    f: impl Fn(usize, T) + Sync,
+) -> Result<(), ParError> {
     let n = tasks.len();
     let slots = Slots::filled(tasks);
     run_tasks(n, opts, &|i| {
@@ -473,26 +622,31 @@ pub fn for_each_task<T: Send>(tasks: Vec<T>, opts: Options, f: impl Fn(usize, T)
         if let Some(v) = unsafe { slots.take(i) } {
             f(i, v);
         }
-    });
+    })
 }
 
 /// Run `f(chunk_index, range)` over the fixed [`chunk_ranges`]
 /// partition of `0..len`.
-pub fn for_each_chunk(len: usize, opts: Options, f: impl Fn(usize, Range<usize>) + Sync) {
+pub fn for_each_chunk(
+    len: usize,
+    opts: Options,
+    f: impl Fn(usize, Range<usize>) + Sync,
+) -> Result<(), ParError> {
     let ranges = chunk_ranges(len);
-    run_tasks(ranges.len(), opts, &|i| f(i, ranges[i].clone()));
+    run_tasks(ranges.len(), opts, &|i| f(i, ranges[i].clone()))
 }
 
 /// Hand out disjoint mutable chunks of `data` (fixed [`chunk_size`]
-/// boundaries): `f(chunk_index, start_offset, chunk)`.
+/// boundaries): `f(chunk_index, start_offset, chunk)`. On an `Err`,
+/// chunks that did not run keep their previous contents.
 pub fn for_each_chunk_mut<T: Send>(
     data: &mut [T],
     opts: Options,
     f: impl Fn(usize, usize, &mut [T]) + Sync,
-) {
+) -> Result<(), ParError> {
     let len = data.len();
     if len == 0 {
-        return;
+        return Ok(());
     }
     let size = chunk_size(len);
     let chunks: Vec<(usize, &mut [T])> = data
@@ -500,23 +654,23 @@ pub fn for_each_chunk_mut<T: Send>(
         .enumerate()
         .map(|(i, c)| (i * size, c))
         .collect();
-    for_each_task(chunks, opts, |i, (start, chunk)| f(i, start, chunk));
+    for_each_task(chunks, opts, |i, (start, chunk)| f(i, start, chunk))
 }
 
 /// Chunked map-reduce over `0..len`: `map_fn` runs per fixed chunk, and
 /// the chunk results are folded **left-to-right in chunk-index order**
 /// with `reduce` — so the combination order (and therefore any
 /// floating-point rounding) is identical at every thread count. Returns
-/// `None` for an empty workload.
+/// `Ok(None)` for an empty workload.
 pub fn map_reduce<T: Send>(
     len: usize,
     opts: Options,
     map_fn: impl Fn(Range<usize>) -> T + Sync,
     reduce: impl FnMut(T, T) -> T,
-) -> Option<T> {
+) -> Result<Option<T>, ParError> {
     let ranges = chunk_ranges(len);
-    let parts = map(ranges.len(), opts, |i| map_fn(ranges[i].clone()));
-    parts.into_iter().reduce(reduce)
+    let parts = map(ranges.len(), opts, |i| map_fn(ranges[i].clone()))?;
+    Ok(parts.into_iter().reduce(reduce))
 }
 
 #[cfg(test)]
@@ -552,7 +706,7 @@ mod tests {
     fn map_returns_index_order() {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         for t in [1, 4] {
-            let got = at_threads(t, || map(100, Options::default(), |i| i * 3));
+            let got = at_threads(t, || map(100, Options::default(), |i| i * 3).unwrap());
             assert_eq!(got, (0..100).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
@@ -569,6 +723,7 @@ mod tests {
                     |r| xs[r].iter().sum::<f64>(),
                     |a, b| a + b,
                 )
+                .unwrap()
                 .unwrap_or(0.0)
             })
         };
@@ -588,7 +743,8 @@ mod tests {
                     for (k, v) in chunk.iter_mut().enumerate() {
                         *v = start + k;
                     }
-                });
+                })
+                .unwrap();
             });
             assert!(out.iter().enumerate().all(|(i, &v)| v == i));
         }
@@ -603,25 +759,60 @@ mod tests {
             for_each_task(tasks, Options::default(), |i, v| {
                 assert_eq!(i, v);
                 hits[v].fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
-    fn task_panic_propagates_to_coordinator() {
+    fn task_panic_returns_typed_error_with_payload() {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let result = at_threads(4, || {
-            catch_unwind(AssertUnwindSafe(|| {
+        for t in [1, 4] {
+            let result = at_threads(t, || {
                 for_each_index(32, Options::default(), |i| {
                     assert!(i != 17, "injected test panic");
-                });
-            }))
-        });
-        assert!(result.is_err());
-        // The pool stays usable after a panicked region.
-        let ok = at_threads(4, || map(32, Options::default(), |i| i));
-        assert_eq!(ok.len(), 32);
+                })
+            });
+            match result {
+                Err(ParError::TaskPanicked { payload }) => {
+                    assert!(
+                        payload.contains("injected test panic"),
+                        "threads={t}: payload should carry the panic message: {payload:?}"
+                    );
+                }
+                other => panic!("threads={t}: expected TaskPanicked, got {other:?}"),
+            }
+            // The pool stays usable after a panicked region.
+            let ok = at_threads(t.max(4), || map(32, Options::default(), |i| i).unwrap());
+            assert_eq!(ok.len(), 32);
+        }
+    }
+
+    #[test]
+    fn cancellation_fires_mid_region() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        gef_trace::budget::reset();
+        for t in [1, 4] {
+            // An already-expired hard deadline: the first between-task
+            // poll observes it, so the region drains without running
+            // (almost) anything and reports Cancelled.
+            let ran = AtomicUsize::new(0);
+            let result = at_threads(t, || {
+                let _budget = gef_trace::budget::scoped(Some(std::time::Duration::ZERO), None);
+                for_each_index(64, Options::default(), |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(result, Err(ParError::Cancelled), "threads={t}");
+            assert!(
+                ran.load(Ordering::Relaxed) < 64,
+                "threads={t}: cancellation must skip remaining tasks"
+            );
+            // Budget disarmed by the guard: the pool is usable again.
+            let ok = at_threads(t, || map(16, Options::default(), |i| i).unwrap());
+            assert_eq!(ok.len(), 16);
+        }
     }
 
     #[test]
@@ -630,9 +821,11 @@ mod tests {
         let got = at_threads(4, || {
             map(8, Options::default(), |i| {
                 map(8, Options::default(), |j| i * 8 + j)
+                    .unwrap()
                     .into_iter()
                     .sum::<usize>()
             })
+            .unwrap()
         });
         let want: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
         assert_eq!(got, want);
@@ -652,14 +845,15 @@ mod tests {
     fn empty_workloads_are_no_ops() {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         at_threads(4, || {
-            assert!(map(0, Options::default(), |i| i).is_empty());
+            assert!(map(0, Options::default(), |i| i).unwrap().is_empty());
             assert_eq!(
                 map_reduce(0, Options::default(), |_| 1usize, |a, b| a + b),
-                None
+                Ok(None)
             );
             for_each_chunk_mut(&mut [] as &mut [u8], Options::default(), |_, _, _| {
                 panic!("must not run")
-            });
+            })
+            .unwrap();
         });
     }
 }

@@ -1,0 +1,294 @@
+//! Process-global run budget: wall-clock deadlines, iteration caps, and
+//! a cooperative cancellation flag.
+//!
+//! This is the low-level primitive behind `gef_core::budget::RunBudget`.
+//! It lives here (rather than in gef-core) for the same reason as
+//! [`crate::fault`]: the crates that must *check* the budget — gef-gam's
+//! PIRLS loop, gef-forest's boosting loop, gef-par's worker dispatch —
+//! sit below gef-core in the dependency graph. Unlike the fault
+//! registry, the budget is **always compiled**: `GEF_DEADLINE_MS` is a
+//! production knob, not a test hook.
+//!
+//! # Model
+//!
+//! * A **hard deadline** bounds the whole run's wall-clock. Once it
+//!   passes, [`hard_exceeded`] (and therefore [`cancel_requested`])
+//!   turns true and every cooperative checkpoint in the workspace
+//!   returns a typed `DeadlineExceeded` error instead of continuing —
+//!   never a hang, never a panic.
+//! * A **soft deadline** (earlier than the hard one) signals budget
+//!   pressure without aborting: the GAM recovery ladder reacts to
+//!   [`soft_exceeded`] by descending to a cheaper spec, recorded as a
+//!   degradation.
+//! * A **cancellation flag** ([`cancel`]/[`cancel_requested`]) lets a
+//!   caller abort cooperatively without any deadline; gef-par workers
+//!   poll it between task claims so a trip takes effect mid-region.
+//! * **Iteration caps** (boosting rounds, PIRLS iterations) are lazy
+//!   process-wide limits resolved from `GEF_MAX_BOOST_ROUNDS` /
+//!   `GEF_MAX_PIRLS_ITERS` on first read, overridable in-process.
+//!
+//! All checks are relaxed atomic loads plus (when a deadline is armed) a
+//! monotonic clock read, so unarmed runs stay bit-identical to builds
+//! without any budget code on the hot path.
+//!
+//! The state is process-global, exactly like the telemetry registry and
+//! the fault registry: concurrent runs share one budget, and tests that
+//! arm it must serialise and [`reset`] on exit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no cap configured" in the lazy cap cells.
+const CAP_UNRESOLVED: u64 = u64::MAX;
+
+// Absolute deadlines in nanoseconds since `epoch()`; 0 = unarmed.
+static HARD_DEADLINE_NS: AtomicU64 = AtomicU64::new(0);
+static SOFT_DEADLINE_NS: AtomicU64 = AtomicU64::new(0);
+static CANCELLED: AtomicBool = AtomicBool::new(false);
+// Fast path: true iff a deadline is armed or a cancel was requested, so
+// the common (unbudgeted) case is a single relaxed load and no clock read.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+// u64::MAX = unresolved (read env on first use); 0 = unlimited.
+static BOOST_ROUND_CAP: AtomicU64 = AtomicU64::new(CAP_UNRESOLVED);
+static PIRLS_ITER_CAP: AtomicU64 = AtomicU64::new(CAP_UNRESOLVED);
+
+/// Process-wide monotonic time origin (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn to_deadline_ns(from_now: Duration) -> u64 {
+    // Offset by 1 so a zero-duration deadline still reads as armed
+    // (0 is the unarmed sentinel).
+    now_ns().saturating_add(from_now.as_nanos() as u64).max(1)
+}
+
+/// Arm wall-clock deadlines measured from now. `hard` bounds the run
+/// ([`hard_exceeded`] / typed `DeadlineExceeded` errors); `soft`
+/// signals budget pressure ([`soft_exceeded`] / ladder descent).
+/// Passing `None` leaves that deadline unarmed. Clears any pending
+/// cancellation from a previous run.
+pub fn arm(hard: Option<Duration>, soft: Option<Duration>) {
+    CANCELLED.store(false, Ordering::Relaxed);
+    HARD_DEADLINE_NS.store(hard.map_or(0, to_deadline_ns), Ordering::Relaxed);
+    SOFT_DEADLINE_NS.store(soft.map_or(0, to_deadline_ns), Ordering::Relaxed);
+    ACTIVE.store(hard.is_some() || soft.is_some(), Ordering::Relaxed);
+}
+
+/// Disarm both deadlines and clear the cancellation flag.
+pub fn reset() {
+    HARD_DEADLINE_NS.store(0, Ordering::Relaxed);
+    SOFT_DEADLINE_NS.store(0, Ordering::Relaxed);
+    CANCELLED.store(false, Ordering::Relaxed);
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Whether any deadline is armed or a cancellation is pending (one
+/// relaxed load — the checkpoint fast path).
+#[inline(always)]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Whether the hard deadline is armed and has passed.
+#[inline]
+pub fn hard_exceeded() -> bool {
+    if !active() {
+        return false;
+    }
+    let d = HARD_DEADLINE_NS.load(Ordering::Relaxed);
+    d != 0 && now_ns() >= d
+}
+
+/// Whether the soft deadline is armed and has passed (budget pressure;
+/// degrade, don't abort).
+#[inline]
+pub fn soft_exceeded() -> bool {
+    if !active() {
+        return false;
+    }
+    let d = SOFT_DEADLINE_NS.load(Ordering::Relaxed);
+    d != 0 && now_ns() >= d
+}
+
+/// Request cooperative cancellation: every [`cancel_requested`] poll —
+/// including gef-par's between-task checks — turns true until [`reset`]
+/// or the next [`arm`].
+pub fn cancel() {
+    CANCELLED.store(true, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Whether work should stop now: an explicit [`cancel`] or a passed
+/// hard deadline. This is the poll gef-par workers issue between task
+/// claims, so a deadline fires mid-region.
+#[inline]
+pub fn cancel_requested() -> bool {
+    if !active() {
+        return false;
+    }
+    CANCELLED.load(Ordering::Relaxed) || hard_exceeded()
+}
+
+/// Milliseconds left until the hard deadline (`None` when unarmed,
+/// `Some(0)` once passed).
+pub fn remaining_ms() -> Option<u64> {
+    let d = HARD_DEADLINE_NS.load(Ordering::Relaxed);
+    if d == 0 {
+        return None;
+    }
+    Some(d.saturating_sub(now_ns()) / 1_000_000)
+}
+
+fn cap_from_env(var: &str) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn resolve_cap(cell: &AtomicU64, var: &str) -> u64 {
+    match cell.load(Ordering::Relaxed) {
+        CAP_UNRESOLVED => {
+            let n = cap_from_env(var).min(CAP_UNRESOLVED - 1);
+            cell.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Boosting-round cap (`GEF_MAX_BOOST_ROUNDS`, resolved on first call);
+/// 0 = unlimited. Forest trainers clamp their round count to this.
+pub fn boost_round_cap() -> u64 {
+    resolve_cap(&BOOST_ROUND_CAP, "GEF_MAX_BOOST_ROUNDS")
+}
+
+/// Override the boosting-round cap in-process (0 = unlimited).
+pub fn set_boost_round_cap(n: u64) {
+    BOOST_ROUND_CAP.store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+}
+
+/// PIRLS-iteration cap (`GEF_MAX_PIRLS_ITERS`, resolved on first call);
+/// 0 = unlimited. The PIRLS loop clamps `max_pirls_iter` to this.
+pub fn pirls_iter_cap() -> u64 {
+    resolve_cap(&PIRLS_ITER_CAP, "GEF_MAX_PIRLS_ITERS")
+}
+
+/// Override the PIRLS-iteration cap in-process (0 = unlimited).
+pub fn set_pirls_iter_cap(n: u64) {
+    PIRLS_ITER_CAP.store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+}
+
+/// RAII guard that [`reset`]s the budget on drop. [`scoped`] is the
+/// intended way for a pipeline run to arm deadlines.
+#[must_use = "the budget disarms when this guard drops"]
+pub struct BudgetGuard {
+    _private: (),
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        reset();
+    }
+}
+
+/// Arm deadlines for the duration of a scope: the returned guard
+/// disarms everything (and clears any cancellation) when dropped.
+pub fn scoped(hard: Option<Duration>, soft: Option<Duration>) -> BudgetGuard {
+    arm(hard, soft);
+    BudgetGuard { _private: () }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Budget state is process-global; tests serialise and reset.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked<T>(f: impl FnOnce() -> T) -> T {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let out = f();
+        reset();
+        out
+    }
+
+    #[test]
+    fn unarmed_budget_never_trips() {
+        locked(|| {
+            assert!(!active());
+            assert!(!hard_exceeded());
+            assert!(!soft_exceeded());
+            assert!(!cancel_requested());
+            assert_eq!(remaining_ms(), None);
+        });
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        locked(|| {
+            let _guard = scoped(Some(Duration::ZERO), None);
+            assert!(active());
+            assert!(hard_exceeded());
+            assert!(cancel_requested());
+            assert!(!soft_exceeded(), "soft left unarmed");
+            assert_eq!(remaining_ms(), Some(0));
+        });
+        assert!(!active(), "guard drop disarms");
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        locked(|| {
+            let _guard = scoped(Some(Duration::from_secs(3600)), Some(Duration::ZERO));
+            assert!(!hard_exceeded());
+            assert!(soft_exceeded(), "soft deadline trips independently");
+            assert!(!cancel_requested(), "soft pressure is not cancellation");
+            assert!(remaining_ms().unwrap() > 3_000_000);
+        });
+    }
+
+    #[test]
+    fn cancel_flag_requests_stop_without_deadline() {
+        locked(|| {
+            cancel();
+            assert!(cancel_requested());
+            assert!(!hard_exceeded());
+            reset();
+            assert!(!cancel_requested());
+        });
+    }
+
+    #[test]
+    fn rearming_clears_previous_cancellation() {
+        locked(|| {
+            cancel();
+            arm(Some(Duration::from_secs(3600)), None);
+            assert!(!cancel_requested());
+        });
+    }
+
+    #[test]
+    fn caps_are_overridable() {
+        locked(|| {
+            set_boost_round_cap(7);
+            assert_eq!(boost_round_cap(), 7);
+            set_pirls_iter_cap(3);
+            assert_eq!(pirls_iter_cap(), 3);
+            set_boost_round_cap(0);
+            set_pirls_iter_cap(0);
+            assert_eq!(boost_round_cap(), 0);
+            assert_eq!(pirls_iter_cap(), 0);
+        });
+    }
+}

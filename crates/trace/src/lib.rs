@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod fault;
 pub mod hist;
 pub mod json;

@@ -1,0 +1,138 @@
+//! Property-based round-trip tests for the dependency-free JSON
+//! support: any value tree emitted by [`gef_trace::json::JsonWriter`]
+//! must [`gef_trace::json::validate`] and [`gef_trace::json::parse`]
+//! back to a structurally equal [`gef_trace::json::JsonValue`].
+
+use gef_trace::json::{number, parse, validate, JsonValue, JsonWriter};
+use proptest::prelude::*;
+
+/// Strategy over arbitrary JSON value trees: every scalar kind, strings
+/// exercising the escape table (quotes, backslashes, control chars,
+/// non-ASCII), and nested arrays/objects up to depth 4.
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        // Finite numbers only: JSON has no NaN/Infinity (see the
+        // non-finite tests below for how the writer handles those).
+        (-1e12f64..1e12).prop_map(JsonValue::Number),
+        "[ -~\\t\\n\\r\\x01\\x19äß日]{0,12}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            proptest::collection::vec(("[a-z\"\\\\]{0,6}", inner), 0..6)
+                .prop_map(JsonValue::Object),
+        ]
+    })
+}
+
+/// Emit a value through the incremental writer, the only way production
+/// code produces JSON.
+fn write_value(w: &mut JsonWriter, v: &JsonValue) {
+    match v {
+        JsonValue::Null => w.value_raw("null"),
+        JsonValue::Bool(b) => w.value_raw(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => w.value_f64(*n),
+        JsonValue::String(s) => w.value_str(s),
+        JsonValue::Array(items) => {
+            w.begin_array();
+            for item in items {
+                write_value(w, item);
+            }
+            w.end_array();
+        }
+        JsonValue::Object(pairs) => {
+            w.begin_object();
+            for (k, item) in pairs {
+                w.key(k);
+                write_value(w, item);
+            }
+            w.end_object();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn writer_output_parses_back_structurally_equal(v in arb_json()) {
+        // Wrap in an object so every document has the report shape.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("root");
+        write_value(&mut w, &v);
+        w.end_object();
+        let doc = w.finish();
+        prop_assert!(validate(&doc).is_ok(), "writer emitted invalid JSON: {doc}");
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed.get("root"), Some(&v));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip(s in "[ -~\\x00-\\x1färß日𝄞]{0,40}") {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", &s);
+        w.end_object();
+        let doc = w.finish();
+        prop_assert!(validate(&doc).is_ok());
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(
+            parsed.get("s").and_then(JsonValue::as_str),
+            Some(s.as_str())
+        );
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly(
+        n in proptest::num::f64::POSITIVE
+            | proptest::num::f64::NEGATIVE
+            | proptest::num::f64::NORMAL
+            | proptest::num::f64::ZERO
+            | proptest::num::f64::SUBNORMAL
+    ) {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("n", n);
+        w.end_object();
+        let parsed = parse(&w.finish()).unwrap();
+        let back = parsed.get("n").and_then(JsonValue::as_f64).unwrap();
+        prop_assert_eq!(back.to_bits(), n.to_bits(), "f64 must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null(sign in any::<bool>(), which in 0usize..2) {
+        // JSON has no NaN/Infinity: the writer must emit null, never an
+        // unparseable token.
+        let v = match which {
+            0 => f64::NAN,
+            _ => f64::INFINITY,
+        } * if sign { 1.0 } else { -1.0 };
+        prop_assert_eq!(number(v), "null");
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("n", v);
+        w.end_object();
+        let doc = w.finish();
+        prop_assert!(validate(&doc).is_ok());
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed.get("n"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn deep_nesting_round_trips(depth in 1usize..24) {
+        let mut v = JsonValue::Number(1.0);
+        for _ in 0..depth {
+            v = JsonValue::Array(vec![v]);
+        }
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("deep");
+        write_value(&mut w, &v);
+        w.end_object();
+        let parsed = parse(&w.finish()).unwrap();
+        prop_assert_eq!(parsed.get("deep"), Some(&v));
+    }
+}

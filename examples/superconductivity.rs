@@ -30,7 +30,9 @@ fn main() {
         &train.ys[cut..],
     )
     .expect("training succeeds");
-    let preds = forest.predict_batch(&test.xs);
+    let preds = forest
+        .predict_batch(&test.xs)
+        .expect("no deadline armed for the example");
     println!(
         "forest test RMSE = {:.2} K over {} materials x {} features",
         gef::data::metrics::rmse(&preds, &test.ys),

@@ -41,7 +41,7 @@ fn gef_reconstructs_g_prime_components() {
     // The surrogate is accurate on the *original* test data too
     // (Table 2's point).
     let gam_preds: Vec<f64> = test.xs.iter().map(|x| exp.predict(x)).collect();
-    let forest_preds = forest.predict_batch(&test.xs);
+    let forest_preds = forest.predict_batch(&test.xs).unwrap();
     assert!(
         r2(&gam_preds, &forest_preds) > 0.9,
         "r2 vs forest = {}",

@@ -49,8 +49,8 @@ fn all_strategies_beat_random_ranking() {
         let forest = forest_on_d_second(&pairs, 10 + si as u64);
         let profile = ForestProfile::analyze(&forest);
         let selected: Vec<usize> = (0..NUM_FEATURES).collect();
-        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds);
-        let sample = generate(&forest, &domains, 300, true, 3);
+        let domains = build_domains(&profile, &selected, SamplingStrategy::AllThresholds).unwrap();
+        let sample = generate(&forest, &domains, 300, true, 3).unwrap();
         for (ki, &strategy) in strategies.iter().enumerate() {
             let ranked = rank_interactions(&forest, &profile, &selected, strategy, Some(&sample))
                 .expect("ranking succeeds");

@@ -81,8 +81,8 @@ fn dstar_labeling_is_bit_identical_across_thread_counts() {
         let forest = at_threads(1, || train(&data));
         // Per-row serial prediction is the reference semantics.
         let reference: Vec<f64> = data.xs.iter().map(|x| forest.predict(x)).collect();
-        let serial = at_threads(1, || forest.predict_batch(&data.xs));
-        let parallel = at_threads(4, || forest.predict_batch(&data.xs));
+        let serial = at_threads(1, || forest.predict_batch(&data.xs).unwrap());
+        let parallel = at_threads(4, || forest.predict_batch(&data.xs).unwrap());
         assert_eq!(bits(&serial), bits(&reference));
         assert_eq!(bits(&parallel), bits(&reference));
     });
@@ -159,6 +159,110 @@ fn full_pipeline_explanation_is_bit_identical_across_thread_counts() {
         let ps: Vec<f64> = data.xs.iter().map(|x| serial.predict(x)).collect();
         let pp: Vec<f64> = data.xs.iter().map(|x| parallel.predict(x)).collect();
         assert_eq!(bits(&ps), bits(&pp));
+    });
+}
+
+/// A panicking task inside a four-thread region must come back as the
+/// typed `GefError::WorkerPanicked` (the runtime never re-raises the
+/// payload), and the pool must stay usable — and bit-identical across
+/// thread counts — afterwards.
+#[test]
+fn worker_panic_surfaces_typed_error_and_pool_stays_deterministic() {
+    use gef::core::GefError;
+
+    with_thread_control(|| {
+        let err = at_threads(4, || {
+            par::for_each_index(64, par::Options::default(), |i| {
+                assert!(i != 23, "injected worker panic");
+            })
+            .map_err(GefError::from)
+            .expect_err("the panicking region must fail")
+        });
+        match &err {
+            GefError::WorkerPanicked(payload) => assert!(
+                payload.contains("injected worker panic"),
+                "payload should carry the panic message: {payload:?}"
+            ),
+            other => panic!("expected WorkerPanicked, got: {other}"),
+        }
+
+        // The pool is not poisoned: the same forest workload still runs
+        // and stays bit-identical between serial and four threads.
+        let data = training_data();
+        let forest = at_threads(1, || train(&data));
+        let serial = at_threads(1, || forest.predict_batch(&data.xs).unwrap());
+        let parallel = at_threads(4, || forest.predict_batch(&data.xs).unwrap());
+        assert_eq!(bits(&serial), bits(&parallel));
+    });
+}
+
+/// Acceptance check for the run budget: with the `pirls.stall` site
+/// wedging every PIRLS iteration (a 5ms sleep each), a hard deadline
+/// must abort the run with the typed `DeadlineExceeded` — never a hang
+/// — at any thread count. The 60ms deadline sits below the stall cost
+/// of even a minimal successful fit (13 λ candidates × ≥1 stalled
+/// iteration × 5ms = 65ms of pure sleep), so no machine can outrun it.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn pirls_stall_hits_the_hard_deadline_instead_of_hanging() {
+    use gef::core::faults::{self, Trigger};
+    use gef::core::{GefError, RunBudget};
+    use std::time::{Duration, Instant};
+
+    // A binary-classification forest so the logit PIRLS loop (where the
+    // stall site lives) actually runs.
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i % 41) as f64 / 41.0, (i % 13) as f64 / 13.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(x[0] + 0.5 * x[1] > 0.7))
+        .collect();
+    with_thread_control(|| {
+        let forest = at_threads(1, || {
+            GbdtTrainer::new(GbdtParams {
+                num_trees: 30,
+                num_leaves: 6,
+                learning_rate: 0.2,
+                min_data_in_leaf: 5,
+                objective: Objective::BinaryLogistic,
+                ..Default::default()
+            })
+            .fit(&xs, &ys)
+            .unwrap()
+        });
+        for t in [1, 4] {
+            faults::reset();
+            faults::arm(faults::PIRLS_STALL, Trigger::Always);
+            let budget = RunBudget {
+                hard_deadline: Some(Duration::from_millis(60)),
+                ..RunBudget::unlimited()
+            };
+            let start = Instant::now();
+            let result = at_threads(t, || {
+                let _armed = budget.arm();
+                GefExplainer::new(GefConfig {
+                    num_univariate: 2,
+                    num_interactions: 1,
+                    n_samples: 1_500,
+                    spline_basis: 10,
+                    tensor_basis: 5,
+                    ..Default::default()
+                })
+                .explain(&forest)
+            });
+            let elapsed = start.elapsed();
+            faults::reset();
+            match result {
+                Err(GefError::DeadlineExceeded { .. }) => {}
+                Err(other) => panic!("threads={t}: expected DeadlineExceeded, got: {other}"),
+                Ok(_) => panic!("threads={t}: the stalled run outran its deadline"),
+            }
+            assert!(
+                elapsed < Duration::from_secs(20),
+                "threads={t}: deadline abort must not hang (took {elapsed:?})"
+            );
+        }
     });
 }
 
