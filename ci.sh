@@ -34,6 +34,16 @@ GEF_TRACE=json GEF_THREADS=4 \
 cargo run --release -q -p gef-bench --bin telemetry_diff -- \
     results/telemetry/scaling_t1.json results/telemetry/scaling_t4.json
 
+# Bench-regression gate: the fixed-seed xp_regress suite (forest
+# training, D* labeling, GCV search, end-to-end explain, each at
+# GEF_THREADS 1 and 4) against the committed BENCH_baseline.json.
+# Noise-aware thresholds; on a machine whose profile doesn't match the
+# baseline it warns and skips instead of failing. Every run appends to
+# BENCH_trajectory.json. GEF_PROF=1 also archives a Chrome-trace
+# timeline under results/profiles/ (load it in ui.perfetto.dev).
+echo "==> bench regression gate (xp_regress --ci)"
+GEF_PROF=1 cargo run --release -q -p gef-bench --bin xp_regress -- --ci
+
 echo "==> cargo test --features fault-injection --test robustness"
 cargo test --features fault-injection --test robustness -q
 

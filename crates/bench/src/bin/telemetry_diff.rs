@@ -21,6 +21,9 @@
 //! Ignored:
 //! * anything `par.`-prefixed (worker/chunk bookkeeping legitimately
 //!   varies with thread count — serial runs emit none of it);
+//! * anything `mem.`- or `heap.`-prefixed (allocation deltas depend on
+//!   chunking, allocator state, and whether the tracking allocator is
+//!   installed — they are observability, not pipeline semantics);
 //! * timing statistics (`*_ns` aggregates, `wall_ns`,
 //!   `created_unix_ms`) and `events_dropped` / `label`.
 //!
@@ -62,11 +65,14 @@ fn load(path: &str) -> JsonValue {
     parse(&text).unwrap_or_else(|e| panic!("telemetry_diff: {path} is not valid JSON: {e}"))
 }
 
-/// `par.`-prefixed signals (including hierarchical span paths with a
-/// `par.`-prefixed segment) are thread-count bookkeeping, not pipeline
-/// semantics.
-fn is_par_name(name: &str) -> bool {
-    name.split('/').any(|seg| seg.starts_with("par."))
+/// Signals excluded from the determinism diff: `par.`-prefixed
+/// (thread-count bookkeeping, including hierarchical span paths with a
+/// `par.`-prefixed segment) and `mem.` / `heap.`-prefixed (allocation
+/// observability — counts vary with chunking and allocator state even
+/// when the pipeline's numeric outputs are bit-identical).
+fn is_excluded_name(name: &str) -> bool {
+    name.split('/')
+        .any(|seg| seg.starts_with("par.") || seg.starts_with("mem.") || seg.starts_with("heap."))
 }
 
 fn str_field(v: &JsonValue, key: &str) -> String {
@@ -81,14 +87,14 @@ fn num_field(v: &JsonValue, key: &str) -> f64 {
 }
 
 /// Collect `name -> value-of(key)` from an array of objects, skipping
-/// `par.*` entries.
+/// excluded (`par.*` / `mem.*` / `heap.*`) entries.
 fn named_values(report: &JsonValue, section: &str, key: &str) -> Vec<(String, f64)> {
     report
         .get(section)
         .and_then(JsonValue::as_array)
         .unwrap_or(&[])
         .iter()
-        .filter(|item| !is_par_name(&str_field(item, "name")))
+        .filter(|item| !is_excluded_name(&str_field(item, "name")))
         .map(|item| (str_field(item, "name"), num_field(item, key)))
         .collect()
 }
@@ -144,7 +150,7 @@ fn diff_reports(a: &JsonValue, b: &JsonValue) -> Vec<String> {
             .and_then(JsonValue::as_array)
             .unwrap_or(&[])
             .iter()
-            .filter(|e| !is_par_name(&str_field(e, "name")))
+            .filter(|e| !is_excluded_name(&str_field(e, "name")))
             .map(event_key)
             .collect()
     };

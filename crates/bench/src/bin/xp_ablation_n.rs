@@ -31,7 +31,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &n in &ns {
-        let (exp, secs) = timed_run("xp.ablation_n.explain", || {
+        let (exp, timing) = timed_run("xp.ablation_n.explain", || {
             GefExplainer::new(GefConfig {
                 num_univariate: NUM_FEATURES,
                 sampling: SamplingStrategy::EquiSize(size.pick(300, 2_000, 12_000)),
@@ -47,7 +47,7 @@ fn main() {
             n.to_string(),
             f3(exp.fidelity_rmse),
             f3(exp.fidelity_r2),
-            fmt_secs(secs),
+            fmt_secs(timing.median_s),
             degraded.to_string(),
         ]);
     }

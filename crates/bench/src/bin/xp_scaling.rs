@@ -15,7 +15,7 @@
 //! telemetry under `<label>` — the hook `ci.sh` uses to diff telemetry
 //! reports between thread counts.
 
-use gef_bench::{print_table, timed_run_warmed, train_paper_forest, RunSize};
+use gef_bench::{print_table, timed_run_warmed, train_paper_forest, RunSize, Timing};
 use gef_core::{GefConfig, GefExplainer, SamplingStrategy};
 use gef_data::synthetic::{make_d_prime, NUM_FEATURES};
 use gef_forest::Objective;
@@ -27,9 +27,9 @@ const SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct PhaseTimes {
     threads: usize,
-    train_s: f64,
-    label_s: f64,
-    gcv_s: f64,
+    train: Timing,
+    label: Timing,
+    gcv: Timing,
 }
 
 fn main() {
@@ -91,12 +91,12 @@ fn sweep() {
         gef_par::set_threads(t);
         gef_par::prestart();
 
-        let (forest, train_s) = timed_run_warmed("xp.scaling.train", || {
+        let (forest, train) = timed_run_warmed("xp.scaling.train", || {
             train_paper_forest(&data.xs, &data.ys, size, Objective::RegressionL2)
         });
 
         let (label_xs, _) = gef_bench::common_fidelity_set(&forest, label_n, 7);
-        let (labels, label_s) = timed_run_warmed("xp.scaling.label", || {
+        let (labels, label) = timed_run_warmed("xp.scaling.label", || {
             forest.predict_batch(&label_xs).expect("no deadline armed")
         });
 
@@ -116,20 +116,24 @@ fn sweep() {
             })
             .collect();
         let spec = GamSpec::regression(terms);
-        let (gam, gcv_s) = timed_run_warmed("xp.scaling.gcv", || {
+        let (gam, gcv) = timed_run_warmed("xp.scaling.gcv", || {
             fit(&spec, gam_xs, gam_ys).expect("GAM fit succeeds")
         });
 
         println!(
-            "threads={t}: train {train_s:.3}s, label {label_s:.3}s, gcv {gcv_s:.3}s \
-             (selected lambda {:e})",
+            "threads={t}: train {:.3}s, label {:.3}s, gcv {:.3}s \
+             (median of {}; selected lambda {:e})",
+            train.median_s,
+            label.median_s,
+            gcv.median_s,
+            train.iters,
             gam.summary().lambda
         );
         results.push(PhaseTimes {
             threads: t,
-            train_s,
-            label_s,
-            gcv_s,
+            train,
+            label,
+            gcv,
         });
     }
     gef_par::set_threads(1);
@@ -139,12 +143,12 @@ fn sweep() {
     for r in &results {
         rows.push(vec![
             r.threads.to_string(),
-            format!("{:.3}", r.train_s),
-            format!("{:.2}x", base.train_s / r.train_s.max(1e-12)),
-            format!("{:.3}", r.label_s),
-            format!("{:.2}x", base.label_s / r.label_s.max(1e-12)),
-            format!("{:.3}", r.gcv_s),
-            format!("{:.2}x", base.gcv_s / r.gcv_s.max(1e-12)),
+            format!("{:.3}", r.train.median_s),
+            format!("{:.2}x", base.train.median_s / r.train.median_s.max(1e-12)),
+            format!("{:.3}", r.label.median_s),
+            format!("{:.2}x", base.label.median_s / r.label.median_s.max(1e-12)),
+            format!("{:.3}", r.gcv.median_s),
+            format!("{:.2}x", base.gcv.median_s / r.gcv.median_s.max(1e-12)),
         ]);
     }
     println!();
@@ -173,7 +177,7 @@ fn render_json(size: RunSize, logical_cores: usize, results: &[PhaseTimes]) -> S
         .map_or(0, |d| d.as_millis() as u64);
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.field_str("schema", "gef-bench/scaling/v1");
+    w.field_str("schema", "gef-bench/scaling/v2");
     w.field_u64("created_unix_ms", unix_ms);
     w.field_str("run_size", &format!("{size:?}"));
     w.key("machine");
@@ -188,12 +192,21 @@ fn render_json(size: RunSize, logical_cores: usize, results: &[PhaseTimes]) -> S
     for r in results {
         w.begin_object();
         w.field_u64("threads", r.threads as u64);
-        w.field_f64("forest_train_s", r.train_s);
-        w.field_f64("dstar_label_s", r.label_s);
-        w.field_f64("gcv_search_s", r.gcv_s);
-        w.field_f64("forest_train_speedup", base.train_s / r.train_s.max(1e-12));
-        w.field_f64("dstar_label_speedup", base.label_s / r.label_s.max(1e-12));
-        w.field_f64("gcv_search_speedup", base.gcv_s / r.gcv_s.max(1e-12));
+        r.train.write_json_fields(&mut w, "forest_train");
+        r.label.write_json_fields(&mut w, "dstar_label");
+        r.gcv.write_json_fields(&mut w, "gcv_search");
+        w.field_f64(
+            "forest_train_speedup",
+            base.train.median_s / r.train.median_s.max(1e-12),
+        );
+        w.field_f64(
+            "dstar_label_speedup",
+            base.label.median_s / r.label.median_s.max(1e-12),
+        );
+        w.field_f64(
+            "gcv_search_speedup",
+            base.gcv.median_s / r.gcv.median_s.max(1e-12),
+        );
         w.end_object();
     }
     w.end_array();

@@ -127,10 +127,75 @@ pub fn common_fidelity_set(forest: &Forest, n: usize, seed: u64) -> (Vec<Vec<f64
     (xs, ys)
 }
 
-/// Run `f` under a gef-trace span named `span` and return its result
-/// together with the wall-clock seconds spent — the shared timing
-/// helper for the `xp_*` binaries (each used to roll its own
-/// `Instant` bookkeeping).
+/// Wall-clock statistics for one measurement, over however many timed
+/// iterations the helper ran. Every `BENCH_*.json` artifact records the
+/// iteration count alongside the seconds so a reader can tell a
+/// median-of-5 from a single cold run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Median wall-clock seconds — the headline number (robust to a
+    /// single descheduled iteration).
+    pub median_s: f64,
+    /// Fastest iteration — the best case the machine demonstrated.
+    pub min_s: f64,
+    /// Mean over iterations.
+    pub mean_s: f64,
+    /// Population standard deviation over iterations (0 when `iters`
+    /// is 1) — the noise floor regression thresholds scale with.
+    pub stddev_s: f64,
+    /// Number of timed iterations aggregated (warmup excluded).
+    pub iters: usize,
+}
+
+impl Timing {
+    /// Aggregate raw per-iteration seconds. Panics on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Timing {
+        assert!(!samples.is_empty(), "Timing needs at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = sorted.len();
+        let median_s = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let mean_s = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|s| (s - mean_s).powi(2)).sum::<f64>() / n as f64;
+        Timing {
+            median_s,
+            min_s: sorted[0],
+            mean_s,
+            stddev_s: var.sqrt(),
+            iters: n,
+        }
+    }
+
+    /// Write this measurement into a JSON object as
+    /// `<prefix>_s` (median), `<prefix>_min_s`, `<prefix>_stddev_s`,
+    /// and `<prefix>_iters` — the shared field layout of the
+    /// `BENCH_*.json` artifacts.
+    pub fn write_json_fields(&self, w: &mut gef_trace::json::JsonWriter, prefix: &str) {
+        w.field_f64(&format!("{prefix}_s"), self.median_s);
+        w.field_f64(&format!("{prefix}_min_s"), self.min_s);
+        w.field_f64(&format!("{prefix}_stddev_s"), self.stddev_s);
+        w.field_u64(&format!("{prefix}_iters"), self.iters as u64);
+    }
+}
+
+/// Timed iterations per measurement for [`timed_run_warmed`]
+/// (`GEF_BENCH_ITERS` override, default 3, minimum 1).
+pub fn bench_iters() -> usize {
+    std::env::var("GEF_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// Run `f` once under a gef-trace span named `span` and return its
+/// result together with the measured [`Timing`] (`iters == 1`,
+/// `stddev_s == 0`) — the shared timing helper for the `xp_*` binaries
+/// (each used to roll its own `Instant` bookkeeping).
 ///
 /// The span lands in the process-wide [`gef_trace`] registry, so a
 /// `GEF_TRACE=json` run of any experiment gets the same per-phase
@@ -139,23 +204,44 @@ pub fn common_fidelity_set(forest: &Forest, n: usize, seed: u64) -> (Vec<Vec<f64
 /// The gef-par worker pool is spawned (idempotently) *before* the clock
 /// starts, so the first parallel measurement in a process is not
 /// charged for thread start-up.
-pub fn timed_run<T>(span: &str, f: impl FnOnce() -> T) -> (T, f64) {
+pub fn timed_run<T>(span: &str, f: impl FnOnce() -> T) -> (T, Timing) {
     gef_par::prestart();
     let t0 = std::time::Instant::now();
     let out = gef_trace::time(span, f);
-    (out, t0.elapsed().as_secs_f64())
+    let s = t0.elapsed().as_secs_f64();
+    (
+        out,
+        Timing {
+            median_s: s,
+            min_s: s,
+            mean_s: s,
+            stddev_s: 0.0,
+            iters: 1,
+        },
+    )
 }
 
 /// Like [`timed_run`], but runs `f` once untimed first (after
 /// prestarting the pool) so caches, allocator arenas, and branch
-/// predictors are warm — the measurement protocol used by `xp_scaling`
-/// when comparing serial vs parallel wall-clock.
-pub fn timed_run_warmed<T>(span: &str, mut f: impl FnMut() -> T) -> (T, f64) {
+/// predictors are warm, then times [`bench_iters`] iterations and
+/// aggregates them (median / min / stddev) — the measurement protocol
+/// used by `xp_scaling` and the `xp_regress` gate. Returns the last
+/// iteration's value.
+pub fn timed_run_warmed<T>(span: &str, mut f: impl FnMut() -> T) -> (T, Timing) {
     gef_par::prestart();
     let _warmup = f();
-    let t0 = std::time::Instant::now();
-    let out = gef_trace::time(span, f);
-    (out, t0.elapsed().as_secs_f64())
+    let iters = bench_iters();
+    let mut samples = Vec::with_capacity(iters);
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        out = Some(gef_trace::time(span, &mut f));
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (
+        out.expect("bench_iters() >= 1"),
+        Timing::from_samples(&samples),
+    )
 }
 
 /// Format a wall-clock duration the way the experiment tables do.
@@ -236,6 +322,29 @@ mod tests {
         assert_eq!(p.num_trees, 1000);
         assert_eq!(p.num_leaves, 32);
         assert!((p.learning_rate - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_from_samples_stats() {
+        let t = Timing::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(t.median_s, 2.0);
+        assert_eq!(t.min_s, 1.0);
+        assert_eq!(t.iters, 3);
+        assert!((t.mean_s - 2.0).abs() < 1e-12);
+        // Even count: median averages the middle pair.
+        let e = Timing::from_samples(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(e.median_s, 2.5);
+        // Single sample: no spread, and the json fields still land.
+        let s = Timing::from_samples(&[0.5]);
+        assert_eq!(s.stddev_s, 0.0);
+        assert_eq!(s.iters, 1);
+        let mut w = gef_trace::json::JsonWriter::new();
+        w.begin_object();
+        s.write_json_fields(&mut w, "phase");
+        w.end_object();
+        let json = w.finish();
+        assert!(json.contains("\"phase_s\":"));
+        assert!(json.contains("\"phase_iters\":1"));
     }
 
     #[test]

@@ -84,15 +84,19 @@ pub fn build_domains(
     selected: &[usize],
     strategy: SamplingStrategy,
 ) -> Result<Vec<Vec<f64>>> {
-    let domains = gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
-        if selected.contains(&f) {
-            // The multiset carries the split-density signal the
-            // budgeted strategies rely on.
-            strategy.domain(profile.threshold_multiset(f))
-        } else {
-            SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
-        }
-    })?;
+    let domains = gef_par::map(
+        profile.num_features,
+        gef_par::Options::coarse().with_label("pipeline.sampling_domains"),
+        |f| {
+            if selected.contains(&f) {
+                // The multiset carries the split-density signal the
+                // budgeted strategies rely on.
+                strategy.domain(profile.threshold_multiset(f))
+            } else {
+                SamplingStrategy::AllThresholds.domain(profile.thresholds(f))
+            }
+        },
+    )?;
     Ok(domains)
 }
 

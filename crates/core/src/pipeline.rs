@@ -223,37 +223,41 @@ impl GefExplainer {
         // identical at every thread count.
         checkpoint("sampling")?;
         let per_feature = stage("pipeline.sampling", &mut timings.sampling_ns, || {
-            gef_par::map(profile.num_features, gef_par::Options::coarse(), |f| {
-                if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
-                    // Multiset thresholds: multiplicity = split density.
-                    let mut dom = cfg.sampling.domain(profile.threshold_multiset(f));
-                    if gef_trace::fault::fires("sampling.domain_collapse") {
-                        dom.truncate(1);
-                    }
-                    if dom.len() < 2 {
-                        // A budgeted strategy collapsed this feature's
-                        // domain (e.g. K-Means centroids merging on a
-                        // pathological threshold multiset). Fall back
-                        // to the raw All-Thresholds domain — a
-                        // non-categorical feature always has one.
-                        let fallback =
-                            SamplingStrategy::AllThresholds.domain(profile.thresholds(f));
-                        if fallback.len() > dom.len() {
-                            let cause = format!(
-                                "strategy domain for feature {f} collapsed to {} point(s)",
-                                dom.len()
-                            );
-                            return (fallback, Some(cause));
+            gef_par::map(
+                profile.num_features,
+                gef_par::Options::coarse().with_label("pipeline.sampling_domains"),
+                |f| {
+                    if selected.contains(&f) && !profile.is_categorical(f, cfg.categorical_l) {
+                        // Multiset thresholds: multiplicity = split density.
+                        let mut dom = cfg.sampling.domain(profile.threshold_multiset(f));
+                        if gef_trace::fault::fires("sampling.domain_collapse") {
+                            dom.truncate(1);
                         }
+                        if dom.len() < 2 {
+                            // A budgeted strategy collapsed this feature's
+                            // domain (e.g. K-Means centroids merging on a
+                            // pathological threshold multiset). Fall back
+                            // to the raw All-Thresholds domain — a
+                            // non-categorical feature always has one.
+                            let fallback =
+                                SamplingStrategy::AllThresholds.domain(profile.thresholds(f));
+                            if fallback.len() > dom.len() {
+                                let cause = format!(
+                                    "strategy domain for feature {f} collapsed to {} point(s)",
+                                    dom.len()
+                                );
+                                return (fallback, Some(cause));
+                            }
+                        }
+                        (dom, None)
+                    } else {
+                        (
+                            SamplingStrategy::AllThresholds.domain(profile.thresholds(f)),
+                            None,
+                        )
                     }
-                    (dom, None)
-                } else {
-                    (
-                        SamplingStrategy::AllThresholds.domain(profile.thresholds(f)),
-                        None,
-                    )
-                }
-            })
+                },
+            )
         })?;
         let domains: Vec<Vec<f64>> = per_feature
             .into_iter()

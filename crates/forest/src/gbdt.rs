@@ -551,7 +551,7 @@ impl GbdtTrainer {
         }
         Ok(gef_par::map_reduce(
             feats.len(),
-            gef_par::Options::default(),
+            gef_par::Options::default().with_label("forest.split_search"),
             |r| self.scan_split_candidates(binned, leaf, offsets, &feats[r]),
             better_split,
         )?
@@ -682,7 +682,7 @@ fn build_hist(
     }
     gef_par::for_each_task(
         tasks,
-        gef_par::Options::default(),
+        gef_par::Options::default().with_label("forest.hist_build"),
         |_, (chunk_feats, region_start, region)| {
             for &f in chunk_feats {
                 let base = offsets[f] - region_start;

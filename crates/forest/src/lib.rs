@@ -156,11 +156,15 @@ impl Forest {
             }
             return Ok(out);
         }
-        gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
-            for (k, o) in chunk.iter_mut().enumerate() {
-                *o = self.predict(&xs[start + k]);
-            }
-        })?;
+        gef_par::for_each_chunk_mut(
+            &mut out,
+            gef_par::Options::coarse().with_label("forest.predict_batch"),
+            |_, start, chunk| {
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = self.predict(&xs[start + k]);
+                }
+            },
+        )?;
         Ok(out)
     }
 
@@ -201,15 +205,19 @@ impl Forest {
             return Ok((out, visited));
         }
         let visited = std::sync::atomic::AtomicU64::new(0);
-        gef_par::for_each_chunk_mut(&mut out, gef_par::Options::coarse(), |_, start, chunk| {
-            let mut local = 0u64;
-            for (k, o) in chunk.iter_mut().enumerate() {
-                let (raw, n) = self.predict_raw_counted(&xs[start + k]);
-                local += n;
-                *o = self.objective.transform(raw);
-            }
-            visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-        })?;
+        gef_par::for_each_chunk_mut(
+            &mut out,
+            gef_par::Options::coarse().with_label("forest.predict_batch"),
+            |_, start, chunk| {
+                let mut local = 0u64;
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    let (raw, n) = self.predict_raw_counted(&xs[start + k]);
+                    local += n;
+                    *o = self.objective.transform(raw);
+                }
+                visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+            },
+        )?;
         Ok((out, visited.into_inner()))
     }
 

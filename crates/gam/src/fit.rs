@@ -432,27 +432,31 @@ fn fit_gaussian(
     // whose factorization or solve fails is skipped, not fatal: other λ
     // values (typically larger, better conditioned) may still produce a
     // usable fit — the PR 2 per-candidate error-skip semantics.
-    let evals = gef_par::map(grid.len(), gef_par::Options::coarse(), |gi| {
-        let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        let lambda = grid[gi];
-        (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
-            // Per-λ cooperative checkpoint: a passed hard deadline stops
-            // the grid search with a typed error instead of grinding on.
-            if gef_trace::budget::hard_exceeded() {
-                return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
-            }
-            let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
-            let beta = chol.solve(&b)?;
-            let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
-            let g_beta = g.matvec(&beta)?;
-            let bt_g_b: f64 = beta.iter().zip(&g_beta).map(|(x, y)| x * y).sum();
-            let rss = (yty - 2.0 * bt_b + bt_g_b).max(0.0);
-            let edf = edf_trace(&chol, &g)?;
-            let denom = (n as f64 - edf).max(1.0);
-            let gcv = n as f64 * rss / (denom * denom);
-            Ok((gcv, beta, chol, rss, edf))
-        })()
-    })?;
+    let evals = gef_par::map(
+        grid.len(),
+        gef_par::Options::coarse().with_label("gam.gcv_candidate"),
+        |gi| {
+            let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
+            let lambda = grid[gi];
+            (|| -> Result<(f64, Vec<f64>, Cholesky, f64, f64)> {
+                // Per-λ cooperative checkpoint: a passed hard deadline stops
+                // the grid search with a typed error instead of grinding on.
+                if gef_trace::budget::hard_exceeded() {
+                    return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
+                }
+                let chol = penalized_chol(&g, &design.penalty, lambda, constraint, ridge)?;
+                let beta = chol.solve(&b)?;
+                let bt_b: f64 = beta.iter().zip(&b).map(|(x, y)| x * y).sum();
+                let g_beta = g.matvec(&beta)?;
+                let bt_g_b: f64 = beta.iter().zip(&g_beta).map(|(x, y)| x * y).sum();
+                let rss = (yty - 2.0 * bt_b + bt_g_b).max(0.0);
+                let edf = edf_trace(&chol, &g)?;
+                let denom = (n as f64 - edf).max(1.0);
+                let gcv = n as f64 * rss / (denom * denom);
+                Ok((gcv, beta, chol, rss, edf))
+            })()
+        },
+    )?;
     // Selection and event emission stay serial and in grid order, so
     // the telemetry stream is identical at every thread count.
     let mut best: Option<(f64, f64, Vec<f64>, Cholesky, f64, f64)> = None; // (gcv, λ, β, chol, rss, edf)
@@ -534,22 +538,26 @@ fn fit_logit(
     // factorization); results come back in grid order. A diverging PIRLS
     // run at one λ (typically a small one on near-separable data) is
     // skipped; better-conditioned candidates can still win the grid.
-    let evals = gef_par::map(grid.len(), gef_par::Options::coarse(), |gi| {
-        let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
-        let lambda = grid[gi];
-        (|| -> Result<(Pirls, f64, f64)> {
-            // Per-λ cooperative checkpoint (the PIRLS loop inside adds a
-            // per-iteration one).
-            if gef_trace::budget::hard_exceeded() {
-                return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
-            }
-            let run = pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
-            let edf = edf_trace(&run.chol, &run.weighted_gram)?;
-            let denom = (n as f64 - edf).max(1.0);
-            let gcv = n as f64 * run.deviance / (denom * denom);
-            Ok((run, edf, gcv))
-        })()
-    })?;
+    let evals = gef_par::map(
+        grid.len(),
+        gef_par::Options::coarse().with_label("gam.gcv_candidate"),
+        |gi| {
+            let _eval_span = gef_trace::Span::enter("gam.gcv_eval");
+            let lambda = grid[gi];
+            (|| -> Result<(Pirls, f64, f64)> {
+                // Per-λ cooperative checkpoint (the PIRLS loop inside adds a
+                // per-iteration one).
+                if gef_trace::budget::hard_exceeded() {
+                    return Err(GamError::DeadlineExceeded { at: "gcv_grid" });
+                }
+                let run = pirls_logit(design, rows, ys, lambda, max_iter, tol, constraint)?;
+                let edf = edf_trace(&run.chol, &run.weighted_gram)?;
+                let denom = (n as f64 - edf).max(1.0);
+                let gcv = n as f64 * run.deviance / (denom * denom);
+                Ok((run, edf, gcv))
+            })()
+        },
+    )?;
     // Selection and per-candidate telemetry (PIRLS counters + events)
     // stay serial and in grid order, so the event stream is identical
     // at every thread count.

@@ -71,6 +71,16 @@
 //! [`gef_trace::push_base_path`]), so spans opened inside tasks land at
 //! the same hierarchical paths as in a serial run.
 //!
+//! When timeline profiling is on (`GEF_PROF`; see
+//! [`gef_trace::timeline`]), every task additionally records a
+//! begin/end pair on its executing thread's timeline — labelled via
+//! [`Options::label`], carrying region id, chunk index, and task count
+//! — and each pool worker registers its spawn index as its logical
+//! thread id, so the exported chrome trace shows a stable per-worker
+//! gantt of who ran which chunk when. Profiling changes *observation
+//! only*: task claiming, chunking, and arithmetic order are untouched,
+//! so results stay bit-identical with `GEF_PROF` on or off.
+//!
 //! # Example
 //!
 //! ```
@@ -266,12 +276,26 @@ pub struct Options {
     /// run); hot inner loops such as per-leaf histogram builds would
     /// flood the bounded event log.
     pub chunk_events: bool,
+    /// Name for this region's per-task timeline events when profiling
+    /// (`GEF_PROF`) is on — the label shown on each worker's track in
+    /// the exported chrome trace (e.g. `"forest.hist_build"`). Unlabeled
+    /// regions record as `"par.task"`. Ignored while profiling is off.
+    pub label: Option<&'static str>,
 }
 
 impl Options {
     /// Options for a coarse region: per-chunk events enabled.
     pub fn coarse() -> Options {
-        Options { chunk_events: true }
+        Options {
+            chunk_events: true,
+            ..Options::default()
+        }
+    }
+
+    /// Set the timeline label for this region's per-task events.
+    pub fn with_label(mut self, label: &'static str) -> Options {
+        self.label = Some(label);
+        self
     }
 }
 
@@ -348,6 +372,13 @@ struct Region {
     /// Coordinator's span path at dispatch, propagated to workers so
     /// spans opened inside tasks nest identically to a serial run.
     base_path: Option<String>,
+    /// Timeline label for per-task begin/end events ([`Options::label`]).
+    label: Option<&'static str>,
+    /// Region id carried in per-task timeline event args.
+    region_id: u64,
+    /// Whether profiling was on at dispatch (captured once so every
+    /// task of the region records — or none does).
+    prof: bool,
 }
 
 impl Region {
@@ -370,7 +401,21 @@ impl Region {
                 // The claim → acknowledge window is what keeps the
                 // erased borrow live; see TaskPtr.
                 let task = unsafe { &*self.task.0 };
-                match catch_unwind(AssertUnwindSafe(|| task(i))) {
+                if self.prof {
+                    gef_trace::timeline::begin_with(
+                        self.label.unwrap_or("par.task"),
+                        &[
+                            ("region", self.region_id as f64),
+                            ("chunk", i as f64),
+                            ("of", self.n_tasks as f64),
+                        ],
+                    );
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
+                if self.prof {
+                    gef_trace::timeline::end(self.label.unwrap_or("par.task"));
+                }
+                match outcome {
                     Ok(()) => {
                         self.executed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -456,7 +501,14 @@ fn ensure_workers(pool: &'static Pool, want: usize) {
         }
         let spawned = std::thread::Builder::new()
             .name(format!("gef-par-{cur}"))
-            .spawn(move || worker_loop(pool));
+            .spawn(move || {
+                // Bind this thread to its logical worker id so its
+                // timeline track is `tid = cur + 1` at any GEF_THREADS
+                // — registered even while profiling is off, in case it
+                // turns on later in the process.
+                gef_trace::timeline::register_worker(cur);
+                worker_loop(pool)
+            });
         if spawned.is_err() {
             pool.spawned.fetch_sub(1, Ordering::Relaxed);
             return;
@@ -488,12 +540,33 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
         return Ok(());
     }
     let t = threads();
+    let prof = gef_trace::timeline::prof_enabled();
     if t <= 1 || n_tasks == 1 || gef_trace::fault::any_armed() {
+        let label = opts.label.unwrap_or("par.task");
+        let region_id = if prof {
+            REGION_ID.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
         for i in 0..n_tasks {
             if gef_trace::budget::cancel_requested() {
                 return Err(ParError::Cancelled);
             }
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            if prof {
+                gef_trace::timeline::begin_with(
+                    label,
+                    &[
+                        ("region", region_id as f64),
+                        ("chunk", i as f64),
+                        ("of", n_tasks as f64),
+                    ],
+                );
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
+            if prof {
+                gef_trace::timeline::end(label);
+            }
+            if let Err(payload) = outcome {
                 return Err(ParError::TaskPanicked {
                     payload: payload_to_string(payload.as_ref()),
                 });
@@ -511,18 +584,22 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
     } else {
         None
     };
+    let region_id = if prof || (traced && opts.chunk_events) {
+        REGION_ID.fetch_add(1, Ordering::Relaxed)
+    } else {
+        0
+    };
     if traced {
         let g = gef_trace::global();
         g.gauge("par.workers", (helpers + 1) as f64);
         gef_trace::counter!("par.regions").incr();
         g.record_value("par.tasks", n_tasks as u64);
         if opts.chunk_events {
-            let region = REGION_ID.fetch_add(1, Ordering::Relaxed) as f64;
             for i in 0..n_tasks {
                 g.event(
                     "par.chunk",
                     &[
-                        ("region", region),
+                        ("region", region_id as f64),
                         ("chunk", i as f64),
                         ("of", n_tasks as f64),
                     ],
@@ -551,6 +628,9 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
         panic_payload: Mutex::new(None),
         executed: AtomicUsize::new(0),
         base_path,
+        label: opts.label,
+        region_id,
+        prof,
     });
     {
         let mut q = pool.queue.lock().unwrap_or_else(|e| e.into_inner());

@@ -357,6 +357,54 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serialize back to compact JSON (object key order preserved;
+    /// non-finite numbers become `null`, mirroring [`number`]).
+    ///
+    /// Together with [`parse`] this gives read-modify-write over
+    /// emitted documents — e.g. the bench-regression gate appending a
+    /// run to its `BENCH_trajectory.json` history.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(v) => out.push_str(&number(*v)),
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parse one JSON document into a [`JsonValue`].
@@ -644,6 +692,17 @@ mod tests {
         assert_eq!(v.get("value").and_then(JsonValue::as_f64), Some(-0.125));
         let items = v.get("items").and_then(JsonValue::as_array).unwrap();
         assert_eq!(items, &[JsonValue::Number(7.0), JsonValue::Null]);
+    }
+
+    #[test]
+    fn json_value_round_trips_through_to_json() {
+        let doc = r#"{"a":[1,2.5,-30],"b":{"s":"x\ny \" é"},"t":true,"n":null,"e":[],"o":{}}"#;
+        let v = parse(doc).unwrap();
+        let re = v.to_json();
+        validate(&re).unwrap_or_else(|e| panic!("invalid: {e}\n{re}"));
+        assert_eq!(parse(&re).unwrap(), v, "{re}");
+        // Non-finite numbers serialize as null.
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   RAII guard; nested spans are recorded under a `/`-joined path
 //!   (`pipeline.gam_fit/gam.gcv_grid`). Durations land in log-linear
 //!   [`hist::Histogram`]s, so each site reports count, total, mean,
-//!   p50/p95, and min/max.
+//!   p50/p95/p99, and min/max.
 //! * **Counters** — monotonically increasing `u64`s behind [`Counter`]
 //!   handles (one relaxed atomic add per increment). Use the [`counter!`]
 //!   macro for a cached per-callsite handle.
@@ -37,6 +37,11 @@
 //! `false`, letting the optimizer delete instrumentation from hot paths
 //! entirely.
 //!
+//! Orthogonal to the aggregate registry, the [`timeline`] module records
+//! *time-resolved* per-thread profiles (gated by `GEF_PROF`, exported as
+//! Chrome Trace Event Format JSON) and [`mem`] holds the allocation
+//! counters fed by the `gef-prof` tracking allocator.
+//!
 //! # Example
 //!
 //! ```
@@ -58,7 +63,9 @@ pub mod budget;
 pub mod fault;
 pub mod hist;
 pub mod json;
+pub mod mem;
 pub mod report;
+pub mod timeline;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -295,8 +302,12 @@ impl Telemetry {
 
     /// Append an event with numeric fields (no-op while disabled). At most
     /// [`EVENT_CAP`] events are retained; beyond that only a drop count is
-    /// kept.
+    /// kept. While profiling is on ([`timeline::prof_enabled`]) the event
+    /// is also mirrored onto this thread's timeline as an instant.
     pub fn event(&self, name: &str, fields: &[(&str, f64)]) {
+        if timeline::prof_enabled() {
+            timeline::instant(name, fields);
+        }
         if !enabled() {
             return;
         }
@@ -411,7 +422,7 @@ impl Telemetry {
                 value: c.load(Ordering::Relaxed),
             })
             .collect();
-        let gauges = self
+        let mut gauges: Vec<report::GaugeStat> = self
             .gauges
             .lock()
             .unwrap()
@@ -421,6 +432,28 @@ impl Telemetry {
                 value: *v,
             })
             .collect();
+        if mem::tracking() {
+            // Surface the allocator totals whenever the gef-prof
+            // tracking allocator is feeding them (the `mem.*` namespace
+            // is excluded from CI determinism diffs, like `par.*`).
+            let m = mem::stats();
+            gauges.push(report::GaugeStat {
+                name: "mem.allocs_total".to_string(),
+                value: m.allocs as f64,
+            });
+            gauges.push(report::GaugeStat {
+                name: "mem.bytes_allocated_total".to_string(),
+                value: m.bytes_allocated as f64,
+            });
+            gauges.push(report::GaugeStat {
+                name: "mem.in_use_bytes".to_string(),
+                value: m.in_use_bytes as f64,
+            });
+            gauges.push(report::GaugeStat {
+                name: "mem.peak_bytes".to_string(),
+                value: m.peak_bytes as f64,
+            });
+        }
         let log = self.events.lock().unwrap();
         TelemetryReport {
             schema_version: report::SCHEMA_VERSION,
@@ -519,15 +552,33 @@ thread_local! {
 pub struct Span {
     start: Option<Instant>,
     path: String,
+    /// Aggregate recording ([`enabled`]) was on at enter.
+    trace: bool,
+    /// Timeline recording ([`timeline::prof_enabled`]) was on at enter.
+    prof: bool,
+    /// Allocation counters at enter, when the tracking allocator is
+    /// installed — drop records the span-attributed deltas.
+    mem0: Option<mem::MemStats>,
 }
 
 impl Span {
     /// Open a span named `name` (e.g. `"pipeline.gam_fit"`).
+    ///
+    /// Active whenever aggregate tracing ([`enabled`]) *or* timeline
+    /// profiling ([`timeline::prof_enabled`]) is on: the former records
+    /// the duration histogram at the hierarchical path, the latter a
+    /// begin/end pair on this thread's timeline. With both off, `enter`
+    /// takes no clock reading and `drop` records nothing.
     pub fn enter(name: &str) -> Span {
-        if !enabled() {
+        let trace = enabled();
+        let prof = timeline::prof_enabled();
+        if !trace && !prof {
             return Span {
                 start: None,
                 path: String::new(),
+                trace: false,
+                prof: false,
+                mem0: None,
             };
         }
         let path = SPAN_STACK.with(|stack| {
@@ -539,9 +590,20 @@ impl Span {
             stack.push(path.clone());
             path
         });
+        if prof {
+            timeline::begin(name);
+        }
+        let mem0 = if mem::tracking() {
+            Some(mem::stats())
+        } else {
+            None
+        };
         Span {
             start: Some(Instant::now()),
             path,
+            trace,
+            prof,
+            mem0,
         }
     }
 
@@ -559,7 +621,34 @@ impl Drop for Span {
             SPAN_STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
-            global().record_span_ns(&self.path, ns);
+            if let Some(m0) = self.mem0 {
+                let m1 = mem::stats();
+                if self.trace {
+                    let g = global();
+                    g.record_value(
+                        &format!("mem.allocs/{}", self.path),
+                        m1.allocs.saturating_sub(m0.allocs),
+                    );
+                    g.record_value(
+                        &format!("mem.bytes/{}", self.path),
+                        m1.bytes_allocated.saturating_sub(m0.bytes_allocated),
+                    );
+                    let peak_rise = m1.peak_bytes.saturating_sub(m0.peak_bytes);
+                    if peak_rise > 0 {
+                        g.record_value(&format!("mem.peak_rise/{}", self.path), peak_rise);
+                    }
+                }
+                if self.prof {
+                    timeline::counter_sample("heap.in_use_bytes", m1.in_use_bytes as f64);
+                }
+            }
+            if self.prof {
+                let leaf = self.path.rsplit('/').next().unwrap_or(&self.path);
+                timeline::end(leaf);
+            }
+            if self.trace {
+                global().record_span_ns(&self.path, ns);
+            }
         }
     }
 }
@@ -634,13 +723,18 @@ macro_rules! counter {
     }};
 }
 
+// Tracing and profiling state is process-global, and enabling either
+// (set_enabled / timeline::set_prof_enabled) affects instrumentation
+// running on *any* thread — e.g. Telemetry::event mirrors onto the
+// timeline while profiling is on. In-crate tests that touch that state
+// therefore all serialise on this one lock.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    // The global registry is shared across tests in one process, so each
-    // test uses its own distinctly named metrics and serialises on a lock.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    use crate::TEST_LOCK;
 
     fn with_tracing<T>(f: impl FnOnce() -> T) -> T {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());

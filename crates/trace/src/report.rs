@@ -37,6 +37,8 @@ pub struct SpanStats {
     pub p50_ns: u64,
     /// Estimated 95th-percentile duration.
     pub p95_ns: u64,
+    /// Estimated 99th-percentile duration.
+    pub p99_ns: u64,
     /// Exact fastest duration.
     pub min_ns: u64,
     /// Exact slowest duration.
@@ -52,6 +54,7 @@ impl SpanStats {
             mean_ns: h.mean(),
             p50_ns: h.quantile(0.5),
             p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
             min_ns: h.min(),
             max_ns: h.max(),
         }
@@ -74,6 +77,8 @@ pub struct HistStats {
     pub p50: u64,
     /// Estimated 95th percentile.
     pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
     /// Exact minimum.
     pub min: u64,
     /// Exact maximum.
@@ -89,6 +94,7 @@ impl HistStats {
             mean: h.mean(),
             p50: h.quantile(0.5),
             p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
             min: h.min(),
             max: h.max(),
         }
@@ -160,6 +166,7 @@ impl TelemetryReport {
             w.field_f64("mean_ns", s.mean_ns);
             w.field_u64("p50_ns", s.p50_ns);
             w.field_u64("p95_ns", s.p95_ns);
+            w.field_u64("p99_ns", s.p99_ns);
             w.field_u64("min_ns", s.min_ns);
             w.field_u64("max_ns", s.max_ns);
             w.end_object();
@@ -175,6 +182,7 @@ impl TelemetryReport {
             w.field_f64("mean", h.mean);
             w.field_u64("p50", h.p50);
             w.field_u64("p95", h.p95);
+            w.field_u64("p99", h.p99);
             w.field_u64("min", h.min);
             w.field_u64("max", h.max);
             w.end_object();
@@ -235,18 +243,19 @@ impl TelemetryReport {
                 .unwrap()
                 .max(4);
             out.push_str(&format!(
-                "-- spans --\n{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
-                "path", "count", "total", "mean", "p50", "p95",
+                "-- spans --\n{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                "path", "count", "total", "mean", "p50", "p95", "p99",
             ));
             for s in &self.spans {
                 out.push_str(&format!(
-                    "{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                    "{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
                     s.name,
                     s.count,
                     fmt_duration_ns(s.total_ns),
                     fmt_duration_ns(s.mean_ns as u64),
                     fmt_duration_ns(s.p50_ns),
                     fmt_duration_ns(s.p95_ns),
+                    fmt_duration_ns(s.p99_ns),
                 ));
             }
         }
@@ -259,13 +268,13 @@ impl TelemetryReport {
                 .unwrap()
                 .max(4);
             out.push_str(&format!(
-                "-- histograms --\n{:<w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
-                "name", "count", "sum", "mean", "p50", "p95",
+                "-- histograms --\n{:<w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                "name", "count", "sum", "mean", "p50", "p95", "p99",
             ));
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "{:<w$}  {:>8}  {:>12}  {:>12.1}  {:>12}  {:>12}\n",
-                    h.name, h.count, h.sum, h.mean, h.p50, h.p95,
+                    "{:<w$}  {:>8}  {:>12}  {:>12.1}  {:>12}  {:>12}  {:>12}\n",
+                    h.name, h.count, h.sum, h.mean, h.p50, h.p95, h.p99,
                 ));
             }
         }
@@ -354,6 +363,8 @@ mod tests {
         crate::json::validate(&doc).unwrap_or_else(|e| panic!("invalid: {e}\n{doc}"));
         for needle in [
             "\"schema_version\":1",
+            "\"p99_ns\":",
+            "\"p99\":",
             "pipeline.gam_fit",
             "forest.nodes_visited",
             "gam.pirls_iters",

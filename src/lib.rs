@@ -17,6 +17,8 @@ pub use gef_forest as forest;
 pub use gef_gam as gam;
 pub use gef_linalg as linalg;
 pub use gef_par as par;
+pub use gef_prof as prof;
+pub use gef_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

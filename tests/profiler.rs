@@ -1,0 +1,182 @@
+//! Integration tests for the GEF_PROF timeline profiler: the Chrome
+//! Trace Event Format export must round-trip through `gef_trace::json`,
+//! carry every field the chrome://tracing / Perfetto loaders require,
+//! and key its tracks by *logical* worker id so the same worker index
+//! is the same `tid` at any thread count.
+
+use gef_trace::json::{parse, JsonValue};
+use gef_trace::timeline;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Timeline state is process-global; serialize the tests in this
+/// binary.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run a profiled parallel workload at the given thread count and
+/// return the set of tids that recorded events.
+fn profiled_workload(threads: usize) -> BTreeSet<u64> {
+    gef_par::set_threads(threads);
+    gef_par::prestart();
+    timeline::reset();
+    let data: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+    let out = gef_par::map(
+        data.len(),
+        gef_par::Options::coarse().with_label("profiler.test_task"),
+        |i| data[i] * 2.0,
+    );
+    assert_eq!(out.expect("map succeeds")[10], 20.0);
+    timeline::tids_with_events().into_iter().collect()
+}
+
+#[test]
+fn chrome_trace_round_trips_with_required_ctf_fields() {
+    let _g = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    timeline::set_prof_enabled(true);
+    profiled_workload(4);
+    gef_trace::time("profiler.outer_span", || {
+        gef_trace::global().event("profiler.marker", &[("k", 1.0)]);
+    });
+    let json = timeline::chrome_trace_json();
+    timeline::set_prof_enabled(false);
+    timeline::reset();
+
+    // The export must be valid JSON parseable by our own reader (which
+    // is strict RFC 8259 — what Perfetto and chrome://tracing accept).
+    let doc = parse(&json).expect("chrome trace JSON parses");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut saw_begin = false;
+    let mut saw_end = false;
+    let mut saw_instant = false;
+    let mut prev_ts = f64::NEG_INFINITY;
+    for e in events {
+        // Required CTF fields on every record.
+        let name = e.get("name").and_then(JsonValue::as_str).expect("name");
+        assert!(!name.is_empty());
+        let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph");
+        assert!(
+            matches!(ph, "B" | "E" | "i" | "C" | "M"),
+            "unexpected phase {ph:?}"
+        );
+        assert!(e.get("pid").and_then(JsonValue::as_f64).is_some());
+        assert!(e.get("tid").and_then(JsonValue::as_f64).is_some());
+        if ph != "M" {
+            let ts = e.get("ts").and_then(JsonValue::as_f64).expect("ts");
+            assert!(ts >= 0.0);
+            assert!(ts >= prev_ts, "events must be sorted by timestamp");
+            prev_ts = ts;
+        }
+        match ph {
+            "B" => saw_begin = true,
+            "E" => saw_end = true,
+            "i" => {
+                saw_instant = true;
+                // Chrome requires a scope on instants.
+                assert_eq!(e.get("s").and_then(JsonValue::as_str), Some("t"));
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_begin && saw_end, "span begin/end pairs missing");
+    assert!(saw_instant, "mirrored telemetry event missing");
+
+    // Per-tid begin/end events balance, so chrome's stack view can
+    // always close what it opened.
+    let mut depth: std::collections::BTreeMap<i64, i64> = Default::default();
+    for e in events {
+        let tid = e.get("tid").and_then(JsonValue::as_f64).unwrap() as i64;
+        match e.get("ph").and_then(JsonValue::as_str).unwrap() {
+            "B" => *depth.entry(tid).or_default() += 1,
+            "E" => {
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                assert!(*d >= 0, "E without matching B on tid {tid}");
+            }
+            _ => {}
+        }
+    }
+    assert!(depth.values().all(|&d| d == 0), "unbalanced B/E: {depth:?}");
+
+    // Every tid with events has a thread_name metadata record.
+    let tids: BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) != Some("M"))
+        .map(|e| e.get("tid").and_then(JsonValue::as_f64).unwrap() as i64)
+        .collect();
+    let named: BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .map(|e| e.get("tid").and_then(JsonValue::as_f64).unwrap() as i64)
+        .collect();
+    for tid in &tids {
+        assert!(named.contains(tid), "tid {tid} has no thread_name metadata");
+    }
+}
+
+#[test]
+fn worker_tids_are_stable_across_thread_counts() {
+    let _g = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    timeline::set_prof_enabled(true);
+
+    // GEF_THREADS=1: the serial bypass runs every task on the calling
+    // thread — no worker tids (1..=999) may appear.
+    let t1 = profiled_workload(1);
+    assert_eq!(t1.len(), 1, "serial run must use exactly one track");
+    let serial_tid = *t1.iter().next().unwrap();
+    assert!(
+        serial_tid == 0 || serial_tid >= 1000,
+        "serial run recorded on a worker tid ({serial_tid})"
+    );
+
+    // GEF_THREADS=4: three pool workers (the coordinator is the fourth
+    // lane) hold the reserved tids 1..=3 — worker k is tid k+1 by spawn
+    // order, independent of which OS thread backs it.
+    let t4 = profiled_workload(4);
+    let workers: BTreeSet<u64> = t4
+        .iter()
+        .copied()
+        .filter(|&t| (1..1000).contains(&t))
+        .collect();
+    assert!(
+        !workers.is_empty(),
+        "parallel run recorded no worker tracks: {t4:?}"
+    );
+    assert!(
+        workers.iter().all(|&t| t <= 3),
+        "worker tids exceed spawn count: {workers:?}"
+    );
+
+    // Stability: a repeat run may land tasks on a different *subset* of
+    // workers (claiming is racy by design), but never mints a tid
+    // outside the reserved worker range, and the coordinator's track is
+    // the same one as before.
+    let t4_again = profiled_workload(4);
+    let workers_again: BTreeSet<u64> = t4_again
+        .iter()
+        .copied()
+        .filter(|&t| (1..1000).contains(&t))
+        .collect();
+    assert!(
+        workers_again.iter().all(|&t| t <= 3),
+        "repeat run minted a new worker tid: {workers_again:?}"
+    );
+    let coords: BTreeSet<u64> = t4.difference(&workers).copied().collect();
+    let coords_again: BTreeSet<u64> = t4_again.difference(&workers_again).copied().collect();
+    assert_eq!(
+        coords, coords_again,
+        "coordinator track changed between identical runs"
+    );
+
+    timeline::set_prof_enabled(false);
+    timeline::reset();
+    gef_par::set_threads(1);
+}

@@ -2,9 +2,19 @@
 //! pipeline: a complete `GefExplainer::explain` run must emit all five
 //! stage spans with nonzero durations, and the PIRLS iteration count
 //! recorded by gef-trace must agree with the `FitSummary`.
+//!
+//! Also proves the observation-only contract: with tracing *and*
+//! profiling off the pipeline records nothing and its numeric outputs
+//! are bit-identical to a fully instrumented run, and the disabled
+//! span fast path is cheap enough to leave in hot loops.
 
 use gef_core::{GefConfig, GefExplainer};
-use gef_forest::{GbdtParams, GbdtTrainer};
+use gef_forest::{Forest, GbdtParams, GbdtTrainer};
+use std::sync::Mutex;
+
+/// Tracing/profiling state is process-global and the tests in this
+/// binary toggle it; serialize them.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// The five pipeline stages, in execution order.
 const STAGES: [&str; 5] = [
@@ -17,6 +27,7 @@ const STAGES: [&str; 5] = [
 
 #[test]
 fn explain_emits_all_stage_spans_and_consistent_pirls_count() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Enable tracing for this process and start from a clean registry.
     gef_trace::set_enabled(true);
     gef_trace::global().reset();
@@ -99,4 +110,112 @@ fn explain_emits_all_stage_spans_and_consistent_pirls_count() {
     for stage in STAGES {
         assert!(json.contains(stage), "JSON report missing {stage}");
     }
+    // Timing aggregates now carry the full percentile ladder.
+    assert!(json.contains("\"p50_ns\":"));
+    assert!(json.contains("\"p95_ns\":"));
+    assert!(json.contains("\"p99_ns\":"));
+}
+
+/// A small deterministic forest + config pair shared by the
+/// observation-only tests below.
+fn small_problem() -> (Forest, GefConfig) {
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i % 41) as f64 / 41.0, (i % 17) as f64 / 17.0])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0] * 1.5 - 0.7 * x[1]).collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 20,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 5,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap();
+    let config = GefConfig {
+        num_univariate: 2,
+        num_interactions: 1,
+        n_samples: 2000,
+        seed: 11,
+        ..Default::default()
+    };
+    (forest, config)
+}
+
+/// With `GEF_TRACE` and `GEF_PROF` both off the pipeline must record
+/// *nothing* — no telemetry, no timeline events — and produce outputs
+/// bit-identical to a run with both fully on: the instrumentation
+/// observes, it never participates.
+#[test]
+fn disabled_observability_records_nothing_and_outputs_are_bit_identical() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (forest, config) = small_problem();
+    let probe: Vec<Vec<f64>> = (0..50)
+        .map(|i| vec![i as f64 / 50.0, 1.0 - i as f64 / 50.0])
+        .collect();
+
+    // Everything off, clean slates.
+    gef_trace::set_enabled(false);
+    gef_trace::timeline::set_prof_enabled(false);
+    gef_trace::global().reset();
+    gef_trace::timeline::reset();
+    let events_before = gef_trace::timeline::event_count();
+    let off = GefExplainer::new(config.clone()).explain(&forest).unwrap();
+    assert_eq!(
+        gef_trace::timeline::event_count(),
+        events_before,
+        "disabled profiling must not record timeline events"
+    );
+    let t = gef_trace::global();
+    assert_eq!(t.span_count("pipeline.explain"), 0);
+    assert!(t.events_named("gam.gcv").is_empty());
+
+    // Everything on: tracing, timeline, the works.
+    gef_trace::set_enabled(true);
+    gef_trace::timeline::set_prof_enabled(true);
+    let on = GefExplainer::new(config).explain(&forest).unwrap();
+    assert!(
+        gef_trace::timeline::event_count() > 0,
+        "enabled profiling should record timeline events"
+    );
+
+    // Numeric outputs must agree to the bit.
+    assert_eq!(off.fidelity_rmse.to_bits(), on.fidelity_rmse.to_bits());
+    assert_eq!(off.fidelity_r2.to_bits(), on.fidelity_r2.to_bits());
+    for x in &probe {
+        assert_eq!(
+            off.gam.predict(x).to_bits(),
+            on.gam.predict(x).to_bits(),
+            "GAM prediction differs between instrumented and dark runs"
+        );
+    }
+
+    gef_trace::timeline::set_prof_enabled(false);
+    gef_trace::set_enabled(false);
+    gef_trace::global().reset();
+    gef_trace::timeline::reset();
+}
+
+/// The disabled span path must stay cheap enough to leave on every hot
+/// loop: one early-out branch, no allocation, no clock read. A million
+/// disabled spans in a debug build finishing inside two seconds bounds
+/// the fast path at ~2µs apiece — two orders of magnitude above its
+/// real cost, so the assertion only fires if the fast path regresses to
+/// doing real work (allocating, taking a lock, reading the clock).
+#[test]
+fn disabled_span_fast_path_is_cheap() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gef_trace::set_enabled(false);
+    gef_trace::timeline::set_prof_enabled(false);
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..1_000_000u64 {
+        acc = acc.wrapping_add(gef_trace::time("micro.disabled_span", || i));
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(acc, 499_999_500_000);
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "1M disabled spans took {elapsed:?} — the disabled fast path has regressed"
+    );
 }
