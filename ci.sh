@@ -44,6 +44,20 @@ cargo run --release -q -p gef-bench --bin telemetry_diff -- \
 echo "==> bench regression gate (xp_regress --ci)"
 GEF_PROF=1 cargo run --release -q -p gef-bench --bin xp_regress -- --ci
 
+echo "==> cargo test --features fault-injection --test observability"
+cargo test --features fault-injection --test observability -q
+
+# Incident-dump gate: with tracing and profiling explicitly OFF, a
+# forced fault under a tight deadline must still produce a schema-valid
+# incident dump (the flight recorder is always on), and the dump's own
+# replay_faults string must reproduce the same typed error.
+# incident_view --force-fault asserts all of it end to end and
+# round-trips the dump through gef_trace::json::parse.
+echo "==> incident-dump gate (incident_view --force-fault, trace/prof off)"
+GEF_TRACE=0 GEF_PROF=0 GEF_INCIDENT_DIR=results/incidents \
+    cargo run --release -q -p gef-bench --features fault-injection \
+    --bin incident_view -- --force-fault --deadline-ms 150
+
 echo "==> cargo test --features fault-injection --test robustness"
 cargo test --features fault-injection --test robustness -q
 

@@ -1,0 +1,445 @@
+//! Operator console for flight-recorder incident dumps.
+//!
+//! ```text
+//! incident_view <incident.json>              pretty-print a dump
+//! incident_view --check <incident.json>      schema-validate, exit 0/1
+//! incident_view --force-fault [--deadline-ms D]
+//!                                            forced-fault self-test
+//! ```
+//!
+//! * Default mode renders the dump (`results/incidents/*.json`) for a
+//!   human: cause, digests, budget state, degradation history, the
+//!   replay command, and the tail of the merged event window.
+//! * `--check` parses the file through [`gef_trace::json::parse`] and
+//!   verifies every field the `gef-core/incident/v1` schema requires,
+//!   printing one line per problem. This is the round-trip gate `ci.sh`
+//!   runs on forced-fault dumps.
+//! * `--force-fault` (requires `--features fault-injection`) arms
+//!   `GEF_FAULTS` (default `pirls.stall=always`) plus a tight hard
+//!   deadline, runs a small pipeline expecting a typed error, asserts
+//!   the incident dump appeared and is schema-valid, then re-arms the
+//!   dump's own `replay_faults` string and proves the replay reproduces
+//!   the *same* typed error. The flight recorder must make this work
+//!   with `GEF_TRACE=0 GEF_PROF=0` — it is always on.
+//!
+//! Exit codes: 0 success, 1 failed check / failed self-test, 2 usage or
+//! I/O error.
+
+use gef_trace::json::{parse, JsonValue};
+
+const HELP: &str = "\
+usage: incident_view <incident.json>
+       incident_view --check <incident.json>
+       incident_view --force-fault [--deadline-ms D]
+
+exit codes:
+  0  printed / check passed / self-test passed
+  1  schema check failed or self-test invariant violated
+  2  usage error, unreadable file, or malformed JSON";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    let code = match args.first().map(String::as_str) {
+        Some("--check") => match args.get(1) {
+            Some(path) => check_file(path),
+            None => {
+                eprintln!("{HELP}");
+                2
+            }
+        },
+        Some("--force-fault") => force_fault(&args[1..]),
+        Some(path) if !path.starts_with('-') && args.len() == 1 => view(path),
+        _ => {
+            eprintln!("{HELP}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+/// Validate one parsed dump against the `gef-core/incident/v1` schema;
+/// returns one message per violated requirement.
+fn schema_problems(v: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut want = |field: &str, ok: bool, what: &str| {
+        if !ok {
+            problems.push(format!("field `{field}` {what}"));
+        }
+    };
+
+    let schema = v.get("schema").and_then(JsonValue::as_str);
+    want(
+        "schema",
+        schema == Some(gef_core::incident::SCHEMA),
+        &format!(
+            "must be {:?} (found {schema:?})",
+            gef_core::incident::SCHEMA
+        ),
+    );
+    for field in ["label", "cause", "error", "replay_faults"] {
+        want(
+            field,
+            v.get(field).and_then(JsonValue::as_str).is_some(),
+            "must be a string",
+        );
+    }
+    for field in ["created_unix_ms", "threads", "events_overwritten"] {
+        want(
+            field,
+            v.get(field).and_then(JsonValue::as_f64).is_some(),
+            "must be a number",
+        );
+    }
+    // Digests and seed are nullable but must be present. (No
+    // `gam_digest` here: a typed failure usually happens before any
+    // GAM exists — that digest lives in success-path provenance.)
+    for field in ["config_digest", "forest_digest", "seed"] {
+        want(
+            field,
+            v.get(field).is_some(),
+            "must be present (null allowed)",
+        );
+    }
+    for field in ["faults_fired", "degradations"] {
+        want(
+            field,
+            v.get(field).and_then(JsonValue::as_array).is_some(),
+            "must be an array",
+        );
+    }
+
+    match v.get("budget") {
+        Some(b @ JsonValue::Object(_)) => {
+            for field in ["active", "hard_tripped", "soft_tripped"] {
+                want(
+                    &format!("budget.{field}"),
+                    matches!(b.get(field), Some(JsonValue::Bool(_))),
+                    "must be a boolean",
+                );
+            }
+        }
+        _ => problems.push("field `budget` must be an object".to_string()),
+    }
+
+    match v.get("events").and_then(JsonValue::as_array) {
+        Some(events) => {
+            for (i, e) in events.iter().enumerate() {
+                let ok = e.get("kind").and_then(JsonValue::as_str).is_some()
+                    && e.get("name").and_then(JsonValue::as_str).is_some()
+                    && e.get("ts_ns").and_then(JsonValue::as_f64).is_some()
+                    && e.get("seq").and_then(JsonValue::as_f64).is_some()
+                    && e.get("tid").and_then(JsonValue::as_f64).is_some();
+                if !ok {
+                    problems.push(format!(
+                        "events[{i}] must carry string kind/name and numeric ts_ns/seq/tid"
+                    ));
+                    break;
+                }
+            }
+        }
+        None => problems.push("field `events` must be an array".to_string()),
+    }
+    problems
+}
+
+fn check_file(path: &str) -> i32 {
+    let v = match load(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("incident_view: {e}");
+            return 2;
+        }
+    };
+    let problems = schema_problems(&v);
+    if problems.is_empty() {
+        println!(
+            "incident_view: {path} is a valid {} dump",
+            gef_core::incident::SCHEMA
+        );
+        0
+    } else {
+        eprintln!("incident_view: {path} fails the schema check:");
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        1
+    }
+}
+
+fn str_or(v: &JsonValue, key: &str, default: &str) -> String {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
+fn view(path: &str) -> i32 {
+    let v = match load(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("incident_view: {e}");
+            return 2;
+        }
+    };
+    println!("incident  {}", path);
+    println!("schema    {}", str_or(&v, "schema", "?"));
+    println!(
+        "cause     {} ({})",
+        str_or(&v, "cause", "?"),
+        str_or(&v, "label", "?")
+    );
+    println!("error     {}", str_or(&v, "error", "?"));
+    for key in ["config_digest", "forest_digest", "gam_digest"] {
+        match v.get(key) {
+            Some(JsonValue::String(hex)) => println!("{key:<9} {hex}"),
+            _ => println!("{key:<9} -"),
+        }
+    }
+    if let Some(seed) = v.get("seed").and_then(JsonValue::as_f64) {
+        println!("seed      {seed}");
+    }
+    if let Some(t) = v.get("threads").and_then(JsonValue::as_f64) {
+        println!("threads   {t}");
+    }
+    if let Some(b) = v.get("budget") {
+        let flag = |k: &str| matches!(b.get(k), Some(JsonValue::Bool(true)));
+        println!(
+            "budget    active={} hard_tripped={} soft_tripped={} remaining_ms={}",
+            flag("active"),
+            flag("hard_tripped"),
+            flag("soft_tripped"),
+            b.get("remaining_ms")
+                .and_then(JsonValue::as_f64)
+                .map_or("-".to_string(), |m| format!("{m}")),
+        );
+    }
+    let replay = str_or(&v, "replay_faults", "");
+    if replay.is_empty() {
+        println!("replay    (no faults armed)");
+    } else {
+        println!("replay    GEF_FAULTS=\"{replay}\"");
+    }
+    let empty: Vec<JsonValue> = Vec::new();
+    let degradations = v
+        .get("degradations")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    println!("degradations ({}):", degradations.len());
+    for d in degradations {
+        println!(
+            "  {} — {}",
+            str_or(d, "action", "?"),
+            str_or(d, "detail", "")
+        );
+    }
+    let events = v
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let overwritten = v
+        .get("events_overwritten")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "events ({} in window, {} overwritten before capture):",
+        events.len(),
+        overwritten
+    );
+    const TAIL: usize = 25;
+    if events.len() > TAIL {
+        println!("  ... {} earlier event(s) elided ...", events.len() - TAIL);
+    }
+    for e in events.iter().skip(events.len().saturating_sub(TAIL)) {
+        let ts = e.get("ts_ns").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let detail = str_or(e, "detail", "");
+        println!(
+            "  [{:>12.0} ns] {:<11} {:<7} {}{}",
+            ts,
+            str_or(e, "kind", "?"),
+            str_or(e, "thread", "?"),
+            str_or(e, "name", "?"),
+            if detail.is_empty() {
+                String::new()
+            } else {
+                format!(" — {detail}")
+            }
+        );
+    }
+    0
+}
+
+/// Forced-fault self-test: prove the whole incident pipeline end to end
+/// (fault fires → typed error → dump written → dump schema-valid →
+/// dump's replay string reproduces the same typed error).
+#[cfg(feature = "fault-injection")]
+fn force_fault(rest: &[String]) -> i32 {
+    use gef_core::{faults, incident, GefConfig, GefExplainer, RunBudget, SamplingStrategy};
+    use gef_forest::{GbdtParams, GbdtTrainer};
+    use std::time::Duration;
+
+    let deadline_ms: u64 = match rest.iter().position(|a| a == "--deadline-ms") {
+        Some(p) => match rest.get(p + 1).and_then(|v| v.parse().ok()) {
+            Some(ms) => ms,
+            None => {
+                eprintln!("incident_view: --deadline-ms requires an integer argument");
+                return 2;
+            }
+        },
+        None => 150,
+    };
+    let spec = std::env::var("GEF_FAULTS").unwrap_or_else(|_| "pirls.stall=always".to_string());
+    let entries = match faults::parse_spec(&spec) {
+        Ok(e) if !e.is_empty() => e,
+        Ok(_) => {
+            eprintln!("incident_view: GEF_FAULTS is empty; nothing to force");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("incident_view: {e}");
+            return 2;
+        }
+    };
+
+    // Small fixed workload, built before any fault or deadline is
+    // armed. Classification, so the surrogate GAM runs PIRLS and the
+    // default `pirls.stall` schedule has a site to fire at.
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i % 53) as f64 / 53.0, (i % 29) as f64 / 29.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| f64::from(x[0] + 0.5 * x[1] > 0.7))
+        .collect();
+    let forest = match GbdtTrainer::new(GbdtParams {
+        num_trees: 20,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 10,
+        objective: gef_forest::Objective::BinaryLogistic,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("incident_view: workload forest failed to train: {e}");
+            return 2;
+        }
+    };
+    let explainer = GefExplainer::new(GefConfig {
+        num_univariate: 2,
+        num_interactions: 1,
+        sampling: SamplingStrategy::EquiSize(40),
+        n_samples: 1500,
+        spline_basis: 10,
+        tensor_basis: 5,
+        seed: 11,
+        ..Default::default()
+    });
+    let budget = RunBudget {
+        hard_deadline: Some(Duration::from_millis(deadline_ms)),
+        soft_deadline: Some(Duration::from_millis(deadline_ms * 4 / 5)),
+        ..RunBudget::unlimited()
+    };
+    let run = |label: &str, entries: &[(String, faults::Trigger)]| {
+        incident::set_label(label);
+        gef_trace::recorder::reset();
+        faults::reset();
+        for (site, trigger) in entries {
+            faults::arm(site, trigger.clone());
+        }
+        let _guard = budget.arm();
+        explainer.explain(&forest)
+    };
+
+    println!("incident_view: forcing GEF_FAULTS=\"{spec}\" under GEF_DEADLINE_MS={deadline_ms}");
+    let err = match run("forced", &entries) {
+        Err(e) => e,
+        Ok(_) => {
+            eprintln!(
+                "incident_view: forced-fault run completed cleanly — no incident to verify \
+                 (tighten --deadline-ms or arm a harsher schedule)"
+            );
+            faults::reset();
+            return 1;
+        }
+    };
+    let cause = err.cause_label();
+    println!("incident_view: pipeline returned typed error `{cause}`: {err}");
+
+    let path = incident::dump_path(cause);
+    let path_str = path.display().to_string();
+    if !path.exists() {
+        eprintln!("incident_view: expected incident dump at {path_str}, found nothing");
+        faults::reset();
+        return 1;
+    }
+    if check_file(&path_str) != 0 {
+        faults::reset();
+        return 1;
+    }
+    let replay = match load(&path_str).map(|v| str_or(&v, "replay_faults", "")) {
+        Ok(r) if !r.is_empty() => r,
+        Ok(_) => {
+            eprintln!("incident_view: {path_str} carries no replay_faults string");
+            faults::reset();
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("incident_view: {e}");
+            faults::reset();
+            return 2;
+        }
+    };
+
+    // Replay from the dump alone: re-arm exactly what the incident says
+    // was armed and demand the same typed failure.
+    let replay_entries = match faults::parse_spec(&replay) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("incident_view: replay_faults in {path_str} does not parse: {e}");
+            faults::reset();
+            return 1;
+        }
+    };
+    let verdict = match run("forced-replay", &replay_entries) {
+        Err(e2) if e2.cause_label() == cause => {
+            println!(
+                "incident_view: replay GEF_FAULTS=\"{replay}\" reproduced typed error `{cause}`"
+            );
+            println!("incident_view: forced-fault self-test PASSED ({path_str})");
+            0
+        }
+        Err(e2) => {
+            eprintln!(
+                "incident_view: replay produced `{}` but the incident was `{cause}`",
+                e2.cause_label()
+            );
+            1
+        }
+        Ok(_) => {
+            eprintln!("incident_view: replay completed cleanly; incident was `{cause}`");
+            1
+        }
+    };
+    faults::reset();
+    verdict
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn force_fault(_rest: &[String]) -> i32 {
+    eprintln!(
+        "incident_view: --force-fault needs the fault-injection feature \
+         (cargo run -p gef-bench --features fault-injection --bin incident_view -- --force-fault)"
+    );
+    2
+}

@@ -27,14 +27,32 @@
 //! * timing statistics (`*_ns` aggregates, `wall_ns`,
 //!   `created_unix_ms`) and `events_dropped` / `label`.
 //!
-//! Exits 0 when the reports match, 1 with a printed diff otherwise.
+//! Exits 0 when the reports match, 1 with a printed diff, 2 on usage
+//! errors or an unreadable/malformed report (a missing file is an
+//! operator mistake, not a determinism verdict).
 
 use gef_trace::json::{parse, JsonValue};
 
+const HELP: &str = "\
+usage: telemetry_diff <report_a.json> <report_b.json>
+
+Diffs two gef-trace JSON telemetry reports on their deterministic
+fields (span/histogram counts, counters, gauges, the event sequence),
+ignoring par.*/mem.*/heap.* signals and timing statistics.
+
+exit codes:
+  0  reports agree on every deterministic field
+  1  reports differ (the diff is printed to stderr)
+  2  usage error, unreadable file, or malformed JSON";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
     if args.len() != 3 {
-        eprintln!("usage: telemetry_diff <report_a.json> <report_b.json>");
+        eprintln!("{HELP}");
         std::process::exit(2);
     }
     let a = load(&args[1]);
@@ -59,10 +77,18 @@ fn main() {
     std::process::exit(1);
 }
 
+/// Read and parse one report, exiting 2 with a one-line diagnostic on
+/// failure — an unreadable input is an operator error, never a panic
+/// and never a (mis)report of nondeterminism.
 fn load(path: &str) -> JsonValue {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("telemetry_diff: cannot read {path}: {e}"));
-    parse(&text).unwrap_or_else(|e| panic!("telemetry_diff: {path} is not valid JSON: {e}"))
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("telemetry_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("telemetry_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Signals excluded from the determinism diff: `par.`-prefixed

@@ -20,13 +20,18 @@
 //! ```
 //!
 //! Results land in `CHAOS_report.json` (violations first, then every
-//! run's outcome). Exits nonzero when any schedule violates the
-//! invariant. Requires `--features fault-injection`.
+//! run's outcome). Every non-clean schedule (degraded, typed error, or
+//! violation) also archives a flight-recorder incident dump under
+//! `results/incidents/` as `chaos-<index>-<cause>.json`; the report's
+//! `incidents` array and each run's `incident` field reference them.
+//! Exits nonzero when any schedule violates the invariant. Requires
+//! `--features fault-injection`.
 //!
 //! Flags: `--schedules N` (default 100), `--seed S` (default 7),
 //! `--deadline-ms D` (default 2000).
 
 use gef_core::faults::{self, ALL_SITES};
+use gef_core::incident;
 use gef_core::{GefConfig, GefExplainer, RunBudget, SamplingStrategy};
 use gef_forest::{Forest, GbdtParams, GbdtTrainer, Objective};
 use gef_trace::json::JsonWriter;
@@ -99,6 +104,9 @@ struct RunRecord {
     elapsed_ms: u64,
     degradations: usize,
     fired: u64,
+    /// Path of the incident dump archived for this schedule (every
+    /// non-clean outcome gets one), when incident dumping is enabled.
+    incident: Option<String>,
 }
 
 struct Args {
@@ -215,6 +223,11 @@ fn main() {
 
     for index in 0..args.schedules {
         let schedule = random_schedule(&mut rng);
+        // Per-schedule flight-recorder hygiene: the incident label makes
+        // each schedule's dump land in its own file, and resetting the
+        // recorder scopes a dump's event window to this run alone.
+        incident::set_label(&format!("chaos-{index:03}"));
+        gef_trace::recorder::reset();
         let entries = match faults::parse_spec(&schedule) {
             Ok(e) => e,
             Err(err) => {
@@ -228,6 +241,7 @@ fn main() {
                     elapsed_ms: 0,
                     degradations: 0,
                     fired: 0,
+                    incident: None,
                 });
                 violations.push(index);
                 continue;
@@ -252,45 +266,55 @@ fn main() {
         };
         let elapsed_ms = start.elapsed().as_millis() as u64;
         let fired: u64 = armed_sites.iter().map(|s| faults::fired_count(s)).sum();
-        faults::reset();
 
-        let (outcome, detail, degradations) = match result {
+        // Classify and archive *before* disarming: the incident dump's
+        // `replay_faults` field is rendered from the live fault
+        // registry, so resetting first would lose the replay handle.
+        let as_path = |p: std::path::PathBuf| p.display().to_string();
+        let (outcome, detail, degradations, incident) = match result {
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                ("violation", format!("panicked: {msg}"), 0)
+                let dump = incident::dump_now("panic", &msg).map(as_path);
+                ("violation", format!("panicked: {msg}"), 0, dump)
             }
             Ok(Ok(exp)) => {
                 let p = exp.predict(&probe);
                 if !(exp.fidelity_rmse.is_finite() && exp.fidelity_r2.is_finite() && p.is_finite())
                 {
-                    (
-                        "violation",
-                        format!(
-                            "explanation is not valid: rmse={} r2={} probe={p}",
-                            exp.fidelity_rmse, exp.fidelity_r2
-                        ),
-                        exp.degradations.len(),
-                    )
+                    let detail = format!(
+                        "explanation is not valid: rmse={} r2={} probe={p}",
+                        exp.fidelity_rmse, exp.fidelity_r2
+                    );
+                    let dump = incident::dump_now("invalid_explanation", &detail).map(as_path);
+                    ("violation", detail, exp.degradations.len(), dump)
                 } else if exp.degradations.is_empty() {
-                    ("ok", String::new(), 0)
+                    ("ok", String::new(), 0, None)
                 } else {
-                    (
-                        "ok_degraded",
-                        exp.degradations
-                            .iter()
-                            .map(|d| d.action.label())
-                            .collect::<Vec<_>>()
-                            .join(","),
-                        exp.degradations.len(),
-                    )
+                    let actions = exp
+                        .degradations
+                        .iter()
+                        .map(|d| d.action.label())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let dump = incident::dump_now("degraded", &actions).map(as_path);
+                    ("ok_degraded", actions, exp.degradations.len(), dump)
                 }
             }
-            Ok(Err(e)) => ("typed_error", e.to_string(), 0),
+            Ok(Err(e)) => {
+                // `explain` dumps its own incident on every typed-error
+                // path (under the label set above); reference that file
+                // rather than writing a second one.
+                let path = incident::dump_path(e.cause_label());
+                let dump = path.exists().then(|| as_path(path));
+                ("typed_error", e.to_string(), 0, dump)
+            }
         };
+        faults::reset();
+
         let outcome = if outcome != "violation" && elapsed_ms > overrun_ms {
             violations.push(index);
             runs.push(RunRecord {
@@ -301,6 +325,7 @@ fn main() {
                 elapsed_ms,
                 degradations,
                 fired,
+                incident,
             });
             continue;
         } else {
@@ -317,13 +342,16 @@ fn main() {
             elapsed_ms,
             degradations,
             fired,
+            incident,
         });
     }
 
     let count = |o: &str| runs.iter().filter(|r| r.outcome == o).count();
     let (n_ok, n_degraded, n_err) = (count("ok"), count("ok_degraded"), count("typed_error"));
+    let n_incidents = runs.iter().filter(|r| r.incident.is_some()).count();
     println!(
-        "# outcomes: {n_ok} clean, {n_degraded} degraded, {n_err} typed errors, {} violations",
+        "# outcomes: {n_ok} clean, {n_degraded} degraded, {n_err} typed errors, {} violations; \
+         {n_incidents} incident dump(s) archived",
         violations.len()
     );
     for &v in &violations {
@@ -350,6 +378,14 @@ fn main() {
         ));
     }
     w.end_array();
+    w.key("incidents");
+    w.begin_array();
+    for r in &runs {
+        if let Some(p) = &r.incident {
+            w.value_str(p);
+        }
+    }
+    w.end_array();
     w.key("runs");
     w.begin_array();
     for r in &runs {
@@ -361,6 +397,11 @@ fn main() {
         w.field_u64("elapsed_ms", r.elapsed_ms);
         w.field_u64("degradations", r.degradations as u64);
         w.field_u64("fired", r.fired);
+        w.key("incident");
+        match &r.incident {
+            Some(p) => w.value_str(p),
+            None => w.value_raw("null"),
+        }
         w.end_object();
     }
     w.end_array();

@@ -343,7 +343,9 @@ fn check_against_baseline(
         let num = |k: &str| entry.get(k).and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
         let base_median = num("median_s");
         let base_stddev = num("stddev_s");
-        if !(base_median > 0.0) {
+        // NaN-safe: a missing or non-positive baseline median is not
+        // gateable.
+        if !(base_median.is_finite() && base_median > 0.0) {
             continue;
         }
         let rel = m.timing.median_s / base_median - 1.0;
@@ -410,8 +412,71 @@ fn render_baseline(size: RunSize, machine: &Machine, measurements: &[Measurement
     out
 }
 
+/// Most recent entries kept per machine profile in the trajectory file.
+/// The file is a commit-over-commit series that every CI run appends
+/// to; without a cap it grows without bound and drowns the recent
+/// history the series exists to show.
+const TRAJECTORY_KEEP: usize = 100;
+
+/// Machine-profile key of one trajectory entry (cores/os/arch, the same
+/// triple the gate matches baselines on). Entries written before the
+/// machine block existed collapse onto one shared key.
+fn profile_key(entry: &JsonValue) -> String {
+    let m = |k: &str| -> String {
+        entry
+            .get("machine")
+            .and_then(|m| m.get(k).cloned())
+            .map(|v| match v {
+                JsonValue::String(s) => s,
+                JsonValue::Number(n) => format!("{n}"),
+                _ => String::new(),
+            })
+            .unwrap_or_default()
+    };
+    format!("{}/{}/{}", m("logical_cores"), m("os"), m("arch"))
+}
+
+/// Drop all but the most recent [`TRAJECTORY_KEEP`] entries *per machine
+/// profile*, preserving order. Appended entries are already in time
+/// order, so "most recent" is "last in the array"; scanning from the
+/// end keeps exactly the newest N of each profile.
+fn prune_trajectory(entries: &mut Vec<JsonValue>) {
+    let mut kept_per_profile: Vec<(String, usize)> = Vec::new();
+    let mut keep = vec![false; entries.len()];
+    for (i, e) in entries.iter().enumerate().rev() {
+        let key = profile_key(e);
+        let count = match kept_per_profile.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => n,
+            None => {
+                kept_per_profile.push((key, 0));
+                &mut kept_per_profile.last_mut().expect("just pushed").1
+            }
+        };
+        if *count < TRAJECTORY_KEEP {
+            *count += 1;
+            keep[i] = true;
+        }
+    }
+    let dropped = keep.iter().filter(|k| !**k).count();
+    if dropped > 0 {
+        let mut i = 0;
+        entries.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+        eprintln!(
+            "xp_regress: pruned {dropped} trajectory entr{} (keeping the newest \
+             {TRAJECTORY_KEEP} per machine profile)",
+            if dropped == 1 { "y" } else { "ies" }
+        );
+    }
+}
+
 /// Append one entry to the trajectory file (read-modify-write through
-/// [`gef_trace::json`]; a missing or corrupt file starts a fresh one).
+/// [`gef_trace::json`]; a missing or corrupt file starts a fresh one),
+/// then prune to the newest [`TRAJECTORY_KEEP`] entries per machine
+/// profile.
 fn append_trajectory(
     path: &str,
     size: RunSize,
@@ -453,7 +518,10 @@ fn append_trajectory(
         });
     if let JsonValue::Object(pairs) = &mut doc {
         match pairs.iter_mut().find(|(k, _)| k == "entries") {
-            Some((_, JsonValue::Array(entries))) => entries.push(entry),
+            Some((_, JsonValue::Array(entries))) => {
+                entries.push(entry);
+                prune_trajectory(entries);
+            }
             Some((_, other)) => *other = JsonValue::Array(vec![entry]),
             None => pairs.push(("entries".to_string(), JsonValue::Array(vec![entry]))),
         }

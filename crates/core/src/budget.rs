@@ -50,6 +50,14 @@ fn env_u64(var: &str) -> Option<u64> {
         Ok(n) => Some(n),
         Err(_) => {
             eprintln!("gef-core: invalid {var} value {raw:?}; ignoring it");
+            // Telemetry events carry numeric fields only; the flight
+            // recorder's free-text detail names the raw value, so an
+            // incident dump shows exactly what the operator typed.
+            gef_trace::recorder::note(
+                gef_trace::recorder::Kind::Event,
+                "core.budget.invalid_env",
+                &format!("{var}={raw:?}"),
+            );
             if gef_trace::enabled() {
                 gef_trace::global()
                     .event("core.budget.invalid_env", &[("raw_len", raw.len() as f64)]);
@@ -178,6 +186,20 @@ mod tests {
                 assert_eq!(b.hard_deadline, None);
                 assert_eq!(b.max_boost_rounds, 0);
                 assert_eq!(b.max_pirls_iters, 7);
+                // The rejection leaves a flight-recorder note naming
+                // the raw value, so incident dumps show what the
+                // operator actually typed.
+                let notes: Vec<String> = gef_trace::recorder::snapshot_last(usize::MAX)
+                    .into_iter()
+                    .filter(|r| r.name == "core.budget.invalid_env")
+                    .filter_map(|r| r.detail)
+                    .collect();
+                assert!(
+                    notes
+                        .iter()
+                        .any(|d| d.contains("GEF_DEADLINE_MS") && d.contains("soon")),
+                    "no recorder note names the rejected value: {notes:?}"
+                );
             },
         );
     }

@@ -29,7 +29,8 @@
 //! `stage<N`, `seeded:SEED:PROB`.
 
 pub use gef_trace::fault::{
-    any_armed, arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage, Trigger,
+    any_armed, arm, armed, armed_counts, disarm, fired_count, fires, hit_count, reset, set_stage,
+    stage, Trigger,
 };
 
 /// `gef_linalg::Cholesky::factor` fails with `NotPositiveDefinite`.
@@ -178,6 +179,17 @@ fn parse_trigger(t: &str) -> Result<Trigger, FaultSpecError> {
     ))
 }
 
+/// Render `(site, trigger)` pairs back into the `GEF_FAULTS` grammar —
+/// the exact inverse of [`parse_spec`], used by incident dumps to emit
+/// a replayable activation string for the armed schedule.
+pub fn render_spec(entries: &[(String, Trigger)]) -> String {
+    entries
+        .iter()
+        .map(|(site, trig)| format!("{site}={}", trig.to_spec()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Arm every site listed in the `GEF_FAULTS` environment variable.
 /// Returns how many sites were armed; a malformed spec is an error.
 pub fn arm_from_env() -> Result<usize, FaultSpecError> {
@@ -252,6 +264,17 @@ mod tests {
         for site in ALL_SITES {
             assert!(msg.contains(site), "{msg:?} should list {site}");
         }
+    }
+
+    #[test]
+    fn render_spec_round_trips_through_parse() {
+        let spec = "chol.factor=always,pirls.iter=first:3,forest.predict_nan=hits:0|4|9,\
+                    sampling.domain_collapse=stage<2,pirls.step=seeded:42:0.25";
+        let parsed = parse_spec(spec).unwrap();
+        let rendered = render_spec(&parsed);
+        assert_eq!(rendered, spec);
+        assert_eq!(parse_spec(&rendered).unwrap(), parsed);
+        assert_eq!(render_spec(&[]), "");
     }
 
     #[test]

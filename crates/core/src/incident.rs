@@ -1,0 +1,370 @@
+//! Incident dumps: the flight recorder's crash-box output.
+//!
+//! When a pipeline run fails with a typed [`GefError`] — or when a tool
+//! wants a snapshot on demand — this module drains the always-on
+//! [`gef_trace::recorder`] and writes one self-contained JSON document
+//! to `results/incidents/<label>-<cause>.json`. The dump carries
+//! everything a post-mortem needs with **all opt-in telemetry off**:
+//!
+//! * the last [`EVENT_WINDOW`] flight-recorder records, merged across
+//!   threads in global order (span transitions, events, degradations,
+//!   budget trips, fault fires, contained panics);
+//! * config / forest content digests tying the incident to the exact
+//!   inputs (see [`gef_trace::hash::Digest`]);
+//! * a replayable `GEF_FAULTS` string reconstructed from the armed
+//!   fault schedule, plus per-site hit/fired counters;
+//! * budget state (armed, remaining, trip latches, iteration caps),
+//!   thread count, and the degradation history.
+//!
+//! # Schema
+//!
+//! Documents are versioned by the `schema` field ([`SCHEMA`]); the full
+//! field list is documented in the workspace `DESIGN.md`. Dumps are
+//! written with [`gef_trace::json::JsonWriter`] and are valid JSON by
+//! construction — `gef_trace::json::parse` round-trips them, which CI
+//! asserts.
+//!
+//! # Knobs
+//!
+//! | variable | effect |
+//! |----------|--------|
+//! | `GEF_INCIDENT_DIR` | output directory (default `results/incidents`) |
+//! | `GEF_INCIDENTS=0` / `off` | disable dumping entirely |
+//!
+//! Dumping is best-effort and infallible from the caller's view: any
+//! I/O failure is reported on stderr and swallowed ([`dump_error`]
+//! returns `None`), because an incident writer that can itself crash
+//! the process would be worse than no incident writer.
+
+use crate::GefError;
+use gef_trace::hash::to_hex;
+use gef_trace::json::JsonWriter;
+use gef_trace::recorder;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Schema identifier stamped into every dump (`schema` field).
+pub const SCHEMA: &str = "gef-core/incident/v1";
+
+/// How many of the most recent flight-recorder records a dump carries.
+pub const EVENT_WINDOW: usize = 200;
+
+static LABEL: Mutex<Option<String>> = Mutex::new(None);
+
+/// Set the process-wide incident label (the `<label>` half of the dump
+/// file name). Experiment binaries set this to their run identifier
+/// (e.g. `xp_chaos` sets one per schedule); unset, dumps are labelled
+/// `incident`.
+pub fn set_label(label: &str) {
+    let mut slot = LABEL.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(label.to_string());
+}
+
+/// The current incident label (default `incident`).
+pub fn label() -> String {
+    LABEL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(|| "incident".to_string())
+}
+
+/// Whether dumping is enabled (`GEF_INCIDENTS=0`/`off`/`false`
+/// disables). Unit-test builds never dump: the suite deliberately
+/// drives error paths, and each would litter a `results/incidents/`
+/// under the crate root. Integration tests and binaries link the
+/// non-`cfg(test)` library, so they exercise real dumps.
+pub fn enabled() -> bool {
+    if cfg!(test) {
+        return false;
+    }
+    match std::env::var("GEF_INCIDENTS") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "0" || v == "off" || v == "false")
+        }
+        Err(_) => true,
+    }
+}
+
+/// The directory incident dumps land in: `GEF_INCIDENT_DIR` when set,
+/// else `results/incidents` under the current working directory.
+pub fn incident_dir() -> PathBuf {
+    match std::env::var("GEF_INCIDENT_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results").join("incidents"),
+    }
+}
+
+/// Restrict a file-name fragment to `[A-Za-z0-9._-]`, mapping everything
+/// else to `_` (labels may come from CLI args or env).
+fn sanitize(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "incident".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Everything the dump knows about the run beyond what the process
+/// globals (recorder, fault registry, budget) already hold. All fields
+/// are optional: a dump with no context is still a valid incident.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentContext {
+    /// `GefConfig::content_digest` of the run's configuration.
+    pub config_digest: Option<u64>,
+    /// `Forest::content_digest` of the explained model.
+    pub forest_digest: Option<u64>,
+    /// The run's RNG seed.
+    pub seed: Option<u64>,
+}
+
+/// Render the incident document for `cause`/`error` as a JSON string.
+/// Pure with respect to the filesystem (reads only process globals), so
+/// tests can validate the schema without touching disk.
+pub fn render(cause: &str, error: &str, ctx: &IncidentContext) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.field_str("label", &label());
+    w.field_str("cause", cause);
+    w.field_str("error", error);
+    w.field_u64("created_unix_ms", unix_ms());
+    w.field_u64("threads", gef_par::threads() as u64);
+    match ctx.config_digest {
+        Some(d) => w.field_str("config_digest", &to_hex(d)),
+        None => {
+            w.key("config_digest");
+            w.value_raw("null");
+        }
+    }
+    match ctx.forest_digest {
+        Some(d) => w.field_str("forest_digest", &to_hex(d)),
+        None => {
+            w.key("forest_digest");
+            w.value_raw("null");
+        }
+    }
+    match ctx.seed {
+        Some(s) => w.field_u64("seed", s),
+        None => {
+            w.key("seed");
+            w.value_raw("null");
+        }
+    }
+
+    // Replayable fault schedule: the armed sites rendered back into the
+    // GEF_FAULTS grammar, plus what each site actually did.
+    let armed = gef_trace::fault::armed();
+    let spec: Vec<String> = armed
+        .iter()
+        .map(|(site, trig)| format!("{site}={}", trig.to_spec()))
+        .collect();
+    w.field_str("replay_faults", &spec.join(","));
+    w.key("faults_fired");
+    w.begin_array();
+    for (site, hits, fired) in gef_trace::fault::armed_counts() {
+        w.begin_object();
+        w.field_str("site", &site);
+        w.field_u64("hits", hits);
+        w.field_u64("fired", fired);
+        w.end_object();
+    }
+    w.end_array();
+
+    // Budget state at dump time (the pipeline dumps while its budget
+    // guard is still armed, so trips are visible here).
+    w.key("budget");
+    w.begin_object();
+    w.key("active");
+    w.value_raw(if gef_trace::budget::active() {
+        "true"
+    } else {
+        "false"
+    });
+    match gef_trace::budget::remaining_ms() {
+        Some(ms) => w.field_u64("remaining_ms", ms),
+        None => {
+            w.key("remaining_ms");
+            w.value_raw("null");
+        }
+    }
+    w.key("hard_tripped");
+    w.value_raw(if gef_trace::budget::hard_tripped() {
+        "true"
+    } else {
+        "false"
+    });
+    w.key("soft_tripped");
+    w.value_raw(if gef_trace::budget::soft_tripped() {
+        "true"
+    } else {
+        "false"
+    });
+    w.field_u64("boost_round_cap", gef_trace::budget::boost_round_cap());
+    w.field_u64("pirls_iter_cap", gef_trace::budget::pirls_iter_cap());
+    w.end_object();
+
+    // Drain the flight recorder: the most recent window, globally
+    // ordered, plus the degradation subset pulled out for quick triage.
+    let records = recorder::snapshot_last(EVENT_WINDOW);
+    w.key("degradations");
+    w.begin_array();
+    for r in records
+        .iter()
+        .filter(|r| r.kind == recorder::Kind::Degradation)
+    {
+        w.begin_object();
+        w.field_str("action", &r.name);
+        w.field_str("detail", r.detail.as_deref().unwrap_or(""));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("events");
+    w.begin_array();
+    for r in &records {
+        w.begin_object();
+        w.field_str("kind", r.kind.label());
+        w.field_u64("tid", r.tid);
+        w.field_str("thread", &r.thread);
+        w.field_u64("ts_ns", r.ts_ns);
+        w.field_u64("seq", r.seq);
+        w.field_str("name", &r.name);
+        if !r.fields.is_empty() {
+            w.key("fields");
+            w.begin_object();
+            for (k, v) in &r.fields {
+                w.field_f64(k, *v);
+            }
+            w.end_object();
+        }
+        if let Some(detail) = &r.detail {
+            w.field_str("detail", detail);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.field_u64("events_overwritten", recorder::overwritten_total());
+    w.end_object();
+    w.finish()
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn write_dump(cause: &str, error: &str, ctx: &IncidentContext) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let doc = render(cause, error, ctx);
+    let dir = incident_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "gef-core: cannot create incident dir {}: {e}",
+            dir.display()
+        );
+        return None;
+    }
+    let path = dump_path(cause);
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            eprintln!("gef-core: wrote incident dump {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "gef-core: cannot write incident dump {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// The path a dump with the current label and the given cause lands at
+/// (whether or not it has been written yet): harnesses archiving
+/// incidents use this to reference dumps that `GefExplainer::explain`
+/// wrote internally.
+pub fn dump_path(cause: &str) -> PathBuf {
+    incident_dir().join(format!("{}-{}.json", sanitize(&label()), sanitize(cause)))
+}
+
+/// Dump an incident for a typed pipeline error. Called by
+/// `GefExplainer::explain` on every `Err` path (while its budget guard
+/// is still armed, so the dump sees the trip state). Best-effort:
+/// returns the written path, or `None` when dumping is disabled or the
+/// write failed.
+pub fn dump_error(err: &GefError, ctx: &IncidentContext) -> Option<PathBuf> {
+    write_dump(err.cause_label(), &err.to_string(), ctx)
+}
+
+/// Dump an incident on demand (no error object), e.g. from an operator
+/// tool taking a snapshot of a live process. `cause` becomes the file
+/// name's cause half; `detail` the `error` field.
+pub fn dump_now(cause: &str, detail: &str) -> Option<PathBuf> {
+    write_dump(cause, detail, &IncidentContext::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gef_trace::json::{parse, JsonValue};
+
+    #[test]
+    fn render_produces_schema_valid_json() {
+        let ctx = IncidentContext {
+            config_digest: Some(0xabc),
+            forest_digest: None,
+            seed: Some(7),
+        };
+        recorder::note(
+            recorder::Kind::Degradation,
+            "shrunk_bases",
+            "gam_fit: NotPositiveDefinite",
+        );
+        let doc = render("deadline", "hard deadline exceeded (at pirls)", &ctx);
+        let v = parse(&doc).unwrap_or_else(|e| panic!("invalid incident json: {e}\n{doc}"));
+        assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        assert_eq!(v.get("cause").and_then(JsonValue::as_str), Some("deadline"));
+        assert_eq!(
+            v.get("config_digest").and_then(JsonValue::as_str),
+            Some("0000000000000abc")
+        );
+        assert_eq!(v.get("forest_digest"), Some(&JsonValue::Null));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_f64), Some(7.0));
+        assert!(v.get("budget").is_some());
+        assert!(v.get("events").and_then(JsonValue::as_array).is_some());
+        assert!(v.get("replay_faults").and_then(JsonValue::as_str).is_some());
+    }
+
+    #[test]
+    fn sanitize_restricts_charset() {
+        assert_eq!(sanitize("ok-file_1.json"), "ok-file_1.json");
+        assert_eq!(sanitize("a/b\\c d!"), "a_b_c_d_");
+        assert_eq!(sanitize(""), "incident");
+    }
+
+    #[test]
+    fn label_defaults_and_sets() {
+        // Label state is process-global; keep this the only test that
+        // mutates it, and restore the default afterwards.
+        let before = label();
+        set_label("chaos-042");
+        assert_eq!(label(), "chaos-042");
+        set_label(&before);
+    }
+}

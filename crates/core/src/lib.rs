@@ -53,6 +53,7 @@ pub mod budget;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod generate;
+pub mod incident;
 pub mod interactions;
 pub mod pipeline;
 pub mod recovery;
@@ -63,7 +64,9 @@ pub mod selection;
 pub use budget::RunBudget;
 pub use generate::SyntheticDataset;
 pub use interactions::InteractionStrategy;
-pub use pipeline::{GefConfig, GefExplainer, GefExplanation, LocalExplanation, StageTimings};
+pub use pipeline::{
+    GefConfig, GefExplainer, GefExplanation, LocalExplanation, Provenance, StageTimings,
+};
 pub use recovery::{Degradation, DegradationAction};
 pub use report::ExplanationReport;
 pub use sampling::SamplingStrategy;
@@ -134,6 +137,26 @@ impl std::fmt::Display for GefError {
                 write!(f, "a parallel worker panicked: {payload}")
             }
             GefError::Forest(e) => write!(f, "forest failure: {e}"),
+        }
+    }
+}
+
+impl GefError {
+    /// Stable machine-readable cause label, used in incident-dump file
+    /// names (`<label>-<cause>.json`) and in the dump's `cause` field.
+    /// One lowercase snake-case token per variant; never changes once
+    /// published.
+    pub fn cause_label(&self) -> &'static str {
+        match self {
+            GefError::DegenerateForest(_) => "degenerate_forest",
+            GefError::InvalidConfig(_) => "invalid_config",
+            GefError::Gam(_) => "gam",
+            GefError::NonFiniteLabels { .. } => "non_finite_labels",
+            GefError::RecoveryExhausted { .. } => "recovery_exhausted",
+            GefError::DeadlineExceeded { .. } => "deadline",
+            GefError::BudgetExceeded(_) => "budget",
+            GefError::WorkerPanicked(_) => "worker_panic",
+            GefError::Forest(_) => "forest",
         }
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::budget::RunBudget;
 use crate::generate::{generate, SyntheticDataset};
+use crate::incident::{self, IncidentContext};
 use crate::interactions::{rank_interactions, top_pairs, InteractionStrategy};
 use crate::recovery::{fit_with_recovery, Degradation, DegradationAction};
 use crate::sampling::SamplingStrategy;
@@ -106,6 +107,68 @@ impl GefConfig {
         }
         Ok(())
     }
+
+    /// Stable 64-bit content digest of this configuration
+    /// (domain-tagged `gef-core/config/v1`): every field, including the
+    /// seed. Equal configurations — and only those — digest equal;
+    /// incident dumps and explanation provenance use it to tie an
+    /// artifact to the exact parameters that produced it.
+    pub fn content_digest(&self) -> u64 {
+        let mut d = gef_trace::hash::Digest::new("gef-core/config/v1");
+        d.write_u64(self.num_univariate as u64);
+        d.write_u64(self.num_interactions as u64);
+        // Strategy/selection enums are digested via their canonical
+        // Debug rendering (stable: plain data enums, no addresses).
+        d.write_str(&format!("{:?}", self.sampling));
+        d.write_str(&format!("{:?}", self.interaction_strategy));
+        d.write_u64(self.n_samples as u64);
+        d.write_f64(self.train_fraction);
+        d.write_u64(self.categorical_l as u64);
+        d.write_u64(self.spline_basis as u64);
+        d.write_u64(self.tensor_basis as u64);
+        d.write_str(&format!("{:?}", self.lambda));
+        d.write_u64(self.seed);
+        d.finish()
+    }
+}
+
+/// Structured provenance of one explanation: which inputs, under which
+/// runtime conditions, produced it. Carried inside [`GefExplanation`]
+/// and copied into [`crate::ExplanationReport`], so an archived
+/// artifact can always be tied back to the exact config, model, budget
+/// outcome, and degradation history of its run.
+///
+/// Digests are the canonical 16-hex-digit renderings of
+/// [`GefConfig::content_digest`], `Forest::content_digest`, and
+/// `Gam::content_digest`. Defaults (all-empty, version 0) mark archives
+/// written before provenance existed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Provenance schema version (current: 1; 0 = pre-provenance
+    /// archive).
+    pub schema_version: u32,
+    /// Hex digest of the [`GefConfig`] used.
+    pub config_digest: String,
+    /// Hex digest of the explained forest's structure.
+    pub forest_digest: String,
+    /// Hex digest of the fitted surrogate GAM.
+    pub gam_digest: String,
+    /// RNG seed of the `D*` sampling.
+    pub seed: u64,
+    /// gef-par thread count the run used (`GEF_THREADS` resolved).
+    pub threads: u64,
+    /// Whether a run budget (deadline or cancellation scope) was armed.
+    pub budget_armed: bool,
+    /// Budget outcome: `unarmed`, `clean`, `soft_tripped`, or
+    /// `hard_tripped` (a hard trip can only appear on artifacts dumped
+    /// mid-incident; successful explanations never carry it).
+    pub budget_outcome: String,
+    /// Degradation-action labels applied during the run, in order (see
+    /// [`crate::DegradationAction::label`]); the full records live in
+    /// [`GefExplanation::degradations`].
+    pub degradations: Vec<String>,
+    /// Per-stage wall-clock of the producing run.
+    pub stage_timings: StageTimings,
 }
 
 /// Wall-clock nanoseconds spent in each pipeline stage of one
@@ -183,9 +246,17 @@ impl GefExplainer {
 
     /// Like [`GefExplainer::explain`] but also returns the generated
     /// synthetic dataset `D*` (train split first) for inspection.
+    ///
+    /// On any typed failure, an incident dump is written (best-effort;
+    /// see [`crate::incident`]) *before* the run budget disarms, so the
+    /// dump captures the trip state, the armed fault schedule, and the
+    /// flight recorder's last window of activity.
     pub fn explain_with_data(&self, forest: &Forest) -> Result<(GefExplanation, SyntheticDataset)> {
-        let cfg = &self.config;
-        cfg.validate()?;
+        let ctx = IncidentContext {
+            config_digest: Some(self.config.content_digest()),
+            forest_digest: Some(forest.content_digest()),
+            seed: Some(self.config.seed),
+        };
         // Arm the env-configured run budget (`GEF_DEADLINE_MS` & co.)
         // unless the caller already armed one programmatically — the
         // guard disarms it when this run returns, on every path.
@@ -195,6 +266,23 @@ impl GefExplainer {
         } else {
             Some(budget.arm())
         };
+        let result = self.run_pipeline(forest, &budget);
+        if let Err(err) = &result {
+            incident::dump_error(err, &ctx);
+        }
+        result
+    }
+
+    /// The pipeline proper, separated from [`Self::explain_with_data`]
+    /// so its `Err` path can be incident-dumped while the budget guard
+    /// is still armed.
+    fn run_pipeline(
+        &self,
+        forest: &Forest,
+        budget: &RunBudget,
+    ) -> Result<(GefExplanation, SyntheticDataset)> {
+        let cfg = &self.config;
+        cfg.validate()?;
         let _span = gef_trace::Span::enter("pipeline.explain");
         let mut timings = StageTimings::default();
         checkpoint("selection")?;
@@ -413,6 +501,31 @@ impl GefExplainer {
             t.gauge("pipeline.fidelity_r2", fidelity_r2);
             t.gauge("pipeline.degradation_count", degradations.len() as f64);
         }
+        let budget_armed = gef_trace::budget::active();
+        let budget_outcome = if gef_trace::budget::hard_tripped() {
+            "hard_tripped"
+        } else if gef_trace::budget::soft_tripped() {
+            "soft_tripped"
+        } else if budget_armed {
+            "clean"
+        } else {
+            "unarmed"
+        };
+        let provenance = Provenance {
+            schema_version: 1,
+            config_digest: gef_trace::hash::to_hex(cfg.content_digest()),
+            forest_digest: gef_trace::hash::to_hex(forest.content_digest()),
+            gam_digest: gef_trace::hash::to_hex(gam.content_digest()),
+            seed: cfg.seed,
+            threads: gef_par::threads() as u64,
+            budget_armed,
+            budget_outcome: budget_outcome.to_string(),
+            degradations: degradations
+                .iter()
+                .map(|d| d.action.label().to_string())
+                .collect(),
+            stage_timings: timings,
+        };
 
         Ok((
             GefExplanation {
@@ -428,6 +541,7 @@ impl GefExplainer {
                 objective: forest.objective,
                 telemetry: timings,
                 degradations,
+                provenance,
             },
             dataset,
         ))
@@ -469,6 +583,11 @@ pub struct GefExplanation {
     /// recovery ladder existed.
     #[serde(default)]
     pub degradations: Vec<Degradation>,
+    /// Structured provenance of the producing run (digests, seed,
+    /// threads, budget outcome). Defaults to the all-empty version-0
+    /// block for archives written before provenance existed.
+    #[serde(default)]
+    pub provenance: Provenance,
 }
 
 impl GefExplanation {
@@ -894,6 +1013,56 @@ mod tests {
         assert!(exp.telemetry.generate_ns > 0);
         assert!(exp.telemetry.gam_fit_ns > 0);
         assert!(exp.telemetry.total_ns() > 0);
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_field_sensitive() {
+        let a = GefConfig::default();
+        assert_eq!(a.content_digest(), GefConfig::default().content_digest());
+        let b = GefConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        assert_ne!(a.content_digest(), b.content_digest());
+        let c = GefConfig {
+            sampling: SamplingStrategy::EquiSize(60),
+            ..Default::default()
+        };
+        assert_ne!(a.content_digest(), c.content_digest());
+    }
+
+    #[test]
+    fn explanation_carries_provenance() {
+        let forest = make_forest(|x| 2.0 * x[0], 1, Objective::RegressionL2);
+        let cfg = GefConfig {
+            num_univariate: 1,
+            n_samples: 1000,
+            seed: 9,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg.clone()).explain(&forest).unwrap();
+        let p = &exp.provenance;
+        assert_eq!(p.schema_version, 1);
+        assert_eq!(
+            p.config_digest,
+            gef_trace::hash::to_hex(cfg.content_digest())
+        );
+        assert_eq!(
+            p.forest_digest,
+            gef_trace::hash::to_hex(forest.content_digest())
+        );
+        assert_eq!(
+            p.gam_digest,
+            gef_trace::hash::to_hex(exp.gam.content_digest())
+        );
+        assert_eq!(p.seed, 9);
+        assert!(p.threads >= 1);
+        assert_eq!(p.stage_timings, exp.telemetry);
+        assert_eq!(p.degradations.len(), exp.degradations.len());
+        // JSON round-trip preserves provenance; legacy archives (no
+        // provenance key) default to the version-0 block.
+        let reloaded = GefExplanation::from_json(&exp.to_json()).unwrap();
+        assert_eq!(reloaded.provenance, exp.provenance);
     }
 
     #[test]

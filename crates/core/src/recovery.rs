@@ -125,6 +125,13 @@ impl Degradation {
                 &[("count", (list.len() + 1) as f64)],
             );
         }
+        // Always leave a breadcrumb in the flight recorder (independent
+        // of GEF_TRACE) so incident dumps carry the ladder history.
+        gef_trace::recorder::note(
+            gef_trace::recorder::Kind::Degradation,
+            action.label(),
+            &format!("{stage}: {cause}"),
+        );
         list.push(Degradation {
             stage: stage.to_string(),
             action,

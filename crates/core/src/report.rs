@@ -6,7 +6,7 @@
 //! certification authority would archive next to the audited model, and
 //! what downstream plotting tools consume.
 
-use crate::pipeline::{GefExplanation, StageTimings};
+use crate::pipeline::{GefExplanation, Provenance, StageTimings};
 use crate::recovery::Degradation;
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +75,12 @@ pub struct ExplanationReport {
     /// ladder existed.
     #[serde(default)]
     pub degradations: Vec<Degradation>,
+    /// Structured provenance of the producing run (config / forest /
+    /// GAM digests, seed, threads, budget outcome). Defaults to the
+    /// all-empty version-0 block for reports archived before provenance
+    /// existed.
+    #[serde(default)]
+    pub provenance: Provenance,
 }
 
 impl ExplanationReport {
@@ -123,6 +129,7 @@ impl ExplanationReport {
             fidelity_r2: exp.fidelity_r2,
             stage_timings: exp.telemetry,
             degradations: exp.degradations.clone(),
+            provenance: exp.provenance.clone(),
         }
     }
 
@@ -208,6 +215,9 @@ mod tests {
             report.degradations.is_empty(),
             "clean run should not degrade"
         );
+        // Provenance is copied through verbatim.
+        assert_eq!(report.provenance, exp.provenance);
+        assert_eq!(report.provenance.schema_version, 1);
     }
 
     #[test]

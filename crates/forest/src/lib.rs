@@ -233,6 +233,35 @@ impl Forest {
             .map(|t| t.nodes.iter().filter(|n| n.is_leaf()).count())
             .sum()
     }
+
+    /// Stable 64-bit content digest of the full model structure
+    /// (domain-tagged `gef-forest/v1`): every node's split predicate and
+    /// leaf value, the base score, scale, and objective. Bit-identical
+    /// forests — and only those — digest equal; incident dumps and
+    /// explanation provenance use it to tie an artifact to the exact
+    /// model that produced it.
+    pub fn content_digest(&self) -> u64 {
+        let mut d = gef_trace::hash::Digest::new("gef-forest/v1");
+        d.write_u64(self.num_features as u64);
+        d.write_f64(self.base_score);
+        d.write_f64(self.scale);
+        d.write_str(match self.objective {
+            Objective::RegressionL2 => "regression_l2",
+            Objective::BinaryLogistic => "binary_logistic",
+        });
+        d.write_u64(self.trees.len() as u64);
+        for tree in &self.trees {
+            d.write_u64(tree.nodes.len() as u64);
+            for n in &tree.nodes {
+                d.write_u64(n.feature as i64 as u64);
+                d.write_f64(n.threshold);
+                d.write_u64(u64::from(n.left));
+                d.write_u64(u64::from(n.right));
+                d.write_f64(n.value);
+            }
+        }
+        d.finish()
+    }
 }
 
 /// Errors produced while training or parsing a forest.
@@ -314,6 +343,40 @@ mod tests {
         let (raw, n) = forest.predict_raw_counted(&xs[0]);
         assert_eq!(raw, forest.predict_raw(&xs[0]));
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn content_digest_tracks_structure() {
+        let tree = Tree {
+            nodes: vec![
+                Node::split(0, 0.5, 1, 2, 1.0, 4),
+                Node::leaf(-1.0, 2),
+                Node::leaf(1.0, 2),
+            ],
+        };
+        let forest = Forest {
+            trees: vec![tree],
+            base_score: 0.25,
+            scale: 1.0,
+            objective: Objective::RegressionL2,
+            num_features: 1,
+        };
+        let a = forest.content_digest();
+        assert_eq!(a, forest.clone().content_digest(), "digest is stable");
+        let mut tweaked = forest.clone();
+        tweaked.trees[0].nodes[0].threshold = 0.5000001;
+        assert_ne!(
+            a,
+            tweaked.content_digest(),
+            "threshold change changes digest"
+        );
+        let mut relabeled = forest;
+        relabeled.objective = Objective::BinaryLogistic;
+        assert_ne!(
+            a,
+            relabeled.content_digest(),
+            "objective change changes digest"
+        );
     }
 
     #[test]

@@ -867,6 +867,26 @@ impl Gam {
         &self.beta
     }
 
+    /// Stable 64-bit content digest of the fitted model (domain-tagged
+    /// `gef-gam/v1`): term labels, link, selected λ, and every
+    /// coefficient's exact bit pattern. Bit-identical fits — and only
+    /// those — digest equal; explanation provenance uses it to
+    /// fingerprint the surrogate independently of its JSON encoding.
+    pub fn content_digest(&self) -> u64 {
+        let mut d = gef_trace::hash::Digest::new("gef-gam/v1");
+        d.write_str(match self.link {
+            Link::Identity => "identity",
+            Link::Logit => "logit",
+        });
+        d.write_u64(self.specs.len() as u64);
+        for spec in &self.specs {
+            d.write_str(&spec.label());
+        }
+        d.write_f64(self.summary.lambda);
+        d.write_f64s(&self.beta);
+        d.finish()
+    }
+
     /// Effective intercept on the linear-predictor scale: the raw
     /// intercept plus every term's (training) mean contribution, so
     /// `predict_raw(x) = effective_intercept() + Σ component(t, x)`.

@@ -420,9 +420,17 @@ impl Region {
                         self.executed.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(payload) => {
+                        let rendered = payload_to_string(payload.as_ref());
+                        // Breadcrumb for incident dumps: the contained
+                        // panic, on the thread that caught it.
+                        gef_trace::recorder::note(
+                            gef_trace::recorder::Kind::Panic,
+                            "par.task_panicked",
+                            &rendered,
+                        );
                         let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
                         if slot.is_none() {
-                            *slot = Some(payload_to_string(payload.as_ref()));
+                            *slot = Some(rendered);
                         }
                         drop(slot);
                         self.panicked.store(true, Ordering::Relaxed);
@@ -505,8 +513,10 @@ fn ensure_workers(pool: &'static Pool, want: usize) {
                 // Bind this thread to its logical worker id so its
                 // timeline track is `tid = cur + 1` at any GEF_THREADS
                 // — registered even while profiling is off, in case it
-                // turns on later in the process.
+                // turns on later in the process. The flight recorder
+                // uses the same tid scheme for its per-thread ring.
                 gef_trace::timeline::register_worker(cur);
+                gef_trace::recorder::register_worker(cur);
                 worker_loop(pool)
             });
         if spawned.is_err() {
@@ -567,9 +577,13 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
                 gef_trace::timeline::end(label);
             }
             if let Err(payload) = outcome {
-                return Err(ParError::TaskPanicked {
-                    payload: payload_to_string(payload.as_ref()),
-                });
+                let rendered = payload_to_string(payload.as_ref());
+                gef_trace::recorder::note(
+                    gef_trace::recorder::Kind::Panic,
+                    "par.task_panicked",
+                    &rendered,
+                );
+                return Err(ParError::TaskPanicked { payload: rendered });
             }
         }
         return Ok(());

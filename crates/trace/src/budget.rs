@@ -49,6 +49,10 @@ static CANCELLED: AtomicBool = AtomicBool::new(false);
 // Fast path: true iff a deadline is armed or a cancel was requested, so
 // the common (unbudgeted) case is a single relaxed load and no clock read.
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+// Transition latches so the flight recorder sees each trip exactly once
+// per arm, not once per checkpoint poll after the deadline passed.
+static TRIPPED_HARD: AtomicBool = AtomicBool::new(false);
+static TRIPPED_SOFT: AtomicBool = AtomicBool::new(false);
 
 // u64::MAX = unresolved (read env on first use); 0 = unlimited.
 static BOOST_ROUND_CAP: AtomicU64 = AtomicU64::new(CAP_UNRESOLVED);
@@ -77,6 +81,8 @@ fn to_deadline_ns(from_now: Duration) -> u64 {
 /// cancellation from a previous run.
 pub fn arm(hard: Option<Duration>, soft: Option<Duration>) {
     CANCELLED.store(false, Ordering::Relaxed);
+    TRIPPED_HARD.store(false, Ordering::Relaxed);
+    TRIPPED_SOFT.store(false, Ordering::Relaxed);
     HARD_DEADLINE_NS.store(hard.map_or(0, to_deadline_ns), Ordering::Relaxed);
     SOFT_DEADLINE_NS.store(soft.map_or(0, to_deadline_ns), Ordering::Relaxed);
     ACTIVE.store(hard.is_some() || soft.is_some(), Ordering::Relaxed);
@@ -87,6 +93,8 @@ pub fn reset() {
     HARD_DEADLINE_NS.store(0, Ordering::Relaxed);
     SOFT_DEADLINE_NS.store(0, Ordering::Relaxed);
     CANCELLED.store(false, Ordering::Relaxed);
+    TRIPPED_HARD.store(false, Ordering::Relaxed);
+    TRIPPED_SOFT.store(false, Ordering::Relaxed);
     ACTIVE.store(false, Ordering::Relaxed);
 }
 
@@ -98,24 +106,51 @@ pub fn active() -> bool {
 }
 
 /// Whether the hard deadline is armed and has passed.
+///
+/// The first poll that observes the trip leaves a [`Kind::Budget`]
+/// record in the flight recorder (once per [`arm`]).
+///
+/// [`Kind::Budget`]: crate::recorder::Kind::Budget
 #[inline]
 pub fn hard_exceeded() -> bool {
     if !active() {
         return false;
     }
     let d = HARD_DEADLINE_NS.load(Ordering::Relaxed);
-    d != 0 && now_ns() >= d
+    let tripped = d != 0 && now_ns() >= d;
+    if tripped && !TRIPPED_HARD.swap(true, Ordering::Relaxed) {
+        crate::recorder::record(crate::recorder::Kind::Budget, "budget.hard_exceeded", &[]);
+    }
+    tripped
 }
 
 /// Whether the soft deadline is armed and has passed (budget pressure;
-/// degrade, don't abort).
+/// degrade, don't abort). First observation of the trip is recorded in
+/// the flight recorder, like [`hard_exceeded`].
 #[inline]
 pub fn soft_exceeded() -> bool {
     if !active() {
         return false;
     }
     let d = SOFT_DEADLINE_NS.load(Ordering::Relaxed);
-    d != 0 && now_ns() >= d
+    let tripped = d != 0 && now_ns() >= d;
+    if tripped && !TRIPPED_SOFT.swap(true, Ordering::Relaxed) {
+        crate::recorder::record(crate::recorder::Kind::Budget, "budget.soft_exceeded", &[]);
+    }
+    tripped
+}
+
+/// Whether the hard deadline has been observed tripped since the last
+/// [`arm`]/[`reset`] (no clock read; incident dumps report this).
+pub fn hard_tripped() -> bool {
+    TRIPPED_HARD.load(Ordering::Relaxed)
+}
+
+/// Whether the soft deadline has been observed tripped since the last
+/// [`arm`]/[`reset`] (no clock read; incident dumps and provenance
+/// blocks report this).
+pub fn soft_tripped() -> bool {
+    TRIPPED_SOFT.load(Ordering::Relaxed)
 }
 
 /// Request cooperative cancellation: every [`cancel_requested`] poll —
@@ -148,10 +183,35 @@ pub fn remaining_ms() -> Option<u64> {
 }
 
 fn cap_from_env(var: &str) -> u64 {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(0)
+    let Ok(raw) = std::env::var(var) else {
+        return 0;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return 0;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            // Same contract as GEF_THREADS in gef-par: never silently
+            // ignore a malformed knob — warn on stderr with the raw
+            // value and leave a trace event. Telemetry events carry
+            // numeric fields only, so the raw text additionally goes
+            // into the flight recorder as a free-text note (and from
+            // there into any incident dump).
+            eprintln!("gef-trace: invalid {var} value {raw:?}; ignoring it (no cap)");
+            crate::recorder::note(
+                crate::recorder::Kind::Event,
+                "budget.invalid_env",
+                &format!("{var}={raw:?}"),
+            );
+            crate::global().event(
+                "budget.invalid_env",
+                &[("parsed", -1.0), ("raw_len", raw.len() as f64)],
+            );
+            0
+        }
+    }
 }
 
 fn resolve_cap(cell: &AtomicU64, var: &str) -> u64 {
@@ -275,6 +335,20 @@ mod tests {
             cancel();
             arm(Some(Duration::from_secs(3600)), None);
             assert!(!cancel_requested());
+        });
+    }
+
+    #[test]
+    fn trip_latches_set_on_observation_and_clear_on_rearm() {
+        locked(|| {
+            assert!(!hard_tripped() && !soft_tripped());
+            arm(Some(Duration::ZERO), Some(Duration::ZERO));
+            assert!(hard_exceeded() && soft_exceeded());
+            assert!(hard_tripped() && soft_tripped());
+            arm(Some(Duration::from_secs(3600)), None);
+            assert!(!hard_tripped() && !soft_tripped());
+            reset();
+            assert!(!hard_tripped() && !soft_tripped());
         });
     }
 

@@ -52,6 +52,26 @@ pub enum Trigger {
     },
 }
 
+impl Trigger {
+    /// Render this trigger in the `GEF_FAULTS` spec grammar
+    /// (`always` / `first:N` / `hits:I|J` / `stage<N` /
+    /// `seeded:SEED:PROB`), so an armed schedule can be serialized into
+    /// a replayable `site=trigger` string (incident dumps do exactly
+    /// that).
+    pub fn to_spec(&self) -> String {
+        match self {
+            Trigger::Always => "always".to_string(),
+            Trigger::Hits(hits) => {
+                let parts: Vec<String> = hits.iter().map(u64::to_string).collect();
+                format!("hits:{}", parts.join("|"))
+            }
+            Trigger::FirstN(n) => format!("first:{n}"),
+            Trigger::StageBelow(n) => format!("stage<{n}"),
+            Trigger::Seeded { seed, prob } => format!("seeded:{seed}:{prob}"),
+        }
+    }
+}
+
 #[cfg(feature = "fault-injection")]
 mod imp {
     use super::Trigger;
@@ -77,23 +97,8 @@ mod imp {
         registry().lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// FNV-1a, for mixing the site name into seeded decisions.
-    fn fnv1a(s: &str) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in s.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    }
-
-    /// splitmix64 finalizer — one well-mixed u64 per (seed, site, hit).
-    fn splitmix64(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
+    // Seeded decisions mix via the workspace's canonical hashers.
+    use crate::hash::{fnv1a, splitmix64};
 
     /// Arm `site` with `trigger`, resetting its hit/fired counters.
     pub fn arm(site: &str, trigger: Trigger) {
@@ -161,6 +166,9 @@ mod imp {
         };
         if fire {
             state.fired += 1;
+            // Leave a breadcrumb in the always-on flight recorder so an
+            // incident dump shows which injected fault tripped the run.
+            crate::recorder::record(crate::recorder::Kind::Fault, site, &[("hit", hit as f64)]);
         }
         fire
     }
@@ -182,6 +190,31 @@ mod imp {
     /// in a thread-count-invariant order.
     pub fn any_armed() -> bool {
         ANY_ARMED.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of every currently armed site with its trigger, sorted
+    /// by site name — the raw material for a replayable `GEF_FAULTS`
+    /// string in incident dumps.
+    pub fn armed() -> Vec<(String, Trigger)> {
+        let map = lock();
+        let mut out: Vec<(String, Trigger)> = map
+            .iter()
+            .map(|(site, state)| (site.clone(), state.trigger.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Per-site `(site, hits, fired)` counters for every armed site,
+    /// sorted by site name.
+    pub fn armed_counts() -> Vec<(String, u64, u64)> {
+        let map = lock();
+        let mut out: Vec<(String, u64, u64)> = map
+            .iter()
+            .map(|(site, state)| (site.clone(), state.hits, state.fired))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -235,9 +268,24 @@ mod imp {
     pub fn any_armed() -> bool {
         false
     }
+
+    /// Always empty without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn armed() -> Vec<(String, Trigger)> {
+        Vec::new()
+    }
+
+    /// Always empty without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn armed_counts() -> Vec<(String, u64, u64)> {
+        Vec::new()
+    }
 }
 
-pub use imp::{any_armed, arm, disarm, fired_count, fires, hit_count, reset, set_stage, stage};
+pub use imp::{
+    any_armed, arm, armed, armed_counts, disarm, fired_count, fires, hit_count, reset, set_stage,
+    stage,
+};
 
 #[cfg(all(test, feature = "fault-injection"))]
 mod tests {
@@ -329,6 +377,29 @@ mod tests {
             assert_eq!(run1, run2);
             let fired = run1.iter().filter(|&&b| b).count();
             assert!((10..=54).contains(&fired), "p=0.5 over 64 hits: {fired}");
+        });
+    }
+
+    #[test]
+    fn armed_snapshot_is_sorted_and_specs_render() {
+        with_registry(|| {
+            arm("b.site", Trigger::FirstN(2));
+            arm("a.site", Trigger::Hits(vec![1, 3]));
+            let snap = armed();
+            assert_eq!(snap.len(), 2);
+            assert_eq!(snap[0], ("a.site".to_string(), Trigger::Hits(vec![1, 3])));
+            assert_eq!(snap[0].1.to_spec(), "hits:1|3");
+            assert_eq!(snap[1].1.to_spec(), "first:2");
+            assert_eq!(Trigger::Always.to_spec(), "always");
+            assert_eq!(Trigger::StageBelow(3).to_spec(), "stage<3");
+            assert_eq!(
+                Trigger::Seeded {
+                    seed: 9,
+                    prob: 0.25
+                }
+                .to_spec(),
+                "seeded:9:0.25"
+            );
         });
     }
 

@@ -40,7 +40,10 @@
 //! Orthogonal to the aggregate registry, the [`timeline`] module records
 //! *time-resolved* per-thread profiles (gated by `GEF_PROF`, exported as
 //! Chrome Trace Event Format JSON) and [`mem`] holds the allocation
-//! counters fed by the `gef-prof` tracking allocator.
+//! counters fed by the `gef-prof` tracking allocator. The [`recorder`]
+//! module is the *always-on* complement: a bounded per-thread flight
+//! recorder of recent activity that incident dumps drain on failure,
+//! gated only by the `noop` feature.
 //!
 //! # Example
 //!
@@ -61,9 +64,11 @@
 
 pub mod budget;
 pub mod fault;
+pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod mem;
+pub mod recorder;
 pub mod report;
 pub mod timeline;
 
@@ -303,8 +308,11 @@ impl Telemetry {
     /// Append an event with numeric fields (no-op while disabled). At most
     /// [`EVENT_CAP`] events are retained; beyond that only a drop count is
     /// kept. While profiling is on ([`timeline::prof_enabled`]) the event
-    /// is also mirrored onto this thread's timeline as an instant.
+    /// is also mirrored onto this thread's timeline as an instant, and the
+    /// always-on [`recorder`] keeps it in its bounded ring regardless of
+    /// `GEF_TRACE` / `GEF_PROF`.
     pub fn event(&self, name: &str, fields: &[(&str, f64)]) {
+        recorder::record(recorder::Kind::Event, name, fields);
         if timeline::prof_enabled() {
             timeline::instant(name, fields);
         }
@@ -556,6 +564,10 @@ pub struct Span {
     trace: bool,
     /// Timeline recording ([`timeline::prof_enabled`]) was on at enter.
     prof: bool,
+    /// The flight [`recorder`] took a [`recorder::span_begin`] at enter
+    /// (it is always-on, so this is normally true; constant `false`
+    /// under the `noop` feature or while suppressed).
+    rec: bool,
     /// Allocation counters at enter, when the tracking allocator is
     /// installed — drop records the span-attributed deltas.
     mem0: Option<mem::MemStats>,
@@ -572,12 +584,17 @@ impl Span {
     pub fn enter(name: &str) -> Span {
         let trace = enabled();
         let prof = timeline::prof_enabled();
+        // The flight recorder sees every span transition even with
+        // tracing and profiling both off (its ring is bounded, so this
+        // is fixed-cost).
+        let rec = recorder::span_begin(name);
         if !trace && !prof {
             return Span {
                 start: None,
                 path: String::new(),
                 trace: false,
                 prof: false,
+                rec,
                 mem0: None,
             };
         }
@@ -603,6 +620,7 @@ impl Span {
             path,
             trace,
             prof,
+            rec,
             mem0,
         }
     }
@@ -616,6 +634,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.rec {
+            recorder::span_end();
+        }
         if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             SPAN_STACK.with(|stack| {

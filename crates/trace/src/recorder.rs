@@ -1,0 +1,497 @@
+//! Always-on flight recorder: a bounded per-thread ring of recent
+//! pipeline activity, kept so that a failure with all opt-in telemetry
+//! **off** still leaves a black-box record to dump.
+//!
+//! Where [`crate::Telemetry`] aggregates (gated by `GEF_TRACE`) and
+//! [`crate::timeline`] profiles (gated by `GEF_PROF`), the recorder is
+//! **never off in normal builds and never grows**: each thread owns a
+//! fixed [`RING_CAP`]-slot ring that overwrites its *oldest* entry on
+//! overflow, so the memory cost is constant and what survives is always
+//! the most recent window of activity — exactly what an incident dump
+//! wants.
+//!
+//! # What gets recorded
+//!
+//! * span transitions ([`Kind::SpanBegin`] / [`Kind::SpanEnd`], hooked
+//!   from [`crate::Span`]);
+//! * every [`crate::Telemetry::event`] (mirrored before the `GEF_TRACE`
+//!   gate, so cold-path events land here even untraced);
+//! * degradation-ladder steps ([`Kind::Degradation`], from gef-core);
+//! * budget trips ([`Kind::Budget`], transition-only — see
+//!   [`crate::budget`]);
+//! * fault-injection fires ([`Kind::Fault`]);
+//! * worker panics ([`Kind::Panic`], from gef-par's containment paths).
+//!
+//! # Cost model
+//!
+//! The recorder is observation-only and lock-light: each append takes
+//! the calling thread's own uncontended mutex, stamps a timestamp and a
+//! global sequence number, and pushes into a pre-sized ring —
+//! fixed cost, no growth, no I/O. The only cross-thread contention is
+//! [`snapshot_last`] (incident time) and worker registration.
+//!
+//! # Disabling
+//!
+//! The `noop` cargo feature pins [`active`] to a constant `false`,
+//! compiling every hook away (same contract as [`crate::enabled`]).
+//! [`set_suppressed`] is a runtime kill switch used by tests to prove
+//! that recording does not perturb pipeline outputs (recorder-on vs
+//! suppressed runs must be bit-identical).
+//!
+//! # Thread ids
+//!
+//! Same logical scheme as [`crate::timeline`]: gef-par worker `k` is
+//! `tid = k + 1` (via [`register_worker`]), the first unregistered
+//! thread to record claims `tid = 0` (`main`), later unregistered
+//! threads get `tid = 1000 + n`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring capacity per thread. On overflow the *oldest* record is
+/// overwritten (and counted), so each thread always holds its most
+/// recent `RING_CAP` records.
+pub const RING_CAP: usize = 256;
+
+/// What kind of activity a [`Record`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A [`crate::Telemetry::event`] mirror.
+    Event,
+    /// A [`crate::Span`] was entered.
+    SpanBegin,
+    /// A [`crate::Span`] closed.
+    SpanEnd,
+    /// A degradation-ladder step (gef-core recovery).
+    Degradation,
+    /// A budget transition (hard/soft deadline first exceeded).
+    Budget,
+    /// An armed fault-injection site fired.
+    Fault,
+    /// A contained worker/task panic.
+    Panic,
+}
+
+impl Kind {
+    /// Stable lowercase label used in incident-dump JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kind::Event => "event",
+            Kind::SpanBegin => "span_begin",
+            Kind::SpanEnd => "span_end",
+            Kind::Degradation => "degradation",
+            Kind::Budget => "budget",
+            Kind::Fault => "fault",
+            Kind::Panic => "panic",
+        }
+    }
+}
+
+/// One recorded activity, as returned by [`snapshot_last`] (thread
+/// identity attached at snapshot time).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Activity kind.
+    pub kind: Kind,
+    /// Logical thread id (see module docs).
+    pub tid: u64,
+    /// Logical thread name (`main`, `gef-par-0`, `thread-1`, …).
+    pub thread: String,
+    /// Nanoseconds since the recorder's process-wide epoch.
+    pub ts_ns: u64,
+    /// Global sequence number (total order tie-break).
+    pub seq: u64,
+    /// Record name (event name, span name, degradation action, site, …).
+    pub name: String,
+    /// Numeric fields, when the source carried any.
+    pub fields: Vec<(String, f64)>,
+    /// Free-text payload (degradation cause, panic message, …).
+    pub detail: Option<String>,
+}
+
+struct RecEvent {
+    kind: Kind,
+    ts_ns: u64,
+    seq: u64,
+    name: String,
+    fields: Vec<(String, f64)>,
+    detail: Option<String>,
+}
+
+struct Ring {
+    tid: u64,
+    name: String,
+    events: VecDeque<RecEvent>,
+    overwritten: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: RecEvent) {
+        if self.events.len() >= RING_CAP {
+            self.events.pop_front();
+            self.overwritten += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+type SharedRing = Arc<Mutex<Ring>>;
+
+fn registry() -> &'static Mutex<Vec<SharedRing>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SharedRing>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static SUPPRESSED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+// First unregistered thread claims tid 0 ("main"); later unregistered
+// threads get 1000, 1001, … — mirrors crate::timeline's scheme.
+static MAIN_CLAIMED: AtomicBool = AtomicBool::new(false);
+static EXTRA_TID: AtomicU64 = AtomicU64::new(1000);
+
+/// Recorder's own monotonic origin (independent of the timeline and
+/// budget clocks; first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    static REC_RING: RefCell<Option<SharedRing>> = const { RefCell::new(None) };
+    // Names of spans currently open on this thread (innermost last) —
+    // lets SpanEnd carry its name without the Span guard storing one.
+    static OPEN_SPANS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn new_ring(worker: Option<usize>) -> SharedRing {
+    let (tid, name) = match worker {
+        Some(k) => ((k as u64) + 1, format!("gef-par-{k}")),
+        None => {
+            if !MAIN_CLAIMED.swap(true, Ordering::Relaxed) {
+                (0, "main".to_string())
+            } else {
+                let tid = EXTRA_TID.fetch_add(1, Ordering::Relaxed);
+                (tid, format!("thread-{}", tid - 1000))
+            }
+        }
+    };
+    let ring = Arc::new(Mutex::new(Ring {
+        tid,
+        name,
+        events: VecDeque::with_capacity(RING_CAP),
+        overwritten: 0,
+    }));
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&ring));
+    ring
+}
+
+fn with_ring(f: impl FnOnce(&mut Ring)) {
+    REC_RING.with(|tl| {
+        let mut slot = tl.borrow_mut();
+        let arc = slot.get_or_insert_with(|| new_ring(None));
+        let mut ring = arc.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut ring);
+    });
+}
+
+/// Whether the recorder is currently recording.
+///
+/// Constant `false` under the `noop` cargo feature (hooks compile
+/// away); otherwise `true` unless [`set_suppressed`] turned recording
+/// off at runtime. One relaxed atomic load.
+#[inline(always)]
+pub fn active() -> bool {
+    if cfg!(feature = "noop") {
+        return false;
+    }
+    !SUPPRESSED.load(Ordering::Relaxed)
+}
+
+/// Runtime kill switch: `true` stops all recording (hooks become a
+/// single atomic load) until re-enabled.
+///
+/// The recorder is meant to be always on; this exists so tests can
+/// assert pipeline outputs are bit-identical with recording on vs off
+/// within one binary.
+pub fn set_suppressed(on: bool) {
+    SUPPRESSED.store(on, Ordering::Relaxed);
+}
+
+fn append(kind: Kind, name: &str, fields: &[(&str, f64)], detail: Option<&str>) {
+    let ev = RecEvent {
+        kind,
+        ts_ns: now_ns(),
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        name: name.to_string(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        detail: detail.map(str::to_string),
+    };
+    with_ring(|r| r.push(ev));
+}
+
+/// Record an activity with numeric fields. No-op while [`active`] is
+/// false.
+#[inline]
+pub fn record(kind: Kind, name: &str, fields: &[(&str, f64)]) {
+    if active() {
+        append(kind, name, fields, None);
+    }
+}
+
+/// Record an activity with a free-text payload (degradation cause,
+/// panic message, …). No-op while [`active`] is false.
+#[inline]
+pub fn note(kind: Kind, name: &str, detail: &str) {
+    if active() {
+        append(kind, name, &[], Some(detail));
+    }
+}
+
+/// Record a span entry on this thread; pair with [`span_end`].
+///
+/// Returns whether the entry was recorded — callers must invoke
+/// [`span_end`] on close exactly when this returned `true`, so the
+/// recorder's per-thread open-span stack stays balanced.
+#[inline]
+#[must_use = "call span_end on close iff this returned true"]
+pub fn span_begin(name: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    OPEN_SPANS.with(|s| s.borrow_mut().push(name.to_string()));
+    append(Kind::SpanBegin, name, &[], None);
+    true
+}
+
+/// Record the close of the innermost span opened with [`span_begin`]
+/// on this thread.
+#[inline]
+pub fn span_end() {
+    let name = OPEN_SPANS.with(|s| s.borrow_mut().pop());
+    if let Some(name) = name {
+        append(Kind::SpanEnd, &name, &[], None);
+    }
+}
+
+/// Bind the calling thread to logical worker id `index` (gef-par spawn
+/// order): its ring records as `tid = index + 1`, named
+/// `gef-par-<index>`. Called by the gef-par pool at worker spawn.
+pub fn register_worker(index: usize) {
+    REC_RING.with(|tl| {
+        let mut slot = tl.borrow_mut();
+        match slot.as_ref() {
+            Some(arc) => {
+                let mut ring = arc.lock().unwrap_or_else(|e| e.into_inner());
+                ring.tid = (index as u64) + 1;
+                ring.name = format!("gef-par-{index}");
+            }
+            None => {
+                *slot = Some(new_ring(Some(index)));
+            }
+        }
+    });
+}
+
+/// The most recent `n` records across all threads, merged into one
+/// globally ordered view (by timestamp, tie-broken by sequence
+/// number). This is the incident-dump drain.
+pub fn snapshot_last(n: usize) -> Vec<Record> {
+    let mut merged: Vec<Record> = Vec::new();
+    {
+        let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+        for ring in rings.iter() {
+            let r = ring.lock().unwrap_or_else(|e| e.into_inner());
+            merged.extend(r.events.iter().map(|e| Record {
+                kind: e.kind,
+                tid: r.tid,
+                thread: r.name.clone(),
+                ts_ns: e.ts_ns,
+                seq: e.seq,
+                name: e.name.clone(),
+                fields: e.fields.clone(),
+                detail: e.detail.clone(),
+            }));
+        }
+    }
+    merged.sort_by_key(|r| (r.ts_ns, r.seq));
+    if merged.len() > n {
+        merged.drain(..merged.len() - n);
+    }
+    merged
+}
+
+/// Total records currently held across all threads.
+pub fn event_count() -> usize {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    rings
+        .iter()
+        .map(|r| r.lock().unwrap_or_else(|e| e.into_inner()).events.len())
+        .sum()
+}
+
+/// Total records overwritten (rings at [`RING_CAP`]) across all
+/// threads since the last [`reset`].
+pub fn overwritten_total() -> u64 {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    rings
+        .iter()
+        .map(|r| r.lock().unwrap_or_else(|e| e.into_inner()).overwritten)
+        .sum()
+}
+
+/// Clear every thread's records and overwrite counts (thread/tid
+/// registrations are kept). Used by tests and by sweeps that archive
+/// one incident per schedule.
+pub fn reset() {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for ring in rings.iter() {
+        let mut r = ring.lock().unwrap_or_else(|e| e.into_inner());
+        r.events.clear();
+        r.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // Rings are process-global and other in-crate tests record spans
+    // and events into them; serialise on the crate-wide test lock.
+    use crate::TEST_LOCK;
+
+    fn with_recorder<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_suppressed(false);
+        reset();
+        let out = f();
+        reset();
+        out
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        with_recorder(|| {
+            for i in 0..(RING_CAP + 10) {
+                record(Kind::Event, "flood", &[("i", i as f64)]);
+            }
+            let snap = snapshot_last(usize::MAX);
+            let mine: Vec<&Record> = snap.iter().filter(|r| r.name == "flood").collect();
+            assert_eq!(mine.len(), RING_CAP);
+            assert!(overwritten_total() >= 10);
+            // Drop-oldest: the first surviving record is number 10, the
+            // last is the final append.
+            assert_eq!(mine[0].fields[0].1, 10.0);
+            assert_eq!(mine[mine.len() - 1].fields[0].1, (RING_CAP + 10 - 1) as f64);
+        });
+    }
+
+    #[test]
+    fn suppressed_records_nothing() {
+        with_recorder(|| {
+            set_suppressed(true);
+            assert!(!active());
+            record(Kind::Event, "ghost", &[]);
+            note(Kind::Panic, "ghost.note", "boom");
+            assert!(!span_begin("ghost.span"));
+            span_end();
+            set_suppressed(false);
+            assert!(snapshot_last(usize::MAX)
+                .iter()
+                .all(|r| !r.name.starts_with("ghost")));
+        });
+    }
+
+    #[test]
+    fn span_transitions_carry_names() {
+        with_recorder(|| {
+            assert!(span_begin("outer"));
+            assert!(span_begin("inner"));
+            span_end();
+            span_end();
+            let names: Vec<(Kind, String)> = snapshot_last(usize::MAX)
+                .into_iter()
+                .filter(|r| r.name == "outer" || r.name == "inner")
+                .map(|r| (r.kind, r.name))
+                .collect();
+            assert_eq!(
+                names,
+                vec![
+                    (Kind::SpanBegin, "outer".to_string()),
+                    (Kind::SpanBegin, "inner".to_string()),
+                    (Kind::SpanEnd, "inner".to_string()),
+                    (Kind::SpanEnd, "outer".to_string()),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_writers_merge_in_global_order() {
+        with_recorder(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    std::thread::spawn(move || {
+                        register_worker(w);
+                        for i in 0..100 {
+                            record(Kind::Event, "mt", &[("i", i as f64)]);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let snap = snapshot_last(usize::MAX);
+            let mine: Vec<&Record> = snap.iter().filter(|r| r.name == "mt").collect();
+            assert_eq!(mine.len(), 400);
+            // Globally ordered and attributed to worker tids 1..=4.
+            assert!(mine
+                .windows(2)
+                .all(|w| (w[0].ts_ns, w[0].seq) <= (w[1].ts_ns, w[1].seq)));
+            for w in 0..4u64 {
+                assert_eq!(
+                    mine.iter().filter(|r| r.tid == w + 1).count(),
+                    100,
+                    "worker {w}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn snapshot_last_truncates_to_most_recent() {
+        with_recorder(|| {
+            for i in 0..20 {
+                record(Kind::Event, "trunc", &[("i", i as f64)]);
+            }
+            let snap = snapshot_last(5);
+            assert_eq!(snap.len(), 5);
+            assert_eq!(snap[snap.len() - 1].fields[0].1, 19.0);
+        });
+    }
+
+    #[test]
+    fn detail_and_kind_labels_survive() {
+        with_recorder(|| {
+            note(
+                Kind::Degradation,
+                "lambda_fixed",
+                "gam_fit: NotPositiveDefinite",
+            );
+            let snap = snapshot_last(usize::MAX);
+            let r = snap.iter().find(|r| r.name == "lambda_fixed").unwrap();
+            assert_eq!(r.kind.label(), "degradation");
+            assert_eq!(r.detail.as_deref(), Some("gam_fit: NotPositiveDefinite"));
+        });
+    }
+}

@@ -1,0 +1,242 @@
+//! Observability suite: the always-on flight recorder and the incident
+//! dump pipeline.
+//!
+//! Two invariants anchor the ops surface:
+//!
+//! 1. **The recorder never changes results.** The same pipeline run
+//!    with the recorder active and with it suppressed must produce
+//!    bit-identical explanations, at any thread count — recording is
+//!    observation, not participation.
+//! 2. **Every typed failure leaves a usable incident.** Under any fault
+//!    schedule that ends in a typed `GefError`, a schema-valid dump
+//!    must appear whose `replay_faults` string, re-armed verbatim,
+//!    reproduces the same typed error (fault-injection builds).
+//!
+//! The recorder, incident label, fault registry, and thread count are
+//! process-global, so every test serialises behind one mutex.
+
+use gef::core::{GefConfig, GefExplainer, SamplingStrategy};
+use gef::forest::{Forest, GbdtParams, GbdtTrainer, Objective};
+use gef::trace::recorder;
+use std::sync::Mutex;
+
+static GLOBALS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with exclusive ownership of the process globals the
+/// observability layer touches, restoring benign defaults afterwards.
+fn with_globals<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    recorder::set_suppressed(false);
+    recorder::reset();
+    let out = f();
+    recorder::set_suppressed(false);
+    recorder::reset();
+    gef::par::set_threads(1);
+    out
+}
+
+fn small_forest(objective: Objective) -> Forest {
+    let xs: Vec<Vec<f64>> = (0..700)
+        .map(|i| vec![(i % 47) as f64 / 47.0, (i % 19) as f64 / 19.0])
+        .collect();
+    let ys: Vec<f64> = match objective {
+        Objective::BinaryLogistic => xs
+            .iter()
+            .map(|x| f64::from(x[0] + 0.5 * x[1] > 0.7))
+            .collect(),
+        _ => xs.iter().map(|x| x[0] * 2.0 - x[1] + x[0] * x[1]).collect(),
+    };
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 25,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 8,
+        objective,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap()
+}
+
+fn small_config() -> GefConfig {
+    GefConfig {
+        num_univariate: 2,
+        num_interactions: 1,
+        sampling: SamplingStrategy::EquiSize(40),
+        n_samples: 1500,
+        spline_basis: 10,
+        tensor_basis: 5,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// Bit-level fingerprint of everything an explanation computes: probe
+/// predictions, fidelity, and the provenance digests (which hash the
+/// fitted GAM's coefficients).
+fn fingerprint(exp: &gef::core::GefExplanation) -> Vec<u64> {
+    let mut out = vec![
+        exp.fidelity_rmse.to_bits(),
+        exp.fidelity_r2.to_bits(),
+        exp.predict(&[0.3, 0.6]).to_bits(),
+        exp.predict(&[0.9, 0.1]).to_bits(),
+    ];
+    out.push(u64::from_str_radix(&exp.provenance.gam_digest, 16).unwrap());
+    out.push(u64::from_str_radix(&exp.provenance.forest_digest, 16).unwrap());
+    out
+}
+
+#[test]
+fn recorder_is_always_on_without_trace_env() {
+    // The flight recorder runs independently of GEF_TRACE / GEF_PROF:
+    // a plain pipeline run must leave span transitions in the ring.
+    with_globals(|| {
+        let forest = small_forest(Objective::RegressionL2);
+        GefExplainer::new(small_config()).explain(&forest).unwrap();
+        assert!(
+            recorder::event_count() > 0,
+            "pipeline run left no flight-recorder events"
+        );
+        let names: Vec<String> = recorder::snapshot_last(usize::MAX)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert!(
+            names.iter().any(|n| n.contains("explain")),
+            "recorder window {names:?} has no pipeline span"
+        );
+    });
+}
+
+#[test]
+fn suppressing_the_recorder_does_not_change_results() {
+    with_globals(|| {
+        let forest = small_forest(Objective::RegressionL2);
+        let explainer = GefExplainer::new(small_config());
+        for threads in [1, 4] {
+            gef::par::set_threads(threads);
+            recorder::set_suppressed(false);
+            recorder::reset();
+            let on = explainer.explain(&forest).unwrap();
+            assert!(recorder::event_count() > 0);
+
+            recorder::set_suppressed(true);
+            recorder::reset();
+            let off = explainer.explain(&forest).unwrap();
+            assert_eq!(recorder::event_count(), 0, "suppressed recorder recorded");
+            recorder::set_suppressed(false);
+
+            assert_eq!(
+                fingerprint(&on),
+                fingerprint(&off),
+                "recorder state changed pipeline outputs at {threads} thread(s)"
+            );
+            assert_eq!(on.selected_features, off.selected_features);
+            assert_eq!(on.interactions, off.interactions);
+        }
+    });
+}
+
+/// Fault-injection half: every typed-error schedule must leave a
+/// schema-valid, replayable incident dump.
+#[cfg(feature = "fault-injection")]
+mod incidents {
+    use super::*;
+    use gef::core::faults;
+    use gef::core::incident;
+    use gef::core::RunBudget;
+    use gef::trace::json::{parse, JsonValue};
+    use std::time::Duration;
+
+    /// Fault schedules expected to push the pipeline into a typed
+    /// error (paired with a hard deadline in ms). `pirls.stall=always`
+    /// exists precisely to prove deadline enforcement; the NaN
+    /// schedules exhaust scrubbing/recovery.
+    const SCHEDULES: [(&str, u64); 3] = [
+        ("pirls.stall=always", 120),
+        ("forest.predict_nan=always", 5_000),
+        ("chol.factor=always,pirls.iter=always", 5_000),
+    ];
+
+    fn run_under(spec: &str, deadline_ms: u64, forest: &Forest) -> Result<(), gef::core::GefError> {
+        faults::reset();
+        for (site, trigger) in faults::parse_spec(spec).unwrap() {
+            faults::arm(&site, trigger);
+        }
+        let budget = RunBudget {
+            hard_deadline: Some(Duration::from_millis(deadline_ms)),
+            soft_deadline: Some(Duration::from_millis(deadline_ms * 4 / 5)),
+            ..RunBudget::unlimited()
+        };
+        let _guard = budget.arm();
+        GefExplainer::new(small_config())
+            .explain(forest)
+            .map(|_| ())
+    }
+
+    #[test]
+    fn typed_error_schedules_yield_replayable_incidents() {
+        with_globals(|| {
+            // Route dumps into a scratch dir so the test owns its files.
+            let dir = std::env::temp_dir().join(format!("gef-incidents-{}", std::process::id()));
+            std::env::set_var("GEF_INCIDENT_DIR", &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            let forest = small_forest(Objective::BinaryLogistic);
+            let mut typed_errors = 0;
+            for (i, (spec, deadline_ms)) in SCHEDULES.iter().enumerate() {
+                incident::set_label(&format!("obs-{i}"));
+                recorder::reset();
+                let Err(err) = run_under(spec, *deadline_ms, &forest) else {
+                    faults::reset();
+                    continue; // recovered cleanly — nothing to dump
+                };
+                typed_errors += 1;
+                let cause = err.cause_label();
+
+                // A dump exists and is schema-valid.
+                let path = incident::dump_path(cause);
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    panic!("schedule {spec:?}: no incident at {}: {e}", path.display())
+                });
+                let v = parse(&text).expect("incident dump parses as JSON");
+                assert_eq!(
+                    v.get("schema").and_then(JsonValue::as_str),
+                    Some(incident::SCHEMA)
+                );
+                assert_eq!(v.get("cause").and_then(JsonValue::as_str), Some(cause));
+                assert!(v.get("events").and_then(JsonValue::as_array).is_some());
+                assert!(v.get("budget").is_some());
+
+                // Its replay string re-arms and reproduces the same
+                // typed error — the incident is a working repro, not
+                // just a log.
+                let replay = v
+                    .get("replay_faults")
+                    .and_then(JsonValue::as_str)
+                    .expect("incident carries replay_faults")
+                    .to_string();
+                assert!(!replay.is_empty(), "armed schedule rendered empty");
+                faults::reset();
+                incident::set_label(&format!("obs-{i}-replay"));
+                let replayed = run_under(&replay, *deadline_ms, &forest);
+                match replayed {
+                    Err(e2) => assert_eq!(
+                        e2.cause_label(),
+                        cause,
+                        "replay of {replay:?} changed the failure"
+                    ),
+                    Ok(()) => panic!("replay of {replay:?} completed cleanly; was `{cause}`"),
+                }
+                faults::reset();
+            }
+            assert!(
+                typed_errors >= 2,
+                "only {typed_errors} schedule(s) produced a typed error — suite is vacuous"
+            );
+
+            std::env::remove_var("GEF_INCIDENT_DIR");
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+}

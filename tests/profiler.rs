@@ -139,8 +139,14 @@ fn worker_tids_are_stable_across_thread_counts() {
 
     // GEF_THREADS=4: three pool workers (the coordinator is the fourth
     // lane) hold the reserved tids 1..=3 — worker k is tid k+1 by spawn
-    // order, independent of which OS thread backs it.
-    let t4 = profiled_workload(4);
+    // order, independent of which OS thread backs it. Chunk claiming is
+    // racy by design: under scheduler load the coordinator can drain
+    // every chunk before a worker wakes, so retry a few times until at
+    // least one worker track appears.
+    let t4 = std::iter::repeat_with(|| profiled_workload(4))
+        .take(20)
+        .find(|t| t.iter().any(|t| (1..1000).contains(t)))
+        .unwrap_or_default();
     let workers: BTreeSet<u64> = t4
         .iter()
         .copied()
@@ -148,7 +154,7 @@ fn worker_tids_are_stable_across_thread_counts() {
         .collect();
     assert!(
         !workers.is_empty(),
-        "parallel run recorded no worker tracks: {t4:?}"
+        "20 parallel runs recorded no worker tracks"
     );
     assert!(
         workers.iter().all(|&t| t <= 3),
