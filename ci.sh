@@ -73,6 +73,16 @@ echo "==> chaos sweep (xp_chaos --schedules 25 --seed 7)"
 cargo run --release -q -p gef-bench --features fault-injection \
     --bin xp_chaos -- --schedules 25 --seed 7 --deadline-ms 1500
 
+# Serve gate: boot the explanation service on an ephemeral port inside
+# xp_serve and hammer it with a fixed-seed closed-loop fleet (4 clients
+# x 40 requests against 2 workers and a 2-deep queue, then one
+# GEF_FAULTS schedule under load). The harness exits nonzero if any
+# response leaves the typed-status envelope, a 429 lacks Retry-After,
+# a socket hangs, or the drained server still answers.
+echo "==> serve gate (xp_serve --ci)"
+cargo run --release -q -p gef-bench --features fault-injection \
+    --bin xp_serve -- --ci
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -357,7 +357,7 @@ fn force_fault(rest: &[String]) -> i32 {
         for (site, trigger) in entries {
             faults::arm(site, trigger.clone());
         }
-        let _guard = budget.arm();
+        let _scope = budget.enter();
         explainer.explain(&forest)
     };
 

@@ -30,6 +30,7 @@
 //! Flags: `--schedules N` (default 100), `--seed S` (default 7),
 //! `--deadline-ms D` (default 2000).
 
+use gef_bench::chaos::{random_schedule, SplitMix};
 use gef_core::faults::{self, ALL_SITES};
 use gef_core::incident;
 use gef_core::{GefConfig, GefExplainer, RunBudget, SamplingStrategy};
@@ -37,64 +38,6 @@ use gef_forest::{Forest, GbdtParams, GbdtTrainer, Objective};
 use gef_trace::json::JsonWriter;
 use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
-
-/// SplitMix64: tiny, seedable, and good enough to spread schedules
-/// across the space deterministically.
-struct SplitMix(u64);
-
-impl SplitMix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
-/// One random `site=trigger` entry in `GEF_FAULTS` syntax, drawn from
-/// every registered site and all four env-expressible trigger families.
-fn random_entry(rng: &mut SplitMix) -> String {
-    let site = ALL_SITES[rng.below(ALL_SITES.len() as u64) as usize];
-    let trigger = match rng.below(4) {
-        0 => "always".to_string(),
-        1 => format!("first:{}", 1 + rng.below(8)),
-        2 => {
-            let k = 1 + rng.below(3);
-            let hits: Vec<String> = (0..k).map(|_| rng.below(16).to_string()).collect();
-            format!("hits:{}", hits.join("|"))
-        }
-        _ => format!(
-            "seeded:{}:{:.2}",
-            rng.below(1_000_000),
-            0.05 + 0.85 * rng.unit()
-        ),
-    };
-    format!("{site}={trigger}")
-}
-
-/// A full schedule: 1–3 distinct-site entries, rendered as the exact
-/// string `GEF_FAULTS` would accept (the replay handle).
-fn random_schedule(rng: &mut SplitMix) -> String {
-    let k = 1 + rng.below(3);
-    let mut entries: Vec<String> = Vec::new();
-    for _ in 0..k {
-        let e = random_entry(rng);
-        let site = e.split('=').next().unwrap_or("");
-        if !entries.iter().any(|p| p.starts_with(site)) {
-            entries.push(e);
-        }
-    }
-    entries.join(",")
-}
 
 struct RunRecord {
     index: usize,
@@ -261,7 +204,7 @@ fn main() {
 
         let start = Instant::now();
         let result = {
-            let _guard = budget.arm();
+            let _scope = budget.enter();
             panic::catch_unwind(AssertUnwindSafe(|| explainer.explain(forest)))
         };
         let elapsed_ms = start.elapsed().as_millis() as u64;

@@ -1,0 +1,502 @@
+//! Seeded closed-loop load generator for the gef-serve explanation
+//! service, with an overload phase and a fault-schedule sweep.
+//!
+//! Boots an in-process [`gef_serve::Server`] on an ephemeral port with a
+//! deliberately small queue, then hammers it with concurrent closed-loop
+//! clients (each sends the next request only after reading the previous
+//! response). Three phases:
+//!
+//! 1. **warmup** — a few sequential requests so allocator arenas and the
+//!    worker pool are warm before anything is measured;
+//! 2. **load** — `--clients` threads × `--requests` requests each, a
+//!    seeded mix of generous-deadline explains, tight-deadline explains,
+//!    predicts, and malformed requests;
+//! 3. **faults** — `--schedules` random `GEF_FAULTS` schedules (same
+//!    generator as `xp_chaos`; requires `--features fault-injection`,
+//!    otherwise the phase is skipped with a note), each armed
+//!    process-wide while a small client fleet keeps load on the server.
+//!
+//! The robustness invariant checked on **every** response:
+//!
+//! > The status is one of the service's typed answers (200 / 400 / 404 /
+//! > 405 / 413 / 429 / 500 / 501 / 504), a 429 carries `Retry-After`,
+//! > the body is JSON with `"ok"` or `"error"`, and the socket never
+//! > hangs — and after `shutdown()` the drained server answers nothing.
+//!
+//! Results land in `BENCH_serve.json` (latency p50/p95/p99 in µs,
+//! requests-per-second, shed/degraded/error counts, violations first).
+//! Exits nonzero when any response violates the invariant.
+//!
+//! Flags: `--ci` (fixed small load: 4 clients × 40 requests, 1 fault
+//! schedule — the ci.sh gate), `--clients N` (default 8),
+//! `--requests N` per client (default 50), `--schedules N` (default
+//! 100), `--seed S` (default 7).
+
+use gef_bench::chaos::SplitMix;
+use gef_core::GefConfig;
+use gef_forest::{GbdtParams, GbdtTrainer, Objective};
+use gef_serve::{ModelEntry, ServeConfig, Server};
+use gef_trace::hist::Histogram;
+use gef_trace::json::JsonWriter;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    schedules: usize,
+    seed: u64,
+    ci: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        clients: 8,
+        requests: 50,
+        schedules: 100,
+        seed: 7,
+        ci: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |j: usize| -> u64 {
+            argv.get(j)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} requires an integer argument", argv[j - 1]))
+        };
+        match argv[i].as_str() {
+            "--ci" => {
+                out.ci = true;
+                out.clients = 4;
+                out.requests = 40;
+                out.schedules = 1;
+                i += 1;
+            }
+            "--clients" => {
+                out.clients = val(i + 1) as usize;
+                i += 2;
+            }
+            "--requests" => {
+                out.requests = val(i + 1) as usize;
+                i += 2;
+            }
+            "--schedules" => {
+                out.schedules = val(i + 1) as usize;
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = val(i + 1);
+                i += 2;
+            }
+            other => panic!(
+                "unknown flag {other:?} (expected --ci/--clients/--requests/--schedules/--seed)"
+            ),
+        }
+    }
+    out
+}
+
+/// Everything the sweep counts, merged from every client thread under
+/// one lock (clients tally locally and merge once per phase).
+#[derive(Default)]
+struct Tally {
+    requests: u64,
+    ok: u64,
+    degraded: u64,
+    shed: u64,
+    deadline_trips: u64,
+    client_errors: u64,
+    server_errors: u64,
+    violations: Vec<String>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.deadline_trips += other.deadline_trips;
+        self.client_errors += other.client_errors;
+        self.server_errors += other.server_errors;
+        self.violations.extend(other.violations);
+    }
+}
+
+fn train_model() -> ModelEntry {
+    let mut rng = SplitMix(13);
+    let xs: Vec<Vec<f64>> = (0..600)
+        .map(|_| (0..3).map(|_| rng.unit()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 2.0 * x[0] - x[1] + (x[2] * 4.0).sin())
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 40,
+        num_leaves: 8,
+        learning_rate: 0.15,
+        min_data_in_leaf: 10,
+        objective: Objective::RegressionL2,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .expect("load-test forest trains");
+    ModelEntry {
+        name: "bench".into(),
+        forest,
+        config: GefConfig {
+            num_univariate: 3,
+            n_samples: 600,
+            seed: 11,
+            ..Default::default()
+        },
+    }
+}
+
+/// One raw HTTP/1.1 exchange over a fresh connection. Returns
+/// `(status, body, latency)` or a violation string (I/O failure or a
+/// hang are invariant violations for an admitted connection — the
+/// *server* may refuse or shed, but never strand a client).
+fn roundtrip(port: u16, request: &[u8]) -> Result<(u16, String, Duration), String> {
+    let t0 = Instant::now();
+    let mut s = TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| format!("connect failed mid-run: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    s.write_all(request)
+        .map_err(|e| format!("request write failed: {e}"))?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)
+        .map_err(|e| format!("response read failed (hang?): {e}"))?;
+    let latency = t0.elapsed();
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("unparseable status line: {:?}", raw.lines().next()))?;
+    if status == 429 && !raw.to_ascii_lowercase().contains("retry-after:") {
+        return Err("429 without a Retry-After header".into());
+    }
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body, latency))
+}
+
+fn post(path: &str, body: &str, extra: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nconnection: close\r\n{extra}content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+const ALLOWED: [u16; 9] = [200, 400, 404, 405, 413, 429, 500, 501, 504];
+
+/// Send one seeded request from the closed-loop mix and classify the
+/// answer into the tally. Any invariant breach lands in
+/// `tally.violations` with a replayable description.
+fn one_request(port: u16, rng: &mut SplitMix, tally: &mut Tally, latency: &mut Histogram) {
+    let (request, kind) = match rng.below(10) {
+        // A malformed frame: the parser must answer 400, not the pipeline.
+        0 => (
+            b"POST /explain HTTP/1.1\r\nconnection: close\r\ncontent-length: nope\r\n\r\n".to_vec(),
+            "malformed",
+        ),
+        // A deadline that (almost) nothing survives: 504 or a fast 200,
+        // never anything untyped.
+        1 => (
+            post(
+                "/explain",
+                r#"{"instance":[0.5,0.5,0.5],"deadline_ms":1}"#,
+                "",
+            ),
+            "tight",
+        ),
+        2 => (
+            post("/predict", r#"{"instance":[0.3,0.7,0.2]}"#, ""),
+            "predict",
+        ),
+        _ => {
+            let x: Vec<String> = (0..3).map(|_| format!("{:.3}", rng.unit())).collect();
+            (
+                post(
+                    "/explain",
+                    &format!(r#"{{"instance":[{}],"deadline_ms":8000}}"#, x.join(",")),
+                    "",
+                ),
+                "explain",
+            )
+        }
+    };
+    tally.requests += 1;
+    let (status, body, took) = match roundtrip(port, &request) {
+        Ok(ok) => ok,
+        Err(v) => {
+            tally.violations.push(format!("[{kind}] {v}"));
+            return;
+        }
+    };
+    latency.record(took.as_micros() as u64);
+    if !ALLOWED.contains(&status) {
+        tally
+            .violations
+            .push(format!("[{kind}] unexpected status {status}: {body}"));
+        return;
+    }
+    if !(body.contains("\"ok\"") || body.contains("\"error\"")) {
+        tally
+            .violations
+            .push(format!("[{kind}] body is not a typed envelope: {body:?}"));
+        return;
+    }
+    match status {
+        200 => {
+            tally.ok += 1;
+            // Only /explain answers carry a floor; degraded means the
+            // floor was raised or the recovery ladder stepped mid-fit.
+            let explain_degraded = body.contains("\"floor\"")
+                && (!body.contains("\"floor\":\"full\"") || !body.contains("\"degradations\":[]"));
+            if explain_degraded {
+                tally.degraded += 1;
+            }
+        }
+        429 => tally.shed += 1,
+        504 => tally.deadline_trips += 1,
+        400 | 404 | 405 | 413 | 501 => tally.client_errors += 1,
+        _ => tally.server_errors += 1,
+    }
+}
+
+/// Run `clients` closed-loop threads of `requests` requests each and
+/// merge their tallies and latency histograms into the shared state.
+fn run_fleet(
+    port: u16,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    tally: &Mutex<Tally>,
+    latency: &Mutex<Histogram>,
+) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut rng = SplitMix(seed ^ (0x5eed ^ c as u64).wrapping_mul(0x9e37));
+                let mut local = Tally::default();
+                let mut hist = Histogram::new();
+                for _ in 0..requests {
+                    one_request(port, &mut rng, &mut local, &mut hist);
+                }
+                tally.lock().expect("tally lock").merge(local);
+                latency.lock().expect("latency lock").merge(&hist);
+            });
+        }
+    });
+}
+
+#[cfg(feature = "fault-injection")]
+fn fault_sweep(
+    port: u16,
+    args: &Args,
+    tally: &Mutex<Tally>,
+    latency: &Mutex<Histogram>,
+) -> Vec<String> {
+    use gef_core::faults;
+    let mut rng = SplitMix(args.seed);
+    let mut schedules = Vec::with_capacity(args.schedules);
+    let clients = args.clients.clamp(1, 3);
+    let requests = if args.ci { 4 } else { 3 };
+    for index in 0..args.schedules {
+        let schedule = gef_bench::chaos::random_schedule(&mut rng);
+        let entries = match faults::parse_spec(&schedule) {
+            Ok(e) => e,
+            Err(err) => {
+                tally
+                    .lock()
+                    .expect("tally lock")
+                    .violations
+                    .push(format!("schedule {index} failed to parse: {err}"));
+                continue;
+            }
+        };
+        faults::reset();
+        for (site, trigger) in entries {
+            faults::arm(&site, trigger);
+        }
+        run_fleet(
+            port,
+            clients,
+            requests,
+            args.seed ^ index as u64,
+            tally,
+            latency,
+        );
+        faults::reset();
+        schedules.push(schedule);
+    }
+    schedules
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn fault_sweep(
+    _port: u16,
+    _args: &Args,
+    _tally: &Mutex<Tally>,
+    _latency: &Mutex<Histogram>,
+) -> Vec<String> {
+    eprintln!(
+        "xp_serve: built without --features fault-injection; skipping the fault-schedule sweep"
+    );
+    Vec::new()
+}
+
+fn main() {
+    let args = parse_args();
+    // Deadline trips and injected faults are *expected* under this
+    // sweep; keep their incident dumps out of the working tree unless
+    // the operator pointed GEF_INCIDENT_DIR somewhere deliberately.
+    if std::env::var_os("GEF_INCIDENT_DIR").is_none() {
+        std::env::set_var(
+            "GEF_INCIDENT_DIR",
+            std::env::temp_dir().join("gef-serve-incidents"),
+        );
+    }
+    let model = train_model();
+    // A small queue and few workers so the overload phase actually
+    // overloads: shedding and preemptive degradation must both fire.
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 2,
+        deadline_ms: 8_000,
+        breaker_threshold: 5,
+        breaker_cooldown_ms: 500,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![model]).expect("server boots on an ephemeral port");
+    let port = server.port();
+    println!(
+        "# xp_serve: port {port}, {} clients x {} requests, {} fault schedule(s), seed {}",
+        args.clients, args.requests, args.schedules, args.seed
+    );
+
+    let tally = Mutex::new(Tally::default());
+    let latency = Mutex::new(Histogram::new());
+
+    // Warmup: sequential, untallied-latency requests (counted for
+    // invariants only — a warmup violation is still a violation).
+    {
+        let mut warm = Tally::default();
+        let mut hist = Histogram::new();
+        let mut rng = SplitMix(args.seed ^ 0xcafe);
+        for _ in 0..3 {
+            one_request(port, &mut rng, &mut warm, &mut hist);
+        }
+        tally.lock().expect("tally lock").merge(warm);
+    }
+
+    let t_load = Instant::now();
+    run_fleet(
+        port,
+        args.clients,
+        args.requests,
+        args.seed,
+        &tally,
+        &latency,
+    );
+    let load_elapsed = t_load.elapsed().as_secs_f64();
+
+    let schedules = fault_sweep(port, &args, &tally, &latency);
+
+    // Graceful drain, then the drained server must answer nothing.
+    server.shutdown();
+    {
+        let mut t = tally.lock().expect("tally lock");
+        if let Ok(mut s) = TcpStream::connect(("127.0.0.1", port)) {
+            let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+            let mut buf = String::new();
+            if s.read_to_string(&mut buf).unwrap_or(0) > 0 {
+                t.violations
+                    .push(format!("drained server still answers: {buf:?}"));
+            }
+        }
+    }
+
+    let tally = tally.into_inner().expect("tally lock");
+    let latency = latency.into_inner().expect("latency lock");
+    let load_requests = (args.clients * args.requests) as f64;
+    let rps = if load_elapsed > 0.0 {
+        load_requests / load_elapsed
+    } else {
+        0.0
+    };
+
+    println!(
+        "# {} requests: {} ok ({} degraded), {} shed, {} deadline trips, {} client errors, \
+         {} server errors, {} violations",
+        tally.requests,
+        tally.ok,
+        tally.degraded,
+        tally.shed,
+        tally.deadline_trips,
+        tally.client_errors,
+        tally.server_errors,
+        tally.violations.len()
+    );
+    if latency.count() > 0 {
+        println!(
+            "# latency: p50 {} us, p95 {} us, p99 {} us ({:.1} req/s over the load phase)",
+            latency.quantile(0.50),
+            latency.quantile(0.95),
+            latency.quantile(0.99),
+            rps
+        );
+    }
+    for v in &tally.violations {
+        println!("VIOLATION: {v}");
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("seed", args.seed);
+    w.field_u64("clients", args.clients as u64);
+    w.field_u64("requests_per_client", args.requests as u64);
+    w.field_u64("schedules", schedules.len() as u64);
+    w.field_u64("total_requests", tally.requests);
+    w.field_u64("ok", tally.ok);
+    w.field_u64("degraded", tally.degraded);
+    w.field_u64("shed", tally.shed);
+    w.field_u64("deadline_trips", tally.deadline_trips);
+    w.field_u64("client_errors", tally.client_errors);
+    w.field_u64("server_errors", tally.server_errors);
+    w.field_f64("load_rps", rps);
+    w.field_u64("latency_p50_us", latency.quantile(0.50));
+    w.field_u64("latency_p95_us", latency.quantile(0.95));
+    w.field_u64("latency_p99_us", latency.quantile(0.99));
+    w.field_u64("violations", tally.violations.len() as u64);
+    w.key("violation_details");
+    w.begin_array();
+    for v in &tally.violations {
+        w.value_str(v);
+    }
+    w.end_array();
+    w.key("fault_schedules");
+    w.begin_array();
+    for s in &schedules {
+        w.value_str(s);
+    }
+    w.end_array();
+    w.end_object();
+    std::fs::write("BENCH_serve.json", w.finish()).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    gef_bench::emit_telemetry("xp_serve");
+    if !tally.violations.is_empty() {
+        std::process::exit(1);
+    }
+}

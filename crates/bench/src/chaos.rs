@@ -1,0 +1,104 @@
+//! Deterministic fault-schedule generation, shared by the chaos sweep
+//! (`xp_chaos`) and the serve load sweep (`xp_serve`).
+//!
+//! Both harnesses draw random `GEF_FAULTS` schedules from the same
+//! generator so a violation found by either reproduces with the printed
+//! schedule string; the generator itself is seeded and allocation-light.
+
+/// SplitMix64: tiny, seedable, and good enough to spread schedules
+/// across the space deterministically.
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n` clamped to at least 1).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One random `site=trigger` entry in `GEF_FAULTS` syntax, drawn from
+/// every registered site and all four env-expressible trigger families.
+#[cfg(feature = "fault-injection")]
+pub fn random_entry(rng: &mut SplitMix) -> String {
+    use gef_core::faults::ALL_SITES;
+    let site = ALL_SITES[rng.below(ALL_SITES.len() as u64) as usize];
+    let trigger = match rng.below(4) {
+        0 => "always".to_string(),
+        1 => format!("first:{}", 1 + rng.below(8)),
+        2 => {
+            let k = 1 + rng.below(3);
+            let hits: Vec<String> = (0..k).map(|_| rng.below(16).to_string()).collect();
+            format!("hits:{}", hits.join("|"))
+        }
+        _ => format!(
+            "seeded:{}:{:.2}",
+            rng.below(1_000_000),
+            0.05 + 0.85 * rng.unit()
+        ),
+    };
+    format!("{site}={trigger}")
+}
+
+/// A full schedule: 1–3 distinct-site entries, rendered as the exact
+/// string `GEF_FAULTS` would accept (the replay handle).
+#[cfg(feature = "fault-injection")]
+pub fn random_schedule(rng: &mut SplitMix) -> String {
+    let k = 1 + rng.below(3);
+    let mut entries: Vec<String> = Vec::new();
+    for _ in 0..k {
+        let e = random_entry(rng);
+        let site = e.split('=').next().unwrap_or("");
+        if !entries.iter().any(|p| p.starts_with(site)) {
+            entries.push(e);
+        }
+    }
+    entries.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix(9);
+        let mut b = SplitMix(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix(3);
+        for _ in 0..100 {
+            assert!(r.below(7) < 7);
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn schedules_parse_and_have_distinct_sites() {
+        let mut rng = SplitMix(42);
+        for _ in 0..50 {
+            let s = random_schedule(&mut rng);
+            let entries = gef_core::faults::parse_spec(&s).expect("generated schedule parses");
+            let mut sites: Vec<&str> = entries.iter().map(|(site, _)| site.as_str()).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            assert_eq!(sites.len(), entries.len(), "duplicate site in {s}");
+        }
+    }
+}

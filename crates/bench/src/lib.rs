@@ -16,6 +16,8 @@
 
 use gef_forest::{Forest, GbdtParams, GbdtTrainer, Objective};
 
+pub mod chaos;
+
 /// Run size selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunSize {

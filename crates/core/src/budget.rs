@@ -1,10 +1,18 @@
 //! Run budgets: wall-clock deadlines and size caps for one pipeline run.
 //!
 //! [`RunBudget`] is the `gef-core` facade over the always-compiled
-//! process-global primitive in [`gef_trace::budget`]. It reads the
-//! environment knobs, and [`RunBudget::arm`] installs deadlines and
-//! iteration caps for the duration of a scope (the returned guard
-//! disarms everything on drop).
+//! primitive in [`gef_trace::budget`]. It reads the environment knobs,
+//! and installs deadlines and iteration caps for the duration of a
+//! scope in one of two ways:
+//!
+//! * [`RunBudget::enter`] (preferred) arms a **fresh scoped
+//!   [`gef_trace::budget::Budget`]** on the calling thread — concurrent
+//!   runs each hold their own deadline, which is how `gef-serve` gives
+//!   every request an independent budget;
+//! * [`RunBudget::arm`] (compatibility) arms the **process-global**
+//!   budget, the pre-scoping behaviour the `xp_*` binaries drive.
+//!
+//! Both return RAII guards that disarm everything on drop.
 //!
 //! ## Environment knobs
 //!
@@ -16,9 +24,10 @@
 //! | `GEF_MAX_PIRLS_ITERS` | cap on PIRLS iterations per GAM fit (0 = unlimited) |
 //! | `GEF_MAX_DSTAR_ROWS` | cap on `D*` rows; a tighter-than-requested cap is recorded as a degradation, a cap below the fitting minimum (16) fails with [`GefError::BudgetExceeded`] |
 //!
-//! Invalid (unparseable) values are never fatal: the knob is ignored,
-//! a warning naming the raw value goes to stderr, and — when telemetry
-//! is enabled — a `core.budget.invalid_env` event is recorded.
+//! Invalid (unparseable) values are never fatal: the knob is ignored
+//! through the shared [`gef_trace::env`] path — a warn-once stderr line
+//! naming the raw value, an `env.invalid` flight-recorder note, and —
+//! when telemetry is enabled — an `env.invalid` event.
 //!
 //! [`GefError::DeadlineExceeded`]: crate::GefError::DeadlineExceeded
 //! [`GefError::BudgetExceeded`]: crate::GefError::BudgetExceeded
@@ -44,28 +53,7 @@ pub struct RunBudget {
     pub max_dstar_rows: usize,
 }
 
-fn env_u64(var: &str) -> Option<u64> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<u64>() {
-        Ok(n) => Some(n),
-        Err(_) => {
-            eprintln!("gef-core: invalid {var} value {raw:?}; ignoring it");
-            // Telemetry events carry numeric fields only; the flight
-            // recorder's free-text detail names the raw value, so an
-            // incident dump shows exactly what the operator typed.
-            gef_trace::recorder::note(
-                gef_trace::recorder::Kind::Event,
-                "core.budget.invalid_env",
-                &format!("{var}={raw:?}"),
-            );
-            if gef_trace::enabled() {
-                gef_trace::global()
-                    .event("core.budget.invalid_env", &[("raw_len", raw.len() as f64)]);
-            }
-            None
-        }
-    }
-}
+use gef_trace::env::u64_var as env_u64;
 
 impl RunBudget {
     /// An unlimited budget: nothing armed, nothing capped.
@@ -100,13 +88,51 @@ impl RunBudget {
     /// iteration caps. Everything disarms (and any pending cancellation
     /// clears) when the returned guard drops.
     ///
-    /// The budget is process-global state, like the telemetry and fault
-    /// registries: nest scopes rather than racing concurrent runs.
+    /// This is the compatibility path: concurrent runs share the one
+    /// global budget. Anything serving requests in parallel must use
+    /// [`RunBudget::enter`] instead.
     #[must_use = "the budget disarms when this guard drops"]
     pub fn arm(&self) -> gef_trace::budget::BudgetGuard {
         gef_trace::budget::set_boost_round_cap(self.max_boost_rounds);
         gef_trace::budget::set_pirls_iter_cap(self.max_pirls_iters);
         gef_trace::budget::scoped(self.hard_deadline, self.soft_deadline)
+    }
+
+    /// Arm a **fresh scoped budget** on the calling thread: deadlines
+    /// and caps bind this thread (and any gef-par regions it
+    /// dispatches) only, leaving the process-global budget and other
+    /// threads untouched. This is how `gef-serve` gives each request an
+    /// independent deadline. Dropping the guard leaves the scope —
+    /// including on early-error paths, so a failed phase can never leak
+    /// a stale deadline into the next one.
+    #[must_use = "the budget leaves scope when this guard drops"]
+    pub fn enter(&self) -> ScopedBudget {
+        let budget = gef_trace::budget::Budget::armed(self.hard_deadline, self.soft_deadline);
+        budget.set_boost_round_cap(self.max_boost_rounds);
+        budget.set_pirls_iter_cap(self.max_pirls_iters);
+        let scope = budget.enter();
+        ScopedBudget {
+            budget,
+            _scope: scope,
+        }
+    }
+}
+
+/// RAII scope from [`RunBudget::enter`]: while held, every cooperative
+/// checkpoint on this thread resolves to this run's own budget. The
+/// scope pops on drop; [`ScopedBudget::budget`] exposes the underlying
+/// clonable handle (e.g. to cancel the run from another thread).
+#[must_use = "the budget leaves scope when this guard drops"]
+pub struct ScopedBudget {
+    budget: gef_trace::budget::Budget,
+    _scope: gef_trace::budget::BudgetScope,
+}
+
+impl ScopedBudget {
+    /// The underlying budget handle; clones share state, so a clone
+    /// handed to another thread can observe or cancel this run.
+    pub fn budget(&self) -> &gef_trace::budget::Budget {
+        &self.budget
     }
 }
 
@@ -191,7 +217,7 @@ mod tests {
                 // operator actually typed.
                 let notes: Vec<String> = gef_trace::recorder::snapshot_last(usize::MAX)
                     .into_iter()
-                    .filter(|r| r.name == "core.budget.invalid_env")
+                    .filter(|r| r.name == "env.invalid")
                     .filter_map(|r| r.detail)
                     .collect();
                 assert!(
@@ -230,6 +256,33 @@ mod tests {
             // not per-run state) — clear them for the other tests.
             gef_trace::budget::set_boost_round_cap(0);
             gef_trace::budget::set_pirls_iter_cap(0);
+        });
+    }
+
+    #[test]
+    fn enter_scopes_budget_to_this_thread_only() {
+        with_env(&[], || {
+            let b = RunBudget {
+                hard_deadline: Some(Duration::ZERO),
+                soft_deadline: None,
+                max_boost_rounds: 4,
+                max_pirls_iters: 0,
+                max_dstar_rows: 0,
+            };
+            {
+                let scope = b.enter();
+                assert!(gef_trace::budget::hard_exceeded(), "own deadline trips");
+                assert_eq!(gef_trace::budget::boost_round_cap(), 4);
+                assert!(scope.budget().hard_tripped());
+                // The process-global budget saw none of it.
+                let global_clean = std::thread::spawn(|| {
+                    !gef_trace::budget::active() && !gef_trace::budget::hard_exceeded()
+                })
+                .join()
+                .unwrap();
+                assert!(global_clean, "global budget stays unarmed");
+            }
+            assert!(!gef_trace::budget::active(), "scope drop restores global");
         });
     }
 }

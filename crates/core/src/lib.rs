@@ -67,7 +67,7 @@ pub use interactions::InteractionStrategy;
 pub use pipeline::{
     GefConfig, GefExplainer, GefExplanation, LocalExplanation, Provenance, StageTimings,
 };
-pub use recovery::{Degradation, DegradationAction};
+pub use recovery::{Degradation, DegradationAction, FitFloor};
 pub use report::ExplanationReport;
 pub use sampling::SamplingStrategy;
 

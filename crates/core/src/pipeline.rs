@@ -14,7 +14,7 @@ use crate::budget::RunBudget;
 use crate::generate::{generate, SyntheticDataset};
 use crate::incident::{self, IncidentContext};
 use crate::interactions::{rank_interactions, top_pairs, InteractionStrategy};
-use crate::recovery::{fit_with_recovery, Degradation, DegradationAction};
+use crate::recovery::{self, fit_with_recovery, Degradation, DegradationAction, FitFloor};
 use crate::sampling::SamplingStrategy;
 use crate::selection::{ForestProfile, DEFAULT_CATEGORICAL_L};
 use crate::{GefError, Result};
@@ -45,6 +45,10 @@ pub struct GefConfig {
     pub tensor_basis: usize,
     /// Smoothing-parameter selection for the GAM.
     pub lambda: LambdaSelection,
+    /// Preemptive lower bound on surrogate complexity (load shedding):
+    /// any floor below [`FitFloor::Full`] skips the richer spec up
+    /// front and is recorded as a degradation. See [`FitFloor`].
+    pub fit_floor: FitFloor,
     /// RNG seed for `D*` sampling.
     pub seed: u64,
 }
@@ -62,6 +66,7 @@ impl Default for GefConfig {
             spline_basis: 20,
             tensor_basis: 8,
             lambda: LambdaSelection::default(),
+            fit_floor: FitFloor::Full,
             seed: 0,
         }
     }
@@ -127,6 +132,7 @@ impl GefConfig {
         d.write_u64(self.spline_basis as u64);
         d.write_u64(self.tensor_basis as u64);
         d.write_str(&format!("{:?}", self.lambda));
+        d.write_str(&format!("{:?}", self.fit_floor));
         d.write_u64(self.seed);
         d.finish()
     }
@@ -258,13 +264,15 @@ impl GefExplainer {
             seed: Some(self.config.seed),
         };
         // Arm the env-configured run budget (`GEF_DEADLINE_MS` & co.)
-        // unless the caller already armed one programmatically — the
-        // guard disarms it when this run returns, on every path.
+        // as a thread-scoped budget unless the caller already armed one
+        // (a scoped `RunBudget::enter`, as gef-serve does per request,
+        // or the process-global compat path the xp_* bins drive) — the
+        // guard leaves scope when this run returns, on every path.
         let budget = RunBudget::from_env();
         let _budget_guard = if gef_trace::budget::active() {
             None
         } else {
-            Some(budget.arm())
+            Some(budget.enter())
         };
         let result = self.run_pipeline(forest, &budget);
         if let Err(err) = &result {
@@ -409,13 +417,16 @@ impl GefExplainer {
         }
 
         // Interaction selection (independent of the sampled data except
-        // for H-Stat, per the paper).
+        // for H-Stat, per the paper). A fit floor below Full sheds this
+        // stage entirely — the floored spec carries no tensor terms, so
+        // ranking candidates for them would be pure waste under load.
         checkpoint("interactions")?;
+        let floored = cfg.fit_floor != FitFloor::Full;
         let interaction_ranking = stage(
             "pipeline.interactions",
             &mut timings.interactions_ns,
             || {
-                if cfg.num_interactions > 0 || selected.len() >= 2 {
+                if !floored && (cfg.num_interactions > 0 || selected.len() >= 2) {
                     rank_interactions(
                         forest,
                         &profile,
@@ -429,6 +440,20 @@ impl GefExplainer {
             },
         )?;
         let interactions = top_pairs(&interaction_ranking, cfg.num_interactions);
+        if floored && cfg.num_interactions > 0 {
+            // Preemptive degradation is still degradation: the caller
+            // asked for tensors and the floor withheld them.
+            Degradation::record(
+                &mut degradations,
+                "interactions",
+                DegradationAction::UnivariateOnly,
+                format!(
+                    "fit floor '{}' sheds the {} requested tensor term(s) preemptively",
+                    cfg.fit_floor.label(),
+                    cfg.num_interactions
+                ),
+            );
+        }
 
         // Build GAM terms and fit (one stage: the fit dominates).
         checkpoint("gam_fit")?;
@@ -473,12 +498,26 @@ impl GefExplainer {
                     Objective::RegressionL2 => Link::Identity,
                     Objective::BinaryLogistic => Link::Logit,
                 };
-                let spec = GamSpec {
+                let mut spec = GamSpec {
                     terms,
                     link,
                     lambda: cfg.lambda.clone(),
                     ..GamSpec::regression(Vec::new())
                 };
+                if cfg.fit_floor == FitFloor::LinearSurrogate {
+                    // Jump straight to the ladder's last rung: the
+                    // cheapest spec that is still an explanation.
+                    spec = recovery::linear_surrogate(&spec);
+                    Degradation::record(
+                        &mut degradations,
+                        "gam_fit",
+                        DegradationAction::LinearSurrogate,
+                        format!(
+                            "fit floor '{}' starts at the linear-surrogate rung preemptively",
+                            cfg.fit_floor.label()
+                        ),
+                    );
+                }
                 let (train, test) = dataset.split(cfg.train_fraction);
                 // Fit with the degradation ladder: numerical failures
                 // walk the spec down (drop worst tensor → shrink bases →
@@ -803,6 +842,50 @@ mod tests {
         assert_eq!(exp.interactions, vec![(0, 1)]);
         // GAM has 3 univariate + 1 tensor term.
         assert_eq!(exp.gam.num_terms(), 4);
+    }
+
+    #[test]
+    fn univariate_fit_floor_sheds_tensors_and_records_it() {
+        let forest = make_forest(|x| 4.0 * x[0] * x[1] + x[2], 3, Objective::RegressionL2);
+        let cfg = GefConfig {
+            num_univariate: 3,
+            num_interactions: 1,
+            n_samples: 6000,
+            fit_floor: FitFloor::UnivariateOnly,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        assert!(exp.interactions.is_empty(), "floor sheds the tensor");
+        assert!(exp.interaction_ranking.is_empty(), "ranking is skipped");
+        assert_eq!(exp.gam.num_terms(), 3, "univariate smooths only");
+        assert!(
+            exp.degradations
+                .iter()
+                .any(|d| d.action == DegradationAction::UnivariateOnly),
+            "preemptive shedding is recorded: {:?}",
+            exp.degradations
+        );
+    }
+
+    #[test]
+    fn linear_surrogate_fit_floor_starts_at_last_rung() {
+        let forest = make_forest(|x| 2.0 * x[0] - x[1], 2, Objective::RegressionL2);
+        let cfg = GefConfig {
+            num_univariate: 2,
+            n_samples: 2000,
+            fit_floor: FitFloor::LinearSurrogate,
+            ..Default::default()
+        };
+        let exp = GefExplainer::new(cfg).explain(&forest).unwrap();
+        assert!(
+            exp.degradations
+                .iter()
+                .any(|d| d.action == DegradationAction::LinearSurrogate),
+            "preemptive floor is recorded: {:?}",
+            exp.degradations
+        );
+        // A linear surrogate of a linear forest is still faithful.
+        assert!(exp.fidelity_r2 > 0.8, "r2={}", exp.fidelity_r2);
     }
 
     #[test]

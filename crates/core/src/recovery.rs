@@ -34,6 +34,42 @@ use gef_data::metrics;
 use gef_gam::{fit, Gam, GamSpec, LambdaSelection, TermSpec};
 use serde::{Deserialize, Serialize};
 
+/// A **preemptive** lower bound on the surrogate's complexity: where
+/// the fit *starts*, not where it may end up. The recovery ladder
+/// reaches the same rungs reactively (after failed attempts); a fit
+/// floor jumps there up front, skipping the cost of the richer spec
+/// entirely. This is the load-shedding hook `gef-serve` arms as queue
+/// depth rises (serve a cheaper explanation instead of a 503) and its
+/// circuit breaker trips to after repeated fit failures.
+///
+/// Any floor below [`FitFloor::Full`] is recorded as a [`Degradation`]
+/// on the returned explanation — preemptive degradation is still
+/// degradation, never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FitFloor {
+    /// No floor: the full requested specification (tensors included).
+    #[default]
+    Full,
+    /// Skip interaction ranking and tensor terms; univariate smooths
+    /// only (the ladder's rung 5 entered preemptively).
+    UnivariateOnly,
+    /// Straight lines per continuous feature, factors kept — the
+    /// ladder's last rung, and the cheapest explanation that is still
+    /// an explanation.
+    LinearSurrogate,
+}
+
+impl FitFloor {
+    /// Short machine-readable label (telemetry, server stats).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FitFloor::Full => "full",
+            FitFloor::UnivariateOnly => "univariate_only",
+            FitFloor::LinearSurrogate => "linear_surrogate",
+        }
+    }
+}
+
 /// What one recovery (or input-hardening) step did to the pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DegradationAction {
@@ -242,8 +278,10 @@ fn univariate_only(spec: &GamSpec) -> Option<GamSpec> {
 }
 
 /// Last resort: straight lines (degree-1, two-basis splines) for every
-/// continuous feature; factor terms kept; tensors dropped.
-fn linear_surrogate(spec: &GamSpec) -> GamSpec {
+/// continuous feature; factor terms kept; tensors dropped. Also the
+/// [`FitFloor::LinearSurrogate`] entry point, so the pipeline can jump
+/// here preemptively.
+pub(crate) fn linear_surrogate(spec: &GamSpec) -> GamSpec {
     let mut out = spec.clone();
     let mut terms = Vec::with_capacity(out.terms.len());
     for term in &out.terms {

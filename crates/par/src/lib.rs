@@ -21,8 +21,8 @@
 //! The pool is sized by the `GEF_THREADS` environment variable, falling
 //! back to [`std::thread::available_parallelism`]. Invalid values
 //! (garbage, `0`, counts beyond [`MAX_THREADS`]) are clamped or replaced
-//! by the fallback — never silently: the raw value is named in a stderr
-//! warning and a `par.threads.invalid` telemetry event. `threads() == 1`
+//! by the fallback — never silently: the raw value is named through the
+//! shared [`gef_trace::env`] warn-once path. `threads() == 1`
 //! (and any workload of a single task) bypasses the pool entirely — no
 //! worker threads are ever spawned and the fan-out primitives degenerate
 //! to plain loops with zero synchronization. Tests and benchmarks can
@@ -38,10 +38,15 @@
 //!   payload comes back as [`ParError::TaskPanicked`] — the coordinator
 //!   never re-raises, so callers under a no-panic gate get a typed
 //!   error they can surface (e.g. as `GefError::WorkerPanicked`).
-//! * Workers poll [`gef_trace::budget::cancel_requested`] between task
-//!   claims, so a hard deadline or an explicit cancellation fires
-//!   *mid-region*: remaining tasks are skipped, the latch still opens,
-//!   and the call returns [`ParError::Cancelled`].
+//! * The dispatching thread's **current budget** (its innermost
+//!   [`gef_trace::budget::Budget::enter`] scope, else the process-global
+//!   budget) is captured at dispatch and propagated onto the pool
+//!   workers that join the region, so per-request scoped deadlines — as
+//!   armed by `gef-serve` — bound their own fan-outs and nobody else's.
+//!   Workers poll it between task claims, so a hard deadline or an
+//!   explicit cancellation fires *mid-region*: remaining tasks are
+//!   skipped, the latch still opens, and the call returns
+//!   [`ParError::Cancelled`].
 //!
 //! With no budget armed and no panicking task, every primitive returns
 //! `Ok` and behaves exactly as before — the checks are relaxed atomic
@@ -128,44 +133,32 @@ pub const MAX_CHUNKS: usize = 64;
 // 0 = unresolved (read GEF_THREADS on first use), otherwise the count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Warn (stderr + `par.threads.invalid` telemetry event) that a
-/// `GEF_THREADS` value was rejected, naming the raw value and what it
-/// was replaced with. Event fields are numeric, so the raw string is
-/// carried by its parsed value when one exists (`NaN`-free: garbage
-/// that did not parse reports `parsed = -1`).
-fn warn_invalid_threads(raw: &str, parsed: Option<usize>, used: usize) {
-    eprintln!("gef-par: invalid GEF_THREADS value {raw:?}; using {used}");
-    gef_trace::global().event(
-        "par.threads.invalid",
-        &[
-            ("parsed", parsed.map_or(-1.0, |n| n as f64)),
-            ("used", used as f64),
-            ("raw_len", raw.len() as f64),
-        ],
-    );
-}
-
 fn threads_from_env() -> usize {
     let fallback = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(MAX_THREADS);
-    match std::env::var("GEF_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) => {
-                warn_invalid_threads(&v, Some(0), fallback);
-                fallback
-            }
-            Ok(n) if n > MAX_THREADS => {
-                warn_invalid_threads(&v, Some(n), MAX_THREADS);
-                MAX_THREADS
-            }
-            Ok(n) => n,
-            Err(_) => {
-                warn_invalid_threads(&v, None, fallback);
-                fallback
-            }
-        },
-        Err(_) => fallback,
+    // Rejections and clamps go through the workspace-wide warn-once
+    // path in gef_trace::env (stderr naming the raw value, an
+    // `env.invalid` recorder note, and a telemetry event).
+    match gef_trace::env::read_u64("GEF_THREADS") {
+        gef_trace::env::EnvValue::Unset => fallback,
+        gef_trace::env::EnvValue::Parsed(0) => {
+            gef_trace::env::warn_invalid("GEF_THREADS", "0", &format!("using {fallback}"));
+            fallback
+        }
+        gef_trace::env::EnvValue::Parsed(n) if n as usize > MAX_THREADS => {
+            gef_trace::env::warn_invalid(
+                "GEF_THREADS",
+                &n.to_string(),
+                &format!("using {MAX_THREADS}"),
+            );
+            MAX_THREADS
+        }
+        gef_trace::env::EnvValue::Parsed(n) => n as usize,
+        gef_trace::env::EnvValue::Invalid(raw) => {
+            gef_trace::env::warn_invalid("GEF_THREADS", &raw, &format!("using {fallback}"));
+            fallback
+        }
     }
 }
 
@@ -372,6 +365,10 @@ struct Region {
     /// Coordinator's span path at dispatch, propagated to workers so
     /// spans opened inside tasks nest identically to a serial run.
     base_path: Option<String>,
+    /// The dispatching thread's current budget, captured at dispatch.
+    /// Workers enter it for the duration of the region so checkpoints
+    /// inside tasks observe the same deadline as the coordinator.
+    budget: gef_trace::budget::Budget,
     /// Timeline label for per-task begin/end events ([`Options::label`]).
     label: Option<&'static str>,
     /// Region id carried in per-task timeline event args.
@@ -395,8 +392,7 @@ impl Region {
             if i >= self.n_tasks {
                 return;
             }
-            let draining =
-                self.panicked.load(Ordering::Relaxed) || gef_trace::budget::cancel_requested();
+            let draining = self.panicked.load(Ordering::Relaxed) || self.budget.cancel_requested();
             if !draining {
                 // The claim → acknowledge window is what keeps the
                 // erased borrow live; see TaskPtr.
@@ -487,6 +483,9 @@ fn worker_loop(pool: &'static Pool) {
             }
         };
         let _path = region.base_path.as_deref().map(gef_trace::push_base_path);
+        // Run under the dispatcher's budget so checkpoints inside tasks
+        // (and nested regions they launch) see the right deadline.
+        let _budget = region.budget.enter();
         region.work();
     }
 }
@@ -642,6 +641,7 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
         panic_payload: Mutex::new(None),
         executed: AtomicUsize::new(0),
         base_path,
+        budget: gef_trace::budget::current(),
         label: opts.label,
         region_id,
         prof,

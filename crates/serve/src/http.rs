@@ -1,0 +1,510 @@
+//! Minimal, hardened HTTP/1.1 request parsing and response writing.
+//!
+//! The parser is the server's first line of fault containment: it faces
+//! raw bytes from untrusted sockets and must **never panic, never hang,
+//! never allocate unboundedly** — every malformed input maps to a typed
+//! [`ParseError`] that the server answers with `400`/`413`/`501`. Every
+//! read is capped ([`MAX_REQUEST_LINE`], [`MAX_HEADER_LINE`],
+//! [`MAX_HEADER_COUNT`], the caller's body limit), so a hostile peer
+//! cannot grow a line or header block past a few KiB. Property tests at
+//! the bottom of this module drive the parser with arbitrary and
+//! adversarially-structured byte streams.
+//!
+//! Supported surface: `Content-Length` bodies only (chunked
+//! transfer-encoding answers `501`), no continuation (folded) headers,
+//! `HTTP/1.x` request lines.
+
+use std::io::{BufRead, Read, Write};
+
+/// Byte cap on the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8192;
+/// Byte cap on a single header line.
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Cap on the number of headers.
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// A typed parse failure; [`ParseError::status`] maps it to the HTTP
+/// answer and [`ParseError::cause`] to the machine-readable label used
+/// in error bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed or oversized request line.
+    RequestLine(String),
+    /// Malformed header, oversized header line, or too many headers.
+    Header(String),
+    /// Missing, duplicated, or unparseable `Content-Length`.
+    ContentLength(String),
+    /// Declared body exceeds the server's cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's cap.
+        max: usize,
+    },
+    /// Connection closed before the declared body arrived.
+    TruncatedBody {
+        /// Bytes actually received.
+        got: usize,
+        /// Bytes declared.
+        want: usize,
+    },
+    /// Syntactically valid but unsupported (e.g. chunked bodies).
+    Unsupported(String),
+}
+
+impl ParseError {
+    /// The `(status, reason)` this failure answers with: `413` for an
+    /// oversized body, `501` for unsupported encodings, `400` otherwise.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ParseError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+            ParseError::Unsupported(_) => (501, "Not Implemented"),
+            _ => (400, "Bad Request"),
+        }
+    }
+
+    /// Machine-readable cause label for the JSON error body.
+    pub fn cause(&self) -> &'static str {
+        match self {
+            ParseError::RequestLine(_) => "bad_request_line",
+            ParseError::Header(_) => "bad_header",
+            ParseError::ContentLength(_) => "bad_content_length",
+            ParseError::BodyTooLarge { .. } => "body_too_large",
+            ParseError::TruncatedBody { .. } => "truncated_body",
+            ParseError::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::RequestLine(d) => write!(f, "bad request line: {d}"),
+            ParseError::Header(d) => write!(f, "bad header: {d}"),
+            ParseError::ContentLength(d) => write!(f, "bad content-length: {d}"),
+            ParseError::BodyTooLarge { declared, max } => {
+                write!(f, "body of {declared} bytes exceeds the {max}-byte cap")
+            }
+            ParseError::TruncatedBody { got, want } => {
+                write!(f, "body truncated at {got} of {want} bytes")
+            }
+            ParseError::Unsupported(d) => write!(f, "unsupported: {d}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, verbatim (`/explain`, …).
+    pub target: String,
+    /// Headers in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// Clean close before any byte of a new request (keep-alive end).
+    Eof,
+    /// A typed protocol violation — answer [`ParseError::status`] and
+    /// close (the stream position is no longer trustworthy).
+    Malformed(ParseError),
+    /// The transport failed (timeout, reset); just drop the connection.
+    Io(std::io::ErrorKind),
+}
+
+/// Read one line (up to and including `\n`) with a hard byte cap.
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_capped_line(r: &mut impl BufRead, cap: usize) -> Result<Option<Vec<u8>>, ReadOutcome> {
+    let mut line = Vec::new();
+    // `take` bounds the read so a peer streaming an endless line cannot
+    // grow the buffer past the cap.
+    match r.take(cap as u64 + 1).read_until(b'\n', &mut line) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            if line.last() != Some(&b'\n') {
+                // Either the line exceeded the cap (more bytes pending)
+                // or the stream ended mid-line; both are malformed.
+                if line.len() > cap {
+                    Err(ReadOutcome::Malformed(ParseError::RequestLine(format!(
+                        "line exceeds the {cap}-byte cap"
+                    ))))
+                } else {
+                    Err(ReadOutcome::Malformed(ParseError::RequestLine(
+                        "stream ended mid-line".into(),
+                    )))
+                }
+            } else {
+                if line.ends_with(b"\n") {
+                    line.pop();
+                }
+                if line.ends_with(b"\r") {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+        }
+        Err(e) => Err(ReadOutcome::Io(e.kind())),
+    }
+}
+
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_graphic() && !b"()<>@,;:\\\"/[]?={} ".contains(&b))
+}
+
+/// Read and parse one request. `max_body` caps the accepted
+/// `Content-Length`; larger bodies fail with
+/// [`ParseError::BodyTooLarge`] **without reading the body**.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> ReadOutcome {
+    // --- request line ---
+    let line = match read_capped_line(r, MAX_REQUEST_LINE) {
+        Ok(Some(l)) => l,
+        Ok(None) => return ReadOutcome::Eof,
+        Err(out) => return out,
+    };
+    let Ok(line) = String::from_utf8(line) else {
+        return ReadOutcome::Malformed(ParseError::RequestLine("not valid UTF-8".into()));
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return ReadOutcome::Malformed(ParseError::RequestLine(format!(
+                "expected 'METHOD TARGET VERSION', got {} part(s)",
+                line.split(' ').count()
+            )))
+        }
+    };
+    if !is_token(method) {
+        return ReadOutcome::Malformed(ParseError::RequestLine("method is not a token".into()));
+    }
+    if target.is_empty() || !target.bytes().all(|b| b.is_ascii_graphic()) {
+        return ReadOutcome::Malformed(ParseError::RequestLine("malformed target".into()));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed(ParseError::RequestLine(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    // --- headers ---
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_capped_line(r, MAX_HEADER_LINE) {
+            Ok(Some(l)) => l,
+            Ok(None) => {
+                return ReadOutcome::Malformed(ParseError::Header(
+                    "stream ended inside the header block".into(),
+                ))
+            }
+            Err(ReadOutcome::Malformed(ParseError::RequestLine(d))) => {
+                return ReadOutcome::Malformed(ParseError::Header(d))
+            }
+            Err(out) => return out,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADER_COUNT {
+            return ReadOutcome::Malformed(ParseError::Header(format!(
+                "more than {MAX_HEADER_COUNT} headers"
+            )));
+        }
+        let Ok(line) = String::from_utf8(line) else {
+            return ReadOutcome::Malformed(ParseError::Header("not valid UTF-8".into()));
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Malformed(ParseError::Header(format!(
+                "no ':' in {:?}",
+                line.chars().take(40).collect::<String>()
+            )));
+        };
+        if !is_token(name) {
+            return ReadOutcome::Malformed(ParseError::Header("header name is not a token".into()));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    // --- body ---
+    for (k, v) in &headers {
+        if k.eq_ignore_ascii_case("transfer-encoding") {
+            return ReadOutcome::Malformed(ParseError::Unsupported(format!(
+                "transfer-encoding {v:?} (only content-length bodies)"
+            )));
+        }
+    }
+    let lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let body_len = match lengths.as_slice() {
+        [] => 0,
+        [one] => match one.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ReadOutcome::Malformed(ParseError::ContentLength(format!(
+                    "unparseable value {one:?}"
+                )))
+            }
+        },
+        many => {
+            return ReadOutcome::Malformed(ParseError::ContentLength(format!(
+                "{} content-length headers",
+                many.len()
+            )))
+        }
+    };
+    if body_len > max_body {
+        return ReadOutcome::Malformed(ParseError::BodyTooLarge {
+            declared: body_len,
+            max: max_body,
+        });
+    }
+    let mut body = Vec::new();
+    if body_len > 0 {
+        match r.take(body_len as u64).read_to_end(&mut body) {
+            Ok(got) if got < body_len => {
+                return ReadOutcome::Malformed(ParseError::TruncatedBody {
+                    got,
+                    want: body_len,
+                })
+            }
+            Ok(_) => {}
+            Err(e) => return ReadOutcome::Io(e.kind()),
+        }
+    }
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Write one `HTTP/1.1` response with `Content-Length` framing. The
+/// `Connection` header must be supplied via `extra_headers` by callers
+/// that want one.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    head.push_str("content-type: application/json\r\n");
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut Cursor::new(bytes), 4096)
+    }
+
+    #[test]
+    fn parses_a_wellformed_post() {
+        let raw = b"POST /explain HTTP/1.1\r\ncontent-length: 4\r\nx-a: b\r\n\r\n{\"\"}";
+        let ReadOutcome::Request(req) = parse(raw) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/explain");
+        assert_eq!(req.body, b"{\"\"}");
+        assert_eq!(req.header("X-A"), Some("b"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        assert!(matches!(parse(b""), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 2\r\nContent-Length: 2\r\n\r\nab";
+        let ReadOutcome::Malformed(e) = parse(raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.status().0, 400);
+        assert_eq!(e.cause(), "bad_content_length");
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 1000000\r\n\r\n";
+        let ReadOutcome::Malformed(e) = parse(raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.status().0, 413);
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        let ReadOutcome::Malformed(e) = parse(raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.cause(), "truncated_body");
+        assert_eq!(e.status().0, 400);
+    }
+
+    #[test]
+    fn chunked_bodies_answer_501() {
+        let raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        let ReadOutcome::Malformed(e) = parse(raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.status().0, 501);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let ReadOutcome::Malformed(e) = parse(&raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.status().0, 400);
+    }
+
+    #[test]
+    fn header_flood_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADER_COUNT + 5) {
+            raw.extend_from_slice(format!("x-{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let ReadOutcome::Malformed(e) = parse(&raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(e.cause(), "bad_header");
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "Too Many Requests",
+            &[("retry-after", "1")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    proptest! {
+        /// Arbitrary bytes never panic the parser, and every outcome is
+        /// one of the four typed ones.
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            match parse(&bytes) {
+                ReadOutcome::Request(_) | ReadOutcome::Eof
+                | ReadOutcome::Malformed(_) | ReadOutcome::Io(_) => {}
+            }
+        }
+
+        /// Structured near-miss requests (hostile request lines,
+        /// header blocks, and length declarations around a valid
+        /// skeleton) never panic, and any malformed outcome carries a
+        /// 400/413/501 status.
+        #[test]
+        fn structured_garbage_maps_to_typed_statuses(
+            method in "[A-Za-z \\t]{0,12}",
+            target in "[ -~]{0,40}",
+            version in prop_oneof![Just("HTTP/1.1".to_string()), "[A-Z/0-9.]{0,10}"],
+            header_name in "[A-Za-z0-9:() -]{0,24}",
+            header_val in "[ -~]{0,32}",
+            declared in prop_oneof![Just("4".to_string()), "[0-9]{1,9}", "[a-z-]{1,6}"],
+            body in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            let mut raw = format!("{method} {target} {version}\r\n").into_bytes();
+            raw.extend_from_slice(format!("{header_name}: {header_val}\r\n").as_bytes());
+            raw.extend_from_slice(format!("content-length: {declared}\r\n").as_bytes());
+            raw.extend_from_slice(b"\r\n");
+            raw.extend_from_slice(&body);
+            match parse(&raw) {
+                ReadOutcome::Malformed(e) => {
+                    let (status, _) = e.status();
+                    prop_assert!(status == 400 || status == 413 || status == 501);
+                }
+                ReadOutcome::Request(req) => {
+                    // Accepted requests must have honoured the declared
+                    // length exactly.
+                    let want: usize = declared.parse().unwrap_or(0);
+                    prop_assert_eq!(req.body.len(), want);
+                }
+                ReadOutcome::Eof | ReadOutcome::Io(_) => {}
+            }
+        }
+
+        /// Well-formed requests round-trip: whatever we serialize, the
+        /// parser returns verbatim.
+        #[test]
+        fn wellformed_requests_roundtrip(
+            path in "[a-z]{0,12}",
+            nheaders in 0usize..8,
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let target = format!("/{path}");
+            let mut raw = format!("POST {target} HTTP/1.1\r\n").into_bytes();
+            for i in 0..nheaders {
+                raw.extend_from_slice(format!("x-h{i}: v{i}\r\n").as_bytes());
+            }
+            raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+            raw.extend_from_slice(&body);
+            let ReadOutcome::Request(req) = parse(&raw) else {
+                return Err(TestCaseError::fail("expected a request"));
+            };
+            prop_assert_eq!(req.method, "POST");
+            prop_assert_eq!(req.target, target);
+            prop_assert_eq!(req.body, body);
+            prop_assert_eq!(req.headers.len(), nheaders + 1);
+        }
+    }
+}

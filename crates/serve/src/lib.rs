@@ -1,0 +1,168 @@
+//! `gef-serve`: a never-panic explanation service over preloaded
+//! forests.
+//!
+//! A zero-dependency `std::net` HTTP/1.1 server that turns the
+//! single-run SLO machinery built across the workspace — the
+//! degradation ladder, run budgets, incident dumps, the flight
+//! recorder — into a long-lived concurrent service:
+//!
+//! * `POST /explain` — run the GEF pipeline over a preloaded model and
+//!   return the **local explanation** of the posted instance (additive
+//!   per-term contributions with standard errors), plus the run's
+//!   fidelity, degradation history, and budget outcome.
+//! * `POST /predict` — raw forest prediction for the posted instance.
+//! * `GET /healthz` — liveness (`serving` / `draining`).
+//! * `GET /stats` — request counters, latency quantiles (p50/p95/p99),
+//!   queue depth, and circuit-breaker state.
+//!
+//! # Robustness model
+//!
+//! **Per-request budgets.** Every `/explain` request enters its own
+//! scoped [`gef_core::budget::RunBudget`] (hard deadline from the
+//! request's `deadline_ms` or [`ServeConfig::deadline_ms`]; soft at
+//! 80%), so two concurrent requests hold independent deadlines — one
+//! can hard-trip to a typed 504 while its neighbour completes clean.
+//!
+//! **Admission control.** The accept loop keeps a bounded queue
+//! ([`ServeConfig::queue_depth`]); when full, requests are shed
+//! immediately with `429` + `Retry-After` instead of piling latency
+//! onto everyone. As depth rises past half the bound, admitted requests
+//! are served **degraded-by-design**: the pipeline's
+//! [`gef_core::FitFloor`] is armed preemptively (univariate-only, then
+//! linear surrogate), trading explanation richness for latency instead
+//! of answering 503.
+//!
+//! **Fault containment.** Every request runs under `catch_unwind`: a
+//! panic yields a typed `500` plus a [`gef_core::incident`] dump,
+//! never a dead server. A circuit breaker trips to the
+//! linear-surrogate floor after [`ServeConfig::breaker_threshold`]
+//! consecutive GAM-fit failures, and closes again after a cooldown.
+//!
+//! **Graceful drain.** [`server::Server::shutdown`] stops accepting,
+//! lets workers finish every queued connection, then joins them —
+//! in-flight requests complete, new connections are refused.
+//!
+//! # Environment knobs
+//!
+//! All parsed through [`gef_trace::env`] (typed, warn-once on invalid
+//! values, never fatal):
+//!
+//! | variable | meaning | default |
+//! |----------|---------|---------|
+//! | `GEF_SERVE_PORT` | TCP port (0 = ephemeral) | 0 |
+//! | `GEF_SERVE_WORKERS` | request worker threads | min(threads, 4) |
+//! | `GEF_SERVE_QUEUE` | admission queue bound | 32 |
+//! | `GEF_SERVE_DEADLINE_MS` | default per-request hard deadline | 10000 |
+//! | `GEF_SERVE_MAX_BODY` | request body byte cap | 1048576 |
+//! | `GEF_SERVE_BREAKER_K` | consecutive fit failures to trip | 5 |
+//! | `GEF_SERVE_BREAKER_COOLDOWN_MS` | breaker open duration | 1000 |
+
+pub mod http;
+pub mod server;
+
+pub use server::{ModelEntry, Server};
+
+/// Server configuration. Construct with [`ServeConfig::from_env`]
+/// (production) or build one programmatically (tests, embedding).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on loopback (0 = OS-assigned ephemeral port;
+    /// read it back via [`Server::port`]).
+    pub port: u16,
+    /// Request worker threads (min 1).
+    pub workers: usize,
+    /// Admission queue bound: connections beyond it are shed with 429.
+    pub queue_depth: usize,
+    /// Default per-request hard deadline in milliseconds; a request's
+    /// `deadline_ms` field may lower (never raise) it.
+    pub deadline_ms: u64,
+    /// Maximum accepted request body size in bytes (larger → 413).
+    pub max_body_bytes: usize,
+    /// Consecutive GAM-fit failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before closing again.
+    pub breaker_cooldown_ms: u64,
+    /// Honor `x-gef-test` request headers (deliberate panics etc.).
+    /// Never enabled from the environment — tests only.
+    pub test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: gef_par::threads().clamp(1, 4),
+            queue_depth: 32,
+            deadline_ms: 10_000,
+            max_body_bytes: 1 << 20,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            test_hooks: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Read the configuration from the `GEF_SERVE_*` knobs (see the
+    /// crate docs), with [`ServeConfig::default`] filling the gaps.
+    /// Invalid values warn once and fall back — never fatal.
+    pub fn from_env() -> Self {
+        use gef_trace::env::u64_var_or;
+        let d = ServeConfig::default();
+        ServeConfig {
+            port: u64_var_or("GEF_SERVE_PORT", u64::from(d.port)).min(u64::from(u16::MAX)) as u16,
+            workers: (u64_var_or("GEF_SERVE_WORKERS", d.workers as u64).max(1) as usize).min(256),
+            queue_depth: (u64_var_or("GEF_SERVE_QUEUE", d.queue_depth as u64).max(1) as usize)
+                .min(1 << 16),
+            deadline_ms: u64_var_or("GEF_SERVE_DEADLINE_MS", d.deadline_ms).max(1),
+            max_body_bytes: (u64_var_or("GEF_SERVE_MAX_BODY", d.max_body_bytes as u64).max(64)
+                as usize)
+                .min(1 << 30),
+            breaker_threshold: u64_var_or("GEF_SERVE_BREAKER_K", u64::from(d.breaker_threshold))
+                .max(1)
+                .min(u64::from(u32::MAX)) as u32,
+            breaker_cooldown_ms: u64_var_or("GEF_SERVE_BREAKER_COOLDOWN_MS", d.breaker_cooldown_ms),
+            test_hooks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env vars are process-global; serialise the tests that set them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    const VARS: [&str; 7] = [
+        "GEF_SERVE_PORT",
+        "GEF_SERVE_WORKERS",
+        "GEF_SERVE_QUEUE",
+        "GEF_SERVE_DEADLINE_MS",
+        "GEF_SERVE_MAX_BODY",
+        "GEF_SERVE_BREAKER_K",
+        "GEF_SERVE_BREAKER_COOLDOWN_MS",
+    ];
+
+    #[test]
+    fn env_config_parses_and_clamps() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for v in VARS {
+            std::env::remove_var(v);
+        }
+        std::env::set_var("GEF_SERVE_PORT", "8123");
+        std::env::set_var("GEF_SERVE_WORKERS", "0"); // clamped to 1
+        std::env::set_var("GEF_SERVE_QUEUE", "7");
+        std::env::set_var("GEF_SERVE_DEADLINE_MS", "bogus"); // warned, default
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.port, 8123);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.queue_depth, 7);
+        assert_eq!(cfg.deadline_ms, ServeConfig::default().deadline_ms);
+        assert!(!cfg.test_hooks, "test hooks never come from the env");
+        for v in VARS {
+            std::env::remove_var(v);
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The server proper: accept loop, admission control, request workers,
+//! circuit breaker, and graceful drain.
+//!
+//! # State machine
+//!
+//! ```text
+//!            accept loop                      request workers
+//!  conn ──▶ queue.len() < bound? ──no──▶ 429 + Retry-After (shed)
+//!              │ yes
+//!              ▼
+//!        bounded queue ──▶ worker pops ──▶ per-request scoped budget
+//!              │                               │
+//!        depth ≥ ½ bound: FitFloor ≥ UnivariateOnly (degrade, not 503)
+//!        depth ≥ ¾ bound: FitFloor = LinearSurrogate
+//!              │                               │
+//!              │                     catch_unwind(explain)
+//!              │                  ┌─ Ok(exp)  → 200, breaker.success
+//!              │                  ├─ deadline → 504 typed
+//!              │                  ├─ fit err  → 500 typed, breaker.failure
+//!              │                  └─ panic    → 500 typed + incident dump
+//!              │
+//!        breaker open (K consecutive fit failures, cooldown-timed):
+//!        every admitted /explain runs at the LinearSurrogate floor
+//! ```
+//!
+//! Shutdown: the accept thread stops (new connections are refused once
+//! the listener drops), workers finish every queued connection, then
+//! exit — a drain, not an abort.
+
+use crate::http::{self, ReadOutcome, Request};
+use crate::ServeConfig;
+use gef_core::budget::RunBudget;
+use gef_core::{incident, FitFloor, GefConfig, GefError, GefExplainer};
+use gef_forest::Forest;
+use gef_trace::hist::Histogram;
+use gef_trace::json::{self, JsonValue, JsonWriter};
+use std::collections::VecDeque;
+use std::io::{BufReader, Read};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Read/write timeout on request sockets: a stalled peer can hold a
+/// worker for at most this long, never forever.
+const SOCKET_TIMEOUT_MS: u64 = 2_000;
+
+/// One preloaded model the server explains.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Name clients address the model by (`"model"` request field).
+    pub name: String,
+    /// The forest to explain/predict.
+    pub forest: Forest,
+    /// Pipeline configuration used for its explanations. The server
+    /// may *raise* `fit_floor` under load — never lower it.
+    pub config: GefConfig,
+}
+
+/// Request counters, all monotonic (reported by `GET /stats`).
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    served_ok: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    deadline_trips: AtomicU64,
+    panics_contained: AtomicU64,
+    breaker_trips: AtomicU64,
+}
+
+/// Circuit breaker over consecutive GAM-fit failures: open trips every
+/// admitted `/explain` to the linear-surrogate floor for a cooldown,
+/// then closes fully.
+struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerState>,
+}
+
+struct BreakerState {
+    consecutive: u32,
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(BreakerState {
+                consecutive: 0,
+                open_until: None,
+            }),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match s.open_until {
+            Some(t) if Instant::now() < t => true,
+            Some(_) => {
+                // Cooldown over: close fully and start counting afresh.
+                s.open_until = None;
+                s.consecutive = 0;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Record a fit failure; returns true when this one tripped the
+    /// breaker open.
+    fn record_failure(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.consecutive = s.consecutive.saturating_add(1);
+        if s.open_until.is_none() && s.consecutive >= self.threshold {
+            s.open_until = Some(Instant::now() + self.cooldown);
+            gef_trace::recorder::note(
+                gef_trace::recorder::Kind::Event,
+                "serve.breaker_open",
+                &format!("{} consecutive fit failures", s.consecutive),
+            );
+            return true;
+        }
+        false
+    }
+
+    fn record_success(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.open_until.is_none() {
+            s.consecutive = 0;
+        }
+    }
+}
+
+/// State shared by the accept thread and the request workers.
+struct Shared {
+    cfg: ServeConfig,
+    models: Vec<ModelEntry>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    latency: Mutex<Histogram>,
+    breaker: Breaker,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The preemptive degradation floor for a request admitted *now*:
+    /// an open breaker forces the last rung; otherwise queue pressure
+    /// walks the ladder (½ bound → univariate-only, ¾ → linear).
+    fn pressure_floor(&self) -> FitFloor {
+        if self.breaker.is_open() {
+            return FitFloor::LinearSurrogate;
+        }
+        let depth = self.queue_depth();
+        let bound = self.cfg.queue_depth.max(1);
+        if depth * 4 >= bound * 3 {
+            FitFloor::LinearSurrogate
+        } else if depth * 2 >= bound {
+            FitFloor::UnivariateOnly
+        } else {
+            FitFloor::Full
+        }
+    }
+}
+
+/// A running explanation server. Dropping it without
+/// [`Server::shutdown`] detaches the threads (the process exit reaps
+/// them); call `shutdown` for a graceful drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    port: u16,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind on loopback and start serving `models`. Returns once the
+    /// listener is bound and workers are up; [`Server::port`] has the
+    /// (possibly ephemeral) port.
+    pub fn start(cfg: ServeConfig, models: Vec<ModelEntry>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let port = listener.local_addr()?.port();
+        // Non-blocking accept so shutdown is observed within one poll
+        // interval even with no incoming connections.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            latency: Mutex::new(Histogram::new()),
+            breaker: Breaker::new(
+                cfg.breaker_threshold,
+                Duration::from_millis(cfg.breaker_cooldown_ms),
+            ),
+            models,
+            cfg,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("gef-serve-accept".into())
+            .spawn(move || accept_loop(&accept_shared, listener))?;
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gef-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        gef_trace::recorder::note(
+            gef_trace::recorder::Kind::Event,
+            "serve.started",
+            &format!("port {port}"),
+        );
+        Ok(Server {
+            shared,
+            port,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Graceful drain: stop accepting, let workers finish every queued
+    /// connection, join all threads. In-flight requests complete; new
+    /// connections are refused once the listener closes.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue_ready.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        gef_trace::recorder::note(gef_trace::recorder::Kind::Event, "serve.drained", "");
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Listener drops here: further connects are refused, which is the
+    // drain signal remote clients observe.
+}
+
+/// Admission control: bounded queue or immediate, cheap shed.
+fn admit(shared: &Shared, stream: TcpStream) {
+    shared.counters.received.fetch_add(1, Ordering::Relaxed);
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if q.len() >= shared.cfg.queue_depth {
+        drop(q);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        // Answer on the accept thread, but never let a slow client
+        // stall it: tight write timeout, best-effort delivery.
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+        let mut s = stream;
+        let _ = http::write_response(
+            &mut s,
+            429,
+            "Too Many Requests",
+            &[("retry-after", "1"), ("connection", "close")],
+            error_body("overloaded", "admission queue is full; retry shortly").as_bytes(),
+        );
+        close_gracefully(s, Duration::from_millis(50));
+        return;
+    }
+    q.push_back(stream);
+    drop(q);
+    shared.queue_ready.notify_one();
+}
+
+/// Close a connection whose request may be partly unread without
+/// RST-ing the response out of the client's receive buffer.
+///
+/// Dropping a `TcpStream` with unread inbound bytes makes the kernel
+/// send RST, which discards data already queued for the peer — the shed
+/// 429 or a 413 would be written and then destroyed in flight. Instead:
+/// half-close the write side (flushing the response + FIN), then drain
+/// whatever the client was still sending until EOF or a short timeout.
+fn close_gracefully(mut stream: TcpStream, drain_for: Duration) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(drain_for));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    // Queue drained and no more arrivals: clean exit.
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+/// Serve one connection (keep-alive until close/EOF/violation).
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(SOCKET_TIMEOUT_MS)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(SOCKET_TIMEOUT_MS)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match http::read_request(&mut reader, shared.cfg.max_body_bytes) {
+            ReadOutcome::Eof | ReadOutcome::Io(_) => return,
+            ReadOutcome::Malformed(e) => {
+                // The stream position is untrustworthy after a protocol
+                // violation: answer typed and close.
+                shared
+                    .counters
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let (status, reason) = e.status();
+                let _ = http::write_response(
+                    &mut stream,
+                    status,
+                    reason,
+                    &[("connection", "close")],
+                    error_body(e.cause(), &e.to_string()).as_bytes(),
+                );
+                // The rejected request is often partly unread (a 413
+                // never reads its body): half-close and drain so the
+                // typed answer is not RST away mid-flight.
+                close_gracefully(stream, Duration::from_millis(100));
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
+                let response = dispatch(shared, &req);
+                let conn = if close { "close" } else { "keep-alive" };
+                let write_ok = http::write_response(
+                    &mut stream,
+                    response.status,
+                    response.reason,
+                    &[("connection", conn)],
+                    response.body.as_bytes(),
+                )
+                .is_ok();
+                if close || !write_ok {
+                    // A pipelining client may have bytes in flight;
+                    // same RST hazard as the malformed path.
+                    close_gracefully(stream, Duration::from_millis(100));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A fully-formed response (status line + JSON body).
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, cause: &str, detail: &str) -> Response {
+        Response {
+            status,
+            reason,
+            body: error_body(cause, detail),
+        }
+    }
+}
+
+/// `{"error":{"cause":...,"detail":...}}`
+fn error_body(cause: &str, detail: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("error");
+    w.begin_object();
+    w.field_str("cause", cause);
+    w.field_str("detail", detail);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/stats") => handle_stats(shared),
+        ("POST", "/explain") => {
+            let t = Instant::now();
+            let resp = handle_explain(shared, req);
+            let elapsed_us = t.elapsed().as_micros() as u64;
+            shared
+                .latency
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(elapsed_us);
+            count_status(shared, resp.status);
+            resp
+        }
+        ("POST", "/predict") => {
+            let resp = handle_predict(shared, req);
+            count_status(shared, resp.status);
+            resp
+        }
+        (_, "/healthz" | "/stats" | "/explain" | "/predict") => Response::error(
+            405,
+            "Method Not Allowed",
+            "method_not_allowed",
+            &format!("{} is not valid here", req.method),
+        ),
+        _ => Response::error(404, "Not Found", "not_found", &req.target.clone()),
+    }
+}
+
+fn count_status(shared: &Shared, status: u16) {
+    let c = &shared.counters;
+    match status {
+        200 => {
+            c.served_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        400..=499 => {
+            c.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            c.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("ok");
+    w.value_raw("true");
+    w.field_str(
+        "status",
+        if shared.shutdown.load(Ordering::Relaxed) {
+            "draining"
+        } else {
+            "serving"
+        },
+    );
+    w.field_u64("models", shared.models.len() as u64);
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let c = &shared.counters;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("received", c.received.load(Ordering::Relaxed));
+    w.field_u64("served_ok", c.served_ok.load(Ordering::Relaxed));
+    w.field_u64("degraded", c.degraded.load(Ordering::Relaxed));
+    w.field_u64("shed", c.shed.load(Ordering::Relaxed));
+    w.field_u64("client_errors", c.client_errors.load(Ordering::Relaxed));
+    w.field_u64("server_errors", c.server_errors.load(Ordering::Relaxed));
+    w.field_u64("deadline_trips", c.deadline_trips.load(Ordering::Relaxed));
+    w.field_u64(
+        "panics_contained",
+        c.panics_contained.load(Ordering::Relaxed),
+    );
+    w.field_u64("breaker_trips", c.breaker_trips.load(Ordering::Relaxed));
+    w.key("breaker_open");
+    w.value_raw(if shared.breaker.is_open() {
+        "true"
+    } else {
+        "false"
+    });
+    w.field_u64("queue_depth", shared.queue_depth() as u64);
+    w.field_u64("queue_bound", shared.cfg.queue_depth as u64);
+    w.field_str("pressure_floor", shared.pressure_floor().label());
+    {
+        let h = shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+        w.key("explain_latency_us");
+        w.begin_object();
+        w.field_u64("count", h.count());
+        if h.count() > 0 {
+            w.field_f64("mean", h.mean());
+            w.field_u64("p50", h.quantile(0.50));
+            w.field_u64("p95", h.quantile(0.95));
+            w.field_u64("p99", h.quantile(0.99));
+        }
+        w.end_object();
+    }
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// Parse the request body and resolve the target model and instance.
+fn parse_instance<'a>(
+    shared: &'a Shared,
+    req: &Request,
+) -> Result<(&'a ModelEntry, Vec<f64>, JsonValue), Response> {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Err(Response::error(
+            400,
+            "Bad Request",
+            "bad_json",
+            "body is not valid UTF-8",
+        ));
+    };
+    let body =
+        json::parse(text).map_err(|e| Response::error(400, "Bad Request", "bad_json", &e))?;
+    let model = match body.get("model").and_then(|m| m.as_str()) {
+        Some(name) => shared
+            .models
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| {
+                Response::error(
+                    404,
+                    "Not Found",
+                    "model_not_found",
+                    &format!("no model named {name:?}"),
+                )
+            })?,
+        None if shared.models.len() == 1 => &shared.models[0],
+        None => {
+            return Err(Response::error(
+                400,
+                "Bad Request",
+                "bad_instance",
+                "a 'model' field is required when several models are loaded",
+            ))
+        }
+    };
+    let Some(values) = body.get("instance").and_then(|i| i.as_array()) else {
+        return Err(Response::error(
+            400,
+            "Bad Request",
+            "bad_instance",
+            "an 'instance' array of numbers is required",
+        ));
+    };
+    let mut instance = Vec::with_capacity(values.len());
+    for v in values {
+        match v.as_f64() {
+            Some(x) if x.is_finite() => instance.push(x),
+            _ => {
+                return Err(Response::error(
+                    400,
+                    "Bad Request",
+                    "bad_instance",
+                    "instance values must be finite numbers",
+                ))
+            }
+        }
+    }
+    if instance.len() != model.forest.num_features {
+        return Err(Response::error(
+            400,
+            "Bad Request",
+            "bad_instance",
+            &format!(
+                "instance has {} values; model {:?} expects {}",
+                instance.len(),
+                model.name,
+                model.forest.num_features
+            ),
+        ));
+    }
+    Ok((model, instance, body))
+}
+
+fn handle_predict(shared: &Shared, req: &Request) -> Response {
+    let (model, instance, _) = match parse_instance(shared, req) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("ok");
+    w.value_raw("true");
+    w.field_str("model", &model.name);
+    w.field_f64("prediction", model.forest.predict(&instance));
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// Whether this error means "the GAM fit itself is failing" — the
+/// signal the circuit breaker integrates.
+fn is_fit_failure(cause: &str) -> bool {
+    matches!(
+        cause,
+        "gam" | "recovery_exhausted" | "non_finite_labels" | "worker_panic"
+    )
+}
+
+fn handle_explain(shared: &Shared, req: &Request) -> Response {
+    let (model, instance, body) = match parse_instance(shared, req) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    // Per-request hard deadline: the request may lower the server
+    // default, never raise it. Soft pressure at 80%, mirroring
+    // RunBudget::from_env.
+    let deadline_ms = body
+        .get("deadline_ms")
+        .and_then(|d| d.as_f64())
+        .filter(|&d| d >= 1.0)
+        .map(|d| (d as u64).min(shared.cfg.deadline_ms))
+        .unwrap_or(shared.cfg.deadline_ms);
+    let floor = shared.pressure_floor();
+    let mut config = model.config.clone();
+    config.fit_floor = config.fit_floor.max(floor);
+    let budget = RunBudget {
+        hard_deadline: Some(Duration::from_millis(deadline_ms)),
+        soft_deadline: Some(Duration::from_millis(deadline_ms.saturating_mul(4) / 5)),
+        ..RunBudget::unlimited()
+    };
+    let outcome = {
+        // The scope guard lives exactly as long as the run, so an early
+        // return can never leak this request's deadline to the next.
+        let _scope = budget.enter();
+        catch_unwind(AssertUnwindSafe(|| {
+            if shared.cfg.test_hooks {
+                match req.header("x-gef-test") {
+                    Some("panic") => panic!("test hook: deliberate worker panic"),
+                    Some("sleep") => {
+                        // Deterministically holds this worker busy so
+                        // admission-control tests can fill the queue.
+                        let ms = req
+                            .header("x-gef-test-ms")
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .unwrap_or(200)
+                            .min(10_000);
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    _ => {}
+                }
+            }
+            GefExplainer::new(config.clone()).explain(&model.forest)
+        }))
+    };
+    match outcome {
+        Err(payload) => {
+            // Fault containment: typed 500 + incident dump, never a
+            // dead worker.
+            shared
+                .counters
+                .panics_contained
+                .fetch_add(1, Ordering::Relaxed);
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            incident::dump_now("serve_panic", &detail);
+            if shared.breaker.record_failure() {
+                shared
+                    .counters
+                    .breaker_trips
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Response::error(500, "Internal Server Error", "worker_panic", &detail)
+        }
+        Ok(Err(err)) => {
+            let cause = err.cause_label();
+            if matches!(
+                err,
+                GefError::DeadlineExceeded { .. } | GefError::BudgetExceeded(_)
+            ) {
+                shared
+                    .counters
+                    .deadline_trips
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::error(504, "Gateway Timeout", cause, &err.to_string());
+            }
+            if is_fit_failure(cause) && shared.breaker.record_failure() {
+                shared
+                    .counters
+                    .breaker_trips
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Response::error(500, "Internal Server Error", cause, &err.to_string())
+        }
+        Ok(Ok(exp)) => {
+            shared.breaker.record_success();
+            if !exp.degradations.is_empty() {
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            let local = exp.local(&instance);
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("ok");
+            w.value_raw("true");
+            w.field_str("model", &model.name);
+            w.field_f64("prediction", local.prediction);
+            w.field_f64("baseline", local.baseline);
+            w.field_f64("fidelity_r2", exp.fidelity_r2);
+            w.field_str("floor", config.fit_floor.label());
+            w.field_str("budget_outcome", &exp.provenance.budget_outcome);
+            w.key("degradations");
+            w.begin_array();
+            for d in &exp.degradations {
+                w.value_str(d.action.label());
+            }
+            w.end_array();
+            w.key("contributions");
+            w.begin_array();
+            for c in &local.contributions {
+                w.begin_object();
+                w.field_str("term", &c.label);
+                w.key("features");
+                w.begin_array();
+                for &f in &c.features {
+                    w.value_u64(f as u64);
+                }
+                w.end_array();
+                w.key("values");
+                w.begin_array();
+                for &v in &c.values {
+                    w.value_f64(v);
+                }
+                w.end_array();
+                w.field_f64("contribution", c.contribution);
+                w.field_f64("std_error", c.std_error);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+            Response::ok(w.finish())
+        }
+    }
+}

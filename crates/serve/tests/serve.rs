@@ -1,0 +1,298 @@
+//! End-to-end tests of the explanation service over real sockets:
+//! per-request (not shared) deadlines, admission-control shedding,
+//! panic containment, circuit breaking, and graceful drain.
+
+use gef_core::GefConfig;
+use gef_forest::{Forest, GbdtParams, GbdtTrainer};
+use gef_serve::{ModelEntry, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn train_forest() -> Forest {
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..400).map(|_| (0..3).map(|_| next()).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + x[2]).collect();
+    GbdtTrainer::new(GbdtParams {
+        num_trees: 30,
+        num_leaves: 8,
+        learning_rate: 0.2,
+        min_data_in_leaf: 5,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .unwrap()
+}
+
+fn model(n_samples: usize) -> ModelEntry {
+    ModelEntry {
+        name: "m".into(),
+        forest: train_forest(),
+        config: GefConfig {
+            num_univariate: 3,
+            n_samples,
+            ..Default::default()
+        },
+    }
+}
+
+fn start(cfg: ServeConfig, n_samples: usize) -> Server {
+    // Keep incident dumps from error-path tests out of the repo tree.
+    std::env::set_var("GEF_INCIDENT_DIR", env!("CARGO_TARGET_TMPDIR"));
+    Server::start(cfg, vec![model(n_samples)]).expect("server start")
+}
+
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, returns
+/// `(status, body)`.
+fn roundtrip(port: u16, request: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(port: u16, path: &str, body: &str, extra: &str) -> (u16, String) {
+    roundtrip(
+        port,
+        &format!(
+            "POST {path} HTTP/1.1\r\nconnection: close\r\n{extra}content-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(port: u16, path: &str) -> (u16, String) {
+    roundtrip(
+        port,
+        &format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+#[test]
+fn predict_healthz_stats_and_404() {
+    let server = start(ServeConfig::default(), 1000);
+    let port = server.port();
+
+    let (status, body) = get(port, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"serving\""), "{body}");
+
+    let (status, body) = post(port, "/predict", r#"{"instance":[0.5,0.5,0.5]}"#, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"prediction\""), "{body}");
+
+    let (status, body) = post(port, "/predict", r#"{"instance":[0.5]}"#, "");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad_instance"), "{body}");
+
+    let (status, _) = get(port, "/nowhere");
+    assert_eq!(status, 404);
+
+    let (status, _) = get(port, "/predict");
+    assert_eq!(status, 405);
+
+    let (status, body) = get(port, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"queue_bound\""), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn explain_returns_contributions() {
+    let server = start(ServeConfig::default(), 1500);
+    let port = server.port();
+    let (status, body) = post(port, "/explain", r#"{"instance":[0.2,0.8,0.5]}"#, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("\"contributions\""), "{body}");
+    assert!(body.contains("\"fidelity_r2\""), "{body}");
+    server.shutdown();
+}
+
+/// THE scoping acceptance criterion: a request with a 1 ms deadline
+/// hard-trips to a typed 504 while a simultaneous request with a
+/// generous deadline completes clean — deadlines are per-request, not
+/// process-global.
+#[test]
+fn concurrent_requests_hold_independent_deadlines() {
+    let server = start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        4000,
+    );
+    let port = server.port();
+    let tight = std::thread::spawn(move || {
+        post(
+            port,
+            "/explain",
+            r#"{"instance":[0.5,0.5,0.5],"deadline_ms":1}"#,
+            "",
+        )
+    });
+    let roomy = std::thread::spawn(move || {
+        post(
+            port,
+            "/explain",
+            r#"{"instance":[0.5,0.5,0.5],"deadline_ms":9000}"#,
+            "",
+        )
+    });
+    let (tight_status, tight_body) = tight.join().unwrap();
+    let (roomy_status, roomy_body) = roomy.join().unwrap();
+    assert_eq!(tight_status, 504, "tight must trip: {tight_body}");
+    assert!(tight_body.contains("\"deadline\""), "{tight_body}");
+    assert_eq!(roomy_status, 200, "roomy must complete: {roomy_body}");
+    assert!(roomy_body.contains("\"ok\":true"), "{roomy_body}");
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let server = start(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            test_hooks: true,
+            ..ServeConfig::default()
+        },
+        1000,
+    );
+    let port = server.port();
+    // Hold the single worker busy for 1.5 s.
+    let busy = std::thread::spawn(move || {
+        post(
+            port,
+            "/explain",
+            r#"{"instance":[0.5,0.5,0.5]}"#,
+            "x-gef-test: sleep\r\nx-gef-test-ms: 1500\r\n",
+        )
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    // Fill the queue (depth 1) with a second held connection…
+    let queued = std::thread::spawn(move || get(port, "/healthz"));
+    std::thread::sleep(Duration::from_millis(100));
+    // …so further arrivals must be shed.
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read shed response");
+    assert!(raw.starts_with("HTTP/1.1 429 "), "{raw}");
+    assert!(raw.to_ascii_lowercase().contains("retry-after: 1"), "{raw}");
+    assert!(raw.contains("overloaded"), "{raw}");
+    // The held requests still complete (shed is a rejection of the
+    // *new* arrival, not an abort of admitted work).
+    let (busy_status, _) = busy.join().unwrap();
+    assert_eq!(busy_status, 200);
+    let (queued_status, _) = queued.join().unwrap();
+    assert_eq!(queued_status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn panics_are_contained_and_breaker_trips_to_linear_floor() {
+    let server = start(
+        ServeConfig {
+            workers: 1,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 60_000,
+            test_hooks: true,
+            ..ServeConfig::default()
+        },
+        1000,
+    );
+    let port = server.port();
+    for _ in 0..2 {
+        let (status, body) = post(
+            port,
+            "/explain",
+            r#"{"instance":[0.5,0.5,0.5]}"#,
+            "x-gef-test: panic\r\n",
+        );
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("worker_panic"), "{body}");
+    }
+    // The server survived both panics…
+    let (status, _) = get(port, "/healthz");
+    assert_eq!(status, 200);
+    // …and two consecutive failures opened the breaker: the next
+    // explanation is served, degraded to the linear-surrogate floor.
+    let (status, body) = get(port, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"breaker_open\":true"), "{body}");
+    let (status, body) = post(port, "/explain", r#"{"instance":[0.5,0.5,0.5]}"#, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"floor\":\"linear_surrogate\""), "{body}");
+    assert!(body.contains("linear_surrogate"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_connections() {
+    let server = start(ServeConfig::default(), 1000);
+    let port = server.port();
+    let (status, _) = post(port, "/predict", r#"{"instance":[0.1,0.2,0.3]}"#, "");
+    assert_eq!(status, 200);
+    server.shutdown();
+    // The listener is gone: new connections must be refused (or at
+    // least never answered by a live server).
+    match TcpStream::connect(("127.0.0.1", port)) {
+        Err(_) => {}
+        Ok(mut s) => {
+            // Rare race: the OS may still complete the handshake from
+            // the backlog; a read must then see EOF, never a response.
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+            let mut buf = String::new();
+            let n = s.read_to_string(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "a drained server must not answer: {buf}");
+        }
+    }
+}
+
+#[test]
+fn malformed_requests_answer_typed_and_server_survives() {
+    let server = start(ServeConfig::default(), 1000);
+    let port = server.port();
+    let cases: [(&str, u16); 4] = [
+        ("BOGUS LINE\r\n\r\n", 400),
+        (
+            "POST /explain HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            400,
+        ),
+        (
+            "POST /explain HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+            413,
+        ),
+        (
+            "POST /explain HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            501,
+        ),
+    ];
+    for (raw, want) in cases {
+        let (status, body) = roundtrip(port, raw);
+        assert_eq!(status, want, "{raw:?} → {body}");
+        assert!(body.contains("\"error\""), "{body}");
+    }
+    let (status, _) = get(port, "/healthz");
+    assert_eq!(status, 200, "server must survive malformed input");
+    server.shutdown();
+}

@@ -1,5 +1,6 @@
-//! Process-global run budget: wall-clock deadlines, iteration caps, and
-//! a cooperative cancellation flag.
+//! Run budgets: wall-clock deadlines, iteration caps, and a cooperative
+//! cancellation flag — **scoped per handle**, with a process-global
+//! compatibility shim.
 //!
 //! This is the low-level primitive behind `gef_core::budget::RunBudget`.
 //! It lives here (rather than in gef-core) for the same reason as
@@ -11,52 +12,56 @@
 //!
 //! # Model
 //!
-//! * A **hard deadline** bounds the whole run's wall-clock. Once it
-//!   passes, [`hard_exceeded`] (and therefore [`cancel_requested`])
-//!   turns true and every cooperative checkpoint in the workspace
-//!   returns a typed `DeadlineExceeded` error instead of continuing —
-//!   never a hang, never a panic.
+//! A [`Budget`] is a cheaply clonable handle to one run's limits:
+//!
+//! * A **hard deadline** bounds the run's wall-clock. Once it passes,
+//!   [`Budget::hard_exceeded`] (and therefore
+//!   [`Budget::cancel_requested`]) turns true and every cooperative
+//!   checkpoint in the workspace returns a typed `DeadlineExceeded`
+//!   error instead of continuing — never a hang, never a panic.
 //! * A **soft deadline** (earlier than the hard one) signals budget
 //!   pressure without aborting: the GAM recovery ladder reacts to
-//!   [`soft_exceeded`] by descending to a cheaper spec, recorded as a
-//!   degradation.
-//! * A **cancellation flag** ([`cancel`]/[`cancel_requested`]) lets a
-//!   caller abort cooperatively without any deadline; gef-par workers
-//!   poll it between task claims so a trip takes effect mid-region.
-//! * **Iteration caps** (boosting rounds, PIRLS iterations) are lazy
-//!   process-wide limits resolved from `GEF_MAX_BOOST_ROUNDS` /
-//!   `GEF_MAX_PIRLS_ITERS` on first read, overridable in-process.
+//!   [`Budget::soft_exceeded`] by descending to a cheaper spec,
+//!   recorded as a degradation.
+//! * A **cancellation flag** lets a caller abort cooperatively without
+//!   any deadline; gef-par workers poll it between task claims so a
+//!   trip takes effect mid-region.
+//! * **Iteration caps** (boosting rounds, PIRLS iterations). A handle
+//!   that never set a cap *inherits* the process-wide caps resolved
+//!   lazily from `GEF_MAX_BOOST_ROUNDS` / `GEF_MAX_PIRLS_ITERS`.
+//!
+//! # Scoping
+//!
+//! The workspace's cooperative checkpoints are module-level functions
+//! ([`hard_exceeded`], [`soft_exceeded`], [`cancel_requested`], …)
+//! called from deep inside the GAM/forest/parallel layers, far from any
+//! place a handle could be threaded through. They resolve the **current
+//! budget** of the calling thread:
+//!
+//! 1. the innermost [`Budget`] installed on this thread via
+//!    [`Budget::enter`] (a thread-local scope stack), else
+//! 2. the **process-global budget** — the pre-scoping behaviour, kept
+//!    as a compatibility shim behind the module-level [`arm`]/[`reset`]/
+//!    [`scoped`] functions that the `xp_*` binaries drive.
+//!
+//! Concurrent runs therefore stop sharing one deadline the moment each
+//! of them enters its own handle: `gef-serve` enters a fresh `Budget`
+//! per request, and gef-par propagates the dispatching thread's current
+//! budget onto its pool workers so a region's tasks observe the same
+//! deadline as the coordinator that launched it.
 //!
 //! All checks are relaxed atomic loads plus (when a deadline is armed) a
 //! monotonic clock read, so unarmed runs stay bit-identical to builds
 //! without any budget code on the hot path.
-//!
-//! The state is process-global, exactly like the telemetry registry and
-//! the fault registry: concurrent runs share one budget, and tests that
-//! arm it must serialise and [`reset`] on exit.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Sentinel for "no cap configured" in the lazy cap cells.
 const CAP_UNRESOLVED: u64 = u64::MAX;
-
-// Absolute deadlines in nanoseconds since `epoch()`; 0 = unarmed.
-static HARD_DEADLINE_NS: AtomicU64 = AtomicU64::new(0);
-static SOFT_DEADLINE_NS: AtomicU64 = AtomicU64::new(0);
-static CANCELLED: AtomicBool = AtomicBool::new(false);
-// Fast path: true iff a deadline is armed or a cancel was requested, so
-// the common (unbudgeted) case is a single relaxed load and no clock read.
-static ACTIVE: AtomicBool = AtomicBool::new(false);
-// Transition latches so the flight recorder sees each trip exactly once
-// per arm, not once per checkpoint poll after the deadline passed.
-static TRIPPED_HARD: AtomicBool = AtomicBool::new(false);
-static TRIPPED_SOFT: AtomicBool = AtomicBool::new(false);
-
-// u64::MAX = unresolved (read env on first use); 0 = unlimited.
-static BOOST_ROUND_CAP: AtomicU64 = AtomicU64::new(CAP_UNRESOLVED);
-static PIRLS_ITER_CAP: AtomicU64 = AtomicU64::new(CAP_UNRESOLVED);
 
 /// Process-wide monotonic time origin (first use wins).
 fn epoch() -> Instant {
@@ -74,144 +79,375 @@ fn to_deadline_ns(from_now: Duration) -> u64 {
     now_ns().saturating_add(from_now.as_nanos() as u64).max(1)
 }
 
-/// Arm wall-clock deadlines measured from now. `hard` bounds the run
-/// ([`hard_exceeded`] / typed `DeadlineExceeded` errors); `soft`
-/// signals budget pressure ([`soft_exceeded`] / ladder descent).
-/// Passing `None` leaves that deadline unarmed. Clears any pending
-/// cancellation from a previous run.
-pub fn arm(hard: Option<Duration>, soft: Option<Duration>) {
-    CANCELLED.store(false, Ordering::Relaxed);
-    TRIPPED_HARD.store(false, Ordering::Relaxed);
-    TRIPPED_SOFT.store(false, Ordering::Relaxed);
-    HARD_DEADLINE_NS.store(hard.map_or(0, to_deadline_ns), Ordering::Relaxed);
-    SOFT_DEADLINE_NS.store(soft.map_or(0, to_deadline_ns), Ordering::Relaxed);
-    ACTIVE.store(hard.is_some() || soft.is_some(), Ordering::Relaxed);
+/// Shared state behind one [`Budget`] handle.
+struct State {
+    // Absolute deadlines in nanoseconds since `epoch()`; 0 = unarmed.
+    hard_deadline_ns: AtomicU64,
+    soft_deadline_ns: AtomicU64,
+    cancelled: AtomicBool,
+    // Fast path: true iff a deadline is armed or a cancel was requested,
+    // so the common (unbudgeted) case is a single relaxed load and no
+    // clock read.
+    active: AtomicBool,
+    // Transition latches so the flight recorder sees each trip exactly
+    // once per arm, not once per checkpoint poll after the deadline
+    // passed.
+    tripped_hard: AtomicBool,
+    tripped_soft: AtomicBool,
+    // u64::MAX = unset: inherit the process-wide (env-resolved) cap.
+    boost_round_cap: AtomicU64,
+    pirls_iter_cap: AtomicU64,
 }
 
-/// Disarm both deadlines and clear the cancellation flag.
-pub fn reset() {
-    HARD_DEADLINE_NS.store(0, Ordering::Relaxed);
-    SOFT_DEADLINE_NS.store(0, Ordering::Relaxed);
-    CANCELLED.store(false, Ordering::Relaxed);
-    TRIPPED_HARD.store(false, Ordering::Relaxed);
-    TRIPPED_SOFT.store(false, Ordering::Relaxed);
-    ACTIVE.store(false, Ordering::Relaxed);
+impl State {
+    const fn unarmed() -> State {
+        State {
+            hard_deadline_ns: AtomicU64::new(0),
+            soft_deadline_ns: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            active: AtomicBool::new(false),
+            tripped_hard: AtomicBool::new(false),
+            tripped_soft: AtomicBool::new(false),
+            boost_round_cap: AtomicU64::new(CAP_UNRESOLVED),
+            pirls_iter_cap: AtomicU64::new(CAP_UNRESOLVED),
+        }
+    }
 }
 
-/// Whether any deadline is armed or a cancellation is pending (one
-/// relaxed load — the checkpoint fast path).
+/// A clonable handle to one run's wall-clock deadlines, iteration caps,
+/// and cancellation flag. Clones share state — arm/cancel through any
+/// clone and every holder (including gef-par workers the handle was
+/// propagated to) observes it.
+#[derive(Clone)]
+pub struct Budget {
+    state: Arc<State>,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("active", &self.active())
+            .field("remaining_ms", &self.remaining_ms())
+            .finish()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unarmed()
+    }
+}
+
+impl Budget {
+    /// A fresh, unarmed budget (nothing trips, caps inherited from the
+    /// process-wide env caps).
+    pub fn unarmed() -> Budget {
+        Budget {
+            state: Arc::new(State::unarmed()),
+        }
+    }
+
+    /// A fresh budget with deadlines armed from now (see [`Budget::arm`]).
+    pub fn armed(hard: Option<Duration>, soft: Option<Duration>) -> Budget {
+        let b = Budget::unarmed();
+        b.arm(hard, soft);
+        b
+    }
+
+    /// Arm wall-clock deadlines measured from now. `hard` bounds the
+    /// run ([`Budget::hard_exceeded`] / typed `DeadlineExceeded`
+    /// errors); `soft` signals budget pressure ([`Budget::soft_exceeded`]
+    /// / ladder descent). Passing `None` leaves that deadline unarmed.
+    /// Clears any pending cancellation and trip latches.
+    pub fn arm(&self, hard: Option<Duration>, soft: Option<Duration>) {
+        let s = &self.state;
+        s.cancelled.store(false, Ordering::Relaxed);
+        s.tripped_hard.store(false, Ordering::Relaxed);
+        s.tripped_soft.store(false, Ordering::Relaxed);
+        s.hard_deadline_ns
+            .store(hard.map_or(0, to_deadline_ns), Ordering::Relaxed);
+        s.soft_deadline_ns
+            .store(soft.map_or(0, to_deadline_ns), Ordering::Relaxed);
+        s.active
+            .store(hard.is_some() || soft.is_some(), Ordering::Relaxed);
+    }
+
+    /// Disarm both deadlines and clear the cancellation flag and trip
+    /// latches. Caps are left as set (they are configuration, not
+    /// per-arm state).
+    pub fn reset(&self) {
+        let s = &self.state;
+        s.hard_deadline_ns.store(0, Ordering::Relaxed);
+        s.soft_deadline_ns.store(0, Ordering::Relaxed);
+        s.cancelled.store(false, Ordering::Relaxed);
+        s.tripped_hard.store(false, Ordering::Relaxed);
+        s.tripped_soft.store(false, Ordering::Relaxed);
+        s.active.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether any deadline is armed or a cancellation is pending (one
+    /// relaxed load — the checkpoint fast path).
+    #[inline(always)]
+    pub fn active(&self) -> bool {
+        self.state.active.load(Ordering::Relaxed)
+    }
+
+    /// Whether the hard deadline is armed and has passed.
+    ///
+    /// The first poll that observes the trip leaves a [`Kind::Budget`]
+    /// record in the flight recorder (once per [`Budget::arm`]).
+    ///
+    /// [`Kind::Budget`]: crate::recorder::Kind::Budget
+    #[inline]
+    pub fn hard_exceeded(&self) -> bool {
+        if !self.active() {
+            return false;
+        }
+        let d = self.state.hard_deadline_ns.load(Ordering::Relaxed);
+        let tripped = d != 0 && now_ns() >= d;
+        if tripped && !self.state.tripped_hard.swap(true, Ordering::Relaxed) {
+            crate::recorder::record(crate::recorder::Kind::Budget, "budget.hard_exceeded", &[]);
+        }
+        tripped
+    }
+
+    /// Whether the soft deadline is armed and has passed (budget
+    /// pressure; degrade, don't abort). First observation of the trip
+    /// is recorded in the flight recorder, like [`Budget::hard_exceeded`].
+    #[inline]
+    pub fn soft_exceeded(&self) -> bool {
+        if !self.active() {
+            return false;
+        }
+        let d = self.state.soft_deadline_ns.load(Ordering::Relaxed);
+        let tripped = d != 0 && now_ns() >= d;
+        if tripped && !self.state.tripped_soft.swap(true, Ordering::Relaxed) {
+            crate::recorder::record(crate::recorder::Kind::Budget, "budget.soft_exceeded", &[]);
+        }
+        tripped
+    }
+
+    /// Whether the hard deadline has been observed tripped since the
+    /// last [`Budget::arm`]/[`Budget::reset`] (no clock read; incident
+    /// dumps report this).
+    pub fn hard_tripped(&self) -> bool {
+        self.state.tripped_hard.load(Ordering::Relaxed)
+    }
+
+    /// Whether the soft deadline has been observed tripped since the
+    /// last [`Budget::arm`]/[`Budget::reset`].
+    pub fn soft_tripped(&self) -> bool {
+        self.state.tripped_soft.load(Ordering::Relaxed)
+    }
+
+    /// Request cooperative cancellation: every
+    /// [`Budget::cancel_requested`] poll — including gef-par's
+    /// between-task checks — turns true until [`Budget::reset`] or the
+    /// next [`Budget::arm`].
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+        self.state.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether work should stop now: an explicit [`Budget::cancel`] or
+    /// a passed hard deadline. This is the poll gef-par workers issue
+    /// between task claims, so a deadline fires mid-region.
+    #[inline]
+    pub fn cancel_requested(&self) -> bool {
+        if !self.active() {
+            return false;
+        }
+        self.state.cancelled.load(Ordering::Relaxed) || self.hard_exceeded()
+    }
+
+    /// Milliseconds left until the hard deadline (`None` when unarmed,
+    /// `Some(0)` once passed).
+    pub fn remaining_ms(&self) -> Option<u64> {
+        let d = self.state.hard_deadline_ns.load(Ordering::Relaxed);
+        if d == 0 {
+            return None;
+        }
+        Some(d.saturating_sub(now_ns()) / 1_000_000)
+    }
+
+    /// This budget's boosting-round cap (0 = unlimited). A handle that
+    /// never set one inherits the process-wide `GEF_MAX_BOOST_ROUNDS`
+    /// cap.
+    pub fn boost_round_cap(&self) -> u64 {
+        match self.state.boost_round_cap.load(Ordering::Relaxed) {
+            CAP_UNRESOLVED => {
+                if self.is_global() {
+                    resolve_cap(&self.state.boost_round_cap, "GEF_MAX_BOOST_ROUNDS")
+                } else {
+                    global_budget().boost_round_cap()
+                }
+            }
+            n => n,
+        }
+    }
+
+    /// Set this budget's boosting-round cap (0 = unlimited).
+    pub fn set_boost_round_cap(&self, n: u64) {
+        self.state
+            .boost_round_cap
+            .store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+    }
+
+    /// This budget's PIRLS-iteration cap (0 = unlimited); inherits the
+    /// process-wide `GEF_MAX_PIRLS_ITERS` cap when unset.
+    pub fn pirls_iter_cap(&self) -> u64 {
+        match self.state.pirls_iter_cap.load(Ordering::Relaxed) {
+            CAP_UNRESOLVED => {
+                if self.is_global() {
+                    resolve_cap(&self.state.pirls_iter_cap, "GEF_MAX_PIRLS_ITERS")
+                } else {
+                    global_budget().pirls_iter_cap()
+                }
+            }
+            n => n,
+        }
+    }
+
+    /// Set this budget's PIRLS-iteration cap (0 = unlimited).
+    pub fn set_pirls_iter_cap(&self, n: u64) {
+        self.state
+            .pirls_iter_cap
+            .store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+    }
+
+    /// Install this budget as the calling thread's **current** budget
+    /// for the returned guard's lifetime. Every module-level checkpoint
+    /// ([`hard_exceeded`] & co.) on this thread — and on gef-par
+    /// workers running regions dispatched from it — resolves to this
+    /// handle instead of the process-global budget. Scopes nest
+    /// (innermost wins) and must drop on the entering thread.
+    #[must_use = "the budget leaves scope when this guard drops"]
+    pub fn enter(&self) -> BudgetScope {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        BudgetScope {
+            _not_send: PhantomData,
+        }
+    }
+
+    fn is_global(&self) -> bool {
+        Arc::ptr_eq(&self.state, &global_budget().state)
+    }
+}
+
+thread_local! {
+    /// Stack of budgets entered on this thread (innermost last).
+    static CURRENT: RefCell<Vec<Budget>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`Budget::enter`]; pops the thread's scope
+/// stack on drop. Deliberately `!Send`: the scope belongs to the
+/// entering thread.
+#[must_use = "the budget leaves scope when this guard drops"]
+pub struct BudgetScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The process-global budget — the pre-scoping compatibility target of
+/// the module-level [`arm`]/[`reset`]/[`scoped`] shims, and the
+/// fallback every checkpoint resolves to on threads with no entered
+/// scope.
+fn global_budget() -> &'static Budget {
+    static GLOBAL: OnceLock<Budget> = OnceLock::new();
+    GLOBAL.get_or_init(Budget::unarmed)
+}
+
+/// Run `f` against the calling thread's current budget: the innermost
+/// [`Budget::enter`] scope, else the process-global budget.
+#[inline]
+fn with_current<T>(f: impl FnOnce(&Budget) -> T) -> T {
+    CURRENT.with(|c| match c.borrow().last() {
+        Some(b) => f(b),
+        None => f(global_budget()),
+    })
+}
+
+/// A clone of the calling thread's current budget (innermost entered
+/// scope, else the process-global budget). gef-par captures this at
+/// dispatch time to propagate the coordinator's budget onto pool
+/// workers.
+pub fn current() -> Budget {
+    with_current(|b| b.clone())
+}
+
+/// Whether any deadline is armed or a cancellation is pending on the
+/// current budget (the checkpoint fast path).
 #[inline(always)]
 pub fn active() -> bool {
-    ACTIVE.load(Ordering::Relaxed)
+    with_current(|b| b.active())
 }
 
-/// Whether the hard deadline is armed and has passed.
-///
-/// The first poll that observes the trip leaves a [`Kind::Budget`]
-/// record in the flight recorder (once per [`arm`]).
-///
-/// [`Kind::Budget`]: crate::recorder::Kind::Budget
+/// Whether the current budget's hard deadline is armed and has passed.
 #[inline]
 pub fn hard_exceeded() -> bool {
-    if !active() {
-        return false;
-    }
-    let d = HARD_DEADLINE_NS.load(Ordering::Relaxed);
-    let tripped = d != 0 && now_ns() >= d;
-    if tripped && !TRIPPED_HARD.swap(true, Ordering::Relaxed) {
-        crate::recorder::record(crate::recorder::Kind::Budget, "budget.hard_exceeded", &[]);
-    }
-    tripped
+    with_current(|b| b.hard_exceeded())
 }
 
-/// Whether the soft deadline is armed and has passed (budget pressure;
-/// degrade, don't abort). First observation of the trip is recorded in
-/// the flight recorder, like [`hard_exceeded`].
+/// Whether the current budget's soft deadline is armed and has passed
+/// (budget pressure; degrade, don't abort).
 #[inline]
 pub fn soft_exceeded() -> bool {
-    if !active() {
-        return false;
-    }
-    let d = SOFT_DEADLINE_NS.load(Ordering::Relaxed);
-    let tripped = d != 0 && now_ns() >= d;
-    if tripped && !TRIPPED_SOFT.swap(true, Ordering::Relaxed) {
-        crate::recorder::record(crate::recorder::Kind::Budget, "budget.soft_exceeded", &[]);
-    }
-    tripped
+    with_current(|b| b.soft_exceeded())
 }
 
-/// Whether the hard deadline has been observed tripped since the last
-/// [`arm`]/[`reset`] (no clock read; incident dumps report this).
+/// Whether the current budget's hard deadline has been observed tripped
+/// since its last arm/reset (no clock read).
 pub fn hard_tripped() -> bool {
-    TRIPPED_HARD.load(Ordering::Relaxed)
+    with_current(|b| b.hard_tripped())
 }
 
-/// Whether the soft deadline has been observed tripped since the last
-/// [`arm`]/[`reset`] (no clock read; incident dumps and provenance
-/// blocks report this).
+/// Whether the current budget's soft deadline has been observed tripped
+/// since its last arm/reset.
 pub fn soft_tripped() -> bool {
-    TRIPPED_SOFT.load(Ordering::Relaxed)
+    with_current(|b| b.soft_tripped())
 }
 
-/// Request cooperative cancellation: every [`cancel_requested`] poll —
-/// including gef-par's between-task checks — turns true until [`reset`]
-/// or the next [`arm`].
-pub fn cancel() {
-    CANCELLED.store(true, Ordering::Relaxed);
-    ACTIVE.store(true, Ordering::Relaxed);
-}
-
-/// Whether work should stop now: an explicit [`cancel`] or a passed
-/// hard deadline. This is the poll gef-par workers issue between task
-/// claims, so a deadline fires mid-region.
+/// Whether work on the current budget should stop now (explicit cancel
+/// or passed hard deadline). This is the poll gef-par workers issue
+/// between task claims.
 #[inline]
 pub fn cancel_requested() -> bool {
-    if !active() {
-        return false;
-    }
-    CANCELLED.load(Ordering::Relaxed) || hard_exceeded()
+    with_current(|b| b.cancel_requested())
 }
 
-/// Milliseconds left until the hard deadline (`None` when unarmed,
-/// `Some(0)` once passed).
+/// Milliseconds left until the current budget's hard deadline (`None`
+/// when unarmed, `Some(0)` once passed).
 pub fn remaining_ms() -> Option<u64> {
-    let d = HARD_DEADLINE_NS.load(Ordering::Relaxed);
-    if d == 0 {
-        return None;
-    }
-    Some(d.saturating_sub(now_ns()) / 1_000_000)
+    with_current(|b| b.remaining_ms())
+}
+
+/// Boosting-round cap of the current budget (0 = unlimited; inherits
+/// `GEF_MAX_BOOST_ROUNDS`). Forest trainers clamp their round count to
+/// this.
+pub fn boost_round_cap() -> u64 {
+    with_current(|b| b.boost_round_cap())
+}
+
+/// PIRLS-iteration cap of the current budget (0 = unlimited; inherits
+/// `GEF_MAX_PIRLS_ITERS`). The PIRLS loop clamps `max_pirls_iter` to
+/// this.
+pub fn pirls_iter_cap() -> u64 {
+    with_current(|b| b.pirls_iter_cap())
 }
 
 fn cap_from_env(var: &str) -> u64 {
-    let Ok(raw) = std::env::var(var) else {
-        return 0;
-    };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return 0;
-    }
-    match trimmed.parse::<u64>() {
-        Ok(n) => n,
-        Err(_) => {
-            // Same contract as GEF_THREADS in gef-par: never silently
-            // ignore a malformed knob — warn on stderr with the raw
-            // value and leave a trace event. Telemetry events carry
-            // numeric fields only, so the raw text additionally goes
-            // into the flight recorder as a free-text note (and from
-            // there into any incident dump).
-            eprintln!("gef-trace: invalid {var} value {raw:?}; ignoring it (no cap)");
-            crate::recorder::note(
-                crate::recorder::Kind::Event,
-                "budget.invalid_env",
-                &format!("{var}={raw:?}"),
-            );
-            crate::global().event(
-                "budget.invalid_env",
-                &[("parsed", -1.0), ("raw_len", raw.len() as f64)],
-            );
-            0
-        }
-    }
+    // Same contract as every GEF_* knob: never silently ignore a
+    // malformed value — crate::env warns once on stderr with the raw
+    // value and leaves an `env.invalid` flight-recorder note (and from
+    // there it reaches any incident dump).
+    crate::env::u64_var(var).unwrap_or(0)
 }
 
 fn resolve_cap(cell: &AtomicU64, var: &str) -> u64 {
@@ -225,30 +461,42 @@ fn resolve_cap(cell: &AtomicU64, var: &str) -> u64 {
     }
 }
 
-/// Boosting-round cap (`GEF_MAX_BOOST_ROUNDS`, resolved on first call);
-/// 0 = unlimited. Forest trainers clamp their round count to this.
-pub fn boost_round_cap() -> u64 {
-    resolve_cap(&BOOST_ROUND_CAP, "GEF_MAX_BOOST_ROUNDS")
+// ---------------------------------------------------------------------
+// Process-global compatibility shim (pre-scoping API). These operate on
+// the global budget only; threads inside a `Budget::enter` scope do not
+// observe them. The xp_* binaries and older tests drive this surface.
+// ---------------------------------------------------------------------
+
+/// Arm the **process-global** budget's deadlines measured from now
+/// (compatibility shim; scoped runs use [`Budget::arm`] +
+/// [`Budget::enter`]).
+pub fn arm(hard: Option<Duration>, soft: Option<Duration>) {
+    global_budget().arm(hard, soft);
 }
 
-/// Override the boosting-round cap in-process (0 = unlimited).
+/// Disarm the **process-global** budget and clear its cancellation
+/// flag.
+pub fn reset() {
+    global_budget().reset();
+}
+
+/// Request cooperative cancellation on the **process-global** budget.
+pub fn cancel() {
+    global_budget().cancel();
+}
+
+/// Override the **process-global** boosting-round cap (0 = unlimited).
 pub fn set_boost_round_cap(n: u64) {
-    BOOST_ROUND_CAP.store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+    global_budget().set_boost_round_cap(n);
 }
 
-/// PIRLS-iteration cap (`GEF_MAX_PIRLS_ITERS`, resolved on first call);
-/// 0 = unlimited. The PIRLS loop clamps `max_pirls_iter` to this.
-pub fn pirls_iter_cap() -> u64 {
-    resolve_cap(&PIRLS_ITER_CAP, "GEF_MAX_PIRLS_ITERS")
-}
-
-/// Override the PIRLS-iteration cap in-process (0 = unlimited).
+/// Override the **process-global** PIRLS-iteration cap (0 = unlimited).
 pub fn set_pirls_iter_cap(n: u64) {
-    PIRLS_ITER_CAP.store(n.min(CAP_UNRESOLVED - 1), Ordering::Relaxed);
+    global_budget().set_pirls_iter_cap(n);
 }
 
-/// RAII guard that [`reset`]s the budget on drop. [`scoped`] is the
-/// intended way for a pipeline run to arm deadlines.
+/// RAII guard that [`reset`]s the process-global budget on drop.
+/// [`scoped`] is the compatibility path for arming it around one run.
 #[must_use = "the budget disarms when this guard drops"]
 pub struct BudgetGuard {
     _private: (),
@@ -260,8 +508,10 @@ impl Drop for BudgetGuard {
     }
 }
 
-/// Arm deadlines for the duration of a scope: the returned guard
-/// disarms everything (and clears any cancellation) when dropped.
+/// Arm the **process-global** budget for the duration of a scope: the
+/// returned guard disarms everything (and clears any cancellation)
+/// when dropped. Concurrent runs share this one budget — a per-request
+/// server must use [`Budget::enter`] instead.
 pub fn scoped(hard: Option<Duration>, soft: Option<Duration>) -> BudgetGuard {
     arm(hard, soft);
     BudgetGuard { _private: () }
@@ -272,7 +522,7 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    // Budget state is process-global; tests serialise and reset.
+    // The global budget is process-wide; tests serialise and reset.
     static LOCK: Mutex<()> = Mutex::new(());
 
     fn locked<T>(f: impl FnOnce() -> T) -> T {
@@ -363,6 +613,88 @@ mod tests {
             set_pirls_iter_cap(0);
             assert_eq!(boost_round_cap(), 0);
             assert_eq!(pirls_iter_cap(), 0);
+        });
+    }
+
+    #[test]
+    fn entered_scope_shadows_the_global_budget() {
+        locked(|| {
+            // Global armed with an expired deadline…
+            arm(Some(Duration::ZERO), None);
+            assert!(hard_exceeded());
+            // …but a thread inside a generous scoped budget is clean.
+            let b = Budget::armed(Some(Duration::from_secs(3600)), None);
+            {
+                let _scope = b.enter();
+                assert!(active());
+                assert!(!hard_exceeded(), "scope shadows the tripped global");
+                assert!(!cancel_requested());
+                assert!(remaining_ms().unwrap() > 3_000_000);
+            }
+            // Scope dropped: the tripped global is visible again.
+            assert!(hard_exceeded());
+        });
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        locked(|| {
+            let outer = Budget::armed(Some(Duration::from_secs(3600)), None);
+            let inner = Budget::armed(Some(Duration::ZERO), None);
+            let _o = outer.enter();
+            assert!(!hard_exceeded());
+            {
+                let _i = inner.enter();
+                assert!(hard_exceeded(), "innermost budget wins");
+            }
+            assert!(!hard_exceeded(), "outer budget restored");
+        });
+    }
+
+    #[test]
+    fn concurrent_threads_hold_independent_deadlines() {
+        locked(|| {
+            let tight = Budget::armed(Some(Duration::ZERO), None);
+            let roomy = Budget::armed(Some(Duration::from_secs(3600)), None);
+            let t1 = std::thread::spawn(move || {
+                let _s = tight.enter();
+                hard_exceeded()
+            });
+            let t2 = std::thread::spawn(move || {
+                let _s = roomy.enter();
+                hard_exceeded()
+            });
+            assert!(t1.join().unwrap(), "tight thread must trip");
+            assert!(!t2.join().unwrap(), "roomy thread must not trip");
+        });
+    }
+
+    #[test]
+    fn clones_share_state_for_cross_thread_cancel() {
+        locked(|| {
+            let b = Budget::unarmed();
+            let remote = b.clone();
+            assert!(!b.cancel_requested());
+            remote.cancel();
+            assert!(b.cancel_requested(), "cancel through a clone is seen");
+            b.reset();
+            assert!(!remote.cancel_requested());
+        });
+    }
+
+    #[test]
+    fn scoped_caps_inherit_global_until_set() {
+        locked(|| {
+            set_boost_round_cap(11);
+            let b = Budget::unarmed();
+            assert_eq!(b.boost_round_cap(), 11, "unset handle cap inherits");
+            b.set_boost_round_cap(3);
+            assert_eq!(b.boost_round_cap(), 3, "own cap wins once set");
+            {
+                let _s = b.enter();
+                assert_eq!(boost_round_cap(), 3);
+            }
+            set_boost_round_cap(0);
         });
     }
 }

@@ -1,0 +1,157 @@
+//! One shared, typed reader for `GEF_*` environment knobs.
+//!
+//! Numeric environment parsing used to be duplicated across the budget
+//! caps (`GEF_MAX_BOOST_ROUNDS`, …), the gef-par pool size
+//! (`GEF_THREADS`), and gef-core's deadline knobs — each with its own
+//! stderr wording and telemetry event name. This module is the single
+//! path all of them (and the `GEF_SERVE_*` family) now go through:
+//!
+//! * [`read_u64`] classifies a variable into [`EnvValue::Unset`],
+//!   [`EnvValue::Parsed`], or [`EnvValue::Invalid`] (carrying the raw
+//!   text) without deciding policy — callers that clamp or substitute
+//!   defaults (gef-par) keep their policy and only route the *warning*
+//!   here.
+//! * [`u64_var`] is the common policy: unset/empty → `None`, invalid →
+//!   warn and `None` (a malformed knob is never fatal and never
+//!   silently ignored).
+//! * [`warn_invalid`] is the one warning path: **stderr once per
+//!   variable per process** (so a server handling thousands of requests
+//!   does not spam its log), plus an `env.invalid` flight-recorder note
+//!   naming the raw value on *every* rejection (bounded ring, feeds
+//!   incident dumps) and — when tracing is on — an `env.invalid`
+//!   telemetry event.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Classification of an environment variable's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvValue {
+    /// The variable is not set (or set to whitespace/empty).
+    Unset,
+    /// The variable parsed as a `u64`.
+    Parsed(u64),
+    /// The variable is set but does not parse; carries the raw text.
+    Invalid(String),
+}
+
+/// Read and classify `var` as a `u64` without emitting any warning.
+/// Callers with a substitution policy (clamping, fallbacks) match on
+/// the result and route rejections through [`warn_invalid`].
+pub fn read_u64(var: &str) -> EnvValue {
+    let Ok(raw) = std::env::var(var) else {
+        return EnvValue::Unset;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return EnvValue::Unset;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(n) => EnvValue::Parsed(n),
+        Err(_) => EnvValue::Invalid(raw),
+    }
+}
+
+/// Read `var` as a `u64` with the standard policy: unset → `None`,
+/// invalid → [`warn_invalid`] (describing the value as ignored) and
+/// `None`. Never fatal.
+pub fn u64_var(var: &str) -> Option<u64> {
+    match read_u64(var) {
+        EnvValue::Unset => None,
+        EnvValue::Parsed(n) => Some(n),
+        EnvValue::Invalid(raw) => {
+            warn_invalid(var, &raw, "ignoring it");
+            None
+        }
+    }
+}
+
+/// Like [`u64_var`] but substitutes `default` for unset/invalid values.
+pub fn u64_var_or(var: &str, default: u64) -> u64 {
+    u64_var(var).unwrap_or(default)
+}
+
+/// The single warning path for a rejected environment value.
+///
+/// `used` is a short clause describing the substitution (e.g.
+/// `"ignoring it"`, `"using 8"`). Emits:
+///
+/// * stderr, **once per variable per process** — repeated rejections of
+///   the same knob (e.g. per server request) stay quiet;
+/// * an `env.invalid` flight-recorder note naming the raw value, every
+///   time (bounded ring; surfaces in incident dumps);
+/// * an `env.invalid` telemetry event (numeric fields only), every
+///   time, when tracing is enabled.
+pub fn warn_invalid(var: &str, raw: &str, used: &str) {
+    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let first = WARNED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(var.to_string());
+    if first {
+        eprintln!("gef: invalid {var} value {raw:?}; {used}");
+    }
+    crate::recorder::note(
+        crate::recorder::Kind::Event,
+        "env.invalid",
+        &format!("{var}={raw:?} ({used})"),
+    );
+    if crate::enabled() {
+        crate::global().event("env.invalid", &[("raw_len", raw.len() as f64)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env vars are process-global; serialise the tests that set them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn classifies_unset_parsed_invalid() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("GEF_TEST_ENV_A");
+        assert_eq!(read_u64("GEF_TEST_ENV_A"), EnvValue::Unset);
+        std::env::set_var("GEF_TEST_ENV_A", "  ");
+        assert_eq!(read_u64("GEF_TEST_ENV_A"), EnvValue::Unset);
+        std::env::set_var("GEF_TEST_ENV_A", " 42 ");
+        assert_eq!(read_u64("GEF_TEST_ENV_A"), EnvValue::Parsed(42));
+        std::env::set_var("GEF_TEST_ENV_A", "soon");
+        assert_eq!(
+            read_u64("GEF_TEST_ENV_A"),
+            EnvValue::Invalid("soon".to_string())
+        );
+        std::env::remove_var("GEF_TEST_ENV_A");
+    }
+
+    #[test]
+    fn invalid_value_warns_and_leaves_recorder_note() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("GEF_TEST_ENV_B", "-3");
+        assert_eq!(u64_var("GEF_TEST_ENV_B"), None);
+        assert_eq!(u64_var_or("GEF_TEST_ENV_B", 7), 7);
+        std::env::remove_var("GEF_TEST_ENV_B");
+        let notes: Vec<String> = crate::recorder::snapshot_last(usize::MAX)
+            .into_iter()
+            .filter(|r| r.name == "env.invalid")
+            .filter_map(|r| r.detail)
+            .collect();
+        assert!(
+            notes
+                .iter()
+                .any(|d| d.contains("GEF_TEST_ENV_B") && d.contains("-3")),
+            "no recorder note names the rejected value: {notes:?}"
+        );
+    }
+
+    #[test]
+    fn defaults_pass_through_for_valid_values() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("GEF_TEST_ENV_C", "9");
+        assert_eq!(u64_var_or("GEF_TEST_ENV_C", 7), 9);
+        std::env::remove_var("GEF_TEST_ENV_C");
+        assert_eq!(u64_var_or("GEF_TEST_ENV_C", 7), 7);
+    }
+}

@@ -63,6 +63,7 @@
 #![deny(missing_docs)]
 
 pub mod budget;
+pub mod env;
 pub mod fault;
 pub mod hash;
 pub mod hist;

@@ -18,18 +18,20 @@ pub use gef_gam as gam;
 pub use gef_linalg as linalg;
 pub use gef_par as par;
 pub use gef_prof as prof;
+pub use gef_serve as serve;
 pub use gef_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gef_baselines::{shap_values, shap_values_batch, LimeConfig, LinearSurrogate};
     pub use gef_core::{
-        Degradation, DegradationAction, ExplanationReport, GefConfig, GefExplainer, GefExplanation,
-        InteractionStrategy, LocalExplanation, SamplingStrategy,
+        Degradation, DegradationAction, ExplanationReport, FitFloor, GefConfig, GefExplainer,
+        GefExplanation, InteractionStrategy, LocalExplanation, SamplingStrategy,
     };
     pub use gef_data::{Dataset, Task};
     pub use gef_forest::{
         Forest, GbdtParams, GbdtTrainer, Objective, RandomForestParams, RandomForestTrainer,
     };
     pub use gef_gam::{Gam, GamSpec, LambdaSelection, Link, TermSpec};
+    pub use gef_serve::{ModelEntry, ServeConfig, Server};
 }

@@ -163,8 +163,10 @@ fn worker_tids_are_stable_across_thread_counts() {
 
     // Stability: a repeat run may land tasks on a different *subset* of
     // workers (claiming is racy by design), but never mints a tid
-    // outside the reserved worker range, and the coordinator's track is
-    // the same one as before.
+    // outside the reserved worker range. The coordinator participates
+    // only when it wins a chunk — also racy — so its track may be
+    // absent from either run, but when present it is always the same
+    // single tid as before.
     let t4_again = profiled_workload(4);
     let workers_again: BTreeSet<u64> = t4_again
         .iter()
@@ -177,10 +179,13 @@ fn worker_tids_are_stable_across_thread_counts() {
     );
     let coords: BTreeSet<u64> = t4.difference(&workers).copied().collect();
     let coords_again: BTreeSet<u64> = t4_again.difference(&workers_again).copied().collect();
-    assert_eq!(
-        coords, coords_again,
-        "coordinator track changed between identical runs"
+    assert!(
+        coords.len() <= 1 && coords_again.len() <= 1,
+        "more than one coordinator track: {coords:?} / {coords_again:?}"
     );
+    if let (Some(a), Some(b)) = (coords.iter().next(), coords_again.iter().next()) {
+        assert_eq!(a, b, "coordinator track changed between identical runs");
+    }
 
     timeline::set_prof_enabled(false);
     timeline::reset();
