@@ -89,13 +89,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# No-panic gate: gef-core, gef-gam, and gef-par deny unwrap/expect in
-# non-test library code via #![cfg_attr(not(test), deny(...))] in
-# their lib.rs; this lint pass compiles the libs without cfg(test) to
-# enforce it. gef-par is included so the guarantee covers the parallel
-# paths: a task panic comes back as ParError::TaskPanicked, never a
-# coordinator re-raise.
-echo "==> cargo clippy (no-panic gate: gef-core, gef-gam, gef-par)"
-cargo clippy -p gef-core -p gef-gam -p gef-par --lib -- -D warnings
+# No-panic gate: gef-core, gef-gam, gef-par, and gef-forest deny
+# unwrap/expect in non-test library code via
+# #![cfg_attr(not(test), deny(...))] in their lib.rs; this lint pass
+# compiles the libs without cfg(test) to enforce it. gef-par is
+# included so the guarantee covers the parallel paths: a task panic
+# comes back as ParError::TaskPanicked, never a coordinator re-raise.
+# gef-forest is included because the flattened inference kernel uses
+# unchecked indexing behind build-time validation — the rest of the
+# crate must not hide a panic path that validation was supposed to
+# remove.
+echo "==> cargo clippy (no-panic gate: gef-core, gef-gam, gef-par, gef-forest)"
+cargo clippy -p gef-core -p gef-gam -p gef-par -p gef-forest --lib -- -D warnings
 
 echo "CI gate passed."

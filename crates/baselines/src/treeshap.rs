@@ -384,13 +384,7 @@ mod tests {
                 Node::leaf(6.0, 6),
             ],
         };
-        let forest = Forest {
-            trees: vec![tree],
-            base_score: 0.5,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 1,
-        };
+        let forest = Forest::new(vec![tree], 0.5, 1.0, Objective::RegressionL2, 1);
         // E = 0.5 + (1*4 + 6*6)/10 = 0.5 + 4 = 4.5
         assert!((expected_raw(&forest) - 4.5).abs() < 1e-12);
     }

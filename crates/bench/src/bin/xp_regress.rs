@@ -203,6 +203,20 @@ fn run_suite(size: RunSize) -> Vec<Measurement> {
         let (_, label) = timed_run_warmed("xp.regress.dstar_label", || {
             forest.predict_batch(&label_xs).expect("no deadline armed")
         });
+        // Kernel-phase expectation: a batch this size must have ridden
+        // the flattened kernel (the whole point of the dstar_label
+        // phase). A silent fallback to the recursive walker would keep
+        // timings honest but measure the wrong code path — fail loudly.
+        // (Armed fault schedules intentionally force the walker, so the
+        // expectation only applies to clean runs.)
+        if !gef_trace::fault::any_armed() && !forest.layout_cached() {
+            eprintln!(
+                "EXPECTATION FAILED: dstar_label@t{t} did not use the flattened kernel \
+                 (no layout cached after {} rows)",
+                label_xs.len()
+            );
+            std::process::exit(1);
+        }
         out.push(Measurement {
             key: format!("dstar_label@t{t}"),
             timing: label,

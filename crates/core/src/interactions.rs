@@ -384,13 +384,7 @@ mod tests {
                 Node::leaf(2.0, 30),
             ],
         };
-        let forest = Forest {
-            trees: vec![tree],
-            base_score: 0.0,
-            scale: 1.0,
-            objective: gef_forest::Objective::RegressionL2,
-            num_features: 2,
-        };
+        let forest = Forest::new(vec![tree], 0.0, 1.0, gef_forest::Objective::RegressionL2, 2);
         let profile = ForestProfile::analyze(&forest);
         let count = rank_interactions(
             &forest,
@@ -425,13 +419,7 @@ mod tests {
                 Node::leaf(2.0, 30),
             ],
         };
-        let forest = Forest {
-            trees: vec![tree],
-            base_score: 0.0,
-            scale: 1.0,
-            objective: gef_forest::Objective::RegressionL2,
-            num_features: 2,
-        };
+        let forest = Forest::new(vec![tree], 0.0, 1.0, gef_forest::Objective::RegressionL2, 2);
         let profile = ForestProfile::analyze(&forest);
         let ranked = rank_interactions(
             &forest,

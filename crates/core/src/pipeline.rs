@@ -981,13 +981,7 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_forest() {
-        let forest = Forest {
-            trees: vec![],
-            base_score: 1.0,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 2,
-        };
+        let forest = Forest::new(vec![], 1.0, 1.0, Objective::RegressionL2, 2);
         let r = GefExplainer::new(GefConfig {
             n_samples: 100,
             ..Default::default()

@@ -111,7 +111,9 @@ impl BinnedDataset {
 /// groups; each boundary is the midpoint between the adjacent distinct
 /// values it separates.
 fn bin_boundaries(col: &mut [f64], max_bins: usize) -> FeatureBins {
-    col.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected earlier"));
+    // NaN is rejected earlier; total_cmp orders finite values the same
+    // as partial_cmp and cannot panic.
+    col.sort_by(|a, b| a.total_cmp(b));
     // Distinct values with multiplicities.
     let mut distinct: Vec<(f64, usize)> = Vec::new();
     for &v in col.iter() {

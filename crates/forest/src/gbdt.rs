@@ -282,13 +282,13 @@ impl GbdtTrainer {
         if valid.is_some() && self.params.early_stopping_rounds.is_some() {
             trees.truncate(best_iter.max(1));
         }
-        Ok(Forest {
+        Ok(Forest::new(
             trees,
             base_score,
-            scale: 1.0,
-            objective: self.params.objective,
+            1.0,
+            self.params.objective,
             num_features,
-        })
+        ))
     }
 
     /// First/second-order derivatives of the loss w.r.t. raw scores.
@@ -416,16 +416,15 @@ impl GbdtTrainer {
 
         while leaves.len() < p.num_leaves {
             // Pick the splittable leaf with the largest gain.
-            let Some((li, _)) = leaves
+            let Some((li, split)) = leaves
                 .iter()
                 .enumerate()
-                .filter_map(|(i, l)| l.best.map(|b| (i, b.gain)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gain is finite"))
+                .filter_map(|(i, l)| l.best.map(|b| (i, b)))
+                .max_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
             else {
                 break;
             };
             let leaf = leaves.swap_remove(li);
-            let split = leaf.best.expect("selected leaf has a split");
 
             // Partition rows on the chosen bin.
             let fbins = &binned.bins[split.feature];

@@ -52,7 +52,7 @@ impl FeatureStats {
         }
         let mut thresholds = Vec::with_capacity(d);
         for v in &mut threshold_multiset {
-            v.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+            v.sort_by(|a, b| a.total_cmp(b));
             let mut dedup = v.clone();
             dedup.dedup();
             thresholds.push(dedup);
@@ -75,7 +75,7 @@ impl FeatureStats {
             .enumerate()
             .filter(|&(_, g)| g > 0.0)
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gain is finite"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 
@@ -109,7 +109,7 @@ pub fn feature_thresholds(forest: &Forest, feature: usize) -> Vec<f64> {
         .filter(|n| !n.is_leaf() && n.feature as usize == feature)
         .map(|n| n.threshold)
         .collect();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+    v.sort_by(|a, b| a.total_cmp(b));
     v.dedup();
     v
 }
@@ -139,13 +139,7 @@ mod tests {
                 Node::leaf(1.0, 5),
             ],
         };
-        Forest {
-            trees: vec![a, b],
-            base_score: 0.0,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 3,
-        }
+        Forest::new(vec![a, b], 0.0, 1.0, Objective::RegressionL2, 3)
     }
 
     #[test]

@@ -16,17 +16,50 @@
 
 use crate::tree::{Node, Tree, LEAF};
 use crate::{Forest, ForestError, Objective, Result};
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// Owned serde mirror of [`Forest`]'s model fields.
+///
+/// [`Forest`] itself carries a non-serializable runtime cache (the
+/// flattened kernel layout), so the JSON format is defined by this
+/// struct instead; field names and order match the pre-cache `Forest`
+/// derive, keeping the on-disk format unchanged.
+#[derive(Serialize, Deserialize)]
+struct ForestWire {
+    trees: Vec<Tree>,
+    base_score: f64,
+    scale: f64,
+    objective: Objective,
+    num_features: usize,
+}
 
 /// Serialize a forest to JSON.
 pub fn to_json(forest: &Forest) -> String {
-    serde_json::to_string(forest).expect("forest serialization is infallible")
+    let wire = ForestWire {
+        trees: forest.trees.clone(),
+        base_score: forest.base_score,
+        scale: forest.scale,
+        objective: forest.objective,
+        num_features: forest.num_features,
+    };
+    // Writing to an in-memory string cannot fail; an error here would
+    // be a serializer bug, surfaced as an explicit marker rather than
+    // a panic (the crate denies unwrap/expect outside tests).
+    serde_json::to_string(&wire).unwrap_or_else(|_| "null".to_string())
 }
 
 /// Deserialize a forest from JSON, validating tree structure.
 pub fn from_json(s: &str) -> Result<Forest> {
-    let forest: Forest =
+    let wire: ForestWire =
         serde_json::from_str(s).map_err(|e| ForestError::Parse(format!("json: {e}")))?;
+    let forest = Forest::new(
+        wire.trees,
+        wire.base_score,
+        wire.scale,
+        wire.objective,
+        wire.num_features,
+    );
     validate(&forest)?;
     Ok(forest)
 }
@@ -39,14 +72,16 @@ pub fn to_text(forest: &Forest) -> String {
         Objective::RegressionL2 => "regression",
         Objective::BinaryLogistic => "binary",
     };
-    writeln!(out, "objective={obj}").unwrap();
-    writeln!(out, "num_features={}", forest.num_features).unwrap();
-    writeln!(out, "base_score={}", forest.base_score).unwrap();
-    writeln!(out, "scale={}", forest.scale).unwrap();
-    writeln!(out, "num_trees={}", forest.trees.len()).unwrap();
+    // String writes are infallible; `let _ =` keeps the no-panic lint
+    // satisfied without pretending an error path exists.
+    let _ = writeln!(out, "objective={obj}");
+    let _ = writeln!(out, "num_features={}", forest.num_features);
+    let _ = writeln!(out, "base_score={}", forest.base_score);
+    let _ = writeln!(out, "scale={}", forest.scale);
+    let _ = writeln!(out, "num_trees={}", forest.trees.len());
     for (i, tree) in forest.trees.iter().enumerate() {
-        writeln!(out, "\nTree={i}").unwrap();
-        writeln!(out, "num_nodes={}", tree.nodes.len()).unwrap();
+        let _ = writeln!(out, "\nTree={i}");
+        let _ = writeln!(out, "num_nodes={}", tree.nodes.len());
         write_field(
             &mut out,
             "split_feature",
@@ -193,13 +228,13 @@ pub fn from_text(s: &str) -> Result<Forest> {
             other => other,
         })?);
     }
-    let forest = Forest {
+    let forest = Forest::new(
         trees,
-        base_score: base_score.ok_or_else(|| missing("base_score"))?,
-        scale: scale.ok_or_else(|| missing("scale"))?,
-        objective: objective.ok_or_else(|| missing("objective"))?,
-        num_features: num_features.ok_or_else(|| missing("num_features"))?,
-    };
+        base_score.ok_or_else(|| missing("base_score"))?,
+        scale.ok_or_else(|| missing("scale"))?,
+        objective.ok_or_else(|| missing("objective"))?,
+        num_features.ok_or_else(|| missing("num_features"))?,
+    );
     let expected = num_trees.ok_or_else(|| missing("num_trees"))?;
     if forest.trees.len() != expected {
         return Err(ForestError::Parse(format!(

@@ -34,19 +34,26 @@
 //! assert!((pred - 2.5).abs() < 0.3);
 //! ```
 
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod binning;
 pub mod gbdt;
 pub mod importance;
 pub mod io;
+pub mod kernel;
+pub mod layout;
 pub mod random_forest;
 pub mod tree;
 pub mod tune;
 
 pub use gbdt::{GbdtParams, GbdtTrainer};
+pub use layout::FlatForest;
 pub use random_forest::{RandomForestParams, RandomForestTrainer};
 pub use tree::{Node, Tree};
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Training / prediction objective of a forest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -85,7 +92,15 @@ pub fn sigmoid(x: f64) -> f64 {
 /// Raw prediction is `base_score + scale · Σ_t tree_t(x)`; `scale` is 1
 /// for GBDT (shrinkage is baked into leaf values at training time) and
 /// `1/T` for Random Forests (averaging).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Construct with [`Forest::new`] — alongside the public model fields
+/// the forest carries a private, digest-validated cache of its
+/// flattened inference layout ([`FlatForest`]) that the batch
+/// prediction entry points build once and reuse (see [`kernel`]).
+/// Mutating the public fields in place is still allowed: the cache
+/// re-validates against [`Forest::content_digest`] on every kernel
+/// dispatch and rebuilds when the model changed.
+#[derive(Debug, Clone)]
 pub struct Forest {
     /// The member trees.
     pub trees: Vec<Tree>,
@@ -97,9 +112,93 @@ pub struct Forest {
     pub objective: Objective,
     /// Number of input features (width of a feature vector).
     pub num_features: usize,
+    /// Cached flattened layout for the branchless kernel.
+    layout: layout::LayoutCache,
+}
+
+/// Smallest batch the flattened kernel takes over from the walker: the
+/// per-call digest validation is O(total nodes), so tiny batches (the
+/// single-row service predicts, unit-test probes) stay on the walker
+/// where the fixed cost is lower.
+const KERNEL_MIN_ROWS: usize = 64;
+
+/// Companion work floor: `rows × trees` below this predicts too few
+/// leaves to amortize the digest check plus block setup.
+const KERNEL_MIN_WORK: usize = 8192;
+
+/// Rows per cooperative deadline check on the serial kernel path,
+/// matching the walker's 1024-row checkpoint stride.
+const KERNEL_STRIPE_ROWS: usize = 1024;
+
+/// `[start, end)` stripes of at most [`KERNEL_STRIPE_ROWS`] rows.
+fn stripes(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n)
+        .step_by(KERNEL_STRIPE_ROWS.max(1))
+        .map(move |s| (s, (s + KERNEL_STRIPE_ROWS).min(n)))
 }
 
 impl Forest {
+    /// Assemble a forest from parts (trainers, parsers, and tests all
+    /// construct through here so the layout cache comes along).
+    ///
+    /// ```
+    /// use gef_forest::{Forest, Objective, Tree};
+    ///
+    /// let forest = Forest::new(
+    ///     vec![Tree::constant(1.0, 1)],
+    ///     0.5,
+    ///     1.0,
+    ///     Objective::RegressionL2,
+    ///     0,
+    /// );
+    /// assert_eq!(forest.predict(&[]), 1.5);
+    /// ```
+    pub fn new(
+        trees: Vec<Tree>,
+        base_score: f64,
+        scale: f64,
+        objective: Objective,
+        num_features: usize,
+    ) -> Forest {
+        Forest {
+            trees,
+            base_score,
+            scale,
+            objective,
+            num_features,
+            layout: layout::LayoutCache::new(),
+        }
+    }
+
+    /// The forest's flattened inference layout, built on first use and
+    /// cached against [`Forest::content_digest`]. `None` when the
+    /// structure is outside the kernel's validated invariants (see
+    /// [`FlatForest::build`]) — batch prediction then stays on the
+    /// recursive walker.
+    pub fn flattened(&self) -> Option<Arc<FlatForest>> {
+        self.layout.get_or_build(self)
+    }
+
+    /// Whether a flattened layout snapshot is currently cached (used by
+    /// the `xp_regress` kernel-phase expectation; a cached *rejection*
+    /// answers `false`).
+    pub fn layout_cached(&self) -> bool {
+        self.layout.is_cached()
+    }
+
+    /// The cached kernel layout, iff this batch should ride the kernel:
+    /// large enough to amortize the digest check, no fault-injection
+    /// sites armed (the walker owns the per-row `forest.predict_nan`
+    /// hit schedule), and the structure passes kernel validation.
+    fn kernel_layout(&self, n_rows: usize) -> Option<Arc<FlatForest>> {
+        if n_rows < KERNEL_MIN_ROWS
+            || n_rows.saturating_mul(self.trees.len()) < KERNEL_MIN_WORK
+            || gef_trace::fault::any_armed()
+        {
+            return None;
+        }
+        self.flattened()
+    }
     /// Raw margin prediction for a single instance.
     pub fn predict_raw(&self, x: &[f64]) -> f64 {
         debug_assert!(x.len() >= self.num_features);
@@ -123,7 +222,16 @@ impl Forest {
     }
 
     /// Batch raw predictions.
+    ///
+    /// Rides the flattened kernel ([`kernel::predict_raw`]) when the
+    /// batch clears the kernel work floor; otherwise the per-row walker.
+    /// Infallible (no deadline checkpoints) and always serial, matching
+    /// its original contract — the pool-dispatched, deadline-aware entry
+    /// point is [`Forest::predict_batch`].
     pub fn predict_raw_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if let Some(flat) = self.kernel_layout(xs.len()) {
+            return kernel::predict_raw(&flat, xs);
+        }
         xs.iter().map(|x| self.predict_raw(x)).collect()
     }
 
@@ -139,11 +247,36 @@ impl Forest {
     /// (fixed chunk boundaries, bit-identical to serial at any thread
     /// count) when the batch is large enough to amortize dispatch.
     ///
+    /// Batches that clear the kernel work floor ride the flattened
+    /// branchless kernel ([`kernel`]) under the `forest.kernel` timeline
+    /// label; small batches, kernel-incompatible structures, and runs
+    /// with fault-injection sites armed stay on the per-row recursive
+    /// walker. Both paths produce bit-identical predictions (the
+    /// differential-oracle suite asserts this).
+    ///
     /// Fallible: a hard-deadline trip mid-batch (cooperative checkpoints
-    /// between serial rows, between chunks on the pool) returns
+    /// between serial row stripes, between chunks on the pool) returns
     /// [`ForestError::DeadlineExceeded`]; a worker panic comes back as
     /// [`ForestError::WorkerPanicked`] instead of unwinding.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if let Some(flat) = self.kernel_layout(xs.len()) {
+            let mut out = vec![0.0; xs.len()];
+            if !self.batch_is_parallel(xs.len()) {
+                for (start, end) in stripes(xs.len()) {
+                    if gef_trace::budget::hard_exceeded() {
+                        return Err(ForestError::DeadlineExceeded { at: "predict" });
+                    }
+                    kernel::response_chunk(&flat, xs, start, &mut out[start..end]);
+                }
+                return Ok(out);
+            }
+            gef_par::for_each_chunk_mut(
+                &mut out,
+                gef_par::Options::coarse().with_label("forest.kernel"),
+                |_, start, chunk| kernel::response_chunk(&flat, xs, start, chunk),
+            )?;
+            return Ok(out);
+        }
         let mut out = vec![0.0; xs.len()];
         if !self.batch_is_parallel(xs.len()) {
             for (ri, (x, o)) in xs.iter().zip(out.iter_mut()).enumerate() {
@@ -189,8 +322,32 @@ impl Forest {
     ///
     /// Same parallelization policy as [`Forest::predict_batch`]; the
     /// visit count feeds the `forest.nodes_visited` telemetry counter
-    /// during D* labeling.
+    /// during D* labeling. The kernel path reproduces the walker's
+    /// exact visit totals from the layout's per-node depth table.
     pub fn predict_batch_counted(&self, xs: &[Vec<f64>]) -> Result<(Vec<f64>, u64)> {
+        if let Some(flat) = self.kernel_layout(xs.len()) {
+            let mut out = vec![0.0; xs.len()];
+            if !self.batch_is_parallel(xs.len()) {
+                let mut visited = 0u64;
+                for (start, end) in stripes(xs.len()) {
+                    if gef_trace::budget::hard_exceeded() {
+                        return Err(ForestError::DeadlineExceeded { at: "predict" });
+                    }
+                    visited += kernel::counted_chunk(&flat, xs, start, &mut out[start..end]);
+                }
+                return Ok((out, visited));
+            }
+            let visited = std::sync::atomic::AtomicU64::new(0);
+            gef_par::for_each_chunk_mut(
+                &mut out,
+                gef_par::Options::coarse().with_label("forest.kernel"),
+                |_, start, chunk| {
+                    let local = kernel::counted_chunk(&flat, xs, start, chunk);
+                    visited.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                },
+            )?;
+            return Ok((out, visited.into_inner()));
+        }
         let mut out = vec![0.0; xs.len()];
         if !self.batch_is_parallel(xs.len()) {
             let mut visited = 0u64;
@@ -328,13 +485,13 @@ mod tests {
                 Node::leaf(1.0, 2),
             ],
         };
-        let forest = Forest {
-            trees: vec![tree.clone(), tree],
-            base_score: 0.25,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 1,
-        };
+        let forest = Forest::new(
+            vec![tree.clone(), tree],
+            0.25,
+            1.0,
+            Objective::RegressionL2,
+            1,
+        );
         let xs = vec![vec![0.2], vec![0.8]];
         let (preds, visited) = forest.predict_batch_counted(&xs).unwrap();
         assert_eq!(preds, forest.predict_batch(&xs).unwrap());
@@ -354,13 +511,7 @@ mod tests {
                 Node::leaf(1.0, 2),
             ],
         };
-        let forest = Forest {
-            trees: vec![tree],
-            base_score: 0.25,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 1,
-        };
+        let forest = Forest::new(vec![tree], 0.25, 1.0, Objective::RegressionL2, 1);
         let a = forest.content_digest();
         assert_eq!(a, forest.clone().content_digest(), "digest is stable");
         let mut tweaked = forest.clone();

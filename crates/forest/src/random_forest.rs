@@ -116,13 +116,8 @@ impl RandomForestTrainer {
                 nodes: builder.nodes,
             });
         }
-        Ok(Forest {
-            scale: 1.0 / trees.len() as f64,
-            trees,
-            base_score: 0.0,
-            objective: self.params.objective,
-            num_features: d,
-        })
+        let scale = 1.0 / trees.len() as f64;
+        Ok(Forest::new(trees, 0.0, scale, self.params.objective, d))
     }
 }
 
@@ -199,7 +194,7 @@ impl TreeBuilder<'_> {
                     .iter()
                     .map(|&i| (self.xs[i as usize][f], self.ys[i as usize])),
             );
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut sum_l = 0.0;
             for k in 0..n - 1 {
                 sum_l += pairs[k].1;

@@ -5,7 +5,7 @@
 //! 25% validation split for early stopping; [`grid_search_cv`]
 //! reproduces that procedure for our GBDT trainer.
 
-use crate::{sigmoid, Forest, GbdtParams, GbdtTrainer, Objective, Result};
+use crate::{sigmoid, Forest, ForestError, GbdtParams, GbdtTrainer, Objective, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -118,8 +118,8 @@ pub fn grid_search_cv(
     let (best, best_loss) = all
         .iter()
         .cloned()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("loss is finite"))
-        .expect("non-empty grid");
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or_else(|| ForestError::InvalidParams("empty tuning grid".into()))?;
     Ok(TuneResult {
         best,
         best_loss,

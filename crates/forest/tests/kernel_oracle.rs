@@ -1,0 +1,344 @@
+//! Differential-oracle suite for the flattened branchless kernel.
+//!
+//! The recursive walker ([`Forest::predict`] / [`Forest::predict_raw`])
+//! is the oracle: for every generated forest and batch, the flattened
+//! kernel must produce **bit-identical** predictions ([`f64::to_bits`],
+//! not a tolerance) at `threads = 1` (serial striped path) and
+//! `threads = 4` (gef-par chunked path), including NaN-feature rows
+//! (which route right at every split, on both paths) and degenerate
+//! single-leaf trees (zero descent iterations).
+//!
+//! Each test also asserts the kernel path was *actually taken*
+//! ([`Forest::layout_cached`]) — a silent fallback to the walker would
+//! make the comparison vacuous.
+
+use gef_forest::{Forest, GbdtParams, GbdtTrainer, Node, Objective, Tree};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `gef_par::set_threads` is process-global; serialise the tests that
+/// touch it and restore serial mode on exit.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_thread_control<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = f();
+    gef_par::set_threads(1);
+    out
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Walker reference: per-row response-scale predictions (the per-row
+/// entry points never dispatch to the kernel).
+fn walker_response(forest: &Forest, xs: &[Vec<f64>]) -> Vec<f64> {
+    xs.iter().map(|x| forest.predict(x)).collect()
+}
+
+/// Random valid binary tree with up to `max_depth` levels on `d`
+/// features (same merge construction as `tests/property_based.rs`).
+fn arb_tree(d: usize, max_depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = (any::<i16>(), 1u32..50).prop_map(|(v, c)| Tree {
+        nodes: vec![Node::leaf(v as f64 / 100.0, c)],
+    });
+    leaf.prop_recursive(max_depth, 64, 2, move |inner| {
+        (inner.clone(), inner, 0..d, any::<i16>(), 0.0f64..10.0).prop_map(
+            |(left, right, feature, thr, gain)| {
+                let mut nodes = Vec::with_capacity(1 + left.nodes.len() + right.nodes.len());
+                let count: u32 = left.nodes[0].count + right.nodes[0].count;
+                nodes.push(Node::split(
+                    feature,
+                    thr as f64 / 100.0,
+                    1,
+                    1 + left.nodes.len() as u32,
+                    gain,
+                    count,
+                ));
+                let off = 1u32;
+                for n in &left.nodes {
+                    let mut n = *n;
+                    if !n.is_leaf() {
+                        n.left += off;
+                        n.right += off;
+                    }
+                    nodes.push(n);
+                }
+                let off = 1 + left.nodes.len() as u32;
+                for n in &right.nodes {
+                    let mut n = *n;
+                    if !n.is_leaf() {
+                        n.left += off;
+                        n.right += off;
+                    }
+                    nodes.push(n);
+                }
+                Tree { nodes }
+            },
+        )
+    })
+}
+
+/// A feature value: usually finite, sometimes NaN, with signed zeros
+/// and exact-threshold hits in the mix.
+fn arb_feature() -> impl Strategy<Value = f64> {
+    (0u8..11, -1.5f64..1.5).prop_map(|(sel, v)| match sel {
+        0 => f64::NAN,
+        1 => 0.0,
+        2 => -0.0,
+        _ => v,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structured random forests: kernel == walker, bit for bit, at
+    /// threads 1 and 4, NaN features included.
+    #[test]
+    fn kernel_matches_walker_on_random_forests(
+        trees in proptest::collection::vec(arb_tree(3, 4), 4..7),
+        base in -10i16..10,
+        logistic in any::<bool>(),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(arb_feature(), 3),
+            2048..2100,
+        ),
+    ) {
+        let objective = if logistic {
+            Objective::BinaryLogistic
+        } else {
+            Objective::RegressionL2
+        };
+        let forest = Forest::new(trees, base as f64 / 10.0, 1.0, objective, 3);
+        // rows × trees ≥ 2048 × 4 = 8192: clears the kernel work floor.
+        let want = walker_response(&forest, &rows);
+        with_thread_control(|| -> std::result::Result<(), TestCaseError> {
+            for t in [1, 4] {
+                gef_par::set_threads(t);
+                let got = forest.predict_batch(&rows).expect("no deadline armed");
+                prop_assert!(
+                    forest.layout_cached(),
+                    "kernel path not taken at threads={t}"
+                );
+                prop_assert_eq!(bits(&got), bits(&want), "threads={}", t);
+            }
+            Ok(())
+        })?;
+        // Raw-margin batch path too (infallible entry point).
+        let want_raw: Vec<f64> = rows.iter().map(|x| forest.predict_raw(x)).collect();
+        prop_assert_eq!(bits(&forest.predict_raw_batch(&rows)), bits(&want_raw));
+    }
+
+    /// Degenerate single-leaf trees (zero descent iterations) mixed
+    /// with real trees: the kernel must park rows at the root leaf.
+    #[test]
+    fn kernel_handles_single_leaf_trees(
+        leaf_values in proptest::collection::vec(-100i16..100, 120..140),
+        scale in 1u8..4,
+    ) {
+        let trees: Vec<Tree> = leaf_values
+            .iter()
+            .map(|&v| Tree::constant(v as f64 / 10.0, 1))
+            .collect();
+        let n_trees = trees.len();
+        let forest = Forest::new(trees, 0.25, 1.0 / scale as f64, Objective::RegressionL2, 0);
+        // 64 rows × ≥120 trees ≥ 8192 with zero-width feature rows.
+        let rows: Vec<Vec<f64>> = vec![vec![]; 70];
+        let want = walker_response(&forest, &rows);
+        let got = forest.predict_batch(&rows).expect("no deadline armed");
+        prop_assert!(forest.layout_cached(), "kernel path not taken ({n_trees} trees)");
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// The counted batch path must reproduce the walker's exact
+    /// node-visit totals (the `forest.nodes_visited` telemetry).
+    #[test]
+    fn counted_kernel_reproduces_walker_visits(
+        trees in proptest::collection::vec(arb_tree(2, 5), 4..6),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(arb_feature(), 2),
+            2048..2080,
+        ),
+    ) {
+        let forest = Forest::new(trees, 0.0, 1.0, Objective::RegressionL2, 2);
+        let mut want_visits = 0u64;
+        let mut want = Vec::with_capacity(rows.len());
+        for x in &rows {
+            let (raw, n) = forest.predict_raw_counted(x);
+            want_visits += n;
+            want.push(forest.objective.transform(raw));
+        }
+        let (got, visits) = forest.predict_batch_counted(&rows).expect("no deadline armed");
+        prop_assert!(forest.layout_cached(), "kernel path not taken");
+        prop_assert_eq!(bits(&got), bits(&want));
+        prop_assert_eq!(visits, want_visits);
+    }
+}
+
+/// A trained paper-scale forest, big enough that the kernel rides the
+/// gef-par pool (`rows × trees ≥ 2^18`): serial and 4-thread kernel
+/// outputs and the walker all agree bitwise.
+#[test]
+fn trained_forest_kernel_is_thread_count_invariant() {
+    let mut state = 0xC0FFEEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..2000).map(|_| vec![next(), next(), next()]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 2.0 * x[0] - x[1] * x[2] + 0.1 * next())
+        .collect();
+    let forest = GbdtTrainer::new(GbdtParams {
+        num_trees: 80,
+        num_leaves: 16,
+        min_data_in_leaf: 10,
+        ..Default::default()
+    })
+    .fit(&xs, &ys)
+    .expect("training succeeds");
+
+    // 4000 rows × 80 trees = 320k ≥ 2^18: pooled kernel at threads=4.
+    let batch: Vec<Vec<f64>> = (0..4000)
+        .map(|i| {
+            if i % 97 == 0 {
+                vec![f64::NAN, next(), next()]
+            } else {
+                vec![next(), next(), next()]
+            }
+        })
+        .collect();
+    let want = walker_response(&forest, &batch);
+    with_thread_control(|| {
+        for t in [1, 4] {
+            gef_par::set_threads(t);
+            let got = forest.predict_batch(&batch).expect("no deadline armed");
+            assert!(
+                forest.layout_cached(),
+                "kernel path not taken at threads={t}"
+            );
+            assert_eq!(bits(&got), bits(&want), "threads={t}");
+        }
+    });
+}
+
+/// Trees wider than 32 leaves cannot ride the QuickScorer bitvector
+/// path (one `u32` bit per leaf) and take the predicated-descent path
+/// instead — which must be just as bit-exact, at both thread counts.
+#[test]
+fn wide_leaf_trees_take_descent_path_bitwise() {
+    // A right-spine chain of 40 splits = 41 leaves > 32: split i sits
+    // at index 2i with its left leaf at 2i+1; its right child 2i+2 is
+    // the next split (or, after the loop, the final leaf at 80).
+    let spine = |shift: f64| {
+        let mut nodes = Vec::new();
+        for i in 0..40u32 {
+            nodes.push(Node::split(
+                (i % 3) as usize,
+                shift + i as f64 / 40.0,
+                2 * i + 1,
+                2 * i + 2,
+                1.0,
+                41 - i,
+            ));
+            nodes.push(Node::leaf(i as f64 / 10.0 - 2.0, 1));
+        }
+        nodes.push(Node::leaf(4.0 + shift, 1));
+        Tree { nodes }
+    };
+    let forest = Forest::new(
+        vec![spine(0.0), spine(0.1), spine(-0.2)],
+        0.5,
+        0.75,
+        Objective::RegressionL2,
+        3,
+    );
+
+    let mut state = 0xBEEFu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 * 2.0 - 0.5
+    };
+    // 4000 rows × 3 trees ≥ 8192: clears the kernel work floor.
+    let batch: Vec<Vec<f64>> = (0..4000)
+        .map(|i| {
+            if i % 89 == 0 {
+                vec![f64::NAN, next(), next()]
+            } else {
+                vec![next(), next(), next()]
+            }
+        })
+        .collect();
+    let want = walker_response(&forest, &batch);
+    with_thread_control(|| {
+        for t in [1, 4] {
+            gef_par::set_threads(t);
+            let got = forest.predict_batch(&batch).expect("no deadline armed");
+            assert!(
+                forest.layout_cached(),
+                "kernel path not taken at threads={t}"
+            );
+            assert_eq!(bits(&got), bits(&want), "threads={t}");
+        }
+    });
+    // The counted path descends too: walker visit totals must match.
+    let mut want_visits = 0u64;
+    for x in &batch {
+        want_visits += forest.predict_raw_counted(x).1;
+    }
+    let (_, visits) = forest
+        .predict_batch_counted(&batch)
+        .expect("no deadline armed");
+    assert_eq!(visits, want_visits);
+}
+
+/// Repeated batches reuse the cached layout snapshot; an in-place model
+/// mutation invalidates it and changes predictions on the next call.
+#[test]
+fn cached_layout_survives_warm_iterations_and_tracks_mutation() {
+    let trees: Vec<Tree> = (0..130).map(|i| Tree::constant(i as f64, 1)).collect();
+    let mut forest = Forest::new(trees, 0.0, 1.0, Objective::RegressionL2, 0);
+    let rows: Vec<Vec<f64>> = vec![vec![]; 64];
+
+    let first = forest.predict_batch(&rows).expect("no deadline armed");
+    assert!(forest.layout_cached());
+    for _ in 0..3 {
+        let again = forest.predict_batch(&rows).expect("no deadline armed");
+        assert_eq!(bits(&again), bits(&first), "warm iteration changed output");
+    }
+
+    forest.trees[0].nodes[0].value += 1.0;
+    let mutated = forest.predict_batch(&rows).expect("no deadline armed");
+    assert_eq!(
+        bits(&mutated),
+        bits(&walker_response(&forest, &rows)),
+        "stale snapshot served after in-place mutation"
+    );
+    assert_ne!(bits(&mutated), bits(&first));
+}
+
+/// Small batches stay on the walker (no layout build at all) — the
+/// kernel's fixed costs must not be paid for single-row predicts.
+#[test]
+fn tiny_batches_stay_on_the_walker() {
+    let tree = Tree {
+        nodes: vec![
+            Node::split(0, 0.5, 1, 2, 1.0, 2),
+            Node::leaf(-1.0, 1),
+            Node::leaf(1.0, 1),
+        ],
+    };
+    let forest = Forest::new(vec![tree], 0.0, 1.0, Objective::RegressionL2, 1);
+    let out = forest
+        .predict_batch(&[vec![0.2]])
+        .expect("no deadline armed");
+    assert_eq!(out, vec![-1.0]);
+    assert!(!forest.layout_cached(), "tiny batch built a layout");
+}

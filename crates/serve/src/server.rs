@@ -613,12 +613,29 @@ fn handle_predict(shared: &Shared, req: &Request) -> Response {
         Ok(p) => p,
         Err(resp) => return resp,
     };
+    // Unified batch entry point: single rows take the walker, but any
+    // armed budget still trips a typed error instead of a partial
+    // answer, and larger batches (future multi-instance bodies) ride
+    // the flattened kernel transparently.
+    let prediction = match model.forest.predict_batch(std::slice::from_ref(&instance)) {
+        Ok(preds) => preds[0],
+        Err(err @ gef_forest::ForestError::DeadlineExceeded { .. }) => {
+            shared
+                .counters
+                .deadline_trips
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(504, "Gateway Timeout", "deadline", &err.to_string());
+        }
+        Err(err) => {
+            return Response::error(500, "Internal Server Error", "predict", &err.to_string())
+        }
+    };
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("ok");
     w.value_raw("true");
     w.field_str("model", &model.name);
-    w.field_f64("prediction", model.forest.predict(&instance));
+    w.field_f64("prediction", prediction);
     w.end_object();
     Response::ok(w.finish())
 }

@@ -54,13 +54,7 @@ fn arb_tree(d: usize, max_depth: u32) -> impl Strategy<Value = Tree> {
 
 fn arb_forest(d: usize) -> impl Strategy<Value = Forest> {
     (proptest::collection::vec(arb_tree(d, 4), 1..5), -10i16..10).prop_map(move |(trees, base)| {
-        Forest {
-            trees,
-            base_score: base as f64 / 10.0,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: d,
-        }
+        Forest::new(trees, base as f64 / 10.0, 1.0, Objective::RegressionL2, d)
     })
 }
 
@@ -108,13 +102,7 @@ proptest! {
         x1 in 0.0f64..1.0,
         x2 in 0.0f64..1.0,
     ) {
-        let forest = Forest {
-            trees: vec![tree.clone()],
-            base_score: 0.0,
-            scale: 1.0,
-            objective: Objective::RegressionL2,
-            num_features: 3,
-        };
+        let forest = Forest::new(vec![tree.clone()], 0.0, 1.0, Objective::RegressionL2, 3);
         let x = [x0, x1, x2];
         let (fast, _) = shap_values(&forest, &x);
         let slow = brute_force_shap(&tree, &x, 3);
