@@ -83,6 +83,16 @@ echo "==> serve gate (xp_serve --ci)"
 cargo run --release -q -p gef-bench --features fault-injection \
     --bin xp_serve -- --ci
 
+# Store-durability gate: a seeded crash/corruption sweep over the four
+# gef-store disk-fault sites (torn writes, bit flips, truncated reads,
+# ENOSPC) across write/read/evict phases against fresh stores. xp_store
+# exits nonzero if any load returns bytes that are not digest-verified,
+# any Corrupt verdict fails to quarantine the artifact, or anything
+# panics — and prints a replayable GEF_FAULTS string per violation.
+echo "==> store-durability gate (xp_store --ci)"
+cargo run --release -q -p gef-bench --features fault-injection \
+    --bin xp_store -- --ci
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -98,8 +108,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # gef-forest is included because the flattened inference kernel uses
 # unchecked indexing behind build-time validation — the rest of the
 # crate must not hide a panic path that validation was supposed to
-# remove.
-echo "==> cargo clippy (no-panic gate: gef-core, gef-gam, gef-par, gef-forest)"
-cargo clippy -p gef-core -p gef-gam -p gef-par -p gef-forest --lib -- -D warnings
+# remove. gef-store is included because the artifact store's contract
+# is typed errors on every disk-fault path — a panic there would turn
+# a corrupt artifact into a dead server.
+echo "==> cargo clippy (no-panic gate: gef-core, gef-gam, gef-par, gef-forest, gef-store)"
+cargo clippy -p gef-core -p gef-gam -p gef-par -p gef-forest -p gef-store --lib -- -D warnings
 
 echo "CI gate passed."

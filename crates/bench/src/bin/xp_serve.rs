@@ -10,7 +10,12 @@
 //!    worker pool are warm before anything is measured;
 //! 2. **load** — `--clients` threads × `--requests` requests each, a
 //!    seeded mix of generous-deadline explains, tight-deadline explains,
-//!    predicts, and malformed requests;
+//!    predicts, and malformed requests — run **twice**: once with a
+//!    fresh `Connection: close` socket per request, once with
+//!    keep-alive clients that hold one connection each (responses
+//!    framed by `content-length`, reconnecting whenever the server
+//!    closes), so per-request connection cost is measured separately
+//!    from service time;
 //! 3. **faults** — `--schedules` random `GEF_FAULTS` schedules (same
 //!    generator as `xp_chaos`; requires `--features fault-injection`,
 //!    otherwise the phase is skipped with a note), each armed
@@ -23,9 +28,10 @@
 //! > the body is JSON with `"ok"` or `"error"`, and the socket never
 //! > hangs — and after `shutdown()` the drained server answers nothing.
 //!
-//! Results land in `BENCH_serve.json` (latency p50/p95/p99 in µs,
-//! requests-per-second, shed/degraded/error counts, violations first).
-//! Exits nonzero when any response violates the invariant.
+//! Results land in `BENCH_serve.json` (latency p50/p95/p99 in µs —
+//! overall and per connection mode — requests-per-second,
+//! shed/degraded/error counts, violations first). Exits nonzero when
+//! any response violates the invariant.
 //!
 //! Flags: `--ci` (fixed small load: 4 clients × 40 requests, 1 fault
 //! schedule — the ci.sh gate), `--clients N` (default 8),
@@ -157,40 +163,182 @@ fn train_model() -> ModelEntry {
     }
 }
 
-/// One raw HTTP/1.1 exchange over a fresh connection. Returns
-/// `(status, body, latency)` or a violation string (I/O failure or a
-/// hang are invariant violations for an admitted connection — the
-/// *server* may refuse or shed, but never strand a client).
-fn roundtrip(port: u16, request: &[u8]) -> Result<(u16, String, Duration), String> {
-    let t0 = Instant::now();
-    let mut s = TcpStream::connect(("127.0.0.1", port))
-        .map_err(|e| format!("connect failed mid-run: {e}"))?;
-    s.set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| format!("set_read_timeout: {e}"))?;
-    s.write_all(request)
-        .map_err(|e| format!("request write failed: {e}"))?;
-    let mut raw = String::new();
-    s.read_to_string(&mut raw)
-        .map_err(|e| format!("response read failed (hang?): {e}"))?;
-    let latency = t0.elapsed();
-    let status: u16 = raw
-        .split(' ')
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| format!("unparseable status line: {:?}", raw.lines().next()))?;
-    if status == 429 && !raw.to_ascii_lowercase().contains("retry-after:") {
-        return Err("429 without a Retry-After header".into());
-    }
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body, latency))
+/// Connection discipline for the load generator.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// A fresh socket + `Connection: close` per request (connection
+    /// setup cost on every request — the worst case).
+    Close,
+    /// One held connection per client, responses framed by
+    /// `content-length`, re-dialing whenever the server closes.
+    KeepAlive,
 }
 
-fn post(path: &str, body: &str, extra: &str) -> Vec<u8> {
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Close => "close",
+            Mode::KeepAlive => "keepalive",
+        }
+    }
+
+    /// The `Connection` header line requests under this mode carry
+    /// (HTTP/1.1 defaults to keep-alive when absent).
+    fn conn_header(self) -> &'static str {
+        match self {
+            Mode::Close => "connection: close\r\n",
+            Mode::KeepAlive => "",
+        }
+    }
+}
+
+/// A framing failure while reading a keep-alive response.
+enum FrameError {
+    /// The held socket died before any response byte arrived — the
+    /// server closed it between requests (drain, shed, prior
+    /// `Connection: close`). Protocol, not a violation: re-dial once.
+    Stale(String),
+    /// The connection failed *mid-response* — an invariant violation
+    /// for an admitted request.
+    Violation(String),
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// One client's transport: owns the (optional) persistent stream.
+struct Conn {
+    port: u16,
+    mode: Mode,
+    stream: Option<TcpStream>,
+}
+
+impl Conn {
+    fn new(port: u16, mode: Mode) -> Conn {
+        Conn {
+            port,
+            mode,
+            stream: None,
+        }
+    }
+
+    fn dial(port: u16) -> Result<TcpStream, String> {
+        let s = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| format!("connect failed mid-run: {e}"))?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+        Ok(s)
+    }
+
+    fn status_of(raw: &str) -> Result<u16, String> {
+        raw.split(' ')
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("unparseable status line: {:?}", raw.lines().next()))
+    }
+
+    /// Read one `content-length`-framed response off a held stream.
+    fn read_framed(s: &mut TcpStream) -> Result<String, FrameError> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut tmp = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+                break pos + 4;
+            }
+            match s.read(&mut tmp) {
+                Ok(0) if buf.is_empty() => {
+                    return Err(FrameError::Stale("clean EOF before the response".into()))
+                }
+                Ok(0) => {
+                    return Err(FrameError::Violation(
+                        "connection closed mid-headers".into(),
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Err(e) if buf.is_empty() => return Err(FrameError::Stale(format!("read: {e}"))),
+                Err(e) => {
+                    return Err(FrameError::Violation(format!(
+                        "response read failed (hang?): {e}"
+                    )))
+                }
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).to_ascii_lowercase();
+        let need = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length:"))
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        while buf.len() < header_end + need {
+            match s.read(&mut tmp) {
+                Ok(0) => return Err(FrameError::Violation("connection closed mid-body".into())),
+                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Err(e) => return Err(FrameError::Violation(format!("body read failed: {e}"))),
+            }
+        }
+        Ok(String::from_utf8_lossy(&buf[..header_end + need]).into_owned())
+    }
+
+    /// One raw HTTP/1.1 exchange. Returns `(status, raw_response,
+    /// latency)` or a violation string (I/O failure or a hang are
+    /// invariant violations for an admitted connection — the *server*
+    /// may refuse or shed, but never strand a client).
+    fn exchange(&mut self, request: &[u8]) -> Result<(u16, String, Duration), String> {
+        let t0 = Instant::now();
+        if self.mode == Mode::Close {
+            let mut s = Self::dial(self.port)?;
+            s.write_all(request)
+                .map_err(|e| format!("request write failed: {e}"))?;
+            let mut raw = String::new();
+            s.read_to_string(&mut raw)
+                .map_err(|e| format!("response read failed (hang?): {e}"))?;
+            return Ok((Self::status_of(&raw)?, raw, t0.elapsed()));
+        }
+        let mut retried = false;
+        loop {
+            if self.stream.is_none() {
+                self.stream = Some(Self::dial(self.port)?);
+            }
+            let s = self.stream.as_mut().ok_or("stream just dialed")?;
+            let raw = match s.write_all(request) {
+                Ok(()) => Self::read_framed(s),
+                // A write onto a socket the server already closed: a
+                // stale-stream race, same as EOF-before-response.
+                Err(e) => Err(FrameError::Stale(format!("write: {e}"))),
+            };
+            match raw {
+                Ok(raw) => {
+                    // Honor the server's close decision before reuse.
+                    let head = raw
+                        .split("\r\n\r\n")
+                        .next()
+                        .unwrap_or("")
+                        .to_ascii_lowercase();
+                    if head.contains("connection: close") {
+                        self.stream = None;
+                    }
+                    return Ok((Self::status_of(&raw)?, raw, t0.elapsed()));
+                }
+                Err(FrameError::Stale(e)) => {
+                    self.stream = None;
+                    if retried {
+                        return Err(format!("keep-alive socket failed twice: {e}"));
+                    }
+                    retried = true;
+                }
+                Err(FrameError::Violation(v)) => {
+                    self.stream = None;
+                    return Err(v);
+                }
+            }
+        }
+    }
+}
+
+fn post(path: &str, body: &str, extra: &str, conn_header: &str) -> Vec<u8> {
     format!(
-        "POST {path} HTTP/1.1\r\nconnection: close\r\n{extra}content-length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\n{conn_header}{extra}content-length: {}\r\n\r\n{body}",
         body.len()
     )
     .into_bytes()
@@ -201,9 +349,12 @@ const ALLOWED: [u16; 9] = [200, 400, 404, 405, 413, 429, 500, 501, 504];
 /// Send one seeded request from the closed-loop mix and classify the
 /// answer into the tally. Any invariant breach lands in
 /// `tally.violations` with a replayable description.
-fn one_request(port: u16, rng: &mut SplitMix, tally: &mut Tally, latency: &mut Histogram) {
+fn one_request(conn: &mut Conn, rng: &mut SplitMix, tally: &mut Tally, latency: &mut Histogram) {
+    let ch = conn.mode.conn_header();
     let (request, kind) = match rng.below(10) {
-        // A malformed frame: the parser must answer 400, not the pipeline.
+        // A malformed frame: the parser must answer 400, not the
+        // pipeline (always `Connection: close` — the body is unframed,
+        // so the server cannot keep the stream).
         0 => (
             b"POST /explain HTTP/1.1\r\nconnection: close\r\ncontent-length: nope\r\n\r\n".to_vec(),
             "malformed",
@@ -215,11 +366,12 @@ fn one_request(port: u16, rng: &mut SplitMix, tally: &mut Tally, latency: &mut H
                 "/explain",
                 r#"{"instance":[0.5,0.5,0.5],"deadline_ms":1}"#,
                 "",
+                ch,
             ),
             "tight",
         ),
         2 => (
-            post("/predict", r#"{"instance":[0.3,0.7,0.2]}"#, ""),
+            post("/predict", r#"{"instance":[0.3,0.7,0.2]}"#, "", ch),
             "predict",
         ),
         _ => {
@@ -229,30 +381,42 @@ fn one_request(port: u16, rng: &mut SplitMix, tally: &mut Tally, latency: &mut H
                     "/explain",
                     &format!(r#"{{"instance":[{}],"deadline_ms":8000}}"#, x.join(",")),
                     "",
+                    ch,
                 ),
                 "explain",
             )
         }
     };
     tally.requests += 1;
-    let (status, body, took) = match roundtrip(port, &request) {
+    let mode = conn.mode.label();
+    let (status, raw, took) = match conn.exchange(&request) {
         Ok(ok) => ok,
         Err(v) => {
-            tally.violations.push(format!("[{kind}] {v}"));
+            tally.violations.push(format!("[{kind}/{mode}] {v}"));
             return;
         }
     };
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
     latency.record(took.as_micros() as u64);
-    if !ALLOWED.contains(&status) {
+    if status == 429 && !raw.to_ascii_lowercase().contains("retry-after:") {
         tally
             .violations
-            .push(format!("[{kind}] unexpected status {status}: {body}"));
+            .push(format!("[{kind}/{mode}] 429 without a Retry-After header"));
+        return;
+    }
+    if !ALLOWED.contains(&status) {
+        tally.violations.push(format!(
+            "[{kind}/{mode}] unexpected status {status}: {body}"
+        ));
         return;
     }
     if !(body.contains("\"ok\"") || body.contains("\"error\"")) {
-        tally
-            .violations
-            .push(format!("[{kind}] body is not a typed envelope: {body:?}"));
+        tally.violations.push(format!(
+            "[{kind}/{mode}] body is not a typed envelope: {body:?}"
+        ));
         return;
     }
     match status {
@@ -273,10 +437,12 @@ fn one_request(port: u16, rng: &mut SplitMix, tally: &mut Tally, latency: &mut H
     }
 }
 
-/// Run `clients` closed-loop threads of `requests` requests each and
-/// merge their tallies and latency histograms into the shared state.
+/// Run `clients` closed-loop threads of `requests` requests each under
+/// the given connection mode and merge their tallies and latency
+/// histograms into the shared state.
 fn run_fleet(
     port: u16,
+    mode: Mode,
     clients: usize,
     requests: usize,
     seed: u64,
@@ -287,10 +453,11 @@ fn run_fleet(
         for c in 0..clients {
             scope.spawn(move || {
                 let mut rng = SplitMix(seed ^ (0x5eed ^ c as u64).wrapping_mul(0x9e37));
+                let mut conn = Conn::new(port, mode);
                 let mut local = Tally::default();
                 let mut hist = Histogram::new();
                 for _ in 0..requests {
-                    one_request(port, &mut rng, &mut local, &mut hist);
+                    one_request(&mut conn, &mut rng, &mut local, &mut hist);
                 }
                 tally.lock().expect("tally lock").merge(local);
                 latency.lock().expect("latency lock").merge(&hist);
@@ -330,6 +497,7 @@ fn fault_sweep(
         }
         run_fleet(
             port,
+            Mode::Close,
             clients,
             requests,
             args.seed ^ index as u64,
@@ -393,22 +561,55 @@ fn main() {
         let mut warm = Tally::default();
         let mut hist = Histogram::new();
         let mut rng = SplitMix(args.seed ^ 0xcafe);
+        let mut conn = Conn::new(port, Mode::Close);
         for _ in 0..3 {
-            one_request(port, &mut rng, &mut warm, &mut hist);
+            one_request(&mut conn, &mut rng, &mut warm, &mut hist);
         }
         tally.lock().expect("tally lock").merge(warm);
     }
 
-    let t_load = Instant::now();
-    run_fleet(
-        port,
-        args.clients,
-        args.requests,
-        args.seed,
-        &tally,
-        &latency,
-    );
-    let load_elapsed = t_load.elapsed().as_secs_f64();
+    // The load phase runs once per connection mode, with its own
+    // latency histogram, so the per-request connection-setup cost is
+    // visible: keep-alive p50 should sit below the close-per-request
+    // p50 on the same request mix.
+    struct ModeStats {
+        mode: &'static str,
+        p50: u64,
+        p95: u64,
+        p99: u64,
+        rps: f64,
+    }
+    let mut mode_stats: Vec<ModeStats> = Vec::new();
+    let mut load_elapsed = 0.0f64;
+    for mode in [Mode::Close, Mode::KeepAlive] {
+        let hist = Mutex::new(Histogram::new());
+        let t_load = Instant::now();
+        run_fleet(
+            port,
+            mode,
+            args.clients,
+            args.requests,
+            args.seed ^ (mode as u64) << 32,
+            &tally,
+            &hist,
+        );
+        let elapsed = t_load.elapsed().as_secs_f64();
+        load_elapsed += elapsed;
+        let hist = hist.into_inner().expect("mode latency lock");
+        let requests = (args.clients * args.requests) as f64;
+        mode_stats.push(ModeStats {
+            mode: mode.label(),
+            p50: hist.quantile(0.50),
+            p95: hist.quantile(0.95),
+            p99: hist.quantile(0.99),
+            rps: if elapsed > 0.0 {
+                requests / elapsed
+            } else {
+                0.0
+            },
+        });
+        latency.lock().expect("latency lock").merge(&hist);
+    }
 
     let schedules = fault_sweep(port, &args, &tally, &latency);
 
@@ -429,7 +630,8 @@ fn main() {
 
     let tally = tally.into_inner().expect("tally lock");
     let latency = latency.into_inner().expect("latency lock");
-    let load_requests = (args.clients * args.requests) as f64;
+    // Two load passes: one per connection mode.
+    let load_requests = (2 * args.clients * args.requests) as f64;
     let rps = if load_elapsed > 0.0 {
         load_requests / load_elapsed
     } else {
@@ -450,12 +652,18 @@ fn main() {
     );
     if latency.count() > 0 {
         println!(
-            "# latency: p50 {} us, p95 {} us, p99 {} us ({:.1} req/s over the load phase)",
+            "# latency: p50 {} us, p95 {} us, p99 {} us ({:.1} req/s over the load phases)",
             latency.quantile(0.50),
             latency.quantile(0.95),
             latency.quantile(0.99),
             rps
         );
+        for m in &mode_stats {
+            println!(
+                "#   {}: p50 {} us, p95 {} us, p99 {} us ({:.1} req/s)",
+                m.mode, m.p50, m.p95, m.p99, m.rps
+            );
+        }
     }
     for v in &tally.violations {
         println!("VIOLATION: {v}");
@@ -478,6 +686,18 @@ fn main() {
     w.field_u64("latency_p50_us", latency.quantile(0.50));
     w.field_u64("latency_p95_us", latency.quantile(0.95));
     w.field_u64("latency_p99_us", latency.quantile(0.99));
+    w.key("modes");
+    w.begin_array();
+    for m in &mode_stats {
+        w.begin_object();
+        w.field_str("mode", m.mode);
+        w.field_u64("latency_p50_us", m.p50);
+        w.field_u64("latency_p95_us", m.p95);
+        w.field_u64("latency_p99_us", m.p99);
+        w.field_f64("rps", m.rps);
+        w.end_object();
+    }
+    w.end_array();
     w.field_u64("violations", tally.violations.len() as u64);
     w.key("violation_details");
     w.begin_array();

@@ -1,0 +1,435 @@
+//! Seeded crash/corruption sweep over the `gef-store` disk-fault sites.
+//!
+//! Generates `--schedules` random fault schedules restricted to the
+//! four store sites (`store.torn_write`, `store.bit_flip`,
+//! `store.truncate`, `store.enospc` — torn renames, flipped bits,
+//! truncated reads, full disks), and drives each against a **fresh**
+//! store through three phases:
+//!
+//! 1. **write** — publish two forests (binary + text), tag them, and
+//!    cache an explanation payload, all with publish faults armed;
+//! 2. **read** — load every artifact back by digest, by ref, and by
+//!    explanation key, with read faults armed;
+//! 3. **evict** — re-load in a loop under a cache sized for one forest,
+//!    so MRU evictions interleave with faulty re-reads.
+//!
+//! The durability invariant checked on **every** access:
+//!
+//! > A load either returns a **digest-verified artifact** (the decoded
+//! > forest's content digest equals the requested address; cached
+//! > explanation bytes equal the published payload) or a **typed
+//! > [`gef_store::StoreError`]** — and every `Corrupt` verdict leaves
+//! > the offending artifact in `quarantine/` with a side-car. Never a
+//! > panic, never silently-served bad bytes.
+//!
+//! The sweep is fully deterministic per `--seed`; every schedule is
+//! printed in replayable `GEF_FAULTS` syntax. Results land in
+//! `BENCH_store.json` (violations first with replay strings, then
+//! per-schedule outcomes), together with the cold-load benchmark:
+//! median decode time of the binary `GFB1` form vs. parsing the text
+//! form of the same forest. Exits nonzero on any violation. Requires
+//! `--features fault-injection`.
+//!
+//! Flags: `--ci` (24 schedules — the ci.sh gate), `--schedules N`
+//! (default 120), `--seed S` (default 7).
+
+use gef_bench::chaos::{random_schedule_from, SplitMix};
+use gef_core::faults;
+use gef_forest::{codec, io as forest_io, Forest, GbdtParams, GbdtTrainer, Objective};
+use gef_store::{Store, StoreError};
+use gef_trace::json::JsonWriter;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The four disk-fault sites this sweep is restricted to.
+const STORE_SITES: [&str; 4] = [
+    gef_store::TORN_WRITE,
+    gef_store::BIT_FLIP,
+    gef_store::TRUNCATE,
+    gef_store::ENOSPC,
+];
+
+struct Args {
+    schedules: usize,
+    seed: u64,
+    ci: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        schedules: 120,
+        seed: 7,
+        ci: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |j: usize| -> u64 {
+            argv.get(j)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} requires an integer argument", argv[j - 1]))
+        };
+        match argv[i].as_str() {
+            "--ci" => {
+                out.ci = true;
+                out.schedules = 24;
+                i += 1;
+            }
+            "--schedules" => {
+                out.schedules = val(i + 1) as usize;
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = val(i + 1);
+                i += 2;
+            }
+            other => panic!("unknown flag {other:?} (expected --ci/--schedules/--seed)"),
+        }
+    }
+    out
+}
+
+/// Two small distinct forests, trained once before any fault is armed.
+fn forests() -> (Forest, Forest) {
+    let train = |seed: u64, trees: usize| {
+        let mut rng = SplitMix(seed);
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..3).map(|_| rng.unit()).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x[0] - x[1] + (x[2] * 4.0).sin())
+            .collect();
+        GbdtTrainer::new(GbdtParams {
+            num_trees: trees,
+            num_leaves: 6,
+            learning_rate: 0.2,
+            min_data_in_leaf: 10,
+            objective: Objective::RegressionL2,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .expect("sweep forest trains")
+    };
+    (train(3, 8), train(17, 10))
+}
+
+/// What one schedule did, for the report.
+struct RunRecord {
+    index: usize,
+    schedule: String,
+    outcome: &'static str,
+    detail: String,
+    typed_errors: usize,
+    quarantined: usize,
+    text_fallbacks: usize,
+    evictions: u64,
+    fired: u64,
+}
+
+/// Everything one schedule observed; violations are invariant breaches.
+#[derive(Default)]
+struct Observed {
+    violations: Vec<String>,
+    typed_errors: usize,
+    text_fallbacks: usize,
+}
+
+impl Observed {
+    /// Classify a forest load: `Ok` must be digest-verified (the store
+    /// re-checks, we re-check independently); `Corrupt` must have
+    /// quarantined at least one copy.
+    fn check_load(
+        &mut self,
+        what: &str,
+        want: u64,
+        result: Result<gef_store::Loaded, StoreError>,
+        store: &Store,
+    ) {
+        match result {
+            Ok(loaded) => {
+                if loaded.forest.content_digest() != want {
+                    self.violations.push(format!(
+                        "[{what}] load returned digest {:016x}, wanted {want:016x} (source {})",
+                        loaded.forest.content_digest(),
+                        loaded.source.label()
+                    ));
+                }
+                if loaded.source == gef_store::LoadSource::TextFallback {
+                    self.text_fallbacks += 1;
+                }
+            }
+            Err(StoreError::Corrupt { artifact, detail }) => {
+                self.typed_errors += 1;
+                if store.quarantined().is_empty() {
+                    self.violations.push(format!(
+                        "[{what}] Corrupt({artifact}: {detail}) but quarantine/ is empty"
+                    ));
+                }
+            }
+            Err(_) => self.typed_errors += 1,
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (f1, f2) = forests();
+    let (d1, d2) = (f1.content_digest(), f2.content_digest());
+    let explanation_payload = br#"{"schema":"xp_store/probe/v1","terms":[1.5,-0.25]}"#.to_vec();
+    let config_digest = 0x5eed_f00d_u64;
+    // A cache big enough for exactly one forest, so the evict phase
+    // actually evicts (sizes are of the binary artifacts it caches).
+    let cache_bytes = codec::to_binary(&f1).len().max(codec::to_binary(&f2).len()) as u64 + 64;
+    let base = std::env::temp_dir().join(format!("gef-xp-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!(
+        "# store sweep: {} schedules, seed {}, sites: {}",
+        args.schedules,
+        args.seed,
+        STORE_SITES.join(", ")
+    );
+
+    let mut rng = SplitMix(args.seed);
+    let mut runs: Vec<RunRecord> = Vec::with_capacity(args.schedules);
+    let mut violations: Vec<usize> = Vec::new();
+
+    for index in 0..args.schedules {
+        let schedule = random_schedule_from(&mut rng, &STORE_SITES);
+        let dir: PathBuf = base.join(format!("sched-{index:03}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let entries = match faults::parse_spec(&schedule) {
+            Ok(e) => e,
+            Err(err) => {
+                runs.push(RunRecord {
+                    index,
+                    schedule,
+                    outcome: "violation",
+                    detail: format!("generated schedule failed to parse: {err}"),
+                    typed_errors: 0,
+                    quarantined: 0,
+                    text_fallbacks: 0,
+                    evictions: 0,
+                    fired: 0,
+                });
+                violations.push(index);
+                continue;
+            }
+        };
+        // The store is opened (directories created) before faults arm:
+        // the sweep injects disk faults on artifacts, not on mkdir.
+        let store = Store::open_with_cache(&dir, cache_bytes).expect("fresh store opens");
+        faults::reset();
+        let armed: Vec<String> = entries.iter().map(|(s, _)| s.clone()).collect();
+        for (site, trigger) in entries {
+            faults::arm(&site, trigger);
+        }
+
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut obs = Observed::default();
+
+            // -------- write phase: publish under fire ----------------
+            let p1 = store.publish_forest(&f1);
+            let p2 = store.publish_forest(&f2);
+            for (name, p, d) in [("alpha", &p1, d1), ("beta", &p2, d2)] {
+                match p {
+                    Ok(got) => {
+                        if *got != d {
+                            obs.violations.push(format!(
+                                "[publish {name}] returned digest {got:016x}, wanted {d:016x}"
+                            ));
+                        }
+                        if store.tag(name, d).is_err() {
+                            obs.typed_errors += 1;
+                        }
+                    }
+                    Err(_) => obs.typed_errors += 1,
+                }
+            }
+            if store
+                .put_explanation(d1, config_digest, &explanation_payload)
+                .is_err()
+            {
+                obs.typed_errors += 1;
+            }
+
+            // -------- read phase: every access verified --------------
+            obs.check_load("read d1", d1, store.load_forest(d1), &store);
+            obs.check_load("read d2", d2, store.load_forest(d2), &store);
+            if store.resolve("alpha").is_ok() {
+                obs.check_load("read alpha", d1, store.load_named("alpha"), &store);
+            }
+            match store.get_explanation(d1, config_digest) {
+                Ok(Some(bytes)) => {
+                    if bytes != explanation_payload {
+                        obs.violations.push(format!(
+                            "[explanation] verified load returned {} bytes that differ \
+                             from the published payload",
+                            bytes.len()
+                        ));
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => obs.typed_errors += 1,
+            }
+
+            // -------- evict phase: cycle a one-forest cache ----------
+            for _ in 0..4 {
+                obs.check_load("evict d1", d1, store.load_forest(d1), &store);
+                obs.check_load("evict d2", d2, store.load_forest(d2), &store);
+            }
+            obs
+        }));
+
+        let fired: u64 = armed.iter().map(|s| faults::fired_count(s)).sum();
+        faults::reset();
+        let quarantined = store.quarantined().len();
+        let evictions = store.cache_stats().evictions;
+
+        let (outcome, detail, typed_errors, text_fallbacks) = match result {
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                ("violation", format!("panicked: {msg}"), 0, 0)
+            }
+            Ok(obs) if !obs.violations.is_empty() => (
+                "violation",
+                obs.violations.join("; "),
+                obs.typed_errors,
+                obs.text_fallbacks,
+            ),
+            Ok(obs) if obs.typed_errors > 0 || quarantined > 0 || obs.text_fallbacks > 0 => (
+                "ok_recovered",
+                String::new(),
+                obs.typed_errors,
+                obs.text_fallbacks,
+            ),
+            Ok(obs) => ("ok", String::new(), obs.typed_errors, obs.text_fallbacks),
+        };
+        if outcome == "violation" {
+            violations.push(index);
+        }
+        runs.push(RunRecord {
+            index,
+            schedule,
+            outcome,
+            detail,
+            typed_errors,
+            quarantined,
+            text_fallbacks,
+            evictions,
+            fired,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    // ---- cold-load benchmark: binary decode vs. text parse ----------
+    // Same forest, both serialized forms, median of repeated decodes;
+    // the binary GFB1 path is the reason the store publishes it first.
+    let (bin_us, txt_us, bin_bytes, txt_bytes) = {
+        let bytes = codec::to_binary(&f2);
+        let text = forest_io::to_text(&f2);
+        let reps = 40;
+        let median = |mut v: Vec<u64>| -> u64 {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        let mut bin = Vec::with_capacity(reps);
+        let mut txt = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let f = codec::from_binary(&bytes).expect("benchmark bytes decode");
+            bin.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(f.content_digest(), d2);
+            let t0 = Instant::now();
+            let f = forest_io::from_text(&text).expect("benchmark text parses");
+            txt.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(f.content_digest(), d2);
+        }
+        (
+            median(bin) as f64 / 1000.0,
+            median(txt) as f64 / 1000.0,
+            bytes.len(),
+            text.len(),
+        )
+    };
+    let speedup = if bin_us > 0.0 { txt_us / bin_us } else { 0.0 };
+
+    let count = |o: &str| runs.iter().filter(|r| r.outcome == o).count();
+    let (n_ok, n_rec) = (count("ok"), count("ok_recovered"));
+    let quarantined_total: usize = runs.iter().map(|r| r.quarantined).sum();
+    println!(
+        "# outcomes: {n_ok} clean, {n_rec} recovered ({quarantined_total} artifacts \
+         quarantined), {} violations",
+        violations.len()
+    );
+    println!(
+        "# cold load: binary {bin_us:.1} us vs text {txt_us:.1} us ({speedup:.1}x, \
+         {bin_bytes} vs {txt_bytes} bytes)"
+    );
+    for &v in &violations {
+        let r = &runs[v];
+        println!("VIOLATION schedule {}: {}", r.index, r.detail);
+        println!(
+            "  replay: GEF_FAULTS=\"{}\" xp_store --seed {}",
+            r.schedule, args.seed
+        );
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("seed", args.seed);
+    w.field_u64("schedules", args.schedules as u64);
+    w.field_u64("violations", violations.len() as u64);
+    w.key("replay_violations");
+    w.begin_array();
+    for &v in &violations {
+        w.value_str(&format!(
+            "GEF_FAULTS=\"{}\" xp_store --seed {}",
+            runs[v].schedule, args.seed
+        ));
+    }
+    w.end_array();
+    w.field_u64("ok", n_ok as u64);
+    w.field_u64("ok_recovered", n_rec as u64);
+    w.field_u64("quarantined_total", quarantined_total as u64);
+    w.key("cold_load");
+    w.begin_object();
+    w.field_f64("binary_decode_us", bin_us);
+    w.field_f64("text_parse_us", txt_us);
+    w.field_f64("speedup", speedup);
+    w.field_u64("binary_bytes", bin_bytes as u64);
+    w.field_u64("text_bytes", txt_bytes as u64);
+    w.end_object();
+    w.key("runs");
+    w.begin_array();
+    for r in &runs {
+        w.begin_object();
+        w.field_u64("index", r.index as u64);
+        w.field_str("faults", &r.schedule);
+        w.field_str("outcome", r.outcome);
+        w.field_str("detail", &r.detail);
+        w.field_u64("typed_errors", r.typed_errors as u64);
+        w.field_u64("quarantined", r.quarantined as u64);
+        w.field_u64("text_fallbacks", r.text_fallbacks as u64);
+        w.field_u64("evictions", r.evictions);
+        w.field_u64("fired", r.fired);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::fs::write("BENCH_store.json", w.finish()).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+
+    gef_bench::emit_telemetry("xp_store");
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -31,11 +31,12 @@ impl SplitMix {
 }
 
 /// One random `site=trigger` entry in `GEF_FAULTS` syntax, drawn from
-/// every registered site and all four env-expressible trigger families.
-#[cfg(feature = "fault-injection")]
-pub fn random_entry(rng: &mut SplitMix) -> String {
-    use gef_core::faults::ALL_SITES;
-    let site = ALL_SITES[rng.below(ALL_SITES.len() as u64) as usize];
+/// the given site list and all four env-expressible trigger families.
+/// The site-restricted harnesses (`xp_store` sweeps only the four
+/// `store.*` disk-fault sites) share the generator with the full-space
+/// sweeps so every printed schedule replays with `GEF_FAULTS`.
+pub fn random_entry_from(rng: &mut SplitMix, sites: &[&str]) -> String {
+    let site = sites[rng.below(sites.len() as u64) as usize];
     let trigger = match rng.below(4) {
         0 => "always".to_string(),
         1 => format!("first:{}", 1 + rng.below(8)),
@@ -53,20 +54,32 @@ pub fn random_entry(rng: &mut SplitMix) -> String {
     format!("{site}={trigger}")
 }
 
-/// A full schedule: 1–3 distinct-site entries, rendered as the exact
-/// string `GEF_FAULTS` would accept (the replay handle).
-#[cfg(feature = "fault-injection")]
-pub fn random_schedule(rng: &mut SplitMix) -> String {
+/// A full schedule over the given site list: 1–3 distinct-site entries,
+/// rendered as the exact string `GEF_FAULTS` would accept (the replay
+/// handle).
+pub fn random_schedule_from(rng: &mut SplitMix, sites: &[&str]) -> String {
     let k = 1 + rng.below(3);
     let mut entries: Vec<String> = Vec::new();
     for _ in 0..k {
-        let e = random_entry(rng);
+        let e = random_entry_from(rng, sites);
         let site = e.split('=').next().unwrap_or("");
         if !entries.iter().any(|p| p.starts_with(site)) {
             entries.push(e);
         }
     }
     entries.join(",")
+}
+
+/// [`random_entry_from`] over every registered injection site.
+#[cfg(feature = "fault-injection")]
+pub fn random_entry(rng: &mut SplitMix) -> String {
+    random_entry_from(rng, &gef_core::faults::ALL_SITES)
+}
+
+/// [`random_schedule_from`] over every registered injection site.
+#[cfg(feature = "fault-injection")]
+pub fn random_schedule(rng: &mut SplitMix) -> String {
+    random_schedule_from(rng, &gef_core::faults::ALL_SITES)
 }
 
 #[cfg(test)]
@@ -85,6 +98,19 @@ mod tests {
             assert!(r.below(7) < 7);
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn site_restricted_schedules_stay_on_the_given_sites() {
+        let sites = ["store.torn_write", "store.bit_flip"];
+        let mut rng = SplitMix(5);
+        for _ in 0..50 {
+            let s = random_schedule_from(&mut rng, &sites);
+            for entry in s.split(',') {
+                let site = entry.split('=').next().unwrap();
+                assert!(sites.contains(&site), "foreign site in {s}");
+            }
         }
     }
 

@@ -16,6 +16,10 @@
 //! | [`PIRLS_STALL`] | `gef_gam` PIRLS iteration | sleeps 5 ms (no numeric effect) — exists to prove deadline enforcement |
 //! | [`FOREST_PREDICT_NAN`] | `gef_forest::Forest::predict_raw` | returns NaN |
 //! | [`SAMPLING_DOMAIN_COLLAPSE`] | pipeline sampling stage | truncates a selected feature's domain to one point |
+//! | [`STORE_TORN_WRITE`] | `gef_store` publish | staged file gets half its bytes, no fsync (torn artifact) |
+//! | [`STORE_BIT_FLIP`] | `gef_store` publish | one payload bit flipped (silent media corruption) |
+//! | [`STORE_TRUNCATE`] | `gef_store` read | read buffer cut to half length (lost tail) |
+//! | [`STORE_ENOSPC`] | `gef_store` publish | write fails with injected out-of-space |
 //!
 //! ## `GEF_FAULTS` syntax
 //!
@@ -48,15 +52,28 @@ pub const PIRLS_STALL: &str = "pirls.stall";
 pub const FOREST_PREDICT_NAN: &str = "forest.predict_nan";
 /// A selected feature's sampling domain collapses to a single point.
 pub const SAMPLING_DOMAIN_COLLAPSE: &str = "sampling.domain_collapse";
+/// A `gef_store` publish writes only half the staged bytes (and skips
+/// the fsync) before the rename — a torn artifact under its final name.
+pub const STORE_TORN_WRITE: &str = "store.torn_write";
+/// A `gef_store` publish flips one bit of the staged payload.
+pub const STORE_BIT_FLIP: &str = "store.bit_flip";
+/// A `gef_store` read returns only the first half of the artifact.
+pub const STORE_TRUNCATE: &str = "store.truncate";
+/// A `gef_store` publish fails with an injected out-of-space error.
+pub const STORE_ENOSPC: &str = "store.enospc";
 
 /// All known injection sites.
-pub const ALL_SITES: [&str; 6] = [
+pub const ALL_SITES: [&str; 10] = [
     CHOL_FACTOR,
     PIRLS_ITER,
     PIRLS_STEP,
     PIRLS_STALL,
     FOREST_PREDICT_NAN,
     SAMPLING_DOMAIN_COLLAPSE,
+    STORE_TORN_WRITE,
+    STORE_BIT_FLIP,
+    STORE_TRUNCATE,
+    STORE_ENOSPC,
 ];
 
 /// A malformed or unknown `GEF_FAULTS` specification.

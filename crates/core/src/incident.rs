@@ -49,6 +49,14 @@ pub const SCHEMA: &str = "gef-core/incident/v1";
 /// How many of the most recent flight-recorder records a dump carries.
 pub const EVENT_WINDOW: usize = 200;
 
+/// How many dumps per label the incident directory retains. Mirrors
+/// the `BENCH_trajectory.json` pruning: after every successful write,
+/// dumps whose file name shares the current label prefix are pruned to
+/// the newest [`INCIDENT_KEEP`] by modification time, so a long chaos
+/// campaign (or a crash-looping service) cannot grow
+/// `results/incidents/` without bound.
+pub const INCIDENT_KEEP: usize = 50;
+
 static LABEL: Mutex<Option<String>> = Mutex::new(None);
 
 /// Set the process-wide incident label (the `<label>` half of the dump
@@ -283,6 +291,7 @@ fn write_dump(cause: &str, error: &str, ctx: &IncidentContext) -> Option<PathBuf
     match std::fs::write(&path, doc) {
         Ok(()) => {
             eprintln!("gef-core: wrote incident dump {}", path.display());
+            prune_label_dumps(&dir);
             Some(path)
         }
         Err(e) => {
@@ -292,6 +301,50 @@ fn write_dump(cause: &str, error: &str, ctx: &IncidentContext) -> Option<PathBuf
             );
             None
         }
+    }
+}
+
+/// Bound incident-directory growth: keep only the newest
+/// [`INCIDENT_KEEP`] dumps sharing the current label prefix, deleting
+/// older ones (by modification time). Best-effort, like everything on
+/// the incident path; when it fires it leaves a
+/// [`gef_trace::recorder::Kind::Store`] note with the delete count.
+fn prune_label_dumps(dir: &std::path::Path) {
+    prune_with_prefix(dir, &format!("{}-", sanitize(&label())));
+}
+
+fn prune_with_prefix(dir: &std::path::Path, prefix: &str) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut dumps: Vec<(std::time::SystemTime, PathBuf)> = rd
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with(prefix) && name.ends_with(".json")
+        })
+        .filter_map(|e| {
+            let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+            Some((mtime, e.path()))
+        })
+        .collect();
+    if dumps.len() <= INCIDENT_KEEP {
+        return;
+    }
+    // Newest first; everything past the keep horizon goes.
+    dumps.sort_by_key(|d| std::cmp::Reverse(d.0));
+    let mut pruned = 0u64;
+    for (_, path) in dumps.drain(INCIDENT_KEEP..) {
+        if std::fs::remove_file(&path).is_ok() {
+            pruned += 1;
+        }
+    }
+    if pruned > 0 {
+        recorder::note(
+            recorder::Kind::Store,
+            "incident.pruned",
+            &format!("{pruned} dump(s) past keep={INCIDENT_KEEP} for label prefix {prefix:?}"),
+        );
     }
 }
 
@@ -356,6 +409,35 @@ mod tests {
         assert_eq!(sanitize("ok-file_1.json"), "ok-file_1.json");
         assert_eq!(sanitize("a/b\\c d!"), "a_b_c_d_");
         assert_eq!(sanitize(""), "incident");
+    }
+
+    #[test]
+    fn pruning_keeps_newest_per_label_and_spares_other_labels() {
+        let dir = std::env::temp_dir().join(format!(
+            "gef-incident-prune-{}-{}",
+            std::process::id(),
+            unix_ms()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..INCIDENT_KEEP + 5 {
+            std::fs::write(dir.join(format!("sweep-c{i:03}.json")), b"{}").unwrap();
+        }
+        std::fs::write(dir.join("other-label.json"), b"{}").unwrap();
+        std::fs::write(dir.join("sweep-not-a-dump.txt"), b"x").unwrap();
+        prune_with_prefix(&dir, "sweep-");
+        let remaining: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        let sweep_dumps = remaining
+            .iter()
+            .filter(|n| n.starts_with("sweep-") && n.ends_with(".json"))
+            .count();
+        assert_eq!(sweep_dumps, INCIDENT_KEEP);
+        assert!(remaining.contains(&"other-label.json".to_string()));
+        assert!(remaining.contains(&"sweep-not-a-dump.txt".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod interactions;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod reuse;
 pub mod sampling;
 pub mod selection;
 

@@ -1,0 +1,245 @@
+//! Explanation reuse through the content-addressed artifact store.
+//!
+//! An explanation is a pure function of `(forest structure, GefConfig)`
+//! — both content-digested — so a finished one can be served from
+//! `gef-store` without re-running the pipeline. This module adds
+//! [`GefExplainer::explain_cached`]: look up
+//! `(Forest::content_digest, GefConfig::content_digest)` in the store,
+//! verify the cached artifact *twice* (the store checks the envelope
+//! checksum; this layer re-checks the embedded provenance digests
+//! against the key), and only then reuse it. Any failure along the way
+//! — corrupt envelope, unparseable payload, provenance mismatch —
+//! quarantines the artifact and **recomputes**: the cache accelerates
+//! runs, it never fails or falsifies them.
+//!
+//! Outcomes are observable: `store.reuse_hit` / `store.reuse_miss` /
+//! `store.reuse_recovered` counters, plus a
+//! [`Kind::Store`] recorder note on every non-hit.
+//!
+//! [`Kind::Store`]: gef_trace::recorder::Kind::Store
+
+use crate::pipeline::{GefExplainer, GefExplanation};
+use crate::Result;
+use gef_forest::Forest;
+use gef_store::Store;
+use gef_trace::hash::to_hex;
+use gef_trace::recorder::{self, Kind};
+
+/// How [`GefExplainer::explain_cached`] obtained its explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the store; provenance digests matched the key.
+    Hit,
+    /// No cached artifact existed; computed and published.
+    Miss,
+    /// A cached artifact existed but failed verification (detail says
+    /// how); it was quarantined and the explanation recomputed.
+    Recovered(String),
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label for telemetry and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Recovered(_) => "recovered",
+        }
+    }
+}
+
+impl GefExplainer {
+    /// Explain `forest`, reusing a stored explanation when a verified
+    /// one exists for this exact `(model, config)` digest pair.
+    ///
+    /// Store trouble is never fatal: every cache-side failure falls
+    /// back to computing the explanation (and re-publishing it,
+    /// best-effort). The only errors this returns are the pipeline's
+    /// own.
+    pub fn explain_cached(
+        &self,
+        forest: &Forest,
+        store: &Store,
+    ) -> Result<(GefExplanation, CacheOutcome)> {
+        let model = forest.content_digest();
+        let config = self.config().content_digest();
+        let key = format!("{}-{}", to_hex(model), to_hex(config));
+
+        let mut recovered: Option<String> = None;
+        match store.get_explanation(model, config) {
+            Ok(Some(bytes)) => {
+                let parsed = std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|s| GefExplanation::from_json(s).ok());
+                match parsed {
+                    Some(exp)
+                        if exp.provenance.forest_digest == to_hex(model)
+                            && exp.provenance.config_digest == to_hex(config) =>
+                    {
+                        gef_trace::global().add("store.reuse_hit", 1);
+                        return Ok((exp, CacheOutcome::Hit));
+                    }
+                    Some(exp) => {
+                        let detail = format!(
+                            "provenance mismatch: cached ({}, {}) under key {key}",
+                            exp.provenance.forest_digest, exp.provenance.config_digest
+                        );
+                        store.quarantine_explanation(model, config, "provenance_mismatch", &detail);
+                        recovered = Some(detail);
+                    }
+                    None => {
+                        let detail =
+                            "cached explanation payload failed to parse as explanation JSON"
+                                .to_string();
+                        store.quarantine_explanation(model, config, "payload_parse", &detail);
+                        recovered = Some(detail);
+                    }
+                }
+            }
+            Ok(None) => {}
+            // The store already quarantined the corrupt envelope (or
+            // the read itself failed); recompute.
+            Err(e) => recovered = Some(e.to_string()),
+        }
+
+        let explanation = self.explain(forest)?;
+        if let Err(e) = store.put_explanation(model, config, explanation.to_json().as_bytes()) {
+            // Publish failure (e.g. injected ENOSPC) must not fail the
+            // run — the freshly computed explanation is still good.
+            recorder::note(Kind::Store, "store.reuse_put_failed", &e.to_string());
+        }
+        let outcome = match recovered {
+            Some(detail) => {
+                gef_trace::global().add("store.reuse_recovered", 1);
+                recorder::note(Kind::Store, "store.reuse_recovered", &detail);
+                CacheOutcome::Recovered(detail)
+            }
+            None => {
+                gef_trace::global().add("store.reuse_miss", 1);
+                CacheOutcome::Miss
+            }
+        };
+        Ok((explanation, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GefConfig;
+    use gef_forest::{GbdtParams, GbdtTrainer};
+
+    fn train() -> Forest {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i % 19) as f64 / 19.0,
+                    (i % 7) as f64 / 7.0,
+                    (i % 3) as f64 / 3.0,
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 0.3 * x[2]).collect();
+        GbdtTrainer::new(GbdtParams {
+            num_trees: 10,
+            num_leaves: 6,
+            min_data_in_leaf: 5,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap()
+    }
+
+    fn quick_config() -> GefConfig {
+        GefConfig {
+            n_samples: 200,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!(
+            "gef-reuse-test-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open_with_cache(&dir, 0).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let (dir, store) = tmp_store("hit");
+        let forest = train();
+        let explainer = GefExplainer::new(quick_config());
+        let (first, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(first.to_json(), second.to_json());
+        // A different config is a different key: miss again.
+        let other = GefExplainer::new(GefConfig {
+            seed: 99,
+            ..quick_config()
+        });
+        let (_, outcome) = other.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cached_payload_recovers_and_quarantines() {
+        let (dir, store) = tmp_store("recover");
+        let forest = train();
+        let explainer = GefExplainer::new(quick_config());
+        let model = forest.content_digest();
+        let config = explainer.config().content_digest();
+
+        // A validly-sealed envelope holding garbage: the store's
+        // checksum passes, the payload parse must not.
+        store
+            .put_explanation(model, config, b"{\"not\": \"an explanation\"}")
+            .unwrap();
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert!(matches!(outcome, CacheOutcome::Recovered(_)), "{outcome:?}");
+        assert_eq!(store.quarantined().len(), 1);
+        assert_eq!(exp.provenance.forest_digest, to_hex(model));
+
+        // The recompute re-published a good artifact: next call hits.
+        let (_, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_provenance_is_recovered_not_served() {
+        let (dir, store) = tmp_store("wrongkey");
+        let forest = train();
+        let explainer = GefExplainer::new(quick_config());
+        let model = forest.content_digest();
+        let config = explainer.config().content_digest();
+
+        // A real explanation produced under a DIFFERENT config, stored
+        // under this key (as if a buggy writer cross-wired addresses):
+        // the envelope and JSON are valid, but the embedded provenance
+        // digests don't match the key — it must not be served.
+        let other = GefExplainer::new(GefConfig {
+            seed: 99,
+            ..quick_config()
+        });
+        let foreign = other.explain(&forest).unwrap();
+        store
+            .put_explanation(model, config, foreign.to_json().as_bytes())
+            .unwrap();
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert!(matches!(outcome, CacheOutcome::Recovered(_)), "{outcome:?}");
+        assert_eq!(store.quarantined().len(), 1);
+        assert_eq!(exp.provenance.config_digest, to_hex(config));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,464 @@
+//! `GFB1`: a compact, checksummed binary forest format.
+//!
+//! The text format ([`crate::io`]) is the interchange point — greppable,
+//! diffable, importable from LightGBM dumps. This module is the *cold
+//! load* format: the same model as raw little-endian bytes, framed so
+//! that torn writes, truncation, and bit flips are **detected before a
+//! single node is trusted**. The `gef-store` artifact store writes both
+//! and treats this one as primary, falling back to the text format when
+//! a binary artifact fails verification.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ header   magic "GEFB" · version u32 (=1) · section_count u32│
+//! ├────────────────────────────────────────────────────────────┤
+//! │ section  tag [4B] · payload_len u64 · payload · fnv1a u64  │  × section_count
+//! │   "META" objective u8 · num_features u64                   │
+//! │          base_score f64 · scale f64 · num_trees u64        │
+//! │   "TREE" num_nodes u64 · nodes (40 B each: feature i32,    │
+//! │          threshold f64, left u32, right u32, value f64,    │
+//! │          gain f64, count u32)                              │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ trailer  magic "BFEG" · fnv1a u64 over every prior byte    │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Exactly one `META` section (first), then one `TREE` section per
+//! tree. Floats are stored by their IEEE-754 bit patterns, so a round
+//! trip is **bit-identical** — `Forest::content_digest` of the decoded
+//! model always equals the original's.
+//!
+//! # Error discipline
+//!
+//! [`from_binary`] never panics and never returns a partially-decoded
+//! model: every read is bounds-checked ([`CodecError::Truncated`]),
+//! every section's checksum is verified before its payload is parsed,
+//! the whole-file trailer checksum catches flips in the framing itself,
+//! and the decoded forest passes the same structural validation as the
+//! text parser. Any single-bit flip anywhere in the byte string yields
+//! a typed [`CodecError`].
+
+use crate::tree::{Node, Tree};
+use crate::{Forest, Objective};
+use gef_trace::hash::fnv1a_bytes;
+
+/// Header magic, first four bytes of every binary model.
+pub const MAGIC: &[u8; 4] = b"GEFB";
+/// Trailer magic (header magic reversed), guarding the final checksum.
+pub const TRAILER_MAGIC: &[u8; 4] = b"BFEG";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_META: &[u8; 4] = b"META";
+const TAG_TREE: &[u8; 4] = b"TREE";
+/// Bytes per serialized node (i32 + f64 + u32 + u32 + f64 + f64 + u32).
+const NODE_BYTES: usize = 40;
+
+/// Typed decode failure of a binary model artifact. Every variant means
+/// "do not trust these bytes" — the `gef-store` loader quarantines the
+/// artifact and falls back to the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte string ends before a required field.
+    Truncated {
+        /// Offset at which the read was attempted.
+        at: usize,
+        /// Bytes the field needed.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The header version is not [`VERSION`].
+    UnsupportedVersion(u32),
+    /// A section's payload does not match its stored FNV checksum.
+    SectionChecksum {
+        /// 0-based section index.
+        index: usize,
+    },
+    /// The trailer checksum over the whole body does not match.
+    FileChecksum,
+    /// Framing or content is structurally wrong (bad tag order, tree
+    /// count mismatch, invalid node topology, trailing bytes…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { at, need, have } => {
+                write!(f, "truncated at byte {at}: need {need} more, have {have}")
+            }
+            CodecError::BadMagic => write!(f, "not a GEFB binary model (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported GEFB version {v} (supported: {VERSION})")
+            }
+            CodecError::SectionChecksum { index } => {
+                write!(f, "section {index} checksum mismatch (corrupt payload)")
+            }
+            CodecError::FileChecksum => write!(f, "file trailer checksum mismatch"),
+            CodecError::Malformed(m) => write!(f, "malformed binary model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for crate::ForestError {
+    fn from(e: CodecError) -> Self {
+        crate::ForestError::Parse(format!("binary codec: {e}"))
+    }
+}
+
+fn objective_code(o: Objective) -> u8 {
+    match o {
+        Objective::RegressionL2 => 0,
+        Objective::BinaryLogistic => 1,
+    }
+}
+
+fn push_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a_bytes(payload).to_le_bytes());
+}
+
+/// Serialize a forest to the `GFB1` binary format.
+///
+/// Infallible: the format can represent every in-memory forest,
+/// including non-finite leaf values and thresholds (validation is the
+/// *decoder's* job, mirroring the text format's trust model).
+pub fn to_binary(forest: &Forest) -> Vec<u8> {
+    // Meta payload.
+    let mut meta = Vec::with_capacity(33);
+    meta.push(objective_code(forest.objective));
+    meta.extend_from_slice(&(forest.num_features as u64).to_le_bytes());
+    meta.extend_from_slice(&forest.base_score.to_bits().to_le_bytes());
+    meta.extend_from_slice(&forest.scale.to_bits().to_le_bytes());
+    meta.extend_from_slice(&(forest.trees.len() as u64).to_le_bytes());
+
+    let node_total: usize = forest.trees.iter().map(|t| t.nodes.len()).sum();
+    let mut out = Vec::with_capacity(64 + meta.len() + node_total * NODE_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(1 + forest.trees.len() as u32).to_le_bytes());
+    push_section(&mut out, TAG_META, &meta);
+
+    let mut payload = Vec::new();
+    for tree in &forest.trees {
+        payload.clear();
+        payload.reserve(8 + tree.nodes.len() * NODE_BYTES);
+        payload.extend_from_slice(&(tree.nodes.len() as u64).to_le_bytes());
+        for n in &tree.nodes {
+            payload.extend_from_slice(&n.feature.to_le_bytes());
+            payload.extend_from_slice(&n.threshold.to_bits().to_le_bytes());
+            payload.extend_from_slice(&n.left.to_le_bytes());
+            payload.extend_from_slice(&n.right.to_le_bytes());
+            payload.extend_from_slice(&n.value.to_bits().to_le_bytes());
+            payload.extend_from_slice(&n.gain.to_bits().to_le_bytes());
+            payload.extend_from_slice(&n.count.to_le_bytes());
+        }
+        push_section(&mut out, TAG_TREE, &payload);
+    }
+
+    let body_sum = fnv1a_bytes(&out);
+    out.extend_from_slice(TRAILER_MAGIC);
+    out.extend_from_slice(&body_sum.to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian reader over the raw bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let have = self.bytes.len().saturating_sub(self.pos);
+        if have < n {
+            return Err(CodecError::Truncated {
+                at: self.pos,
+                need: n,
+                have,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        // take(4) returned exactly 4 bytes; the conversion cannot fail.
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Deserialize a forest from [`to_binary`] bytes, verifying every
+/// checksum and the decoded structure. Never panics; any corruption —
+/// truncation, a flipped bit, reordered sections, trailing garbage —
+/// yields a typed [`CodecError`].
+pub fn from_binary(bytes: &[u8]) -> Result<Forest, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let section_count = r.u32()? as usize;
+    if section_count == 0 {
+        return Err(CodecError::Malformed("zero sections".into()));
+    }
+    // Cheap plausibility bound: each section needs ≥ 20 framing bytes,
+    // so a flipped count field fails here instead of looping on a
+    // multi-gigabyte allocation attempt.
+    if section_count > bytes.len() / 20 {
+        return Err(CodecError::Malformed(format!(
+            "section count {section_count} impossible for a {}-byte artifact",
+            bytes.len()
+        )));
+    }
+
+    let mut meta: Option<(Objective, usize, f64, f64, usize)> = None;
+    let mut trees: Vec<Tree> = Vec::new();
+    for index in 0..section_count {
+        let tag: [u8; 4] = {
+            let t = r.take(4)?;
+            [t[0], t[1], t[2], t[3]]
+        };
+        let len = r.u64()? as usize;
+        let start = r.pos;
+        let payload = r.take(len)?;
+        let stored = r.u64()?;
+        if fnv1a_bytes(payload) != stored {
+            return Err(CodecError::SectionChecksum { index });
+        }
+        let mut pr = Reader {
+            bytes: payload,
+            pos: 0,
+        };
+        match &tag {
+            t if t == TAG_META => {
+                if index != 0 {
+                    return Err(CodecError::Malformed(format!(
+                        "META section at index {index} (must be first)"
+                    )));
+                }
+                let objective = match pr.take(1)?[0] {
+                    0 => Objective::RegressionL2,
+                    1 => Objective::BinaryLogistic,
+                    other => {
+                        return Err(CodecError::Malformed(format!(
+                            "unknown objective code {other}"
+                        )))
+                    }
+                };
+                let num_features = pr.u64()? as usize;
+                let base_score = pr.f64()?;
+                let scale = pr.f64()?;
+                let num_trees = pr.u64()? as usize;
+                if pr.pos != payload.len() {
+                    return Err(CodecError::Malformed(
+                        "META payload has trailing bytes".into(),
+                    ));
+                }
+                if num_trees != section_count - 1 {
+                    return Err(CodecError::Malformed(format!(
+                        "META claims {num_trees} trees but {} TREE sections follow",
+                        section_count - 1
+                    )));
+                }
+                meta = Some((objective, num_features, base_score, scale, num_trees));
+                trees.reserve(num_trees);
+            }
+            t if t == TAG_TREE => {
+                if meta.is_none() {
+                    return Err(CodecError::Malformed("TREE section before META".into()));
+                }
+                let num_nodes = pr.u64()? as usize;
+                if payload.len() != 8 + num_nodes * NODE_BYTES {
+                    return Err(CodecError::Malformed(format!(
+                        "TREE section {index}: {num_nodes} nodes need {} payload bytes, found {}",
+                        8 + num_nodes * NODE_BYTES,
+                        payload.len()
+                    )));
+                }
+                let mut nodes = Vec::with_capacity(num_nodes);
+                for _ in 0..num_nodes {
+                    nodes.push(Node {
+                        feature: pr.i32()?,
+                        threshold: pr.f64()?,
+                        left: pr.u32()?,
+                        right: pr.u32()?,
+                        value: pr.f64()?,
+                        gain: pr.f64()?,
+                        count: pr.u32()?,
+                    });
+                }
+                trees.push(Tree { nodes });
+            }
+            other => {
+                return Err(CodecError::Malformed(format!(
+                    "unknown section tag {:?} at byte {start}",
+                    String::from_utf8_lossy(other)
+                )))
+            }
+        }
+    }
+
+    // Trailer: magic + whole-body checksum, then nothing.
+    let body_end = r.pos;
+    if r.take(4)? != TRAILER_MAGIC {
+        return Err(CodecError::Malformed("bad trailer magic".into()));
+    }
+    let stored = r.u64()?;
+    if fnv1a_bytes(&bytes[..body_end]) != stored {
+        return Err(CodecError::FileChecksum);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::Malformed(format!(
+            "{} trailing byte(s) after the trailer",
+            bytes.len() - r.pos
+        )));
+    }
+
+    // meta is always Some here: section 0 must be META (a TREE at index
+    // 0 fails "TREE section before META", an unknown tag fails too).
+    let Some((objective, num_features, base_score, scale, _)) = meta else {
+        return Err(CodecError::Malformed("missing META section".into()));
+    };
+    let forest = Forest::new(trees, base_score, scale, objective, num_features);
+    crate::io::validate(&forest)
+        .map_err(|e| CodecError::Malformed(format!("structural validation: {e}")))?;
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GbdtParams, GbdtTrainer};
+
+    fn small_forest() -> Forest {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 17) as f64 / 17.0, (i % 7) as f64 / 7.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - x[1]).collect();
+        GbdtTrainer::new(GbdtParams {
+            num_trees: 8,
+            num_leaves: 6,
+            min_data_in_leaf: 5,
+            ..Default::default()
+        })
+        .fit(&xs, &ys)
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let f = small_forest();
+        let bytes = to_binary(&f);
+        let g = from_binary(&bytes).unwrap();
+        assert_eq!(f.trees, g.trees);
+        assert_eq!(f.base_score.to_bits(), g.base_score.to_bits());
+        assert_eq!(f.scale.to_bits(), g.scale.to_bits());
+        assert_eq!(f.objective, g.objective);
+        assert_eq!(f.num_features, g.num_features);
+        assert_eq!(f.content_digest(), g.content_digest());
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let bytes = to_binary(&small_forest());
+        for cut in 0..bytes.len() {
+            assert!(
+                from_binary(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = to_binary(&small_forest());
+        // Exhaustive over a small model would be slow in debug builds;
+        // stride through the artifact hitting header, sections,
+        // checksums, and trailer.
+        let stride = (bytes.len() / 97).max(1);
+        for i in (0..bytes.len()).step_by(stride) {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    from_binary(&corrupt).is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = to_binary(&small_forest());
+        bytes.push(0);
+        assert!(matches!(from_binary(&bytes), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let bytes = to_binary(&small_forest());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(from_binary(&bad).err(), Some(CodecError::BadMagic));
+        let mut vbad = bytes;
+        vbad[4] = 9; // version 9
+        assert_eq!(
+            from_binary(&vbad).err(),
+            Some(CodecError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_typed() {
+        assert!(from_binary(&[]).is_err());
+        assert!(from_binary(b"GEFB").is_err());
+        assert!(from_binary(b"GEFB\x01\x00\x00\x00").is_err());
+    }
+
+    #[test]
+    fn non_finite_leaf_values_survive_round_trip() {
+        // The codec is transport, not policy: a hostile model with NaN
+        // leaves round-trips bit-exactly (prediction-time scrubbing is
+        // the pipeline's job, as with the text format).
+        let mut f = small_forest();
+        for n in &mut f.trees[0].nodes {
+            if n.is_leaf() {
+                n.value = f64::NAN;
+                break;
+            }
+        }
+        let g = from_binary(&to_binary(&f)).unwrap();
+        assert_eq!(f.content_digest(), g.content_digest());
+    }
+}

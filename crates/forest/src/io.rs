@@ -312,8 +312,9 @@ impl TreeFields {
     }
 }
 
-/// Structural validation of a parsed forest.
-fn validate(forest: &Forest) -> Result<()> {
+/// Structural validation of a parsed forest (shared with the binary
+/// codec: both decode paths enforce identical invariants).
+pub(crate) fn validate(forest: &Forest) -> Result<()> {
     for (i, tree) in forest.trees.iter().enumerate() {
         tree.validate()
             .map_err(|e| ForestError::Parse(format!("tree {i}: {e}")))?;

@@ -38,6 +38,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binning;
+pub mod codec;
 pub mod gbdt;
 pub mod importance;
 pub mod io;

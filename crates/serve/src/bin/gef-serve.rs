@@ -1,13 +1,22 @@
 //! Standalone explanation service: load a forest, serve explanations.
 //!
 //! ```text
-//! gef-serve --model model.txt [--model-json model.json] [--name NAME]
+//! gef-serve [--store DIR] --model model.txt [--model-json model.json] [--name NAME]
 //! ```
 //!
 //! Repeat `--model`/`--model-json` to preload several models (each
 //! `--name` applies to the most recent model flag; unnamed models get
 //! `model-<i>`). With no model flag a small synthetic demo forest is
 //! trained so the endpoints can be exercised immediately.
+//!
+//! `--store DIR` backs the server with a `gef-store` artifact store:
+//! every CLI-given model is published into it (binary + text, tagged
+//! with its name), every ref already in the store is loaded as a
+//! served model (digest-verified, with quarantine + text-format
+//! recovery on corrupt artifacts), `/explain` reuses cached
+//! explanations keyed by `(model digest, config digest)`, and
+//! `GET /models` reports digests plus MRU-cache state
+//! (`GEF_STORE_CACHE_MB`).
 //!
 //! All serving knobs come from `GEF_SERVE_*` (see the `gef-serve` crate
 //! docs): port, workers, queue depth, default deadline, body cap,
@@ -47,6 +56,7 @@ fn demo_forest() -> Forest {
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut models: Vec<ModelEntry> = Vec::new();
+    let mut store_dir: Option<String> = None;
     let mut i = 1;
     while i < argv.len() {
         let path = |j: usize| -> &str {
@@ -80,6 +90,10 @@ fn main() {
                 });
                 i += 2;
             }
+            "--store" => {
+                store_dir = Some(path(i + 1).to_string());
+                i += 2;
+            }
             "--name" => {
                 let name = path(i + 1).to_string();
                 match models.last_mut() {
@@ -92,11 +106,51 @@ fn main() {
                 i += 2;
             }
             other => {
-                eprintln!("unknown flag {other:?} (expected --model/--model-json/--name)");
+                eprintln!("unknown flag {other:?} (expected --store/--model/--model-json/--name)");
                 std::process::exit(2);
             }
         }
     }
+    // Open the artifact store first: CLI models are published into it
+    // (binary + text, name-tagged), then *every* ref in the store is
+    // loaded back — digest-verified, with quarantine + text-format
+    // recovery — so a restarted server picks up models published by
+    // earlier runs without re-reading the original files.
+    let store = store_dir.map(|dir| {
+        let store = gef_store::Store::open(&dir).unwrap_or_else(|e| {
+            eprintln!("gef-serve: cannot open store {dir}: {e}");
+            std::process::exit(2);
+        });
+        for m in &models {
+            let digest = store.publish_forest(&m.forest).unwrap_or_else(|e| {
+                eprintln!("gef-serve: cannot publish {:?} into the store: {e}", m.name);
+                std::process::exit(2);
+            });
+            if let Err(e) = store.tag(&m.name, digest) {
+                eprintln!("gef-serve: cannot tag {:?}: {e}", m.name);
+                std::process::exit(2);
+            }
+        }
+        for (name, digest) in store.refs() {
+            if models.iter().any(|m| m.name == name) {
+                continue;
+            }
+            match store.load_forest(digest) {
+                Ok(loaded) => models.push(ModelEntry {
+                    name,
+                    forest: (*loaded.forest).clone(),
+                    config: GefConfig::default(),
+                }),
+                Err(e) => {
+                    // Corrupt store artifacts are quarantined, never
+                    // fatal: the server starts without that model.
+                    eprintln!("gef-serve: skipping store model {name:?}: {e}");
+                }
+            }
+        }
+        std::sync::Arc::new(store)
+    });
+
     if models.is_empty() {
         eprintln!("gef-serve: no --model given; serving a synthetic demo forest as \"demo\"");
         models.push(ModelEntry {
@@ -112,7 +166,7 @@ fn main() {
 
     let cfg = ServeConfig::from_env();
     let names: Vec<String> = models.iter().map(|m| m.name.clone()).collect();
-    let server = Server::start(cfg, models).unwrap_or_else(|e| {
+    let server = Server::start_with_store(cfg, models, store).unwrap_or_else(|e| {
         eprintln!("gef-serve: cannot bind: {e}");
         std::process::exit(1);
     });
@@ -123,7 +177,7 @@ fn main() {
     );
     println!("  POST /explain  {{\"instance\":[...], \"model\":\"name\", \"deadline_ms\":N}}");
     println!("  POST /predict  {{\"instance\":[...], \"model\":\"name\"}}");
-    println!("  GET  /healthz | GET /stats");
+    println!("  GET  /healthz | GET /stats | GET /models");
     // Serve until the process is killed; there is no signal handling
     // without a libc dependency, so foreground use is Ctrl-C.
     loop {

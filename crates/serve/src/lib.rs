@@ -14,6 +14,18 @@
 //! * `GET /healthz` — liveness (`serving` / `draining`).
 //! * `GET /stats` — request counters, latency quantiles (p50/p95/p99),
 //!   queue depth, and circuit-breaker state.
+//! * `GET /models` — loaded models with their content digests and —
+//!   when the server is store-backed ([`Server::start_with_store`] /
+//!   `gef-serve --store DIR`) — the `gef-store` MRU-cache state and
+//!   quarantine count.
+//!
+//! **Artifact store (optional).** [`Server::start_with_store`] backs
+//! the server with a `gef_store::Store`: `/explain` reuses
+//! digest-verified cached explanations keyed by
+//! `(model digest, config digest)` ([`gef_core::reuse`]) — corrupt
+//! cache entries are quarantined and recomputed, never served — and
+//! the store's bounded MRU cache (`GEF_STORE_CACHE_MB`) accelerates
+//! model loads across restarts.
 //!
 //! # Robustness model
 //!

@@ -30,8 +30,11 @@
 use crate::http::{self, ReadOutcome, Request};
 use crate::ServeConfig;
 use gef_core::budget::RunBudget;
+use gef_core::reuse::CacheOutcome;
 use gef_core::{incident, FitFloor, GefConfig, GefError, GefExplainer};
 use gef_forest::Forest;
+use gef_store::Store;
+use gef_trace::hash::to_hex;
 use gef_trace::hist::Histogram;
 use gef_trace::json::{self, JsonValue, JsonWriter};
 use std::collections::VecDeque;
@@ -142,6 +145,9 @@ impl Breaker {
 struct Shared {
     cfg: ServeConfig,
     models: Vec<ModelEntry>,
+    /// Artifact store backing model loads and explanation reuse; `None`
+    /// runs the server store-less (every explain computes from scratch).
+    store: Option<Arc<Store>>,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_ready: Condvar,
     shutdown: AtomicBool,
@@ -189,6 +195,18 @@ impl Server {
     /// listener is bound and workers are up; [`Server::port`] has the
     /// (possibly ephemeral) port.
     pub fn start(cfg: ServeConfig, models: Vec<ModelEntry>) -> std::io::Result<Server> {
+        Server::start_with_store(cfg, models, None)
+    }
+
+    /// Like [`Server::start`], but backed by an artifact store:
+    /// `/explain` reuses digest-verified cached explanations
+    /// ([`gef_core::reuse`]), and `GET /models` reports the store's
+    /// MRU-cache state alongside the model digests.
+    pub fn start_with_store(
+        cfg: ServeConfig,
+        models: Vec<ModelEntry>,
+        store: Option<Arc<Store>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         let port = listener.local_addr()?.port();
         // Non-blocking accept so shutdown is observed within one poll
@@ -205,6 +223,7 @@ impl Server {
                 Duration::from_millis(cfg.breaker_cooldown_ms),
             ),
             models,
+            store,
             cfg,
         });
         let accept_shared = Arc::clone(&shared);
@@ -430,6 +449,7 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.target.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/stats") => handle_stats(shared),
+        ("GET", "/models") => handle_models(shared),
         ("POST", "/explain") => {
             let t = Instant::now();
             let resp = handle_explain(shared, req);
@@ -447,7 +467,7 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
             count_status(shared, resp.status);
             resp
         }
-        (_, "/healthz" | "/stats" | "/explain" | "/predict") => Response::error(
+        (_, "/healthz" | "/stats" | "/models" | "/explain" | "/predict") => Response::error(
             405,
             "Method Not Allowed",
             "method_not_allowed",
@@ -527,6 +547,48 @@ fn handle_stats(shared: &Shared) -> Response {
             w.field_u64("p99", h.quantile(0.99));
         }
         w.end_object();
+    }
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// `GET /models`: every loaded model's name + content digests, plus —
+/// when the server is store-backed — the store's MRU-cache state and
+/// quarantine count, so operators can see recovery activity without
+/// shelling into the store directory.
+fn handle_models(shared: &Shared) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("models");
+    w.begin_array();
+    for m in &shared.models {
+        w.begin_object();
+        w.field_str("name", &m.name);
+        w.field_str("digest", &to_hex(m.forest.content_digest()));
+        w.field_str("config_digest", &to_hex(m.config.content_digest()));
+        w.field_u64("num_trees", m.forest.trees.len() as u64);
+        w.field_u64("num_features", m.forest.num_features as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("cache");
+    match &shared.store {
+        Some(store) => {
+            let s = store.cache_stats();
+            w.begin_object();
+            w.field_u64("hits", s.hits);
+            w.field_u64("misses", s.misses);
+            w.field_u64("evictions", s.evictions);
+            w.field_u64("entries", s.entries as u64);
+            w.field_u64("resident_bytes", s.resident_bytes);
+            w.field_u64("capacity_bytes", s.capacity_bytes);
+            w.end_object();
+            w.field_u64("quarantined", store.quarantined().len() as u64);
+        }
+        None => {
+            w.value_raw("null");
+            w.field_u64("quarantined", 0);
+        }
     }
     w.end_object();
     Response::ok(w.finish())
@@ -692,7 +754,18 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
                     _ => {}
                 }
             }
-            GefExplainer::new(config.clone()).explain(&model.forest)
+            let explainer = GefExplainer::new(config.clone());
+            match &shared.store {
+                // Store-backed: reuse a digest-verified cached
+                // explanation when one exists for this exact
+                // (model, config) pair — pressure-raised floors change
+                // the config digest, so degraded and full explanations
+                // never alias.
+                Some(store) => explainer
+                    .explain_cached(&model.forest, store)
+                    .map(|(exp, outcome)| (exp, Some(outcome))),
+                None => explainer.explain(&model.forest).map(|exp| (exp, None)),
+            }
         }))
     };
     match outcome {
@@ -737,7 +810,7 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
             }
             Response::error(500, "Internal Server Error", cause, &err.to_string())
         }
-        Ok(Ok(exp)) => {
+        Ok(Ok((exp, cache_outcome))) => {
             shared.breaker.record_success();
             if !exp.degradations.is_empty() {
                 shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
@@ -753,6 +826,13 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
             w.field_f64("fidelity_r2", exp.fidelity_r2);
             w.field_str("floor", config.fit_floor.label());
             w.field_str("budget_outcome", &exp.provenance.budget_outcome);
+            w.field_str(
+                "cache",
+                cache_outcome
+                    .as_ref()
+                    .map(CacheOutcome::label)
+                    .unwrap_or("off"),
+            );
             w.key("degradations");
             w.begin_array();
             for d in &exp.degradations {

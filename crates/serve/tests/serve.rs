@@ -296,3 +296,59 @@ fn malformed_requests_answer_typed_and_server_survives() {
     assert_eq!(status, 200, "server must survive malformed input");
     server.shutdown();
 }
+
+/// Store-backed serving: `GET /models` reports digests + cache state,
+/// and two identical `/explain` requests hit the explanation cache the
+/// second time (`"cache":"miss"` then `"cache":"hit"`).
+#[test]
+fn store_backed_explain_caches_and_models_lists_digests() {
+    std::env::set_var("GEF_INCIDENT_DIR", env!("CARGO_TARGET_TMPDIR"));
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "serve-store-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = std::sync::Arc::new(gef_store::Store::open(&dir).expect("store open"));
+    let entry = model(800);
+    let digest = store.publish_forest(&entry.forest).expect("publish");
+    store.tag(&entry.name, digest).expect("tag");
+    let server = Server::start_with_store(ServeConfig::default(), vec![entry], Some(store.clone()))
+        .expect("server start");
+    let port = server.port();
+
+    let (status, body) = get(port, "/models");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"name\":\"m\""), "{body}");
+    assert!(
+        body.contains(&format!(
+            "\"digest\":\"{}\"",
+            gef_trace::hash::to_hex(digest)
+        )),
+        "{body}"
+    );
+    assert!(body.contains("\"cache\":{"), "{body}");
+    assert!(body.contains("\"quarantined\":0"), "{body}");
+
+    let req = r#"{"instance":[0.2,0.8,0.5]}"#;
+    let (status, body) = post(port, "/explain", req, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache\":\"miss\""), "{body}");
+    let (status, body) = post(port, "/explain", req, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache\":\"hit\""), "{body}");
+    // The reuse path survives a restart: the cached explanation lives
+    // in the store, not in server memory.
+    server.shutdown();
+    let server2 = Server::start_with_store(
+        ServeConfig::default(),
+        vec![model(800)],
+        Some(store.clone()),
+    )
+    .expect("server restart");
+    let (status, body) = post(server2.port(), "/explain", req, "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache\":\"hit\""), "{body}");
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

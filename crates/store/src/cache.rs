@@ -1,0 +1,228 @@
+//! Bounded MRU cache of decoded forests.
+//!
+//! Keyed by content digest, bounded by *artifact bytes* (the on-disk
+//! size of the binary form — a stable, cheap proxy for decoded memory
+//! footprint), evicting least-recently-used entries until the resident
+//! total fits. Capacity comes from `GEF_STORE_CACHE_MB` (0 disables
+//! caching entirely: every load is a cold, digest-verified read).
+//!
+//! Hit/miss/evict totals are kept locally (for `GET /models` and
+//! [`crate::Store::cache_stats`]) and mirrored to `gef_trace` counters
+//! (`store.cache_hit` / `store.cache_miss` / `store.cache_evict`);
+//! each eviction also leaves a [`Kind::Store`] recorder note.
+//!
+//! [`Kind::Store`]: gef_trace::recorder::Kind::Store
+
+use gef_forest::Forest;
+use gef_trace::recorder::{self, Kind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+struct Entry {
+    forest: Arc<Forest>,
+    bytes: u64,
+    /// Logical access clock at last touch; smallest = least recent.
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+    resident: u64,
+}
+
+/// A point-in-time snapshot of cache effectiveness, reported by
+/// `GET /models` and the `xp_store` harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads served from memory.
+    pub hits: u64,
+    /// Loads that had to hit disk.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Forests currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (binary-artifact sizes).
+    pub resident_bytes: u64,
+    /// Byte budget (0 = caching disabled).
+    pub capacity_bytes: u64,
+}
+
+/// Digest-keyed, byte-bounded most-recently-used forest cache.
+pub struct MruCache {
+    inner: Mutex<Inner>,
+    capacity: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MruCache {
+    /// Create a cache bounded to `capacity` bytes (0 disables it).
+    pub fn new(capacity: u64) -> Self {
+        MruCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                resident: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned cache mutex means a panic mid-insert; the map is
+        // still structurally valid (no unsafe), so recover and serve.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Look up a forest by digest, refreshing its recency on hit.
+    pub fn get(&self, digest: u64) -> Option<Arc<Forest>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&digest) {
+            Some(e) => {
+                e.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                gef_trace::global().add("store.cache_hit", 1);
+                Some(Arc::clone(&e.forest))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                gef_trace::global().add("store.cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Insert a digest-verified forest, evicting LRU entries until the
+    /// resident total fits. An artifact larger than the whole budget is
+    /// simply not cached.
+    pub fn insert(&self, digest: u64, forest: Arc<Forest>, bytes: u64) {
+        if self.capacity == 0 || bytes > self.capacity {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&digest) {
+            inner.resident -= old.bytes;
+        }
+        while inner.resident + bytes > self.capacity {
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.resident -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                gef_trace::global().add("store.cache_evict", 1);
+                recorder::note(
+                    Kind::Store,
+                    "store.cache_evict",
+                    &gef_trace::hash::to_hex(victim),
+                );
+            }
+        }
+        inner.resident += bytes;
+        inner.map.insert(
+            digest,
+            Entry {
+                forest,
+                bytes,
+                stamp: clock,
+            },
+        );
+    }
+
+    /// Drop an entry (used when a cached digest's artifacts are
+    /// discovered corrupt on disk and re-verified from scratch).
+    pub fn remove(&self, digest: u64) {
+        let mut inner = self.lock();
+        if let Some(e) = inner.map.remove(&digest) {
+            inner.resident -= e.bytes;
+        }
+    }
+
+    /// Current effectiveness snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.resident,
+            capacity_bytes: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gef_forest::{Objective, Tree};
+
+    fn forest(v: f64) -> Arc<Forest> {
+        Arc::new(Forest::new(
+            vec![Tree::constant(v, 1)],
+            0.0,
+            1.0,
+            Objective::RegressionL2,
+            0,
+        ))
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let c = MruCache::new(100);
+        c.insert(1, forest(1.0), 40);
+        c.insert(2, forest(2.0), 40);
+        assert!(c.get(1).is_some()); // 1 is now more recent than 2
+        c.insert(3, forest(3.0), 40); // must evict 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.resident_bytes, 80);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = MruCache::new(0);
+        c.insert(1, forest(1.0), 8);
+        assert!(c.get(1).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn oversized_artifact_is_not_cached() {
+        let c = MruCache::new(10);
+        c.insert(1, forest(1.0), 11);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_accounting() {
+        let c = MruCache::new(100);
+        c.insert(1, forest(1.0), 30);
+        c.insert(1, forest(1.5), 50);
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.resident_bytes, 50);
+        c.remove(1);
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+}

@@ -73,6 +73,9 @@ pub enum Kind {
     Fault,
     /// A contained worker/task panic.
     Panic,
+    /// An artifact-store durability action (quarantine, recovery,
+    /// cache eviction, incident pruning — from gef-store/gef-core).
+    Store,
 }
 
 impl Kind {
@@ -86,6 +89,7 @@ impl Kind {
             Kind::Budget => "budget",
             Kind::Fault => "fault",
             Kind::Panic => "panic",
+            Kind::Store => "store",
         }
     }
 }
