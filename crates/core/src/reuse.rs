@@ -1,9 +1,9 @@
 //! Explanation reuse through the content-addressed artifact store.
 //!
-//! An explanation is a pure function of `(forest structure, GefConfig)`
-//! — both content-digested — so a finished one can be served from
-//! `gef-store` without re-running the pipeline. This module adds
-//! [`GefExplainer::explain_cached`]: look up
+//! A *full-quality* explanation is a pure function of
+//! `(forest structure, GefConfig)` — both content-digested — so a
+//! finished one can be served from `gef-store` without re-running the
+//! pipeline. This module adds [`GefExplainer::explain_cached`]: look up
 //! `(Forest::content_digest, GefConfig::content_digest)` in the store,
 //! verify the cached artifact *twice* (the store checks the envelope
 //! checksum; this layer re-checks the embedded provenance digests
@@ -11,6 +11,17 @@
 //! — corrupt envelope, unparseable payload, provenance mismatch —
 //! quarantines the artifact and **recomputes**: the cache accelerates
 //! runs, it never fails or falsifies them.
+//!
+//! **Quality gate.** The cache key carries no quality dimension:
+//! deadline-driven degradation (a soft-tripped `RunBudget` capping
+//! `n_samples`, ladder fallbacks) does *not* change the config digest,
+//! unlike breaker-raised fit floors. So a degraded run is never
+//! published — otherwise one tight-deadline request would poison the
+//! key and every later request, however generous its deadline, would
+//! be served the collapsed explanation as a `Hit`. Symmetrically, a
+//! cached artifact whose provenance records a degraded run (written by
+//! an older writer or out of band) is bypassed and recomputed, and a
+//! full-quality recompute overwrites it.
 //!
 //! Outcomes are observable: `store.reuse_hit` / `store.reuse_miss` /
 //! `store.reuse_recovered` counters, plus a
@@ -30,11 +41,28 @@ use gef_trace::recorder::{self, Kind};
 pub enum CacheOutcome {
     /// Served from the store; provenance digests matched the key.
     Hit,
-    /// No cached artifact existed; computed and published.
+    /// No cached artifact existed; computed (and, if the run was
+    /// full-quality, published).
     Miss,
-    /// A cached artifact existed but failed verification (detail says
-    /// how); it was quarantined and the explanation recomputed.
+    /// A cached artifact existed but was unusable — corrupt,
+    /// provenance-mismatched, or produced by a degraded run (detail
+    /// says which). Corrupt and mismatched copies are quarantined;
+    /// valid-but-degraded ones are simply bypassed. The explanation
+    /// was recomputed either way.
     Recovered(String),
+}
+
+/// Whether `exp` came from a full-quality run: no degradation-ladder
+/// actions and no budget trip. Only such explanations may be served
+/// from — or published to — the store, because the cache key
+/// (model digest, config digest) cannot distinguish a degraded run
+/// from a full one.
+fn full_quality(exp: &GefExplanation) -> bool {
+    exp.degradations.is_empty()
+        && !matches!(
+            exp.provenance.budget_outcome.as_str(),
+            "soft_tripped" | "hard_tripped"
+        )
 }
 
 impl CacheOutcome {
@@ -50,12 +78,16 @@ impl CacheOutcome {
 
 impl GefExplainer {
     /// Explain `forest`, reusing a stored explanation when a verified
-    /// one exists for this exact `(model, config)` digest pair.
+    /// *full-quality* one exists for this exact `(model, config)`
+    /// digest pair.
     ///
     /// Store trouble is never fatal: every cache-side failure falls
     /// back to computing the explanation (and re-publishing it,
     /// best-effort). The only errors this returns are the pipeline's
-    /// own.
+    /// own. Degraded runs — a soft/hard budget trip or any
+    /// degradation-ladder action — are served but **not published**,
+    /// and a cached artifact recording a degraded run is bypassed, so
+    /// the store only ever holds full-quality explanations.
     pub fn explain_cached(
         &self,
         forest: &Forest,
@@ -76,8 +108,19 @@ impl GefExplainer {
                         if exp.provenance.forest_digest == to_hex(model)
                             && exp.provenance.config_digest == to_hex(config) =>
                     {
-                        gef_trace::global().add("store.reuse_hit", 1);
-                        return Ok((exp, CacheOutcome::Hit));
+                        if full_quality(&exp) {
+                            gef_trace::global().add("store.reuse_hit", 1);
+                            return Ok((exp, CacheOutcome::Hit));
+                        }
+                        // Valid but produced by a degraded run: not
+                        // corruption, so no quarantine — bypass it and
+                        // let a full-quality recompute overwrite it.
+                        let detail = format!(
+                            "cached explanation is degraded (budget_outcome={}, {} degradations); recomputing",
+                            exp.provenance.budget_outcome,
+                            exp.degradations.len()
+                        );
+                        recovered = Some(detail);
                     }
                     Some(exp) => {
                         let detail = format!(
@@ -103,10 +146,24 @@ impl GefExplainer {
         }
 
         let explanation = self.explain(forest)?;
-        if let Err(e) = store.put_explanation(model, config, explanation.to_json().as_bytes()) {
-            // Publish failure (e.g. injected ENOSPC) must not fail the
-            // run — the freshly computed explanation is still good.
-            recorder::note(Kind::Store, "store.reuse_put_failed", &e.to_string());
+        if full_quality(&explanation) {
+            if let Err(e) = store.put_explanation(model, config, explanation.to_json().as_bytes()) {
+                // Publish failure (e.g. injected ENOSPC) must not fail
+                // the run — the freshly computed explanation is still
+                // good.
+                recorder::note(Kind::Store, "store.reuse_put_failed", &e.to_string());
+            }
+        } else {
+            gef_trace::global().add("store.reuse_publish_skipped", 1);
+            recorder::note(
+                Kind::Store,
+                "store.reuse_publish_skipped",
+                &format!(
+                    "degraded run not published (budget_outcome={}, {} degradations)",
+                    explanation.provenance.budget_outcome,
+                    explanation.degradations.len()
+                ),
+            );
         }
         let outcome = match recovered {
             Some(detail) => {
@@ -213,6 +270,68 @@ mod tests {
         // The recompute re-published a good artifact: next call hits.
         let (_, outcome) = explainer.explain_cached(&forest, &store).unwrap();
         assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_cached_artifact_is_bypassed_not_served() {
+        let (dir, store) = tmp_store("degraded");
+        let forest = train();
+        let explainer = GefExplainer::new(quick_config());
+        let model = forest.content_digest();
+        let config = explainer.config().content_digest();
+
+        // A well-formed artifact under the right key whose provenance
+        // records a deadline soft-trip (as a pre-quality-gate writer
+        // could have published): it must be bypassed, not served.
+        let mut degraded = explainer.explain(&forest).unwrap();
+        degraded.provenance.budget_outcome = "soft_tripped".to_string();
+        store
+            .put_explanation(model, config, degraded.to_json().as_bytes())
+            .unwrap();
+
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert!(matches!(outcome, CacheOutcome::Recovered(_)), "{outcome:?}");
+        // Valid-but-degraded is not corruption: nothing is quarantined.
+        assert!(store.quarantined().is_empty());
+        assert_eq!(exp.provenance.budget_outcome, "unarmed");
+
+        // The full-quality recompute overwrote it: next call hits and
+        // serves the full artifact.
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(exp.provenance.budget_outcome, "unarmed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_run_is_not_published() {
+        let (dir, store) = tmp_store("nopub");
+        let forest = train();
+        let explainer = GefExplainer::new(quick_config());
+        let model = forest.content_digest();
+        let config = explainer.config().content_digest();
+
+        // An already-expired soft deadline (thread-scoped so parallel
+        // tests are unaffected): the run soft-trips and degrades.
+        {
+            let budget = gef_trace::budget::Budget::armed(None, Some(std::time::Duration::ZERO));
+            let _scope = budget.enter();
+            let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+            assert_eq!(exp.provenance.budget_outcome, "soft_tripped");
+        }
+
+        // The degraded run must not have been published: the next
+        // (clean) request is a miss that publishes full quality, and
+        // only then do hits begin.
+        assert_eq!(store.get_explanation(model, config).unwrap(), None);
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(exp.provenance.budget_outcome, "unarmed");
+        let (exp, outcome) = explainer.explain_cached(&forest, &store).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(exp.provenance.budget_outcome, "unarmed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

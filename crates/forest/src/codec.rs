@@ -297,14 +297,21 @@ pub fn from_binary(bytes: &[u8]) -> Result<Forest, CodecError> {
                 if meta.is_none() {
                     return Err(CodecError::Malformed("TREE section before META".into()));
                 }
-                let num_nodes = pr.u64()? as usize;
-                if payload.len() != 8 + num_nodes * NODE_BYTES {
+                let num_nodes = pr.u64()?;
+                // Checked: a crafted count near u64::MAX must fail as
+                // Malformed, not wrap past the length check (and then
+                // abort in Vec::with_capacity) in release builds.
+                let expected = usize::try_from(num_nodes)
+                    .ok()
+                    .and_then(|n| n.checked_mul(NODE_BYTES))
+                    .and_then(|b| b.checked_add(8));
+                if expected != Some(payload.len()) {
                     return Err(CodecError::Malformed(format!(
-                        "TREE section {index}: {num_nodes} nodes need {} payload bytes, found {}",
-                        8 + num_nodes * NODE_BYTES,
+                        "TREE section {index}: {num_nodes} nodes do not fit {} payload bytes",
                         payload.len()
                     )));
                 }
+                let num_nodes = num_nodes as usize;
                 let mut nodes = Vec::with_capacity(num_nodes);
                 for _ in 0..num_nodes {
                     nodes.push(Node {
@@ -444,6 +451,39 @@ mod tests {
         assert!(from_binary(&[]).is_err());
         assert!(from_binary(b"GEFB").is_err());
         assert!(from_binary(b"GEFB\x01\x00\x00\x00").is_err());
+    }
+
+    #[test]
+    fn huge_node_count_is_malformed_not_a_panic() {
+        // Crafted artifacts with *valid* checksums whose TREE section
+        // claims an absurd node count. (1 << 61) + 1 is the nasty one:
+        // 8 + n * NODE_BYTES wraps mod 2^64 back to the actual payload
+        // length, so unchecked arithmetic passes the length check and
+        // reaches Vec::with_capacity(2^61 + 1).
+        for claim in [u64::MAX, (1u64 << 61) + 1] {
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.extend_from_slice(&VERSION.to_le_bytes());
+            out.extend_from_slice(&2u32.to_le_bytes());
+            let mut meta = Vec::new();
+            meta.push(0u8); // RegressionL2
+            meta.extend_from_slice(&1u64.to_le_bytes()); // num_features
+            meta.extend_from_slice(&0f64.to_bits().to_le_bytes());
+            meta.extend_from_slice(&1f64.to_bits().to_le_bytes());
+            meta.extend_from_slice(&1u64.to_le_bytes()); // num_trees
+            push_section(&mut out, TAG_META, &meta);
+            let mut tree = Vec::new();
+            tree.extend_from_slice(&claim.to_le_bytes());
+            tree.extend_from_slice(&[0u8; NODE_BYTES]); // one node of bytes
+            push_section(&mut out, TAG_TREE, &tree);
+            let sum = fnv1a_bytes(&out);
+            out.extend_from_slice(TRAILER_MAGIC);
+            out.extend_from_slice(&sum.to_le_bytes());
+            assert!(
+                matches!(from_binary(&out), Err(CodecError::Malformed(_))),
+                "claim {claim}"
+            );
+        }
     }
 
     #[test]

@@ -758,9 +758,10 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
             match &shared.store {
                 // Store-backed: reuse a digest-verified cached
                 // explanation when one exists for this exact
-                // (model, config) pair — pressure-raised floors change
-                // the config digest, so degraded and full explanations
-                // never alias.
+                // (model, config) pair. Pressure-raised floors change
+                // the config digest, and deadline-degraded runs are
+                // never published (nor served from cache), so degraded
+                // and full explanations cannot alias.
                 Some(store) => explainer
                     .explain_cached(&model.forest, store)
                     .map(|(exp, outcome)| (exp, Some(outcome))),

@@ -14,7 +14,8 @@
 //! * **Atomic publish** — artifacts are staged in `tmp/`, fsynced, and
 //!   `rename(2)`d into place; readers never observe a half-written
 //!   file under its final name. A crash mid-publish leaves only a
-//!   stale temp file.
+//!   stale temp file; failed publishes remove their own staging file
+//!   and [`Store::open`] sweeps whatever a crash left in `tmp/`.
 //! * **Verified loads** — binary artifacts carry per-section FNV
 //!   checksums and a whole-file trailer ([`gef_forest::codec`]); after
 //!   decode the forest's content digest must equal the address. Text
@@ -41,7 +42,7 @@
 //!   explanations/<model16>-<config16>.json   explanation JSON in a GEFE envelope
 //!   refs/<name>                  human name -> digest16 (atomic replace)
 //!   quarantine/                  corrupt artifacts + .why.json side-cars
-//!   tmp/                         publish staging (crash debris lives here)
+//!   tmp/                         publish staging (crash debris, swept at open)
 //! ```
 //!
 //! ## Fault injection
@@ -251,6 +252,20 @@ impl Store {
         ] {
             fs::create_dir_all(root.join(sub)).map_err(|e| io_err("mkdir", &e))?;
         }
+        // Sweep publish-staging debris left by crashes mid-publish:
+        // anything still under tmp/ was never renamed into place and
+        // can only accumulate otherwise.
+        if let Ok(rd) = fs::read_dir(root.join("tmp")) {
+            let mut swept = 0u64;
+            for entry in rd.flatten() {
+                if fs::remove_file(entry.path()).is_ok() {
+                    swept += 1;
+                }
+            }
+            if swept > 0 {
+                recorder::note(Kind::Store, "store.tmp_swept", &format!("{swept} file(s)"));
+            }
+        }
         Ok(Store {
             root,
             cache: MruCache::new(cache_bytes),
@@ -300,15 +315,24 @@ impl Store {
         let torn = gef_trace::fault::fires(TORN_WRITE);
         let write_len = if torn { data.len() / 2 } else { data.len() };
 
-        let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &e))?;
-        f.write_all(&data[..write_len])
-            .map_err(|e| io_err("write", &e))?;
-        if !torn {
-            // A torn write models a crash before the flush completed.
-            f.sync_all().map_err(|e| io_err("fsync", &e))?;
+        let staged = (|| {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &e))?;
+            f.write_all(&data[..write_len])
+                .map_err(|e| io_err("write", &e))?;
+            if !torn {
+                // A torn write models a crash before the flush completed.
+                f.sync_all().map_err(|e| io_err("fsync", &e))?;
+            }
+            drop(f);
+            fs::rename(&tmp, final_path).map_err(|e| io_err("rename", &e))
+        })();
+        if let Err(e) = staged {
+            // Don't leave staging debris behind on a failed publish
+            // (ENOSPC, permission trouble): tmp/ growth must stay
+            // bounded. Crash debris is swept at the next open.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
-        drop(f);
-        fs::rename(&tmp, final_path).map_err(|e| io_err("rename", &e))?;
         // Make the rename itself durable; failure here only widens the
         // crash window, it cannot corrupt, so best-effort.
         if let Some(dir) = final_path.parent() {
@@ -504,12 +528,15 @@ impl Store {
                     // cold load is fast again. Best-effort — publish
                     // faults may corrupt it again; the next load will
                     // re-quarantine.
-                    let _ = self.write_atomic(&bin_path, &codec::to_binary(&forest));
+                    let bin = codec::to_binary(&forest);
+                    let bin_len = bin.len() as u64;
+                    let _ = self.write_atomic(&bin_path, &bin);
                     recorder::note(Kind::Store, "store.self_heal", &hex);
                     gef_trace::global().add("store.text_fallback", 1);
                     let forest = Arc::new(forest);
-                    self.cache
-                        .insert(digest, Arc::clone(&forest), bytes.len() as u64);
+                    // Cache capacity is accounted in binary-artifact
+                    // bytes regardless of which path loaded the forest.
+                    self.cache.insert(digest, Arc::clone(&forest), bin_len);
                     return Ok(Loaded {
                         forest,
                         source: LoadSource::TextFallback,
@@ -909,16 +936,44 @@ mod tests {
     }
 
     #[test]
-    fn crash_debris_in_tmp_never_surfaces() {
+    fn crash_debris_in_tmp_never_surfaces_and_is_swept_at_open() {
         let dir = tmpdir("debris");
         let store = Store::open_with_cache(&dir, 0).unwrap();
         // Simulated crash mid-publish: a stale temp file only.
-        fs::write(dir.join("tmp").join("x.gfb.0.tmp"), b"half").unwrap();
+        let debris = dir.join("tmp").join("x.gfb.0.tmp");
+        fs::write(&debris, b"half").unwrap();
         assert!(store.list_forests().is_empty());
         assert!(matches!(
             store.load_forest(1).unwrap_err(),
             StoreError::NotFound { .. }
         ));
+        // Reopening the store sweeps the debris: tmp/ growth is
+        // bounded across crash loops.
+        let _reopened = Store::open_with_cache(&dir, 0).unwrap();
+        assert!(!debris.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_publish_leaves_no_tmp_debris() {
+        let dir = tmpdir("nodebris");
+        let store = Store::open_with_cache(&dir, 0).unwrap();
+        // Rename onto a path whose parent is a *file*: create/write
+        // succeed, rename fails — the staged tmp file must be cleaned.
+        fs::write(dir.join("blocker"), b"").unwrap();
+        let err = store
+            .write_atomic(&dir.join("blocker").join("x"), b"payload")
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Io { op: "rename", .. }),
+            "{err:?}"
+        );
+        let leftover: Vec<_> = fs::read_dir(dir.join("tmp"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name())
+            .collect();
+        assert!(leftover.is_empty(), "{leftover:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

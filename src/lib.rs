@@ -19,6 +19,7 @@ pub use gef_linalg as linalg;
 pub use gef_par as par;
 pub use gef_prof as prof;
 pub use gef_serve as serve;
+pub use gef_store as store;
 pub use gef_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
@@ -34,4 +35,5 @@ pub mod prelude {
     };
     pub use gef_gam::{Gam, GamSpec, LambdaSelection, Link, TermSpec};
     pub use gef_serve::{ModelEntry, ServeConfig, Server};
+    pub use gef_store::{CacheStats, LoadSource, Store, StoreError};
 }
