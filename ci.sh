@@ -83,6 +83,17 @@ echo "==> serve gate (xp_serve --ci)"
 cargo run --release -q -p gef-bench --features fault-injection \
     --bin xp_serve -- --ci
 
+# Metrics-exposition gate: xp_serve scrapes /metrics into
+# BENCH_metrics.prom during the serve gate (and reconciles the server's
+# response counters against its own client tallies); metrics_check
+# re-validates the scrape as Prometheus text format 0.0.4 and pins the
+# families the dashboards depend on.
+echo "==> metrics exposition gate (metrics_check BENCH_metrics.prom)"
+cargo run --release -q -p gef-bench --bin metrics_check -- BENCH_metrics.prom \
+    --require gef_serve_responses_total \
+    --require gef_serve_explain_latency_us_bucket \
+    --require gef_serve_window_success_ratio
+
 # Store-durability gate: a seeded crash/corruption sweep over the four
 # gef-store disk-fault sites (torn writes, bit flips, truncated reads,
 # ENOSPC) across write/read/evict phases against fresh stores. xp_store

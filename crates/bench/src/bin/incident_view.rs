@@ -11,9 +11,13 @@
 //!   human: cause, digests, budget state, degradation history, the
 //!   replay command, and the tail of the merged event window.
 //! * `--check` parses the file through [`gef_trace::json::parse`] and
-//!   verifies every field the `gef-core/incident/v1` schema requires,
-//!   printing one line per problem. This is the round-trip gate `ci.sh`
-//!   runs on forced-fault dumps.
+//!   verifies every field its schema requires — `gef-core/incident/v1`
+//!   fault dumps (which must carry the request `trace_id` they were
+//!   captured under, empty outside any request scope) and
+//!   `gef-core/slowreq/v1` slow-request captures (which must carry the
+//!   16-hex `trace_id` of the slow request itself) — printing one line
+//!   per problem. This is the round-trip gate `ci.sh` runs on
+//!   forced-fault dumps.
 //! * `--force-fault` (requires `--features fault-injection`) arms
 //!   `GEF_FAULTS` (default `pirls.stall=always`) plus a tight hard
 //!   deadline, runs a small pipeline expecting a typed error, asserts
@@ -66,9 +70,39 @@ fn load(path: &str) -> Result<JsonValue, String> {
     parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
 }
 
-/// Validate one parsed dump against the `gef-core/incident/v1` schema;
+/// Validate one parsed dump against whichever schema its `schema`
+/// field declares (`gef-core/incident/v1` or `gef-core/slowreq/v1`);
 /// returns one message per violated requirement.
 fn schema_problems(v: &JsonValue) -> Vec<String> {
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == gef_core::incident::SLOW_SCHEMA => slow_schema_problems(v),
+        _ => incident_schema_problems(v),
+    }
+}
+
+/// Shared per-event check for the flight-recorder `events` array.
+fn events_problems(problems: &mut Vec<String>, v: &JsonValue) {
+    match v.get("events").and_then(JsonValue::as_array) {
+        Some(events) => {
+            for (i, e) in events.iter().enumerate() {
+                let ok = e.get("kind").and_then(JsonValue::as_str).is_some()
+                    && e.get("name").and_then(JsonValue::as_str).is_some()
+                    && e.get("ts_ns").and_then(JsonValue::as_f64).is_some()
+                    && e.get("seq").and_then(JsonValue::as_f64).is_some()
+                    && e.get("tid").and_then(JsonValue::as_f64).is_some();
+                if !ok {
+                    problems.push(format!(
+                        "events[{i}] must carry string kind/name and numeric ts_ns/seq/tid"
+                    ));
+                    break;
+                }
+            }
+        }
+        None => problems.push("field `events` must be an array".to_string()),
+    }
+}
+
+fn incident_schema_problems(v: &JsonValue) -> Vec<String> {
     let mut problems = Vec::new();
     let mut want = |field: &str, ok: bool, what: &str| {
         if !ok {
@@ -85,7 +119,9 @@ fn schema_problems(v: &JsonValue) -> Vec<String> {
             gef_core::incident::SCHEMA
         ),
     );
-    for field in ["label", "cause", "error", "replay_faults"] {
+    // `trace_id` ties the dump to one request's X-Gef-Trace-Id; it is
+    // empty (but still present) outside any request scope.
+    for field in ["label", "cause", "error", "replay_faults", "trace_id"] {
         want(
             field,
             v.get(field).and_then(JsonValue::as_str).is_some(),
@@ -130,24 +166,63 @@ fn schema_problems(v: &JsonValue) -> Vec<String> {
         _ => problems.push("field `budget` must be an object".to_string()),
     }
 
-    match v.get("events").and_then(JsonValue::as_array) {
-        Some(events) => {
-            for (i, e) in events.iter().enumerate() {
-                let ok = e.get("kind").and_then(JsonValue::as_str).is_some()
-                    && e.get("name").and_then(JsonValue::as_str).is_some()
-                    && e.get("ts_ns").and_then(JsonValue::as_f64).is_some()
-                    && e.get("seq").and_then(JsonValue::as_f64).is_some()
-                    && e.get("tid").and_then(JsonValue::as_f64).is_some();
-                if !ok {
-                    problems.push(format!(
-                        "events[{i}] must carry string kind/name and numeric ts_ns/seq/tid"
-                    ));
-                    break;
-                }
-            }
+    events_problems(&mut problems, v);
+    problems
+}
+
+/// Validate a `gef-core/slowreq/v1` slow-request capture: a
+/// trace-id-filtered recorder slice, so it must name the request it was
+/// captured for (16 lowercase hex digits, never empty — captures only
+/// happen inside a request scope).
+fn slow_schema_problems(v: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut want = |field: &str, ok: bool, what: &str| {
+        if !ok {
+            problems.push(format!("field `{field}` {what}"));
         }
-        None => problems.push("field `events` must be an array".to_string()),
+    };
+
+    for field in ["label", "cause", "detail"] {
+        want(
+            field,
+            v.get(field).and_then(JsonValue::as_str).is_some(),
+            "must be a string",
+        );
     }
+    want(
+        "cause",
+        v.get("cause").and_then(JsonValue::as_str) == Some("slow_request"),
+        "must be \"slow_request\"",
+    );
+    let trace = v.get("trace_id").and_then(JsonValue::as_str);
+    want(
+        "trace_id",
+        trace.is_some_and(|t| {
+            t.len() == 16
+                && t.bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        }),
+        &format!("must be 16 lowercase hex digits (found {trace:?})"),
+    );
+    for field in [
+        "elapsed_ms",
+        "threshold_ms",
+        "created_unix_ms",
+        "threads",
+        "events_overwritten",
+    ] {
+        want(
+            field,
+            v.get(field).and_then(JsonValue::as_f64).is_some(),
+            "must be a number",
+        );
+    }
+    want(
+        "timeline",
+        v.get("timeline").is_some(),
+        "must be present (null when profiling is off)",
+    );
+    events_problems(&mut problems, v);
     problems
 }
 
@@ -161,10 +236,11 @@ fn check_file(path: &str) -> i32 {
     };
     let problems = schema_problems(&v);
     if problems.is_empty() {
-        println!(
-            "incident_view: {path} is a valid {} dump",
-            gef_core::incident::SCHEMA
-        );
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .unwrap_or(gef_core::incident::SCHEMA);
+        println!("incident_view: {path} is a valid {schema} dump");
         0
     } else {
         eprintln!("incident_view: {path} fails the schema check:");

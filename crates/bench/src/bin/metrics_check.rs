@@ -1,0 +1,79 @@
+//! Validate a Prometheus text exposition file — the ci.sh gate behind
+//! `BENCH_metrics.prom` (scraped from gef-serve's `/metrics` by
+//! `xp_serve`).
+//!
+//! Runs [`gef_trace::metrics::validate`] over the file: line format,
+//! `# TYPE` before samples, known metric kinds, name/label charset,
+//! finite values, non-negative counters, and histogram consistency
+//! (monotone cumulative `le` buckets, `+Inf` bucket == `_count`,
+//! `_sum` present). `--require NAME` (repeatable) additionally asserts
+//! at least one sample named `NAME` exists — ci pins the families the
+//! dashboards depend on.
+//!
+//! Usage: `metrics_check FILE [--require NAME]...`
+//!
+//! Exits 0 on a valid exposition with every required family present,
+//! 1 otherwise (with the reason on stderr).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut file: Option<&str> = None;
+    let mut required: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--require" => {
+                required.push(
+                    argv.get(i + 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("metrics_check: --require needs a sample name");
+                            std::process::exit(1);
+                        })
+                        .as_str(),
+                );
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("metrics_check: unknown flag {flag:?} (expected FILE [--require NAME])");
+                std::process::exit(1);
+            }
+            path => {
+                if file.replace(path).is_some() {
+                    eprintln!("metrics_check: more than one FILE argument");
+                    std::process::exit(1);
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: metrics_check FILE [--require NAME]...");
+        std::process::exit(1);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("metrics_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let exp = match gef_trace::metrics::validate(&text) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("metrics_check: {path} is not a valid exposition: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut missing = 0;
+    for name in &required {
+        if exp.named(name).is_empty() {
+            eprintln!("metrics_check: required sample {name:?} is absent from {path}");
+            missing += 1;
+        }
+    }
+    if missing > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "metrics_check: {path} OK ({} samples, {} required families present)",
+        exp.samples.len(),
+        required.len()
+    );
+}

@@ -24,6 +24,9 @@
 //! * anything `mem.`- or `heap.`-prefixed (allocation deltas depend on
 //!   chunking, allocator state, and whether the tracking allocator is
 //!   installed — they are observability, not pipeline semantics);
+//! * anything `ctx.`- or `window.`-prefixed (request-scoped trace-id
+//!   bookkeeping and rolling SLO-window samples — per-run identifiers
+//!   and wall-clock-window state, never pipeline semantics);
 //! * timing statistics (`*_ns` aggregates, `wall_ns`,
 //!   `created_unix_ms`) and `events_dropped` / `label`.
 //!
@@ -38,7 +41,8 @@ usage: telemetry_diff <report_a.json> <report_b.json>
 
 Diffs two gef-trace JSON telemetry reports on their deterministic
 fields (span/histogram counts, counters, gauges, the event sequence),
-ignoring par.*/mem.*/heap.* signals and timing statistics.
+ignoring par.*/mem.*/heap.*/ctx.*/window.* signals and timing
+statistics.
 
 exit codes:
   0  reports agree on every deterministic field
@@ -93,12 +97,19 @@ fn load(path: &str) -> JsonValue {
 
 /// Signals excluded from the determinism diff: `par.`-prefixed
 /// (thread-count bookkeeping, including hierarchical span paths with a
-/// `par.`-prefixed segment) and `mem.` / `heap.`-prefixed (allocation
+/// `par.`-prefixed segment), `mem.` / `heap.`-prefixed (allocation
 /// observability — counts vary with chunking and allocator state even
-/// when the pipeline's numeric outputs are bit-identical).
+/// when the pipeline's numeric outputs are bit-identical), and
+/// `ctx.` / `window.`-prefixed (request trace-id context and rolling
+/// SLO-window state — per-run identifiers, not pipeline semantics).
 fn is_excluded_name(name: &str) -> bool {
-    name.split('/')
-        .any(|seg| seg.starts_with("par.") || seg.starts_with("mem.") || seg.starts_with("heap."))
+    name.split('/').any(|seg| {
+        seg.starts_with("par.")
+            || seg.starts_with("mem.")
+            || seg.starts_with("heap.")
+            || seg.starts_with("ctx.")
+            || seg.starts_with("window.")
+    })
 }
 
 fn str_field(v: &JsonValue, key: &str) -> String {

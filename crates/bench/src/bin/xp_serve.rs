@@ -28,6 +28,14 @@
 //! > the body is JSON with `"ok"` or `"error"`, and the socket never
 //! > hangs — and after `shutdown()` the drained server answers nothing.
 //!
+//! The server's `/metrics` exposition is scraped mid-run and again
+//! after the fault sweep: both scrapes must validate as Prometheus
+//! text, counters must only move forwards between them, and on a
+//! clean (zero-violation) run the `gef_serve_responses_total` sum must
+//! reconcile exactly with the client-side request count. The final
+//! scrape is written to `BENCH_metrics.prom` (the `metrics_check` ci
+//! gate re-validates it).
+//!
 //! Results land in `BENCH_serve.json` (latency p50/p95/p99 in µs —
 //! overall and per connection mode — requests-per-second,
 //! shed/degraded/error counts, violations first). Exits nonzero when
@@ -44,6 +52,7 @@ use gef_forest::{GbdtParams, GbdtTrainer, Objective};
 use gef_serve::{ModelEntry, ServeConfig, Server};
 use gef_trace::hist::Histogram;
 use gef_trace::json::JsonWriter;
+use gef_trace::metrics::Exposition;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -346,6 +355,76 @@ fn post(path: &str, body: &str, extra: &str, conn_header: &str) -> Vec<u8> {
 
 const ALLOWED: [u16; 9] = [200, 400, 404, 405, 413, 429, 500, 501, 504];
 
+/// `GET /metrics` over a fresh connection; returns the exposition body.
+fn scrape_metrics(port: u16) -> Result<String, String> {
+    let mut s = TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    s.write_all(b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .map_err(|e| format!("scrape write: {e}"))?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)
+        .map_err(|e| format!("scrape read: {e}"))?;
+    if !raw.starts_with("HTTP/1.1 200 ") {
+        return Err(format!(
+            "scrape answered {:?}",
+            raw.lines().next().unwrap_or("")
+        ));
+    }
+    raw.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| "scrape response has no body".to_string())
+}
+
+/// Scrape + validate; a failure of either is an invariant violation.
+fn scrape_validated(port: u16, tally: &Mutex<Tally>) -> Option<(String, Exposition)> {
+    let text = match scrape_metrics(port) {
+        Ok(t) => t,
+        Err(e) => {
+            tally
+                .lock()
+                .expect("tally lock")
+                .violations
+                .push(format!("[metrics] {e}"));
+            return None;
+        }
+    };
+    match gef_trace::metrics::validate(&text) {
+        Ok(exp) => Some((text, exp)),
+        Err(e) => {
+            tally
+                .lock()
+                .expect("tally lock")
+                .violations
+                .push(format!("[metrics] exposition failed validation: {e}"));
+            None
+        }
+    }
+}
+
+/// Every `*_total` counter of `prev` must still exist and be >= in
+/// `next` — Prometheus counters never move backwards across scrapes.
+fn check_monotonic(prev: &Exposition, next: &Exposition, tally: &Mutex<Tally>) {
+    let mut t = tally.lock().expect("tally lock");
+    for s1 in prev.samples.iter().filter(|s| s.name.ends_with("_total")) {
+        match next
+            .samples
+            .iter()
+            .find(|s2| s2.name == s1.name && s2.labels == s1.labels)
+        {
+            Some(s2) if s2.value >= s1.value => {}
+            Some(s2) => t.violations.push(format!(
+                "[metrics] counter {}{:?} went backwards: {} -> {}",
+                s1.name, s1.labels, s1.value, s2.value
+            )),
+            None => t.violations.push(format!(
+                "[metrics] counter {}{:?} vanished between scrapes",
+                s1.name, s1.labels
+            )),
+        }
+    }
+}
+
 /// Send one seeded request from the closed-loop mix and classify the
 /// answer into the tally. Any invariant breach lands in
 /// `tally.violations` with a replayable description.
@@ -611,7 +690,44 @@ fn main() {
         latency.lock().expect("latency lock").merge(&hist);
     }
 
+    // Mid-run scrape: the exposition must parse while the server is
+    // hot, and baselines the monotonicity check of the final scrape.
+    // Each successful scrape is itself one served response, which the
+    // reconciliation below accounts for.
+    let mut scrapes = 0u64;
+    let mid = scrape_validated(port, &tally);
+    if mid.is_some() {
+        scrapes += 1;
+    }
+
     let schedules = fault_sweep(port, &args, &tally, &latency);
+
+    // Final scrape (before shutdown): validate, check counters moved
+    // only forwards, and reconcile the server's per-status response
+    // tallies against what the clients actually counted.
+    let mut metrics_text = String::new();
+    let mut responses_exported = 0u64;
+    if let Some((text, exp)) = scrape_validated(port, &tally) {
+        if let Some((_, ref mid_exp)) = mid {
+            check_monotonic(mid_exp, &exp, &tally);
+        }
+        responses_exported = exp.sum("gef_serve_responses_total") as u64;
+        let mut t = tally.lock().expect("tally lock");
+        // Reconcile only on a clean run: any earlier violation means a
+        // request went unanswered, so the tallies legitimately differ.
+        if t.violations.is_empty() {
+            let client_requests = t.requests;
+            let expected = client_requests + scrapes;
+            if responses_exported != expected {
+                t.violations.push(format!(
+                    "[metrics] gef_serve_responses_total sums to {responses_exported}, \
+                     but clients counted {expected} answered requests \
+                     ({client_requests} requests + {scrapes} scrape(s))"
+                ));
+            }
+        }
+        metrics_text = text;
+    }
 
     // Graceful drain, then the drained server must answer nothing.
     server.shutdown();
@@ -698,6 +814,7 @@ fn main() {
         w.end_object();
     }
     w.end_array();
+    w.field_u64("metrics_responses_total", responses_exported);
     w.field_u64("violations", tally.violations.len() as u64);
     w.key("violation_details");
     w.begin_array();
@@ -714,6 +831,10 @@ fn main() {
     w.end_object();
     std::fs::write("BENCH_serve.json", w.finish()).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
+    if !metrics_text.is_empty() {
+        std::fs::write("BENCH_metrics.prom", &metrics_text).expect("write BENCH_metrics.prom");
+        println!("wrote BENCH_metrics.prom");
+    }
 
     gef_bench::emit_telemetry("xp_serve");
     if !tally.violations.is_empty() {

@@ -46,6 +46,12 @@ use std::sync::Mutex;
 /// Schema identifier stamped into every dump (`schema` field).
 pub const SCHEMA: &str = "gef-core/incident/v1";
 
+/// Schema identifier of slow-request capture artifacts (see
+/// [`render_slow`]): the trace-id-filtered recorder slice plus timeline
+/// fragment a request leaves behind when it exceeds the serve layer's
+/// `GEF_SERVE_SLOW_MS` threshold.
+pub const SLOW_SCHEMA: &str = "gef-core/slowreq/v1";
+
 /// How many of the most recent flight-recorder records a dump carries.
 pub const EVENT_WINDOW: usize = 200;
 
@@ -147,6 +153,13 @@ pub fn render(cause: &str, error: &str, ctx: &IncidentContext) -> String {
     w.field_str("label", &label());
     w.field_str("cause", cause);
     w.field_str("error", error);
+    // The trace id of the request scope active at dump time — ties the
+    // incident to one HTTP response's X-Gef-Trace-Id. Empty outside any
+    // request scope (library callers, CLI tools).
+    w.field_str(
+        "trace_id",
+        &gef_trace::ctx::current_hex().unwrap_or_default(),
+    );
     w.field_u64("created_unix_ms", unix_ms());
     w.field_u64("threads", gef_par::threads() as u64);
     match ctx.config_digest {
@@ -238,9 +251,18 @@ pub fn render(cause: &str, error: &str, ctx: &IncidentContext) -> String {
         w.end_object();
     }
     w.end_array();
+    write_events(&mut w, &records);
+    w.field_u64("events_overwritten", recorder::overwritten_total());
+    w.end_object();
+    w.finish()
+}
+
+/// Emit an `events` array of flight-recorder records (shared by
+/// incident and slow-request documents).
+fn write_events(w: &mut JsonWriter, records: &[recorder::Record]) {
     w.key("events");
     w.begin_array();
-    for r in &records {
+    for r in records {
         w.begin_object();
         w.field_str("kind", r.kind.label());
         w.field_u64("tid", r.tid);
@@ -248,6 +270,9 @@ pub fn render(cause: &str, error: &str, ctx: &IncidentContext) -> String {
         w.field_u64("ts_ns", r.ts_ns);
         w.field_u64("seq", r.seq);
         w.field_str("name", &r.name);
+        if r.trace != 0 {
+            w.field_str("trace", &to_hex(r.trace));
+        }
         if !r.fields.is_empty() {
             w.key("fields");
             w.begin_object();
@@ -262,9 +287,70 @@ pub fn render(cause: &str, error: &str, ctx: &IncidentContext) -> String {
         w.end_object();
     }
     w.end_array();
+}
+
+/// Render a slow-request capture for the request `trace`: the
+/// trace-id-filtered flight-recorder slice plus (when profiling is on)
+/// the request's Chrome-trace timeline fragment. Pure with respect to
+/// the filesystem, like [`render`].
+pub fn render_slow(trace: u64, elapsed_ms: u64, threshold_ms: u64, detail: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SLOW_SCHEMA);
+    w.field_str("label", &label());
+    w.field_str("cause", "slow_request");
+    w.field_str("trace_id", &to_hex(trace));
+    w.field_str("detail", detail);
+    w.field_u64("elapsed_ms", elapsed_ms);
+    w.field_u64("threshold_ms", threshold_ms);
+    w.field_u64("created_unix_ms", unix_ms());
+    w.field_u64("threads", gef_par::threads() as u64);
+    write_events(&mut w, &recorder::snapshot_trace(EVENT_WINDOW, trace));
     w.field_u64("events_overwritten", recorder::overwritten_total());
+    w.key("timeline");
+    if gef_trace::timeline::prof_enabled() {
+        // A valid Chrome-trace JSON document, embedded verbatim.
+        w.value_raw(&gef_trace::timeline::chrome_trace_fragment(trace));
+    } else {
+        w.value_raw("null");
+    }
     w.end_object();
     w.finish()
+}
+
+/// Dump a slow-request capture under the incident directory as
+/// `<label>-slow_<trace>.json` — pruned by the same newest-
+/// [`INCIDENT_KEEP`] per-label policy as incident dumps. Best-effort;
+/// returns the written path, or `None` when dumping is disabled or the
+/// write failed.
+pub fn dump_slow(trace: u64, elapsed_ms: u64, threshold_ms: u64, detail: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let doc = render_slow(trace, elapsed_ms, threshold_ms, detail);
+    let dir = incident_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "gef-core: cannot create incident dir {}: {e}",
+            dir.display()
+        );
+        return None;
+    }
+    let path = dump_path(&format!("slow_{}", to_hex(trace)));
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            eprintln!("gef-core: wrote slow-request capture {}", path.display());
+            prune_label_dumps(&dir);
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "gef-core: cannot write slow-request capture {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
 }
 
 fn unix_ms() -> u64 {
@@ -402,6 +488,52 @@ mod tests {
         assert!(v.get("budget").is_some());
         assert!(v.get("events").and_then(JsonValue::as_array).is_some());
         assert!(v.get("replay_faults").and_then(JsonValue::as_str).is_some());
+    }
+
+    #[test]
+    fn render_stamps_the_active_trace_scope() {
+        {
+            let _scope = gef_trace::ctx::TraceCtx::with_id(0xfeed).enter();
+            let doc = render("deadline", "boom", &IncidentContext::default());
+            let v = parse(&doc).unwrap();
+            assert_eq!(
+                v.get("trace_id").and_then(JsonValue::as_str),
+                Some("000000000000feed")
+            );
+        }
+        let doc = render("deadline", "boom", &IncidentContext::default());
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("trace_id").and_then(JsonValue::as_str), Some(""));
+    }
+
+    #[test]
+    fn render_slow_filters_events_to_the_request() {
+        let trace = 0xbeefu64;
+        {
+            let _scope = gef_trace::ctx::TraceCtx::with_id(trace).enter();
+            recorder::note(recorder::Kind::Event, "slow.mine", "in scope");
+        }
+        recorder::note(recorder::Kind::Event, "slow.other", "out of scope");
+        let doc = render_slow(trace, 950, 500, "POST /explain");
+        let v = parse(&doc).unwrap_or_else(|e| panic!("invalid slow json: {e}\n{doc}"));
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some(SLOW_SCHEMA)
+        );
+        assert_eq!(
+            v.get("trace_id").and_then(JsonValue::as_str),
+            Some("000000000000beef")
+        );
+        assert_eq!(v.get("elapsed_ms").and_then(JsonValue::as_f64), Some(950.0));
+        let events = v.get("events").and_then(JsonValue::as_array).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(JsonValue::as_str) == Some("slow.mine")));
+        assert!(events
+            .iter()
+            .all(|e| e.get("name").and_then(JsonValue::as_str) != Some("slow.other")));
+        // Profiling is off in unit tests, so the timeline slot is null.
+        assert_eq!(v.get("timeline"), Some(&JsonValue::Null));
     }
 
     #[test]

@@ -175,6 +175,11 @@ pub struct Provenance {
     pub degradations: Vec<String>,
     /// Per-stage wall-clock of the producing run.
     pub stage_timings: StageTimings,
+    /// 16-hex trace id of the request context the run executed under
+    /// (`gef_trace::ctx`); empty when the run had no request scope
+    /// (library callers, benchmarks) or on pre-trace archives.
+    #[serde(default)]
+    pub trace_id: String,
 }
 
 /// Wall-clock nanoseconds spent in each pipeline stage of one
@@ -564,6 +569,7 @@ impl GefExplainer {
                 .map(|d| d.action.label().to_string())
                 .collect(),
             stage_timings: timings,
+            trace_id: gef_trace::ctx::current_hex().unwrap_or_default(),
         };
 
         Ok((

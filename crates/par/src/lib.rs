@@ -369,6 +369,11 @@ struct Region {
     /// Workers enter it for the duration of the region so checkpoints
     /// inside tasks observe the same deadline as the coordinator.
     budget: gef_trace::budget::Budget,
+    /// The dispatching thread's trace context, captured at dispatch.
+    /// Workers enter it so their recorder/timeline events attribute to
+    /// the request that launched the region (same discipline as the
+    /// budget above).
+    ctx: gef_trace::ctx::TraceCtx,
     /// Timeline label for per-task begin/end events ([`Options::label`]).
     label: Option<&'static str>,
     /// Region id carried in per-task timeline event args.
@@ -486,6 +491,10 @@ fn worker_loop(pool: &'static Pool) {
         // Run under the dispatcher's budget so checkpoints inside tasks
         // (and nested regions they launch) see the right deadline.
         let _budget = region.budget.enter();
+        // And under its trace context, so task events carry the
+        // dispatching request's id (entered even when empty: it must
+        // shadow whatever the previous region left conceptually live).
+        let _ctx = region.ctx.enter();
         region.work();
     }
 }
@@ -642,6 +651,7 @@ fn run_tasks(n_tasks: usize, opts: Options, task: &(dyn Fn(usize) + Sync)) -> Re
         executed: AtomicUsize::new(0),
         base_path,
         budget: gef_trace::budget::current(),
+        ctx: gef_trace::ctx::current(),
         label: opts.label,
         region_id,
         prof,
@@ -802,6 +812,25 @@ mod tests {
         for t in [1, 4] {
             let got = at_threads(t, || map(100, Options::default(), |i| i * 3).unwrap());
             assert_eq!(got, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tasks_observe_dispatching_trace_context() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for t in [1, 4] {
+            let seen: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+            at_threads(t, || {
+                let _ctx = gef_trace::ctx::TraceCtx::with_id(0x77).enter();
+                for_each_index(64, Options::default(), |i| {
+                    seen[i].store(gef_trace::ctx::current_id(), Ordering::Relaxed);
+                })
+                .unwrap();
+            });
+            assert!(
+                seen.iter().all(|s| s.load(Ordering::Relaxed) == 0x77),
+                "threads={t}: every task sees the dispatcher's trace id"
+            );
         }
     }
 

@@ -9,6 +9,9 @@
 //!   Trace Event Format JSON under `results/profiles/`. Load the file in
 //!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see
 //!   per-worker gantt tracks for every span and gef-par task.
+//! * **Per-request fragments** — [`request_fragment`] slices the merged
+//!   timeline down to one request's trace id (see [`gef_trace::ctx`]),
+//!   which is how `gef-serve` answers `/explain?profile=1`.
 //! * **Allocation tracking** (`alloc-track` feature) — `TrackingAlloc`,
 //!   an instrumented global allocator wrapping [`std::alloc::System`]
 //!   that feeds the [`gef_trace::mem`] counters. Binaries opt in with:
@@ -28,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+pub use gef_trace::ctx;
 pub use gef_trace::mem;
 pub use gef_trace::timeline;
 
@@ -36,6 +40,17 @@ pub use gef_trace::timeline;
 #[inline]
 pub fn profiling() -> bool {
     timeline::prof_enabled()
+}
+
+/// The Chrome-trace fragment for one request: every timeline event
+/// stamped with `trace` (see [`ctx`]), across all threads — the
+/// per-request flame view behind `gef-serve`'s `/explain?profile=1`.
+/// Returns `None` while profiling is off (nothing was recorded).
+pub fn request_fragment(trace: u64) -> Option<String> {
+    if !timeline::prof_enabled() {
+        return None;
+    }
+    Some(timeline::chrome_trace_fragment(trace))
 }
 
 /// Run `f`, then — if profiling is on — export the recorded timeline

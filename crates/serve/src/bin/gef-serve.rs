@@ -177,7 +177,7 @@ fn main() {
     );
     println!("  POST /explain  {{\"instance\":[...], \"model\":\"name\", \"deadline_ms\":N}}");
     println!("  POST /predict  {{\"instance\":[...], \"model\":\"name\"}}");
-    println!("  GET  /healthz | GET /stats | GET /models");
+    println!("  GET  /healthz | GET /stats | GET /metrics | GET /models");
     // Serve until the process is killed; there is no signal handling
     // without a libc dependency, so foreground use is Ctrl-C.
     loop {

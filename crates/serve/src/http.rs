@@ -308,18 +308,21 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> ReadOutcome {
     })
 }
 
-/// Write one `HTTP/1.1` response with `Content-Length` framing. The
+/// Write one `HTTP/1.1` response with `Content-Length` framing and the
+/// given `Content-Type` (`application/json` for every API response;
+/// `gef-serve`'s `/metrics` uses the Prometheus text type). The
 /// `Connection` header must be supplied via `extra_headers` by callers
 /// that want one.
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
     reason: &str,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
-    head.push_str("content-type: application/json\r\n");
+    head.push_str(&format!("content-type: {content_type}\r\n"));
     head.push_str(&format!("content-length: {}\r\n", body.len()));
     for (k, v) in extra_headers {
         head.push_str(&format!("{k}: {v}\r\n"));
@@ -427,12 +430,14 @@ mod tests {
             &mut out,
             429,
             "Too Many Requests",
+            "application/json",
             &[("retry-after", "1")],
             b"{}",
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));

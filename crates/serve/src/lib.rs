@@ -13,7 +13,12 @@
 //! * `POST /predict` — raw forest prediction for the posted instance.
 //! * `GET /healthz` — liveness (`serving` / `draining`).
 //! * `GET /stats` — request counters, latency quantiles (p50/p95/p99),
-//!   queue depth, and circuit-breaker state.
+//!   a rolling last-minute SLO window, queue depth, and circuit-breaker
+//!   state.
+//! * `GET /metrics` — the same signals as Prometheus text exposition
+//!   (format 0.0.4): counters, per-status response tallies, a
+//!   fixed-bucket latency histogram, 1-min/5-min SLO windows, and
+//!   store gauges.
 //! * `GET /models` — loaded models with their content digests and —
 //!   when the server is store-backed ([`Server::start_with_store`] /
 //!   `gef-serve --store DIR`) — the `gef-store` MRU-cache state and
@@ -68,6 +73,8 @@
 //! | `GEF_SERVE_MAX_BODY` | request body byte cap | 1048576 |
 //! | `GEF_SERVE_BREAKER_K` | consecutive fit failures to trip | 5 |
 //! | `GEF_SERVE_BREAKER_COOLDOWN_MS` | breaker open duration | 1000 |
+//! | `GEF_SERVE_SLOW_MS` | slow-request capture threshold (0 = off) | 0 |
+//! | `GEF_SERVE_PROFILE` | honor `/explain?profile=1` (enables timelines) | 0 |
 
 pub mod http;
 pub mod server;
@@ -94,6 +101,14 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// How long the breaker stays open before closing again.
     pub breaker_cooldown_ms: u64,
+    /// `/explain` requests slower than this (wall-clock ms) dump a
+    /// trace-id-filtered slow-request capture under the incident
+    /// directory (`GEF_SERVE_SLOW_MS`); 0 disables.
+    pub slow_ms: u64,
+    /// Honor `/explain?profile=1` (`GEF_SERVE_PROFILE`): turns timeline
+    /// recording on at server start and returns the request's own
+    /// Chrome-trace fragment inline in the response.
+    pub profile: bool,
     /// Honor `x-gef-test` request headers (deliberate panics etc.).
     /// Never enabled from the environment — tests only.
     pub test_hooks: bool,
@@ -109,6 +124,8 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             breaker_threshold: 5,
             breaker_cooldown_ms: 1_000,
+            slow_ms: 0,
+            profile: false,
             test_hooks: false,
         }
     }
@@ -134,6 +151,8 @@ impl ServeConfig {
                 .max(1)
                 .min(u64::from(u32::MAX)) as u32,
             breaker_cooldown_ms: u64_var_or("GEF_SERVE_BREAKER_COOLDOWN_MS", d.breaker_cooldown_ms),
+            slow_ms: u64_var_or("GEF_SERVE_SLOW_MS", d.slow_ms),
+            profile: u64_var_or("GEF_SERVE_PROFILE", 0) != 0,
             test_hooks: false,
         }
     }
@@ -147,7 +166,7 @@ mod tests {
     // Env vars are process-global; serialise the tests that set them.
     static LOCK: Mutex<()> = Mutex::new(());
 
-    const VARS: [&str; 7] = [
+    const VARS: [&str; 9] = [
         "GEF_SERVE_PORT",
         "GEF_SERVE_WORKERS",
         "GEF_SERVE_QUEUE",
@@ -155,6 +174,8 @@ mod tests {
         "GEF_SERVE_MAX_BODY",
         "GEF_SERVE_BREAKER_K",
         "GEF_SERVE_BREAKER_COOLDOWN_MS",
+        "GEF_SERVE_SLOW_MS",
+        "GEF_SERVE_PROFILE",
     ];
 
     #[test]
@@ -167,14 +188,21 @@ mod tests {
         std::env::set_var("GEF_SERVE_WORKERS", "0"); // clamped to 1
         std::env::set_var("GEF_SERVE_QUEUE", "7");
         std::env::set_var("GEF_SERVE_DEADLINE_MS", "bogus"); // warned, default
+        std::env::set_var("GEF_SERVE_SLOW_MS", "750");
+        std::env::set_var("GEF_SERVE_PROFILE", "1");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.port, 8123);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.queue_depth, 7);
         assert_eq!(cfg.deadline_ms, ServeConfig::default().deadline_ms);
+        assert_eq!(cfg.slow_ms, 750);
+        assert!(cfg.profile);
         assert!(!cfg.test_hooks, "test hooks never come from the env");
         for v in VARS {
             std::env::remove_var(v);
         }
+        let off = ServeConfig::from_env();
+        assert_eq!(off.slow_ms, 0, "slow capture defaults off");
+        assert!(!off.profile, "profiling defaults off");
     }
 }

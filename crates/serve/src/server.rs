@@ -34,9 +34,11 @@ use gef_core::reuse::CacheOutcome;
 use gef_core::{incident, FitFloor, GefConfig, GefError, GefExplainer};
 use gef_forest::Forest;
 use gef_store::Store;
+use gef_trace::ctx;
 use gef_trace::hash::to_hex;
 use gef_trace::hist::Histogram;
 use gef_trace::json::{self, JsonValue, JsonWriter};
+use gef_trace::metrics::{FixedHistogram, Outcome, PromWriter, SloWindow};
 use std::collections::VecDeque;
 use std::io::{BufReader, Read};
 use std::net::{TcpListener, TcpStream};
@@ -62,7 +64,23 @@ pub struct ModelEntry {
     pub config: GefConfig,
 }
 
-/// Request counters, all monotonic (reported by `GET /stats`).
+/// Every status the server answers with. `GET /metrics` exports one
+/// `gef_serve_responses_total{code=...}` counter per entry (plus an
+/// `other` bucket), incremented only when the response bytes were
+/// actually written — the series load clients reconcile their own
+/// request tallies against.
+const STATUS_CODES: [u16; 9] = [200, 400, 404, 405, 413, 429, 500, 501, 504];
+
+/// Index into [`Counters::responses`] for `status` (last slot = other).
+fn status_slot(status: u16) -> usize {
+    STATUS_CODES
+        .iter()
+        .position(|&c| c == status)
+        .unwrap_or(STATUS_CODES.len())
+}
+
+/// Request counters, all monotonic (reported by `GET /stats` and
+/// `GET /metrics`).
 #[derive(Default)]
 struct Counters {
     received: AtomicU64,
@@ -74,6 +92,22 @@ struct Counters {
     deadline_trips: AtomicU64,
     panics_contained: AtomicU64,
     breaker_trips: AtomicU64,
+    /// Per-request soft-budget trips (80% of the deadline), read at
+    /// budget-scope exit.
+    budget_soft_trips: AtomicU64,
+    /// Per-request hard-budget trips; counts alongside
+    /// `deadline_trips` but also catches runs that tripped hard yet
+    /// still returned (e.g. a race with completion).
+    budget_hard_trips: AtomicU64,
+    /// Responses written, indexed by [`status_slot`].
+    responses: [AtomicU64; STATUS_CODES.len() + 1],
+}
+
+impl Counters {
+    /// Count one response of `status` actually written to a socket.
+    fn count_response(&self, status: u16) {
+        self.responses[status_slot(status)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Circuit breaker over consecutive GAM-fit failures: open trips every
@@ -153,6 +187,12 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     latency: Mutex<Histogram>,
+    /// Fixed-bucket mirror of `latency` for the `/metrics` histogram
+    /// exposition (Prometheus needs stable bucket bounds).
+    latency_fixed: Mutex<FixedHistogram>,
+    /// Rolling per-second SLO accounting behind `/stats`'s `window`
+    /// object and the `gef_serve_window_*` gauges.
+    window: SloWindow,
     breaker: Breaker,
 }
 
@@ -212,12 +252,19 @@ impl Server {
         // Non-blocking accept so shutdown is observed within one poll
         // interval even with no incoming connections.
         listener.set_nonblocking(true)?;
+        if cfg.profile {
+            // `/explain?profile=1` serves per-request timeline
+            // fragments; recording must be on for spans to exist.
+            gef_trace::timeline::set_prof_enabled(true);
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
             latency: Mutex::new(Histogram::new()),
+            latency_fixed: Mutex::new(FixedHistogram::new()),
+            window: SloWindow::new(),
             breaker: Breaker::new(
                 cfg.breaker_threshold,
                 Duration::from_millis(cfg.breaker_cooldown_ms),
@@ -294,17 +341,34 @@ fn admit(shared: &Shared, stream: TcpStream) {
     if q.len() >= shared.cfg.queue_depth {
         drop(q);
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        shared.window.record(Outcome::Shed, None);
+        // Shed happens before the request is even read, so no client
+        // trace id exists yet: mint one so a 429 is still correlatable.
+        let hex = to_hex(ctx::new_id());
         // Answer on the accept thread, but never let a slow client
         // stall it: tight write timeout, best-effort delivery.
         let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
         let mut s = stream;
-        let _ = http::write_response(
+        let wrote = http::write_response(
             &mut s,
             429,
             "Too Many Requests",
-            &[("retry-after", "1"), ("connection", "close")],
-            error_body("overloaded", "admission queue is full; retry shortly").as_bytes(),
-        );
+            "application/json",
+            &[
+                ("retry-after", "1"),
+                ("connection", "close"),
+                ("x-gef-trace-id", &hex),
+            ],
+            stamp_trace_id(
+                &error_body("overloaded", "admission queue is full; retry shortly"),
+                &hex,
+            )
+            .as_bytes(),
+        )
+        .is_ok();
+        if wrote {
+            shared.counters.count_response(429);
+        }
         close_gracefully(s, Duration::from_millis(50));
         return;
     }
@@ -365,19 +429,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             ReadOutcome::Eof | ReadOutcome::Io(_) => return,
             ReadOutcome::Malformed(e) => {
                 // The stream position is untrustworthy after a protocol
-                // violation: answer typed and close.
+                // violation: answer typed and close. Headers are equally
+                // untrustworthy, so mint a fresh trace id.
                 shared
                     .counters
                     .client_errors
                     .fetch_add(1, Ordering::Relaxed);
                 let (status, reason) = e.status();
-                let _ = http::write_response(
+                let hex = to_hex(ctx::new_id());
+                let wrote = http::write_response(
                     &mut stream,
                     status,
                     reason,
-                    &[("connection", "close")],
-                    error_body(e.cause(), &e.to_string()).as_bytes(),
-                );
+                    "application/json",
+                    &[("connection", "close"), ("x-gef-trace-id", &hex)],
+                    stamp_trace_id(&error_body(e.cause(), &e.to_string()), &hex).as_bytes(),
+                )
+                .is_ok();
+                if wrote {
+                    shared.counters.count_response(status);
+                }
                 // The rejected request is often partly unread (a 413
                 // never reads its body): half-close and drain so the
                 // typed answer is not RST away mid-flight.
@@ -386,16 +457,33 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
             ReadOutcome::Request(req) => {
                 let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
-                let response = dispatch(shared, &req);
+                // Honor a well-formed client-supplied id (16 hex
+                // chars), mint otherwise. The scope makes the id reach
+                // every recorder entry, timeline span, and gef-par
+                // task this request produces.
+                let tctx = ctx::TraceCtx::with_id(
+                    req.header("x-gef-trace-id")
+                        .and_then(ctx::parse_hex)
+                        .unwrap_or_else(ctx::new_id),
+                );
+                let hex = tctx.hex();
+                let response = {
+                    let _ctx = tctx.enter();
+                    dispatch(shared, &req)
+                };
                 let conn = if close { "close" } else { "keep-alive" };
                 let write_ok = http::write_response(
                     &mut stream,
                     response.status,
                     response.reason,
-                    &[("connection", conn)],
-                    response.body.as_bytes(),
+                    response.content_type,
+                    &[("connection", conn), ("x-gef-trace-id", &hex)],
+                    response.wire_body(&hex).as_bytes(),
                 )
                 .is_ok();
+                if write_ok {
+                    shared.counters.count_response(response.status);
+                }
                 if close || !write_ok {
                     // A pipelining client may have bytes in flight;
                     // same RST hazard as the malformed path.
@@ -407,11 +495,16 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// A fully-formed response (status line + JSON body).
+/// A fully-formed response (status line + body).
 struct Response {
     status: u16,
     reason: &'static str,
     body: String,
+    /// `Content-Type` of `body`: JSON everywhere except `/metrics`.
+    content_type: &'static str,
+    /// A 200 that served a reduced answer (non-empty degradation
+    /// history) — feeds the SLO window's degraded rate.
+    degraded: bool,
 }
 
 impl Response {
@@ -420,6 +513,8 @@ impl Response {
             status: 200,
             reason: "OK",
             body,
+            content_type: "application/json",
+            degraded: false,
         }
     }
 
@@ -428,7 +523,43 @@ impl Response {
             status,
             reason,
             body: error_body(cause, detail),
+            content_type: "application/json",
+            degraded: false,
         }
+    }
+
+    /// The bytes that go on the wire: JSON bodies get the request's
+    /// `trace_id` spliced in as their first field; non-JSON bodies
+    /// (`/metrics`) pass through untouched.
+    fn wire_body(&self, trace_hex: &str) -> String {
+        if self.content_type != "application/json" {
+            return self.body.clone();
+        }
+        stamp_trace_id(&self.body, trace_hex)
+    }
+}
+
+/// Splice `"trace_id":"<hex>"` in as the first field of a rendered
+/// JSON object. Every handler body is an object, so prefix splicing
+/// keeps the field present on every answer without threading the id
+/// through each `JsonWriter` call site.
+fn stamp_trace_id(body: &str, trace_hex: &str) -> String {
+    match body.strip_prefix('{') {
+        Some("}") => format!("{{\"trace_id\":\"{trace_hex}\"}}"),
+        Some(rest) => format!("{{\"trace_id\":\"{trace_hex}\",{rest}"),
+        None => body.to_string(),
+    }
+}
+
+/// The SLO-window classification of a finished `/explain`/`/predict`.
+fn outcome_of(resp: &Response) -> Outcome {
+    match resp.status {
+        200 if resp.degraded => Outcome::Degraded,
+        200 => Outcome::Ok,
+        500..=599 => Outcome::Error,
+        // Client errors are the caller's fault, not an availability
+        // breach: they don't dent the window's success rate.
+        _ => Outcome::Ok,
     }
 }
 
@@ -446,33 +577,60 @@ fn error_body(cause: &str, detail: &str) -> String {
 }
 
 fn dispatch(shared: &Shared, req: &Request) -> Response {
-    match (req.method.as_str(), req.target.as_str()) {
+    // `target` may carry a query string (`/explain?profile=1`): route
+    // on the path, hand the query to the handler.
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/stats") => handle_stats(shared),
         ("GET", "/models") => handle_models(shared),
+        ("GET", "/metrics") => handle_metrics(shared),
         ("POST", "/explain") => {
+            let profile = shared.cfg.profile && query.split('&').any(|p| p == "profile=1");
             let t = Instant::now();
-            let resp = handle_explain(shared, req);
+            let resp = handle_explain(shared, req, profile);
             let elapsed_us = t.elapsed().as_micros() as u64;
             shared
                 .latency
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .record(elapsed_us);
+            shared
+                .latency_fixed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(elapsed_us);
+            shared.window.record(outcome_of(&resp), Some(elapsed_us));
             count_status(shared, resp.status);
+            let elapsed_ms = elapsed_us / 1_000;
+            if shared.cfg.slow_ms > 0 && elapsed_ms >= shared.cfg.slow_ms {
+                // Slow-request capture: the trace-id-filtered recorder
+                // slice (+ timeline when profiling) as an incident-style
+                // artifact, while the evidence is still in the ring.
+                let trace = ctx::current_id();
+                if trace != 0 {
+                    let _ = incident::dump_slow(trace, elapsed_ms, shared.cfg.slow_ms, path);
+                }
+            }
             resp
         }
         ("POST", "/predict") => {
             let resp = handle_predict(shared, req);
+            shared.window.record(outcome_of(&resp), None);
             count_status(shared, resp.status);
             resp
         }
-        (_, "/healthz" | "/stats" | "/models" | "/explain" | "/predict") => Response::error(
-            405,
-            "Method Not Allowed",
-            "method_not_allowed",
-            &format!("{} is not valid here", req.method),
-        ),
+        (_, "/healthz" | "/stats" | "/models" | "/metrics" | "/explain" | "/predict") => {
+            Response::error(
+                405,
+                "Method Not Allowed",
+                "method_not_allowed",
+                &format!("{} is not valid here", req.method),
+            )
+        }
         _ => Response::error(404, "Not Found", "not_found", &req.target.clone()),
     }
 }
@@ -548,8 +706,299 @@ fn handle_stats(shared: &Shared) -> Response {
         }
         w.end_object();
     }
+    {
+        // Rolling last-minute view, same machinery as /metrics'
+        // gef_serve_window_* gauges.
+        let s = shared.window.summary(60);
+        w.key("window");
+        w.begin_object();
+        w.field_u64("window_secs", s.window_secs);
+        w.field_u64("requests", s.total);
+        w.field_u64("ok", s.ok);
+        w.field_u64("degraded", s.degraded);
+        w.field_u64("shed", s.shed);
+        w.field_u64("errors", s.errors);
+        w.field_f64("success_rate", s.success_rate);
+        w.field_f64("shed_rate", s.shed_rate);
+        w.field_f64("degraded_rate", s.degraded_rate);
+        w.field_u64("p99_us", s.p99_us);
+        w.end_object();
+    }
     w.end_object();
     Response::ok(w.finish())
+}
+
+/// `GET /metrics`: the Prometheus text exposition (format 0.0.4) of
+/// the server's counters, per-status response tallies, fixed-bucket
+/// latency histogram, rolling SLO windows, breaker/queue gauges, and —
+/// when store-backed — MRU-cache and quarantine gauges.
+fn handle_metrics(shared: &Shared) -> Response {
+    let c = &shared.counters;
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut w = PromWriter::new();
+
+    w.metric(
+        "gef_serve_connections_received_total",
+        "counter",
+        "Connections seen by the accept loop, admitted or shed.",
+    );
+    w.sample_u64(
+        "gef_serve_connections_received_total",
+        &[],
+        load(&c.received),
+    );
+
+    w.metric(
+        "gef_serve_responses_total",
+        "counter",
+        "Responses written to sockets, by HTTP status code.",
+    );
+    for (i, &code) in STATUS_CODES.iter().enumerate() {
+        let code_s = code.to_string();
+        w.sample_u64(
+            "gef_serve_responses_total",
+            &[("code", &code_s)],
+            load(&c.responses[i]),
+        );
+    }
+    w.sample_u64(
+        "gef_serve_responses_total",
+        &[("code", "other")],
+        load(&c.responses[STATUS_CODES.len()]),
+    );
+
+    let singles: [(&str, &str, u64); 8] = [
+        (
+            "gef_serve_served_ok_total",
+            "200 answers to /explain and /predict.",
+            load(&c.served_ok),
+        ),
+        (
+            "gef_serve_degraded_total",
+            "200 answers that served a degraded explanation.",
+            load(&c.degraded),
+        ),
+        (
+            "gef_serve_shed_total",
+            "Connections shed with 429 by admission control.",
+            load(&c.shed),
+        ),
+        (
+            "gef_serve_client_errors_total",
+            "4xx answers (malformed requests included).",
+            load(&c.client_errors),
+        ),
+        (
+            "gef_serve_server_errors_total",
+            "5xx answers to /explain and /predict.",
+            load(&c.server_errors),
+        ),
+        (
+            "gef_serve_deadline_trips_total",
+            "Requests that tripped their hard deadline (504).",
+            load(&c.deadline_trips),
+        ),
+        (
+            "gef_serve_panics_contained_total",
+            "Worker panics contained by catch_unwind.",
+            load(&c.panics_contained),
+        ),
+        (
+            "gef_serve_breaker_trips_total",
+            "Times the circuit breaker tripped open.",
+            load(&c.breaker_trips),
+        ),
+    ];
+    for (name, help, v) in singles {
+        w.metric(name, "counter", help);
+        w.sample_u64(name, &[], v);
+    }
+
+    w.metric(
+        "gef_serve_budget_trips_total",
+        "counter",
+        "Per-request run-budget trips observed at budget-scope exit.",
+    );
+    w.sample_u64(
+        "gef_serve_budget_trips_total",
+        &[("kind", "soft")],
+        load(&c.budget_soft_trips),
+    );
+    w.sample_u64(
+        "gef_serve_budget_trips_total",
+        &[("kind", "hard")],
+        load(&c.budget_hard_trips),
+    );
+
+    {
+        let h = shared
+            .latency_fixed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        w.histogram(
+            "gef_serve_explain_latency_us",
+            "Wall-clock /explain latency in microseconds.",
+            &h,
+        );
+    }
+
+    w.metric(
+        "gef_serve_breaker_open",
+        "gauge",
+        "1 while the circuit breaker is open.",
+    );
+    w.sample_u64(
+        "gef_serve_breaker_open",
+        &[],
+        u64::from(shared.breaker.is_open()),
+    );
+    w.metric(
+        "gef_serve_queue_depth",
+        "gauge",
+        "Connections waiting in the admission queue.",
+    );
+    w.sample_u64("gef_serve_queue_depth", &[], shared.queue_depth() as u64);
+    w.metric(
+        "gef_serve_queue_bound",
+        "gauge",
+        "Admission queue bound (shed above this).",
+    );
+    w.sample_u64("gef_serve_queue_bound", &[], shared.cfg.queue_depth as u64);
+    w.metric(
+        "gef_serve_pressure_floor",
+        "gauge",
+        "Preemptive degradation floor (0=full, 1=univariate_only, 2=linear_surrogate).",
+    );
+    w.sample_u64(
+        "gef_serve_pressure_floor",
+        &[],
+        match shared.pressure_floor() {
+            FitFloor::Full => 0,
+            FitFloor::UnivariateOnly => 1,
+            FitFloor::LinearSurrogate => 2,
+        },
+    );
+
+    if let Some(store) = &shared.store {
+        let s = store.cache_stats();
+        let cache: [(&str, &str, &str, u64); 6] = [
+            (
+                "gef_serve_store_cache_hits_total",
+                "counter",
+                "Model loads served from the MRU cache.",
+                s.hits,
+            ),
+            (
+                "gef_serve_store_cache_misses_total",
+                "counter",
+                "Model loads that went to disk.",
+                s.misses,
+            ),
+            (
+                "gef_serve_store_cache_evictions_total",
+                "counter",
+                "MRU cache evictions.",
+                s.evictions,
+            ),
+            (
+                "gef_serve_store_cache_entries",
+                "gauge",
+                "Models resident in the MRU cache.",
+                s.entries as u64,
+            ),
+            (
+                "gef_serve_store_cache_resident_bytes",
+                "gauge",
+                "Bytes resident in the MRU cache.",
+                s.resident_bytes,
+            ),
+            (
+                "gef_serve_store_cache_capacity_bytes",
+                "gauge",
+                "MRU cache capacity in bytes.",
+                s.capacity_bytes,
+            ),
+        ];
+        for (name, kind, help, v) in cache {
+            w.metric(name, kind, help);
+            w.sample_u64(name, &[], v);
+        }
+        w.metric(
+            "gef_serve_store_quarantined",
+            "gauge",
+            "Artifacts quarantined by the store after digest mismatches.",
+        );
+        w.sample_u64(
+            "gef_serve_store_quarantined",
+            &[],
+            store.quarantined().len() as u64,
+        );
+    }
+
+    let windows = [
+        ("1m", shared.window.summary(60)),
+        ("5m", shared.window.summary(300)),
+    ];
+    w.metric(
+        "gef_serve_window_requests",
+        "gauge",
+        "Requests finished inside the rolling window.",
+    );
+    for (label, s) in &windows {
+        w.sample_u64("gef_serve_window_requests", &[("window", label)], s.total);
+    }
+    w.metric(
+        "gef_serve_window_success_ratio",
+        "gauge",
+        "Rolling (ok+degraded)/total; 1 when idle.",
+    );
+    for (label, s) in &windows {
+        w.sample(
+            "gef_serve_window_success_ratio",
+            &[("window", label)],
+            s.success_rate,
+        );
+    }
+    w.metric(
+        "gef_serve_window_shed_ratio",
+        "gauge",
+        "Rolling shed/total.",
+    );
+    for (label, s) in &windows {
+        w.sample(
+            "gef_serve_window_shed_ratio",
+            &[("window", label)],
+            s.shed_rate,
+        );
+    }
+    w.metric(
+        "gef_serve_window_degraded_ratio",
+        "gauge",
+        "Rolling degraded/total.",
+    );
+    for (label, s) in &windows {
+        w.sample(
+            "gef_serve_window_degraded_ratio",
+            &[("window", label)],
+            s.degraded_rate,
+        );
+    }
+    w.metric(
+        "gef_serve_window_p99_us",
+        "gauge",
+        "Rolling bucket-estimate p99 /explain latency (microseconds).",
+    );
+    for (label, s) in &windows {
+        w.sample_u64("gef_serve_window_p99_us", &[("window", label)], s.p99_us);
+    }
+
+    Response {
+        status: 200,
+        reason: "OK",
+        body: w.finish(),
+        content_type: "text/plain; version=0.0.4",
+        degraded: false,
+    }
 }
 
 /// `GET /models`: every loaded model's name + content digests, plus —
@@ -711,7 +1160,7 @@ fn is_fit_failure(cause: &str) -> bool {
     )
 }
 
-fn handle_explain(shared: &Shared, req: &Request) -> Response {
+fn handle_explain(shared: &Shared, req: &Request, profile: bool) -> Response {
     let (model, instance, body) = match parse_instance(shared, req) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -736,8 +1185,8 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
     let outcome = {
         // The scope guard lives exactly as long as the run, so an early
         // return can never leak this request's deadline to the next.
-        let _scope = budget.enter();
-        catch_unwind(AssertUnwindSafe(|| {
+        let scope = budget.enter();
+        let result = catch_unwind(AssertUnwindSafe(|| {
             if shared.cfg.test_hooks {
                 match req.header("x-gef-test") {
                     Some("panic") => panic!("test hook: deliberate worker panic"),
@@ -767,7 +1216,23 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
                     .map(|(exp, outcome)| (exp, Some(outcome))),
                 None => explainer.explain(&model.forest).map(|exp| (exp, None)),
             }
-        }))
+        }));
+        // Read the trip flags while this request's budget is still the
+        // one in scope; after the guard drops the thread reverts to
+        // the (unarmed) global budget.
+        if scope.budget().soft_tripped() {
+            shared
+                .counters
+                .budget_soft_trips
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if scope.budget().hard_tripped() {
+            shared
+                .counters
+                .budget_hard_trips
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        result
     };
     match outcome {
         Err(payload) => {
@@ -862,8 +1327,22 @@ fn handle_explain(shared: &Shared, req: &Request) -> Response {
                 w.end_object();
             }
             w.end_array();
+            if profile {
+                // The request's own flame view: the merged timeline
+                // filtered down to spans stamped with this trace id
+                // (a complete Chrome-trace document, embeddable raw).
+                let trace = ctx::current_id();
+                w.key("profile");
+                if gef_trace::timeline::prof_enabled() && trace != 0 {
+                    w.value_raw(&gef_trace::timeline::chrome_trace_fragment(trace));
+                } else {
+                    w.value_raw("null");
+                }
+            }
             w.end_object();
-            Response::ok(w.finish())
+            let mut resp = Response::ok(w.finish());
+            resp.degraded = !exp.degradations.is_empty();
+            resp
         }
     }
 }

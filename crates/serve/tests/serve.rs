@@ -85,6 +85,39 @@ fn get(port: u16, path: &str) -> (u16, String) {
     )
 }
 
+/// Like [`roundtrip`], but returns the raw response (status line +
+/// headers + body) for tests that inspect headers.
+fn roundtrip_raw(port: u16, request: &str) -> String {
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    raw
+}
+
+/// The value of response header `name` (case-insensitive), if present.
+fn header_value(raw: &str, name: &str) -> Option<String> {
+    let head = raw.split("\r\n\r\n").next()?;
+    for line in head.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case(name) {
+                return Some(v.trim().to_string());
+            }
+        }
+    }
+    None
+}
+
+/// The string value of a `"key":"value"` pair in a JSON body (enough
+/// for the flat fields these tests read).
+fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let rest = &body[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 #[test]
 fn predict_healthz_stats_and_404() {
     let server = start(ServeConfig::default(), 1000);
@@ -351,4 +384,217 @@ fn store_backed_explain_caches_and_models_lists_digests() {
     assert!(body.contains("\"cache\":\"hit\""), "{body}");
     server2.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every response echoes a trace id: minted ones are 16-hex, and a
+/// well-formed client-supplied `x-gef-trace-id` is honored verbatim in
+/// both the response header and the body's `trace_id` field.
+#[test]
+fn responses_echo_and_honor_trace_ids() {
+    let server = start(ServeConfig::default(), 800);
+    let port = server.port();
+
+    let raw = roundtrip_raw(port, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    let minted = header_value(&raw, "x-gef-trace-id").expect("minted trace id header");
+    assert_eq!(minted.len(), 16, "{minted}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "{minted}");
+    assert!(raw.contains(&format!("\"trace_id\":\"{minted}\"")), "{raw}");
+
+    let body = r#"{"instance":[0.2,0.8,0.5]}"#;
+    let raw = roundtrip_raw(
+        port,
+        &format!(
+            "POST /explain HTTP/1.1\r\nconnection: close\r\nx-gef-trace-id: 00000000deadbeef\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(raw.starts_with("HTTP/1.1 200 "), "{raw}");
+    assert_eq!(
+        header_value(&raw, "x-gef-trace-id").as_deref(),
+        Some("00000000deadbeef"),
+        "{raw}"
+    );
+    assert!(raw.contains("\"trace_id\":\"00000000deadbeef\""), "{raw}");
+
+    // A malformed client id (wrong length) is replaced, not echoed.
+    let raw = roundtrip_raw(
+        port,
+        "GET /healthz HTTP/1.1\r\nconnection: close\r\nx-gef-trace-id: nope\r\n\r\n",
+    );
+    let replaced = header_value(&raw, "x-gef-trace-id").expect("replacement id");
+    assert_ne!(replaced, "nope");
+    assert_eq!(replaced.len(), 16);
+    server.shutdown();
+}
+
+/// The tentpole isolation criterion: two concurrent `/explain?profile=1`
+/// requests (with gef-par workers fanned out under `GEF_THREADS=4`) get
+/// distinct trace ids, and each response's profile fragment contains
+/// only spans stamped with its *own* id, covering the pipeline stages
+/// that ran.
+#[test]
+fn concurrent_profiles_are_isolated_per_trace_id() {
+    std::env::set_var("GEF_THREADS", "4");
+    let server = start(
+        ServeConfig {
+            workers: 2,
+            profile: true,
+            ..ServeConfig::default()
+        },
+        2500,
+    );
+    let port = server.port();
+    let spawn = || {
+        std::thread::spawn(move || {
+            post(
+                port,
+                "/explain?profile=1",
+                r#"{"instance":[0.2,0.8,0.5]}"#,
+                "",
+            )
+        })
+    };
+    let (a, b) = (spawn(), spawn());
+    let (status_a, body_a) = a.join().unwrap();
+    let (status_b, body_b) = b.join().unwrap();
+    assert_eq!(status_a, 200, "{body_a}");
+    assert_eq!(status_b, 200, "{body_b}");
+
+    let id_a = json_str_field(&body_a, "trace_id").expect("trace id a");
+    let id_b = json_str_field(&body_b, "trace_id").expect("trace id b");
+    assert_ne!(id_a, id_b, "concurrent requests must get distinct ids");
+
+    for (body, own, other) in [(&body_a, &id_a, &id_b), (&body_b, &id_b, &id_a)] {
+        assert!(body.contains("\"profile\":{"), "{body}");
+        // Every span in the fragment is stamped with this request's id
+        // and no other request's spans leak in.
+        let stamps: Vec<&str> = body
+            .match_indices("\"trace\":\"")
+            .map(|(i, pat)| &body[i + pat.len()..i + pat.len() + 16])
+            .collect();
+        assert!(
+            !stamps.is_empty(),
+            "fragment must contain stamped spans: {body}"
+        );
+        for s in &stamps {
+            assert_eq!(s, own, "foreign span in fragment: {body}");
+        }
+        assert!(!body.contains(&format!("\"trace\":\"{other}\"")), "{body}");
+        // Stage coverage: the pipeline root span ran under this id.
+        assert!(body.contains("pipeline.explain"), "{body}");
+    }
+    server.shutdown();
+}
+
+/// `GET /metrics` serves a parseable Prometheus text exposition whose
+/// counters never move backwards across scrapes, and whose per-status
+/// response tallies account for the traffic in between.
+#[test]
+fn metrics_exposition_parses_and_counters_are_monotonic() {
+    let server = start(ServeConfig::default(), 800);
+    let port = server.port();
+
+    let raw = roundtrip_raw(port, "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(raw.starts_with("HTTP/1.1 200 "), "{raw}");
+    assert!(
+        header_value(&raw, "content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "{raw}"
+    );
+    let body1 = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap();
+    let exp1 = gef_trace::metrics::validate(&body1).expect("first scrape validates");
+    assert!(!exp1.named("gef_serve_responses_total").is_empty());
+    assert!(exp1.value("gef_serve_explain_latency_us_count").is_some());
+    assert!(!exp1.named("gef_serve_window_success_ratio").is_empty());
+
+    // Traffic between scrapes: 200 (explain), 200 (predict), 404, 405.
+    let (s, _) = post(port, "/explain", r#"{"instance":[0.2,0.8,0.5]}"#, "");
+    assert_eq!(s, 200);
+    let (s, _) = post(port, "/predict", r#"{"instance":[0.2,0.8,0.5]}"#, "");
+    assert_eq!(s, 200);
+    let (s, _) = get(port, "/nowhere");
+    assert_eq!(s, 404);
+    let (s, _) = get(port, "/explain");
+    assert_eq!(s, 405);
+
+    let (status, body2) = get(port, "/metrics");
+    assert_eq!(status, 200);
+    let exp2 = gef_trace::metrics::validate(&body2).expect("second scrape validates");
+
+    // Monotonicity: every counter sample of the first scrape is <= its
+    // successor in the second.
+    for s1 in exp1.samples.iter().filter(|s| s.name.ends_with("_total")) {
+        let v2 = exp2
+            .samples
+            .iter()
+            .find(|s2| s2.name == s1.name && s2.labels == s1.labels)
+            .unwrap_or_else(|| panic!("{} vanished between scrapes", s1.name))
+            .value;
+        assert!(
+            v2 >= s1.value,
+            "{}{:?} went backwards: {} -> {v2}",
+            s1.name,
+            s1.labels,
+            s1.value
+        );
+    }
+    // The 4 probes plus the first /metrics response itself all landed
+    // in the per-status tallies.
+    let sum1 = exp1.sum("gef_serve_responses_total");
+    let sum2 = exp2.sum("gef_serve_responses_total");
+    assert!(
+        sum2 >= sum1 + 5.0,
+        "expected >= 5 new responses between scrapes, got {sum1} -> {sum2}"
+    );
+    let c404: f64 = exp2
+        .named("gef_serve_responses_total")
+        .iter()
+        .filter(|s| s.label("code") == Some("404"))
+        .map(|s| s.value)
+        .sum();
+    assert!(c404 >= 1.0, "{body2}");
+    server.shutdown();
+}
+
+/// A request slower than `slow_ms` leaves a slow-request capture in
+/// the incident directory, filed under — and filtered to — its own
+/// trace id.
+#[test]
+fn slow_requests_dump_a_trace_filtered_capture() {
+    let server = start(
+        ServeConfig {
+            test_hooks: true,
+            slow_ms: 50,
+            ..ServeConfig::default()
+        },
+        800,
+    );
+    let port = server.port();
+    let hex = "feedfacecafef00d";
+    let (status, body) = post(
+        port,
+        "/explain",
+        r#"{"instance":[0.2,0.8,0.5]}"#,
+        &format!("x-gef-trace-id: {hex}\r\nx-gef-test: sleep\r\nx-gef-test-ms: 200\r\n"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_str_field(&body, "trace_id").as_deref(), Some(hex));
+
+    // The capture is written before the response goes out, so it must
+    // exist by now. Trace ids are unique, so the shared incident dir
+    // (CARGO_TARGET_TMPDIR) cannot collide across tests.
+    let path =
+        std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("incident-slow_{hex}.json"));
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing capture {}: {e}", path.display()));
+    assert!(doc.contains("\"schema\":\"gef-core/slowreq/v1\""), "{doc}");
+    assert!(doc.contains(&format!("\"trace_id\":\"{hex}\"")), "{doc}");
+    assert!(doc.contains("\"threshold_ms\":50"), "{doc}");
+    // The timeline slot is always present (null unless profiling was
+    // on — another test in this process may have enabled it).
+    assert!(doc.contains("\"timeline\":"), "{doc}");
+    let _ = std::fs::remove_file(&path);
+    server.shutdown();
 }

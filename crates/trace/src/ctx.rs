@@ -1,0 +1,230 @@
+//! Request-scoped trace context: a thread-local stack of trace ids.
+//!
+//! A trace id is a nonzero `u64`, conventionally rendered as 16 hex
+//! digits (the [`crate::hash::to_hex`] form). The serve layer mints one
+//! per request (or honors a client-supplied `X-Gef-Trace-Id`), enters
+//! it on the worker thread handling the request, and every telemetry
+//! sink that runs under that scope — flight-recorder events, timeline
+//! events, incident dumps, the `Provenance` block — stamps the current
+//! id so one request's telemetry can be sliced out of process-wide
+//! rings after the fact.
+//!
+//! Propagation follows the same discipline as [`crate::budget`]: the
+//! context is **explicitly captured** where work is dispatched
+//! ([`current`]) and **explicitly entered** where work runs
+//! ([`TraceCtx::enter`]). `gef-par` captures the dispatching thread's
+//! context when a region is built and enters it inside each worker, so
+//! task events on worker threads attribute to the request that
+//! dispatched them. Nothing is ambient across threads; a thread with no
+//! entered scope reads id `0` ("no context") and sinks skip the stamp.
+//!
+//! ```
+//! use gef_trace::ctx;
+//! let id = ctx::new_id();
+//! assert_eq!(ctx::current_id(), 0);
+//! {
+//!     let _scope = ctx::TraceCtx::with_id(id).enter();
+//!     assert_eq!(ctx::current_id(), id);
+//! }
+//! assert_eq!(ctx::current_id(), 0);
+//! ```
+
+use crate::hash;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Innermost-wins stack of entered trace ids for this thread.
+    static CURRENT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Monotonic sequence mixed into every minted id.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Lazily initialised per-process salt so ids differ across restarts.
+static PROCESS_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn process_salt() -> u64 {
+    let salt = PROCESS_SALT.load(Ordering::Relaxed);
+    if salt != 0 {
+        return salt;
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let mixed = hash::splitmix64(nanos) | 1; // nonzero so init runs once
+    let _ = PROCESS_SALT.compare_exchange(0, mixed, Ordering::Relaxed, Ordering::Relaxed);
+    PROCESS_SALT.load(Ordering::Relaxed)
+}
+
+/// Mint a fresh nonzero trace id (splitmix of a per-process salt and a
+/// monotonic sequence — unique within a process, unlikely to collide
+/// across them).
+pub fn new_id() -> u64 {
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let id = hash::splitmix64(process_salt() ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    if id == 0 {
+        0x6765_665f_7472_6163 // "gef_trac": splitmix64 hit its fixed zero
+    } else {
+        id
+    }
+}
+
+/// Parse a 16-hex-digit trace id (the wire form). Returns `None` for
+/// anything else — wrong length, non-hex, or the reserved zero id — so
+/// callers fall back to minting a fresh id instead of trusting junk.
+pub fn parse_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(v) => Some(v),
+    }
+}
+
+/// A capturable, re-enterable trace-context handle. Cheap to clone and
+/// `Send`: capture it with [`current`] where work is dispatched, move
+/// it to the worker, and [`enter`](TraceCtx::enter) it there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    id: u64,
+}
+
+impl TraceCtx {
+    /// The empty context (id `0`): entering it is a real push, so a
+    /// worker that enters a dispatcher's empty context still shadows
+    /// any id left on its own stack.
+    pub fn none() -> TraceCtx {
+        TraceCtx { id: 0 }
+    }
+
+    /// A context carrying `id` (pass `0` for the empty context).
+    pub fn with_id(id: u64) -> TraceCtx {
+        TraceCtx { id }
+    }
+
+    /// The raw id (`0` = no context).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True when this handle carries a real id.
+    pub fn is_set(&self) -> bool {
+        self.id != 0
+    }
+
+    /// The 16-hex wire form of the id.
+    pub fn hex(&self) -> String {
+        hash::to_hex(self.id)
+    }
+
+    /// Push this context onto the calling thread's stack; the returned
+    /// guard pops it on drop. Guards are `!Send` and must drop in LIFO
+    /// order (guaranteed by normal scoping).
+    pub fn enter(&self) -> CtxScope {
+        CURRENT.with(|c| c.borrow_mut().push(self.id));
+        CtxScope {
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard returned by [`TraceCtx::enter`]; pops the entered id on drop.
+pub struct CtxScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CtxScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The calling thread's innermost entered context ([`TraceCtx::none`]
+/// when no scope is active) — the capture point for dispatchers.
+pub fn current() -> TraceCtx {
+    TraceCtx { id: current_id() }
+}
+
+/// The calling thread's innermost entered trace id (`0` = none). This
+/// is the fast path telemetry sinks use to stamp events.
+pub fn current_id() -> u64 {
+    CURRENT.with(|c| c.borrow().last().copied().unwrap_or(0))
+}
+
+/// The 16-hex form of [`current_id`], or `None` outside any scope.
+pub fn current_hex() -> Option<String> {
+    match current_id() {
+        0 => None,
+        id => Some(hash::to_hex(id)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = new_id();
+        let b = new_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scopes_nest_and_unwind() {
+        assert_eq!(current_id(), 0);
+        let outer = TraceCtx::with_id(0x11);
+        let _o = outer.enter();
+        assert_eq!(current_id(), 0x11);
+        {
+            let _i = TraceCtx::with_id(0x22).enter();
+            assert_eq!(current_id(), 0x22);
+        }
+        assert_eq!(current_id(), 0x11);
+    }
+
+    #[test]
+    fn empty_context_shadows() {
+        let _o = TraceCtx::with_id(0x33).enter();
+        {
+            let _i = TraceCtx::none().enter();
+            assert_eq!(current_id(), 0);
+            assert!(current_hex().is_none());
+        }
+        assert_eq!(current_id(), 0x33);
+    }
+
+    #[test]
+    fn capture_and_reenter_across_threads() {
+        let ctx = TraceCtx::with_id(0x44);
+        let _s = ctx.enter();
+        let captured = current();
+        let seen = std::thread::spawn(move || {
+            assert_eq!(current_id(), 0, "fresh thread starts without a context");
+            let _w = captured.enter();
+            current_id()
+        })
+        .join()
+        .expect("worker join");
+        assert_eq!(seen, 0x44);
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejection() {
+        let id = 0xdead_beef_0012_3456u64;
+        let hex = TraceCtx::with_id(id).hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(parse_hex(&hex), Some(id));
+        assert_eq!(parse_hex("0000000000000000"), None);
+        assert_eq!(parse_hex("abc"), None);
+        assert_eq!(parse_hex("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(parse_hex("deadbeef001234567"), None);
+    }
+}

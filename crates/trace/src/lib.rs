@@ -63,12 +63,14 @@
 #![deny(missing_docs)]
 
 pub mod budget;
+pub mod ctx;
 pub mod env;
 pub mod fault;
 pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod mem;
+pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod timeline;

@@ -114,6 +114,9 @@ pub struct Record {
     pub fields: Vec<(String, f64)>,
     /// Free-text payload (degradation cause, panic message, …).
     pub detail: Option<String>,
+    /// Trace id of the request context active when the record was
+    /// appended ([`crate::ctx`]); `0` outside any request scope.
+    pub trace: u64,
 }
 
 struct RecEvent {
@@ -123,6 +126,7 @@ struct RecEvent {
     name: String,
     fields: Vec<(String, f64)>,
     detail: Option<String>,
+    trace: u64,
 }
 
 struct Ring {
@@ -240,6 +244,7 @@ fn append(kind: Kind, name: &str, fields: &[(&str, f64)], detail: Option<&str>) 
         name: name.to_string(),
         fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         detail: detail.map(str::to_string),
+        trace: crate::ctx::current_id(),
     };
     with_ring(|r| r.push(ev));
 }
@@ -311,21 +316,38 @@ pub fn register_worker(index: usize) {
 /// globally ordered view (by timestamp, tie-broken by sequence
 /// number). This is the incident-dump drain.
 pub fn snapshot_last(n: usize) -> Vec<Record> {
+    snapshot_filtered(n, None)
+}
+
+/// Like [`snapshot_last`], but keeping only records stamped with
+/// `trace` — the slice one request left across every thread's ring.
+/// This is what slow-request captures drain.
+pub fn snapshot_trace(n: usize, trace: u64) -> Vec<Record> {
+    snapshot_filtered(n, Some(trace))
+}
+
+fn snapshot_filtered(n: usize, trace: Option<u64>) -> Vec<Record> {
     let mut merged: Vec<Record> = Vec::new();
     {
         let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
         for ring in rings.iter() {
             let r = ring.lock().unwrap_or_else(|e| e.into_inner());
-            merged.extend(r.events.iter().map(|e| Record {
-                kind: e.kind,
-                tid: r.tid,
-                thread: r.name.clone(),
-                ts_ns: e.ts_ns,
-                seq: e.seq,
-                name: e.name.clone(),
-                fields: e.fields.clone(),
-                detail: e.detail.clone(),
-            }));
+            merged.extend(
+                r.events
+                    .iter()
+                    .filter(|e| trace.is_none_or(|t| e.trace == t))
+                    .map(|e| Record {
+                        kind: e.kind,
+                        tid: r.tid,
+                        thread: r.name.clone(),
+                        ts_ns: e.ts_ns,
+                        seq: e.seq,
+                        name: e.name.clone(),
+                        fields: e.fields.clone(),
+                        detail: e.detail.clone(),
+                        trace: e.trace,
+                    }),
+            );
         }
     }
     merged.sort_by_key(|r| (r.ts_ns, r.seq));
@@ -481,6 +503,25 @@ mod tests {
             let snap = snapshot_last(5);
             assert_eq!(snap.len(), 5);
             assert_eq!(snap[snap.len() - 1].fields[0].1, 19.0);
+        });
+    }
+
+    #[test]
+    fn trace_context_stamps_and_filters() {
+        with_recorder(|| {
+            record(Kind::Event, "untraced", &[]);
+            {
+                let _s = crate::ctx::TraceCtx::with_id(0xabc).enter();
+                record(Kind::Event, "traced", &[]);
+            }
+            let slice = snapshot_trace(usize::MAX, 0xabc);
+            assert_eq!(slice.len(), 1);
+            assert_eq!(slice[0].name, "traced");
+            assert_eq!(slice[0].trace, 0xabc);
+            // The unscoped record is stamped 0 and excluded.
+            assert!(snapshot_last(usize::MAX)
+                .iter()
+                .any(|r| r.name == "untraced" && r.trace == 0));
         });
     }
 

@@ -128,6 +128,9 @@ struct TlEvent {
     seq: u64,
     name: String,
     args: Vec<(String, f64)>,
+    /// Trace id of the request context active at record time
+    /// ([`crate::ctx`]); `0` outside any request scope.
+    trace: u64,
 }
 
 struct ThreadBuf {
@@ -149,6 +152,7 @@ impl ThreadBuf {
             seq: SEQ.fetch_add(1, Ordering::Relaxed),
             name: name.to_string(),
             args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            trace: crate::ctx::current_id(),
         });
     }
 }
@@ -324,6 +328,18 @@ pub fn tids_with_events() -> Vec<u64> {
 /// order) — plus a top-level `droppedEvents` count. It loads directly
 /// in `chrome://tracing` and Perfetto.
 pub fn chrome_trace_json() -> String {
+    render_chrome_trace(None)
+}
+
+/// Like [`chrome_trace_json`], but keeping only events stamped with
+/// `trace` (see [`crate::ctx`]) — one request's stage and task spans
+/// across every thread, as a loadable Chrome-trace fragment. Threads
+/// with no matching events are omitted entirely.
+pub fn chrome_trace_fragment(trace: u64) -> String {
+    render_chrome_trace(Some(trace))
+}
+
+fn render_chrome_trace(filter: Option<u64>) -> String {
     struct ThreadSnap {
         tid: u64,
         name: String,
@@ -336,10 +352,19 @@ pub fn chrome_trace_json() -> String {
         for buf in bufs.iter() {
             let b = buf.lock().unwrap_or_else(|e| e.into_inner());
             dropped += b.dropped;
+            let events: Vec<TlEvent> = b
+                .events
+                .iter()
+                .filter(|e| filter.is_none_or(|t| e.trace == t))
+                .cloned()
+                .collect();
+            if filter.is_some() && events.is_empty() {
+                continue;
+            }
             threads.push(ThreadSnap {
                 tid: b.tid,
                 name: b.name.clone(),
-                events: b.events.clone(),
+                events,
             });
         }
         (threads, dropped)
@@ -397,6 +422,11 @@ pub fn chrome_trace_json() -> String {
         if e.ph == b'i' {
             // Thread-scoped instant (a tick on that thread's track).
             w.field_str("s", "t");
+        }
+        if e.trace != 0 {
+            // Non-standard field, ignored by trace viewers; lets tools
+            // slice an unfiltered export by request after the fact.
+            w.field_str("trace", &crate::hash::to_hex(e.trace));
         }
         if !e.args.is_empty() {
             w.key("args");
@@ -542,6 +572,43 @@ mod tests {
             // Re-recording lands on the same tid set (stability).
             instant("main.tick2", &[]);
             assert_eq!(tids_with_events(), tids);
+        });
+    }
+
+    #[test]
+    fn fragment_keeps_only_one_requests_events() {
+        with_prof(|| {
+            instant("ambient", &[]);
+            {
+                let _a = crate::ctx::TraceCtx::with_id(0xa1).enter();
+                begin("req.a");
+                end("req.a");
+            }
+            {
+                let _b = crate::ctx::TraceCtx::with_id(0xb2).enter();
+                begin("req.b");
+                end("req.b");
+            }
+            let doc = chrome_trace_fragment(0xa1);
+            crate::json::validate(&doc).unwrap_or_else(|e| panic!("invalid: {e}\n{doc}"));
+            let v = parse(&doc).unwrap();
+            let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+            let named: Vec<&str> = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(JsonValue::as_str) != Some("M"))
+                .map(|e| e.get("name").and_then(JsonValue::as_str).unwrap())
+                .collect();
+            assert_eq!(named, ["req.a", "req.a"]);
+            // Every non-metadata event is stamped with the request id.
+            for e in events
+                .iter()
+                .filter(|e| e.get("ph").and_then(JsonValue::as_str) != Some("M"))
+            {
+                assert_eq!(
+                    e.get("trace").and_then(JsonValue::as_str),
+                    Some(crate::hash::to_hex(0xa1).as_str())
+                );
+            }
         });
     }
 
